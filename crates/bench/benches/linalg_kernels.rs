@@ -1,0 +1,67 @@
+//! Micro-benchmarks for the sparse linear-algebra kernels that dominate
+//! per-iteration compute.
+
+use columnsgd::linalg::{rng, CsrMatrix, DenseVector, SparseVector};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::Rng;
+
+fn random_sparse(dim: u64, nnz: usize, seed: u64) -> SparseVector {
+    let mut r = rng::seeded(seed);
+    SparseVector::from_pairs((0..nnz).map(|_| (r.gen_range(0..dim), r.gen::<f64>())).collect())
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_dot_dense");
+    for &nnz in &[16usize, 128, 1024] {
+        let x = random_sparse(100_000, nnz, 1);
+        let w = DenseVector::from_vec((0..100_000).map(|i| (i as f64).sin()).collect());
+        g.throughput(Throughput::Elements(nnz as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
+            b.iter(|| black_box(x.dot_dense(&w)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("axpy_sparse");
+    for &nnz in &[16usize, 128, 1024] {
+        let x = random_sparse(100_000, nnz, 2);
+        g.throughput(Throughput::Elements(nnz as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
+            let mut w = DenseVector::zeros(100_000);
+            b.iter(|| w.axpy_sparse(black_box(0.01), &x))
+        });
+    }
+    g.finish();
+}
+
+fn bench_csr_batch_dots(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csr_batch_partial_dots");
+    for &rows in &[100usize, 1000] {
+        let batch = CsrMatrix::from_rows(
+            &(0..rows)
+                .map(|i| (1.0, random_sparse(50_000, 30, i as u64)))
+                .collect::<Vec<_>>(),
+        );
+        let w: Vec<f64> = (0..50_000).map(|i| (i as f64).cos()).collect();
+        g.throughput(Throughput::Elements(batch.nnz() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for r in 0..batch.nrows() {
+                    acc += batch.row_dot_dense(r, &w);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dot, bench_axpy, bench_csr_batch_dots
+}
+criterion_main!(benches);

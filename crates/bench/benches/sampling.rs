@@ -1,0 +1,59 @@
+//! Ablation bench: two-phase-index batch sampling vs a sequential-scan
+//! Bernoulli sampler (the MLlib approach the paper calls "clearly
+//! expensive for large training data", §IV-A1).
+
+use columnsgd::data::TwoPhaseIndex;
+use columnsgd::linalg::rng;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+fn bench_two_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_sampling");
+    for &blocks in &[16usize, 256] {
+        let index = TwoPhaseIndex::new((0..blocks as u64).map(|b| (b, 4096usize)), 9);
+        g.bench_with_input(
+            BenchmarkId::new("two_phase_index", blocks),
+            &blocks,
+            |bch, _| {
+                let mut t = 0u64;
+                bch.iter(|| {
+                    t += 1;
+                    black_box(index.sample_batch(t, 1000))
+                })
+            },
+        );
+    }
+
+    // Baseline: Bernoulli sequential scan over all rows (what MLlib's
+    // `sample()` does) — O(N) per batch instead of O(B log blocks).
+    for &blocks in &[16usize, 256] {
+        let n = blocks * 4096;
+        g.bench_with_input(
+            BenchmarkId::new("sequential_scan", blocks),
+            &blocks,
+            |bch, _| {
+                let mut seed = 0u64;
+                bch.iter(|| {
+                    seed += 1;
+                    let mut r = rng::seeded(seed);
+                    let p = 1000.0 / n as f64;
+                    let mut picked = Vec::with_capacity(1100);
+                    for i in 0..n {
+                        if r.gen::<f64>() < p {
+                            picked.push(i);
+                        }
+                    }
+                    black_box(picked)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_two_phase
+}
+criterion_main!(benches);

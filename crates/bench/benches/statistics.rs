@@ -1,0 +1,58 @@
+//! Per-model statistics computation (`computeStat`) and model update
+//! (`updateModel`) — the two worker-side kernels of Algorithm 3.
+
+use columnsgd::linalg::CsrMatrix;
+use columnsgd::ml::{ModelSpec, OptimizerKind, OptimizerState, UpdateParams};
+use columnsgd::data::synth;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn batch(rows: usize, dim: u64) -> CsrMatrix {
+    let ds = synth::small_test_dataset(rows, dim, 5);
+    CsrMatrix::from_rows(&ds.iter().cloned().collect::<Vec<_>>())
+}
+
+fn bench_compute_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compute_stats");
+    let b = batch(1000, 20_000);
+    for (name, spec) in [
+        ("lr", ModelSpec::Lr),
+        ("svm", ModelSpec::Svm),
+        ("mlr4", ModelSpec::Mlr { classes: 4 }),
+        ("fm10", ModelSpec::Fm { factors: 10 }),
+    ] {
+        let params = spec.init_params(20_000, 7, |s| s as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |bch, _| {
+            let mut out = Vec::new();
+            bch.iter(|| {
+                spec.compute_stats(&params, &b, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_update_from_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_from_stats");
+    let b = batch(1000, 20_000);
+    for (name, spec) in [("lr", ModelSpec::Lr), ("fm10", ModelSpec::Fm { factors: 10 })] {
+        let mut params = spec.init_params(20_000, 7, |s| s as u64);
+        let mut opt = OptimizerState::for_params(OptimizerKind::Sgd, &params);
+        let mut stats = Vec::new();
+        spec.compute_stats(&params, &b, &mut stats);
+        let up = UpdateParams::plain(0.01);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |bch, _| {
+            bch.iter(|| {
+                spec.update_from_stats(&mut params, &mut opt, &b, &stats, &up, 1000);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compute_stats, bench_update_from_stats
+}
+criterion_main!(benches);

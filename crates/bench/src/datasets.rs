@@ -1,0 +1,54 @@
+//! Scaled synthetic stand-ins for the Table II datasets.
+//!
+//! Feature dimensions scale with the experiment's `scale` argument
+//! (default 0.02 → kdd12 ≈ 1.1M features); row counts are capped so the
+//! harness runs in minutes on one machine. The *shape* of every result
+//! depends on m, ρ, B, and K — all preserved — not on N (SGD only ever
+//! touches B rows per iteration).
+
+use columnsgd::data::{synth::SynthConfig, Dataset, DatasetPreset};
+
+/// Default feature-dimension scale for the harness.
+pub const DEFAULT_SCALE: f64 = 0.02;
+
+/// Rows generated per dataset (enough for sampling diversity at B = 1000).
+pub const DEFAULT_ROWS: usize = 20_000;
+
+/// Builds the scaled synthetic stand-in for a Table II preset.
+pub fn build(preset: DatasetPreset, scale: f64, rows: usize, seed: u64) -> Dataset {
+    let meta = preset.meta().scaled(scale.clamp(1e-7, 1.0));
+    SynthConfig::from_meta(&meta, rows, seed).generate()
+}
+
+/// The scaled feature count of a preset (for reporting).
+pub fn scaled_features(preset: DatasetPreset, scale: f64) -> u64 {
+    preset.meta().scaled(scale.clamp(1e-7, 1.0)).features
+}
+
+/// The three public datasets used by most experiments (Table IV order).
+pub const MAIN_TRIO: [DatasetPreset; 3] = [
+    DatasetPreset::Avazu,
+    DatasetPreset::Kddb,
+    DatasetPreset::Kdd12,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_scales_features() {
+        let ds = build(DatasetPreset::Avazu, 0.01, 500, 1);
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.dimension(), 10_000);
+    }
+
+    #[test]
+    fn trio_ordering_by_dimension() {
+        let dims: Vec<u64> = MAIN_TRIO
+            .iter()
+            .map(|&p| scaled_features(p, 0.02))
+            .collect();
+        assert!(dims[0] < dims[1] && dims[1] < dims[2], "{dims:?}");
+    }
+}

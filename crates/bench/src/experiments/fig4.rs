@@ -1,0 +1,94 @@
+//! Figure 4: the batch-size study (SVM on kddb).
+//!
+//! (a) convergence vs #iterations for batch sizes 10 … 100k: small batches
+//! thrash, curves overlap once B ≥ 100;
+//! (b) per-iteration time vs batch size: flat while latency/scheduling
+//! dominate, linear once bandwidth dominates (≈ 100k+).
+
+use columnsgd::cluster::{FailurePlan, NetworkModel};
+use columnsgd::core::{ColumnSgdConfig, ColumnSgdEngine};
+use columnsgd::data::{Dataset, DatasetPreset};
+use columnsgd::ml::ModelSpec;
+use serde_json::json;
+
+use crate::datasets;
+use crate::report::{fmt_s, Report};
+
+fn kddb_synth(scale: f64) -> Dataset {
+    datasets::build(DatasetPreset::Kddb, scale, datasets::DEFAULT_ROWS, 4)
+}
+
+/// Figure 4(a): loss vs iterations across batch sizes.
+pub fn fig4a(scale: f64) -> Report {
+    let ds = kddb_synth(scale);
+    let mut r = Report::new(
+        "fig4a",
+        "Figure 4(a): SVM on kddb-synth — train loss vs #iterations per batch size",
+        &["batch", "loss@10", "loss@50", "loss@100", "tail stddev", "thrashes"],
+    );
+    let mut curves = Vec::new();
+    for &b in &[10usize, 100, 1_000, 10_000] {
+        let cfg = ColumnSgdConfig::new(ModelSpec::Svm)
+            .with_batch_size(b)
+            .with_iterations(100)
+            .with_learning_rate(0.5)
+            .with_seed(7);
+        let mut engine =
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
+        let out = engine.train();
+        let curve = out.curve.smoothed(5);
+        let loss_at = |i: usize| curve.points[i.min(curve.points.len() - 1)].loss;
+        let thrash = out.curve.thrashes(30, 0.05);
+        r.row(vec![
+            b.to_string(),
+            format!("{:.4}", loss_at(9)),
+            format!("{:.4}", loss_at(49)),
+            format!("{:.4}", loss_at(99)),
+            format!("{:.4}", tail_stddev(&out.curve.points.iter().map(|p| p.loss).collect::<Vec<_>>(), 30)),
+            thrash.to_string(),
+        ]);
+        curves.push(json!({
+            "batch": b,
+            "losses": out.curve.points.iter().map(|p| p.loss).collect::<Vec<f64>>(),
+        }));
+    }
+    r.note("paper shape: B=10 thrashes; curves for B ≥ 100 nearly overlap");
+    r.json = json!({ "curves": curves });
+    r
+}
+
+/// Figure 4(b): per-iteration time vs batch size (Cluster 1 pricing).
+pub fn fig4b(scale: f64) -> Report {
+    let ds = kddb_synth(scale);
+    let mut r = Report::new(
+        "fig4b",
+        "Figure 4(b): SVM on kddb-synth — per-iteration time vs batch size (Cluster 1)",
+        &["batch", "s/iter", "comm s/iter"],
+    );
+    let mut series = Vec::new();
+    for &b in &[100usize, 1_000, 10_000, 100_000, 1_000_000] {
+        let cfg = ColumnSgdConfig::new(ModelSpec::Svm)
+            .with_batch_size(b)
+            .with_iterations(3)
+            .with_learning_rate(0.5);
+        let mut engine =
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, FailurePlan::none());
+        let out = engine.train();
+        let mean = out.mean_iteration_s(3);
+        let comm = out.clock.trace().iter().map(|it| it.comm_s).sum::<f64>() / 3.0;
+        r.row(vec![b.to_string(), fmt_s(mean), fmt_s(comm)]);
+        series.push(json!({ "batch": b, "s_per_iter": mean, "comm_s": comm }));
+    }
+    r.note("paper shape: flat until ~100k (latency/scheduling-bound), then near-linear growth (bandwidth-bound)");
+    r.json = json!({ "series": series });
+    r
+}
+
+fn tail_stddev(losses: &[f64], tail: usize) -> f64 {
+    if losses.len() < tail {
+        return 0.0;
+    }
+    let slice = &losses[losses.len() - tail..];
+    let mean = slice.iter().sum::<f64>() / tail as f64;
+    (slice.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / tail as f64).sqrt()
+}

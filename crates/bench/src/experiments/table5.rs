@@ -1,0 +1,81 @@
+//! Table V: per-iteration time of training FM (MXNet vs ColumnSGD),
+//! including the F=50 out-of-memory determination at paper scale.
+
+use columnsgd::cluster::{FailurePlan, NetworkModel};
+use columnsgd::core::{ColumnSgdConfig, ColumnSgdEngine};
+use columnsgd::data::DatasetPreset;
+use columnsgd::ml::ModelSpec;
+use columnsgd::rowsgd::{memory, RowSgdConfig, RowSgdEngine, RowSgdVariant};
+use serde_json::json;
+
+use crate::datasets;
+use crate::report::{fmt_s, fmt_x, Report};
+
+/// Cluster 1 per-node memory (32 GB).
+const NODE_BYTES: u64 = 32_000_000_000;
+
+/// Runs the FM timing comparison.
+pub fn run(scale: f64) -> Report {
+    let k = 8;
+    let b = 1000usize;
+    let iters = 3u64;
+    let net = NetworkModel::CLUSTER1;
+    let mut r = Report::new(
+        "table5",
+        "Table V: per-iteration time (s) of training FM (Cluster 1, B=1000, K=8)",
+        &["workload", "MXNet", "ColumnSGD", "speedup"],
+    );
+    let mut out = Vec::new();
+    let cases: [(DatasetPreset, usize); 4] = [
+        (DatasetPreset::Avazu, 10),
+        (DatasetPreset::Kddb, 10),
+        (DatasetPreset::Kdd12, 10),
+        (DatasetPreset::Kdd12, 50),
+    ];
+    for (preset, factors) in cases {
+        let spec = ModelSpec::Fm { factors };
+        let full_m = preset.meta().features;
+        // OOM determination at *paper scale*: does MXNet's worker peak fit
+        // a 32 GB Cluster 1 node?
+        let mxnet_mem = memory::estimate(RowSgdVariant::PsSparse, spec, full_m, k, k);
+        let mxnet_ooms = mxnet_mem.exceeds(NODE_BYTES);
+
+        let ds = datasets::build(preset, scale, 5_000, 41);
+        let mxnet_s = if mxnet_ooms {
+            None
+        } else {
+            let cfg = RowSgdConfig::new(spec, RowSgdVariant::PsSparse)
+                .with_batch_size(b)
+                .with_iterations(iters);
+            let mut e = RowSgdEngine::new(&ds, k, cfg, net);
+            Some(e.train().mean_iteration_s(iters as usize))
+        };
+        let cfg = ColumnSgdConfig::new(spec)
+            .with_batch_size(b)
+            .with_iterations(iters);
+        let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none());
+        let col = e.train().mean_iteration_s(iters as usize);
+
+        let name = format!("{} (F={})", preset.meta().name, factors);
+        r.row(vec![
+            name.clone(),
+            mxnet_s.map(fmt_s).unwrap_or_else(|| "OOM".into()),
+            fmt_s(col),
+            mxnet_s
+                .map(|t| fmt_x(t / col))
+                .unwrap_or_else(|| "—".into()),
+        ]);
+        out.push(json!({
+            "workload": name,
+            "paper_scale_params": spec.num_params(full_m),
+            "mxnet_worker_peak_gb": mxnet_mem.worker as f64 / 1e9,
+            "mxnet_ooms": mxnet_ooms,
+            "mxnet_s": mxnet_s,
+            "columnsgd_s": col,
+        }));
+    }
+    r.note("paper: avazu F=10 0.03/0.06 (0.5x), kddb F=10 0.56/0.06 (9x), kdd12 F=10 0.84/0.06 (14x), kdd12 F=50 OOM/0.15");
+    r.note("OOM check is made at paper scale (kdd12 F=50 ⇒ 2.8B params, 21 GB FP64; MXNet worker peak exceeds the 32 GB node) — see columnsgd-rowsgd::memory");
+    r.json = json!({ "rows": out, "scale": scale });
+    r
+}

@@ -1,0 +1,134 @@
+//! Aligned-table reports with a JSON side channel.
+
+use serde_json::Value;
+
+/// One experiment's output: a titled, aligned text table plus machine-
+/// readable JSON (consumed when regenerating EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `"table4"`).
+    pub id: String,
+    /// Human title (e.g. `"Table IV: per-iteration time of training LR"`).
+    pub title: String,
+    /// Header row.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+    /// Machine-readable payload.
+    pub json: Value,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            json: Value::Null,
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  * {note}\n"));
+        }
+        out
+    }
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_s(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+/// Formats a ratio as `N.N×`.
+pub fn fmt_x(r: f64) -> String {
+    if r >= 10.0 {
+        format!("{r:.0}x")
+    } else {
+        format!("{r:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", "demo", &["name", "value"]);
+        r.row(vec!["a".into(), "1".into()]);
+        r.row(vec!["long-name".into(), "22".into()]);
+        r.note("a note");
+        let s = r.render();
+        assert!(s.contains("== t — demo"));
+        assert!(s.contains("long-name"));
+        assert!(s.contains("* a note"));
+        // header and rows aligned: "value" column starts at same offset
+        let lines: Vec<&str> = s.lines().collect();
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].len().min(col), col.min(lines[3].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let mut r = Report::new("t", "demo", &["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_s(123.4), "123");
+        assert_eq!(fmt_s(1.234), "1.23");
+        assert_eq!(fmt_s(0.05678), "0.0568");
+        assert_eq!(fmt_x(3.12), "3.1x");
+        assert_eq!(fmt_x(930.0), "930x");
+    }
+}

@@ -1,0 +1,154 @@
+//! Straggler and failure injection.
+//!
+//! * **Stragglers** follow the paper's own methodology (§V-C): "we randomly
+//!   pick one worker in each iteration and let it sleep for some time
+//!   according to StragglerLevel, which is defined as the ratio between the
+//!   extra time a straggler needs to finish a task and the time that a
+//!   non-straggler worker needs." We inflate the chosen worker's *simulated*
+//!   compute time by `1 + level` instead of physically sleeping, so
+//!   experiments stay fast and deterministic.
+//! * **Failures** follow §X: a *task failure* (thrown exception; retried on
+//!   the same worker, no data loss) and a *worker failure* (worker dies;
+//!   its data and model partitions are lost and must be reloaded).
+
+use columnsgd_linalg::rng::{self, DetRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Straggler injection specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerSpec {
+    /// StragglerLevel: extra-time ratio (1 = twice as slow, 5 = six times).
+    pub level: f64,
+    /// Seed for the per-iteration straggler choice.
+    pub seed: u64,
+}
+
+impl StragglerSpec {
+    /// Picks the straggling worker for `iteration` out of `k` workers.
+    pub fn pick(&self, iteration: u64, k: usize) -> usize {
+        let mut r: DetRng = rng::iteration_rng(self.seed ^ 0x5757_5757, iteration);
+        r.gen_range(0..k)
+    }
+
+    /// The multiplicative compute-time factor for the straggler.
+    pub fn factor(&self) -> f64 {
+        1.0 + self.level
+    }
+
+    /// Applies the straggler to a per-worker compute-time vector in place.
+    pub fn inflate(&self, iteration: u64, times: &mut [f64]) -> usize {
+        let s = self.pick(iteration, times.len());
+        times[s] *= self.factor();
+        s
+    }
+}
+
+/// A scripted failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureEvent {
+    /// A task on `worker` throws at `iteration`; Spark-style retry on the
+    /// same worker (data and model partitions survive in memory).
+    TaskFailure {
+        /// Iteration at which the task throws.
+        iteration: u64,
+        /// The worker whose task fails.
+        worker: usize,
+    },
+    /// `worker` dies at `iteration`: its partitions are lost; the engine
+    /// reloads its data and zero-initializes its model partition.
+    WorkerFailure {
+        /// Iteration at which the worker dies.
+        iteration: u64,
+        /// The worker that dies.
+        worker: usize,
+    },
+}
+
+/// The full injection plan for one training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailurePlan {
+    /// Optional straggler injection.
+    pub straggler: Option<StragglerSpec>,
+    /// Scripted failures, in any order.
+    pub events: Vec<FailureEvent>,
+}
+
+impl FailurePlan {
+    /// A plan with no injection at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with only straggler injection.
+    pub fn with_straggler(level: f64, seed: u64) -> Self {
+        Self {
+            straggler: Some(StragglerSpec { level, seed }),
+            events: Vec::new(),
+        }
+    }
+
+    /// Failure events scheduled for `iteration`.
+    pub fn events_at(&self, iteration: u64) -> impl Iterator<Item = FailureEvent> + '_ {
+        self.events.iter().copied().filter(move |e| match e {
+            FailureEvent::TaskFailure { iteration: i, .. }
+            | FailureEvent::WorkerFailure { iteration: i, .. } => *i == iteration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straggler_pick_is_deterministic_and_in_range() {
+        let s = StragglerSpec { level: 1.0, seed: 9 };
+        for it in 0..50 {
+            let a = s.pick(it, 8);
+            let b = s.pick(it, 8);
+            assert_eq!(a, b);
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    fn straggler_moves_around() {
+        let s = StragglerSpec { level: 5.0, seed: 3 };
+        let picks: Vec<usize> = (0..20).map(|it| s.pick(it, 8)).collect();
+        let first = picks[0];
+        assert!(picks.iter().any(|&p| p != first), "straggler never moved: {picks:?}");
+    }
+
+    #[test]
+    fn inflate_scales_exactly_one_worker() {
+        let s = StragglerSpec { level: 1.0, seed: 1 };
+        let mut times = vec![1.0; 4];
+        let victim = s.inflate(7, &mut times);
+        assert_eq!(times[victim], 2.0);
+        assert_eq!(times.iter().filter(|&&t| t == 1.0).count(), 3);
+    }
+
+    #[test]
+    fn plan_filters_events_by_iteration() {
+        let plan = FailurePlan {
+            straggler: None,
+            events: vec![
+                FailureEvent::TaskFailure { iteration: 5, worker: 1 },
+                FailureEvent::WorkerFailure { iteration: 9, worker: 2 },
+            ],
+        };
+        assert_eq!(plan.events_at(5).count(), 1);
+        assert_eq!(plan.events_at(6).count(), 0);
+        assert!(matches!(
+            plan.events_at(9).next(),
+            Some(FailureEvent::WorkerFailure { worker: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn level5_means_six_times_slower() {
+        let s = StragglerSpec { level: 5.0, seed: 0 };
+        assert_eq!(s.factor(), 6.0);
+    }
+}

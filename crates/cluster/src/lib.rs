@@ -1,0 +1,54 @@
+//! An in-process distributed runtime — the substrate that replaces Apache
+//! Spark in this reproduction.
+//!
+//! The paper implements ColumnSGD on top of Spark: a driver (master)
+//! schedules tasks on executors (workers), and all coordination happens via
+//! task results and broadcasts over a physical network (1 Gbps in Cluster 1,
+//! 10 Gbps in Cluster 2). We rebuild the parts of that stack the algorithms
+//! actually exercise:
+//!
+//! * [`node`]: node identities (one master, K workers, optional parameter
+//!   servers for the RowSGD baselines),
+//! * [`wire`]: the [`wire::Wire`] trait — every payload knows its
+//!   serialized size, so communication is *metered exactly*,
+//! * [`router`]: mailbox-style message passing over crossbeam channels;
+//!   workers run on real OS threads and share no state with the master,
+//! * [`traffic`]: per-link byte/message accounting,
+//! * [`netmodel`]: the latency+bandwidth cost model that converts metered
+//!   bytes into simulated wall-clock time, with the paper's two cluster
+//!   configurations as presets,
+//! * [`clock`]: per-iteration simulated-time accounting under BSP
+//!   semantics,
+//! * [`failure`]: straggler and failure injection (§V-C's `StragglerLevel`
+//!   methodology, §X's task/worker failures),
+//! * [`allreduce`]: a ring all-reduce primitive (used by the MLlib*
+//!   baseline).
+//!
+//! **Why simulated time?** The paper's experiments ran on 8–40 machines; a
+//! single host cannot reproduce real network transfer times. Every message
+//! in this runtime is physically delivered (through channels) *and* metered;
+//! the [`netmodel::NetworkModel`] then prices the metered bytes at the
+//! paper's link speeds. Local compute is measured with real timers. The
+//! reported per-iteration time is `max-over-workers(compute) + priced
+//! communication`, exactly the decomposition the paper's own analytic model
+//! (§III-B) uses.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod allreduce;
+pub mod clock;
+pub mod failure;
+pub mod netmodel;
+pub mod node;
+pub mod router;
+pub mod traffic;
+pub mod wire;
+
+pub use clock::SimClock;
+pub use failure::{FailurePlan, StragglerSpec};
+pub use netmodel::NetworkModel;
+pub use node::NodeId;
+pub use router::{Endpoint, Envelope, Router};
+pub use traffic::TrafficStats;
+pub use wire::Wire;

@@ -1,0 +1,154 @@
+//! The network cost model: metered bytes → simulated seconds.
+//!
+//! §III-B2 of the paper observes exactly the two regimes this model
+//! produces: "When the batch size is small, the communication cost per
+//! iteration is dominated by the network latency. However, when the batch
+//! size is large, the communication cost is more affected by network
+//! bandwidth." A transfer of `n` bytes costs `latency + n / bandwidth`.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth model of one network link, plus the fixed per-round
+/// scheduling overhead of the driver (Spark task launch, which the paper
+/// cites to explain why MXNet beats ColumnSGD on avazu: "perhaps due to the
+/// scheduling latency in Spark", §V-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way message latency in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Fixed per-superstep scheduling overhead at the master, in seconds.
+    pub scheduling_overhead_s: f64,
+}
+
+impl NetworkModel {
+    /// The paper's Cluster 1: 8 machines, 2 CPUs, 32 GB, 1 Gbps.
+    /// Spark-era task scheduling costs a few tens of milliseconds.
+    pub const CLUSTER1: NetworkModel = NetworkModel {
+        latency_s: 0.000_5,
+        bandwidth_bytes_per_s: 125_000_000.0, // 1 Gbps
+        scheduling_overhead_s: 0.05,
+    };
+
+    /// The paper's Cluster 2: 40 machines, 8 CPUs, 50 GB, 10 Gbps.
+    pub const CLUSTER2: NetworkModel = NetworkModel {
+        latency_s: 0.000_1,
+        bandwidth_bytes_per_s: 1_250_000_000.0, // 10 Gbps
+        scheduling_overhead_s: 0.05,
+    };
+
+    /// An idealized instantaneous network (for correctness-only tests).
+    pub const INSTANT: NetworkModel = NetworkModel {
+        latency_s: 0.0,
+        bandwidth_bytes_per_s: f64::INFINITY,
+        scheduling_overhead_s: 0.0,
+    };
+
+    /// Time for one point-to-point transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Time for a gather at a single endpoint: `per_sender_bytes` arrive
+    /// from distinct senders, serialized on the receiver's link (the
+    /// single-master bottleneck of Figure 1). Latencies overlap; bytes
+    /// do not.
+    pub fn gather_time(&self, per_sender_bytes: &[u64]) -> f64 {
+        if per_sender_bytes.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = per_sender_bytes.iter().sum();
+        self.latency_s + total as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Time for a broadcast from a single endpoint of `bytes` to each of
+    /// `receivers` nodes: the sender's uplink serializes `bytes × receivers`.
+    pub fn broadcast_time(&self, bytes: u64, receivers: usize) -> f64 {
+        if receivers == 0 {
+            return 0.0;
+        }
+        self.latency_s + (bytes * receivers as u64) as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Time for a ring all-reduce of an `bytes`-sized buffer over `k`
+    /// participants: `2(k-1)` steps each moving `bytes/k`
+    /// (Thakur et al., the optimization the paper cites for MLlib*).
+    pub fn allreduce_time(&self, bytes: u64, k: usize) -> f64 {
+        if k <= 1 {
+            return 0.0;
+        }
+        let steps = 2 * (k - 1);
+        let chunk = bytes as f64 / k as f64;
+        steps as f64 * (self.latency_s + chunk / self.bandwidth_bytes_per_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let m = NetworkModel::CLUSTER1;
+        let t_small = m.transfer_time(1_000);
+        // 1 KB at 1 Gbps is 8 µs ≪ 500 µs latency.
+        assert!(t_small < 2.0 * m.latency_s);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let m = NetworkModel::CLUSTER1;
+        let t_large = m.transfer_time(1_250_000_000); // 10 s of bytes
+        assert!(t_large > 9.9 && t_large < 10.2);
+    }
+
+    #[test]
+    fn per_iteration_flat_then_linear_in_batch() {
+        // The Figure 4(b) shape: statistics messages of B*8 bytes cost the
+        // same for B ∈ {100, 1k, 10k} (latency-bound) and grow linearly
+        // after ~100k (bandwidth-bound).
+        let m = NetworkModel::CLUSTER1;
+        // A full iteration pays the fixed scheduling overhead plus the
+        // statistics gather; the overhead hides small-batch differences.
+        let t = |b: u64| m.scheduling_overhead_s + m.gather_time(&[8 * b; 8]);
+        assert!((t(10_000) - t(100)) / t(100) < 0.5);
+        assert!(t(10_000_000) > 5.0 * t(1_000_000) * 0.9);
+    }
+
+    #[test]
+    fn gather_serializes_bytes_not_latency() {
+        let m = NetworkModel::CLUSTER1;
+        let one = m.gather_time(&[1_000_000]);
+        let four = m.gather_time(&[1_000_000; 4]);
+        assert!(four > 3.0 * (one - m.latency_s));
+        assert!(four < 4.0 * one);
+        assert_eq!(m.gather_time(&[]), 0.0);
+    }
+
+    #[test]
+    fn broadcast_scales_with_receivers() {
+        let m = NetworkModel::CLUSTER1;
+        assert_eq!(m.broadcast_time(1_000, 0), 0.0);
+        let b8 = m.broadcast_time(1_000_000, 8);
+        let b16 = m.broadcast_time(1_000_000, 16);
+        assert!(b16 > 1.9 * (b8 - m.latency_s));
+    }
+
+    #[test]
+    fn allreduce_beats_gather_broadcast_for_big_buffers() {
+        let m = NetworkModel::CLUSTER1;
+        let bytes = 80_000_000u64; // a 10M-dim FP64 model
+        let k = 8;
+        let central = m.gather_time(&vec![bytes; k]) + m.broadcast_time(bytes, k);
+        let ring = m.allreduce_time(bytes, k);
+        assert!(ring < central, "ring {ring} vs central {central}");
+        assert_eq!(m.allreduce_time(bytes, 1), 0.0);
+    }
+
+    #[test]
+    fn instant_network_is_free() {
+        let m = NetworkModel::INSTANT;
+        assert_eq!(m.transfer_time(u64::MAX / 2), 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Mailbox-style message passing between cluster nodes.
+//!
+//! Every node owns an [`Endpoint`]: a receiver for its mailbox plus a
+//! handle to the [`Router`] for sending. All traffic flows through
+//! [`Router::send`], which meters payload + envelope bytes in the shared
+//! [`TrafficStats`] — nothing can cross a node boundary unmetered, which
+//! is what makes the communication claims of the reproduction checkable.
+//!
+//! Channels are unbounded crossbeam channels; worker nodes typically run
+//! `loop { endpoint.recv() }` on their own OS thread while the master
+//! drives supersteps from the test/bench thread.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::node::NodeId;
+use crate::traffic::TrafficStats;
+use crate::wire::{Wire, ENVELOPE_BYTES};
+
+/// A routed message: payload plus its source and destination.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The payload.
+    pub payload: M,
+}
+
+/// Errors surfaced by the messaging layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node was never registered.
+    UnknownNode(NodeId),
+    /// The destination node's endpoint was dropped (node is dead).
+    NodeDown(NodeId),
+    /// A receive timed out.
+    Timeout,
+    /// All senders were dropped; no message can ever arrive.
+    Disconnected,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::NodeDown(n) => write!(f, "node {n} is down"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The shared sender table + traffic meter.
+#[derive(Debug)]
+pub struct Router<M> {
+    senders: Arc<HashMap<NodeId, Sender<Envelope<M>>>>,
+    traffic: TrafficStats,
+}
+
+// Manual impl: `Router` is clonable regardless of whether `M` is.
+impl<M> Clone for Router<M> {
+    fn clone(&self) -> Self {
+        Self {
+            senders: Arc::clone(&self.senders),
+            traffic: self.traffic.clone(),
+        }
+    }
+}
+
+impl<M: Wire> Router<M> {
+    /// Creates a router for the given set of nodes, returning one
+    /// [`Endpoint`] per node (in the same order as `ids`).
+    ///
+    /// # Panics
+    /// Panics if `ids` contains duplicates.
+    pub fn new(ids: &[NodeId], traffic: TrafficStats) -> (Router<M>, Vec<Endpoint<M>>) {
+        let mut senders = HashMap::with_capacity(ids.len());
+        let mut receivers = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let (tx, rx) = unbounded();
+            assert!(senders.insert(id, tx).is_none(), "duplicate node id {id}");
+            receivers.push((id, rx));
+        }
+        let router = Router {
+            senders: Arc::new(senders),
+            traffic,
+        };
+        let endpoints = receivers
+            .into_iter()
+            .map(|(id, rx)| Endpoint {
+                id,
+                rx,
+                router: router.clone(),
+            })
+            .collect();
+        (router, endpoints)
+    }
+
+    /// Sends `payload` from `from` to `to`, metering its wire footprint.
+    ///
+    /// Self-sends (`from == to`) are delivered but **not metered**: local
+    /// hand-offs on one machine cross no network, which matters when a
+    /// worker dispatches a workset to itself during the row-to-column
+    /// transformation.
+    pub fn send(&self, from: NodeId, to: NodeId, payload: M) -> Result<(), NetError> {
+        let sender = self.senders.get(&to).ok_or(NetError::UnknownNode(to))?;
+        let bytes = payload.wire_size() + ENVELOPE_BYTES;
+        sender
+            .send(Envelope { from, to, payload })
+            .map_err(|_| NetError::NodeDown(to))?;
+        if from != to {
+            self.traffic.record(from, to, bytes);
+        }
+        Ok(())
+    }
+
+    /// Delivers `payload` physically but records its bytes on a different
+    /// *logical* link.
+    ///
+    /// The RowSGD parameter-server baselines host their P servers on the
+    /// driver process (one OS thread) while modelling them as distinct
+    /// nodes: a model shard that logically travels `Server(p) → Worker(w)`
+    /// is physically delivered from the master endpoint, and this method
+    /// meters it on the logical link so per-server traffic (and therefore
+    /// per-server-link pricing) stays exact.
+    pub fn send_via(
+        &self,
+        physical_from: NodeId,
+        logical_from: NodeId,
+        to: NodeId,
+        payload: M,
+    ) -> Result<(), NetError> {
+        let sender = self.senders.get(&to).ok_or(NetError::UnknownNode(to))?;
+        let bytes = payload.wire_size() + ENVELOPE_BYTES;
+        sender
+            .send(Envelope {
+                from: physical_from,
+                to,
+                payload,
+            })
+            .map_err(|_| NetError::NodeDown(to))?;
+        if logical_from != to {
+            self.traffic.record(logical_from, to, bytes);
+        }
+        Ok(())
+    }
+
+    /// Delivers `payload` without recording any traffic. Only for payloads
+    /// whose bytes are metered separately via [`Router::meter_only`] on
+    /// logical links (e.g. a model pull that logically arrives from P
+    /// parameter servers but is physically one message from the driver).
+    pub fn send_unmetered(&self, from: NodeId, to: NodeId, payload: M) -> Result<(), NetError> {
+        let sender = self.senders.get(&to).ok_or(NetError::UnknownNode(to))?;
+        sender
+            .send(Envelope { from, to, payload })
+            .map_err(|_| NetError::NodeDown(to))?;
+        Ok(())
+    }
+
+    /// Records traffic on a logical link without a physical delivery (the
+    /// receiving logic runs in-process, e.g. a virtual server receiving a
+    /// push that the driver thread handles directly).
+    pub fn meter_only(&self, from: NodeId, to: NodeId, bytes: usize) {
+        if from != to {
+            self.traffic.record(from, to, bytes);
+        }
+    }
+
+    /// The shared traffic meter.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// All registered node ids, sorted.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.senders.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// One node's mailbox plus send capability.
+#[derive(Debug)]
+pub struct Endpoint<M> {
+    id: NodeId,
+    rx: Receiver<Envelope<M>>,
+    router: Router<M>,
+}
+
+impl<M: Wire> Endpoint<M> {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends a message from this node.
+    pub fn send(&self, to: NodeId, payload: M) -> Result<(), NetError> {
+        self.router.send(self.id, to, payload)
+    }
+
+    /// Blocks until a message arrives.
+    pub fn recv(&self) -> Result<Envelope<M>, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected)
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => NetError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of messages waiting in the mailbox.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// The router (e.g. for broadcast loops).
+    pub fn router(&self) -> &Router<M> {
+        &self.router
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ENVELOPE_BYTES;
+
+    #[test]
+    fn point_to_point_delivery_and_metering() {
+        let traffic = TrafficStats::new();
+        let (_router, mut eps) =
+            Router::<Vec<f64>>::new(&[NodeId::Master, NodeId::Worker(0)], traffic.clone());
+        let w0 = eps.pop().unwrap();
+        let master = eps.pop().unwrap();
+
+        master.send(NodeId::Worker(0), vec![1.0, 2.0, 3.0]).unwrap();
+        let env = w0.recv().unwrap();
+        assert_eq!(env.from, NodeId::Master);
+        assert_eq!(env.payload, vec![1.0, 2.0, 3.0]);
+
+        let link = traffic.link(NodeId::Master, NodeId::Worker(0));
+        assert_eq!(link.messages, 1);
+        assert_eq!(link.bytes as usize, 8 + 24 + ENVELOPE_BYTES);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let (router, _eps) = Router::<u64>::new(&[NodeId::Master], TrafficStats::new());
+        assert_eq!(
+            router.send(NodeId::Master, NodeId::Worker(9), 1),
+            Err(NetError::UnknownNode(NodeId::Worker(9)))
+        );
+    }
+
+    #[test]
+    fn dead_node_is_an_error() {
+        let (router, mut eps) =
+            Router::<u64>::new(&[NodeId::Master, NodeId::Worker(0)], TrafficStats::new());
+        // Drop worker 0's endpoint: the node is "dead".
+        let _master = eps.remove(0);
+        drop(eps);
+        assert_eq!(
+            router.send(NodeId::Master, NodeId::Worker(0), 1),
+            Err(NetError::NodeDown(NodeId::Worker(0)))
+        );
+    }
+
+    #[test]
+    fn cross_thread_roundtrip() {
+        let (_router, mut eps) =
+            Router::<u64>::new(&[NodeId::Master, NodeId::Worker(0)], TrafficStats::new());
+        let w0 = eps.pop().unwrap();
+        let master = eps.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            // Echo server: double whatever arrives, until 0.
+            loop {
+                let env = w0.recv().unwrap();
+                if env.payload == 0 {
+                    break;
+                }
+                w0.send(env.from, env.payload * 2).unwrap();
+            }
+        });
+        for x in [1u64, 5, 21] {
+            master.send(NodeId::Worker(0), x).unwrap();
+            assert_eq!(master.recv().unwrap().payload, 2 * x);
+        }
+        master.send(NodeId::Worker(0), 0).unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_r, mut eps) = Router::<u64>::new(&[NodeId::Master], TrafficStats::new());
+        let master = eps.pop().unwrap();
+        assert_eq!(
+            master.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            NetError::Timeout
+        );
+    }
+
+    #[test]
+    fn pending_counts_mailbox() {
+        let (router, mut eps) =
+            Router::<u64>::new(&[NodeId::Master, NodeId::Worker(0)], TrafficStats::new());
+        let w0 = eps.pop().unwrap();
+        for i in 0..4 {
+            router.send(NodeId::Master, NodeId::Worker(0), i).unwrap();
+        }
+        assert_eq!(w0.pending(), 4);
+        assert_eq!(w0.try_recv().unwrap().payload, 0);
+        assert_eq!(w0.pending(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_ids_rejected() {
+        let _ = Router::<u64>::new(&[NodeId::Master, NodeId::Master], TrafficStats::new());
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-link traffic accounting.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// Byte/message counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Messages sent on this link.
+    pub messages: u64,
+    /// Payload + envelope bytes sent on this link.
+    pub bytes: u64,
+}
+
+/// Thread-safe traffic meter shared by every router endpoint.
+///
+/// All sends in the runtime are recorded here; experiments read the
+/// aggregate (or per-link) totals to report communication volumes, and the
+/// cost-model tests cross-check them against Table I.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    inner: Arc<Mutex<HashMap<(NodeId, NodeId), LinkStats>>>,
+}
+
+impl TrafficStats {
+    /// A fresh meter with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `bytes` total (payload + envelope) from
+    /// `from` to `to`.
+    pub fn record(&self, from: NodeId, to: NodeId, bytes: usize) {
+        let mut map = self.inner.lock();
+        let entry = map.entry((from, to)).or_default();
+        entry.messages += 1;
+        entry.bytes += bytes as u64;
+    }
+
+    /// Counters for one directed link.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
+        self.inner.lock().get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Total bytes sent by `node` (sum over outgoing links).
+    pub fn sent_by(&self, node: NodeId) -> LinkStats {
+        self.fold(|(f, _), s, acc| if *f == node { merge(acc, s) } else { acc })
+    }
+
+    /// Total bytes received by `node` (sum over incoming links).
+    pub fn received_by(&self, node: NodeId) -> LinkStats {
+        self.fold(|(_, t), s, acc| if *t == node { merge(acc, s) } else { acc })
+    }
+
+    /// Grand totals over every link.
+    pub fn total(&self) -> LinkStats {
+        self.fold(|_, s, acc| merge(acc, s))
+    }
+
+    /// Communication *touching* a node — sent plus received, the quantity
+    /// the paper's Table I reports per role (e.g. master: `2KB`, i.e. KB
+    /// received + KB broadcast).
+    pub fn touching(&self, node: NodeId) -> LinkStats {
+        let s = self.sent_by(node);
+        let r = self.received_by(node);
+        LinkStats {
+            messages: s.messages + r.messages,
+            bytes: s.bytes + r.bytes,
+        }
+    }
+
+    /// Zeroes all counters (e.g. to meter a single iteration).
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Snapshot of every link, sorted for stable output.
+    pub fn snapshot(&self) -> Vec<((NodeId, NodeId), LinkStats)> {
+        let mut v: Vec<_> = self.inner.lock().iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    }
+
+    fn fold<F>(&self, f: F) -> LinkStats
+    where
+        F: Fn(&(NodeId, NodeId), &LinkStats, LinkStats) -> LinkStats,
+    {
+        let map = self.inner.lock();
+        let mut acc = LinkStats::default();
+        for (k, s) in map.iter() {
+            acc = f(k, s, acc);
+        }
+        acc
+    }
+}
+
+fn merge(a: LinkStats, b: &LinkStats) -> LinkStats {
+    LinkStats {
+        messages: a.messages + b.messages,
+        bytes: a.bytes + b.bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_link() {
+        let t = TrafficStats::new();
+        t.record(NodeId::Worker(0), NodeId::Master, 100);
+        t.record(NodeId::Worker(0), NodeId::Master, 50);
+        t.record(NodeId::Master, NodeId::Worker(0), 10);
+        let up = t.link(NodeId::Worker(0), NodeId::Master);
+        assert_eq!(up.messages, 2);
+        assert_eq!(up.bytes, 150);
+        assert_eq!(t.link(NodeId::Master, NodeId::Worker(1)), LinkStats::default());
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = TrafficStats::new();
+        t.record(NodeId::Worker(0), NodeId::Master, 100);
+        t.record(NodeId::Worker(1), NodeId::Master, 200);
+        t.record(NodeId::Master, NodeId::Worker(0), 40);
+        assert_eq!(t.received_by(NodeId::Master).bytes, 300);
+        assert_eq!(t.sent_by(NodeId::Master).bytes, 40);
+        assert_eq!(t.touching(NodeId::Master).bytes, 340);
+        assert_eq!(t.total().messages, 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let t = TrafficStats::new();
+        t.record(NodeId::Worker(0), NodeId::Master, 1);
+        t.reset();
+        assert_eq!(t.total(), LinkStats::default());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = TrafficStats::new();
+        let t2 = t.clone();
+        t2.record(NodeId::Worker(0), NodeId::Master, 5);
+        assert_eq!(t.total().bytes, 5);
+    }
+}

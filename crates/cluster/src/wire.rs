@@ -1,0 +1,129 @@
+//! The [`Wire`] trait: exact serialized sizes for every message payload.
+//!
+//! The paper's claims are quantitative statements about bytes on the
+//! network (Table I). Rather than serialize-then-measure, every payload
+//! type reports its wire footprint directly: 8 bytes per `f64`/`u64`,
+//! plus an 8-byte length header per variable-length field, plus a small
+//! per-message envelope charged by the router. Tests in `costmodel`
+//! cross-check the metered totals against the paper's closed forms.
+
+/// A message payload with a known serialized size.
+pub trait Wire {
+    /// Number of payload bytes this value occupies on the wire.
+    fn wire_size(&self) -> usize;
+}
+
+/// Envelope overhead charged per message (sender, receiver, tag, length).
+pub const ENVELOPE_BYTES: usize = 32;
+
+impl Wire for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl Wire for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for f64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for usize {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for bool {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn wire_size(&self) -> usize {
+        8 + self.iter().map(Wire::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::wire_size)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size()
+    }
+}
+
+impl Wire for columnsgd_linalg::SparseVector {
+    fn wire_size(&self) -> usize {
+        columnsgd_linalg::SparseVector::wire_size(self)
+    }
+}
+
+impl Wire for columnsgd_linalg::DenseVector {
+    fn wire_size(&self) -> usize {
+        columnsgd_linalg::DenseVector::wire_size(self)
+    }
+}
+
+impl Wire for columnsgd_linalg::CsrMatrix {
+    fn wire_size(&self) -> usize {
+        columnsgd_linalg::CsrMatrix::wire_size(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnsgd_linalg::{DenseVector, SparseVector};
+
+    #[test]
+    fn primitives() {
+        assert_eq!(3.0f64.wire_size(), 8);
+        assert_eq!(7u64.wire_size(), 8);
+        assert_eq!(true.wire_size(), 1);
+        assert_eq!(().wire_size(), 0);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1.0f64, 2.0].wire_size(), 8 + 16);
+        assert_eq!(Vec::<f64>::new().wire_size(), 8);
+        assert_eq!(Some(1.0f64).wire_size(), 9);
+        assert_eq!(None::<f64>.wire_size(), 1);
+        assert_eq!((1u64, 2.0f64).wire_size(), 16);
+    }
+
+    #[test]
+    fn linalg_types_delegate() {
+        let sv = SparseVector::from_pairs(vec![(0, 1.0), (5, 2.0)]);
+        assert_eq!(Wire::wire_size(&sv), sv.wire_size());
+        let dv = DenseVector::zeros(10);
+        assert_eq!(Wire::wire_size(&dv), 8 + 80);
+    }
+
+    #[test]
+    fn statistics_beat_models_for_large_m() {
+        // The core quantitative claim of the paper in miniature: a batch of
+        // B=1000 statistics is tiny compared to an m=1M dense model.
+        let stats = vec![0.0f64; 1_000];
+        let model = DenseVector::zeros(1_000_000);
+        assert!(stats.wire_size() * 500 < Wire::wire_size(&model));
+    }
+}

@@ -1,0 +1,623 @@
+//! The ColumnSGD master/driver: data loading, the BSP training loop,
+//! straggler handling, and fault tolerance.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use columnsgd_cluster::clock::IterationTime;
+use columnsgd_cluster::failure::FailureEvent;
+use columnsgd_cluster::wire::ENVELOPE_BYTES;
+use columnsgd_cluster::{
+    Endpoint, FailurePlan, NetworkModel, NodeId, Router, SimClock, TrafficStats, Wire,
+};
+use columnsgd_data::block::Block;
+use columnsgd_data::{Dataset, TwoPhaseIndex};
+use columnsgd_ml::metrics::Curve;
+use columnsgd_ml::spec::reduce_stats;
+use columnsgd_ml::ParamSet;
+
+use crate::config::ColumnSgdConfig;
+use crate::msg::ColMsg;
+use crate::worker::run_worker;
+
+/// Serialization cost charged per shipped object when pricing data loading
+/// (the Figure 7 effect: many small objects are expensive even when their
+/// total bytes are modest).
+pub const PER_OBJECT_S: f64 = 20e-6;
+
+/// Cost report for the row-to-column transformation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Serialized objects shipped over the network.
+    pub objects: u64,
+    /// Total bytes shipped.
+    pub bytes: u64,
+    /// Simulated loading time: the slowest node's
+    /// `bytes/bandwidth + objects × PER_OBJECT_S` lane (pipelined stages
+    /// overlap, so the max lane bounds the makespan).
+    pub sim_time_s: f64,
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Batch-loss convergence curve (iteration, simulated time, loss).
+    pub curve: Curve,
+    /// The simulated clock (per-iteration breakdown).
+    pub clock: SimClock,
+}
+
+impl TrainOutcome {
+    /// Mean per-iteration simulated time over the final `n` iterations —
+    /// the Tables IV/V statistic.
+    pub fn mean_iteration_s(&self, n: usize) -> f64 {
+        self.clock.mean_iteration_s(n)
+    }
+}
+
+/// The ColumnSGD driver: one master endpoint plus K worker threads.
+pub struct ColumnSgdEngine {
+    cfg: ColumnSgdConfig,
+    k: usize,
+    net: NetworkModel,
+    plan: FailurePlan,
+    master: Endpoint<ColMsg>,
+    handles: Vec<JoinHandle<()>>,
+    traffic: TrafficStats,
+    /// The master's copy of the blocks (the "HDFS" source): used for the
+    /// initial dispatch, worker-failure recovery, and label lookup.
+    blocks: Vec<Block>,
+    /// Master-side replica of the two-phase index (for label lookup when
+    /// reporting batch loss; the master knows the layout because it built
+    /// the block queue).
+    index: TwoPhaseIndex,
+    /// Model dimension m.
+    dim: u64,
+    load_report: LoadReport,
+}
+
+impl ColumnSgdEngine {
+    /// Spawns K workers, runs the block-based column dispatch of §IV-A,
+    /// and waits for every worker to finish loading.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or the backup factor does not divide
+    /// K.
+    pub fn new(
+        dataset: &Dataset,
+        k: usize,
+        cfg: ColumnSgdConfig,
+        net: NetworkModel,
+        plan: FailurePlan,
+    ) -> Self {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let _ = cfg.num_groups(k); // validate S | K early
+        let traffic = TrafficStats::new();
+        let mut ids = vec![NodeId::Master];
+        ids.extend((0..k).map(NodeId::Worker));
+        let (_router, mut endpoints): (Router<ColMsg>, Vec<Endpoint<ColMsg>>) =
+            Router::new(&ids, traffic.clone());
+        let master = endpoints.remove(0);
+        let dim = dataset.dimension();
+        let handles = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(w, ep)| {
+                std::thread::Builder::new()
+                    .name(format!("colsgd-worker{w}"))
+                    .spawn(move || run_worker(ep, w, k, dim, cfg))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let queue = dataset.into_block_queue(cfg.block_size);
+        let blocks: Vec<Block> = queue.iter().cloned().collect();
+        Self::spawned(cfg, k, net, plan, master, handles, traffic, blocks, dim)
+    }
+
+    /// Builds an engine from pre-cut blocks — the streaming loading path:
+    /// feed blocks from `columnsgd_data::libsvm::BlockReader` without ever
+    /// materializing a [`Dataset`].
+    ///
+    /// `dim` must cover every feature index in the blocks (use the
+    /// reader's `dimension_bound` after exhaustion, or a known dimension).
+    pub fn from_blocks(
+        blocks: Vec<Block>,
+        dim: u64,
+        k: usize,
+        cfg: ColumnSgdConfig,
+        net: NetworkModel,
+        plan: FailurePlan,
+    ) -> Self {
+        assert!(!blocks.is_empty(), "cannot train on an empty block set");
+        let _ = cfg.num_groups(k);
+        let traffic = TrafficStats::new();
+        let mut ids = vec![NodeId::Master];
+        ids.extend((0..k).map(NodeId::Worker));
+        let (_router, mut endpoints): (Router<ColMsg>, Vec<Endpoint<ColMsg>>) =
+            Router::new(&ids, traffic.clone());
+        let master = endpoints.remove(0);
+        let handles = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(w, ep)| {
+                std::thread::Builder::new()
+                    .name(format!("colsgd-worker{w}"))
+                    .spawn(move || run_worker(ep, w, k, dim, cfg))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self::spawned(cfg, k, net, plan, master, handles, traffic, blocks, dim)
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal assembly step
+    fn spawned(
+        cfg: ColumnSgdConfig,
+        k: usize,
+        net: NetworkModel,
+        plan: FailurePlan,
+        master: Endpoint<ColMsg>,
+        handles: Vec<JoinHandle<()>>,
+        traffic: TrafficStats,
+        blocks: Vec<Block>,
+        dim: u64,
+    ) -> Self {
+        // The master's label lookup indexes blocks by id; both producers
+        // (Dataset::into_block_queue and libsvm::BlockReader) emit dense
+        // sequential ids, and arbitrary ids would silently misattribute
+        // batch labels — reject them loudly.
+        for (pos, b) in blocks.iter().enumerate() {
+            assert_eq!(
+                b.id(),
+                pos as u64,
+                "blocks must carry dense sequential ids (0, 1, …)"
+            );
+        }
+        let index = TwoPhaseIndex::new(
+            blocks.iter().map(|b| (b.id(), b.nrows())),
+            cfg.seed,
+        );
+        let mut engine = Self {
+            cfg,
+            k,
+            net,
+            plan,
+            master,
+            handles,
+            traffic,
+            blocks,
+            index,
+            dim,
+            load_report: LoadReport {
+                objects: 0,
+                bytes: 0,
+                sim_time_s: 0.0,
+            },
+        };
+        engine.load_report = engine.load();
+        engine
+    }
+
+    /// Runs the block-based dispatch: every block goes to a splitting
+    /// worker (round-robin over idle workers), which shuffles CSR worksets
+    /// to their owners; then barriers on every worker's LoadAck.
+    fn load(&mut self) -> LoadReport {
+        self.traffic.reset();
+        for (i, block) in self.blocks.iter().enumerate() {
+            let splitter = NodeId::Worker(i % self.k);
+            self.master
+                .send(splitter, ColMsg::LoadBlock(block.clone()))
+                .expect("block dispatch");
+        }
+        for w in 0..self.k {
+            self.master
+                .send(
+                    NodeId::Worker(w),
+                    ColMsg::LoadDone {
+                        blocks_total: self.blocks.len(),
+                    },
+                )
+                .expect("load done");
+        }
+        let mut acks = 0;
+        let mut reference_layout: Option<Vec<(u64, usize)>> = None;
+        while acks < self.k {
+            let env = self.master.recv().expect("load ack");
+            match env.payload {
+                ColMsg::LoadAck { layout, .. } => {
+                    // Every partition must expose the identical (block →
+                    // rows) layout or two-phase sampling would diverge.
+                    match &reference_layout {
+                        None => reference_layout = Some(layout),
+                        Some(r) => assert_eq!(r, &layout, "divergent workset layouts"),
+                    }
+                    acks += 1;
+                }
+                other => panic!("unexpected message during load: {other:?}"),
+            }
+        }
+        self.price_load()
+    }
+
+    /// Prices the metered loading traffic into a simulated makespan.
+    ///
+    /// The master's outgoing block stream models the HDFS read; HDFS is a
+    /// *distributed* store whose datanodes serve the K workers in
+    /// parallel, so the source is not a serial lane — only worker lanes
+    /// (their HDFS share plus the workset shuffle) bound the makespan.
+    fn price_load(&self) -> LoadReport {
+        let total = self.traffic.total();
+        let mut worst = 0.0f64;
+        for node in (0..self.k).map(NodeId::Worker) {
+            let sent = self.traffic.sent_by(node);
+            let recv = self.traffic.received_by(node);
+            let lane = (sent.bytes + recv.bytes) as f64 / self.net.bandwidth_bytes_per_s
+                + (sent.messages + recv.messages) as f64 * PER_OBJECT_S;
+            worst = worst.max(lane);
+        }
+        LoadReport {
+            objects: total.messages,
+            bytes: total.bytes,
+            sim_time_s: worst + self.net.latency_s,
+        }
+    }
+
+    /// The loading cost report.
+    pub fn load_report(&self) -> LoadReport {
+        self.load_report
+    }
+
+    /// The shared traffic meter.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.k
+    }
+
+    /// Labels of the iteration-`t` batch, computed master-side from its
+    /// replica of the two-phase index (free: the master built the blocks).
+    fn batch_labels(&self, iteration: u64) -> Vec<f64> {
+        self.index
+            .sample_batch(iteration, self.cfg.batch_size)
+            .into_iter()
+            .map(|addr| self.blocks[addr.block as usize].csr().label(addr.offset))
+            .collect()
+    }
+
+    /// Runs the full training loop (Algorithm 3) and returns the outcome.
+    pub fn train(&mut self) -> TrainOutcome {
+        let mut clock = SimClock::new();
+        let mut curve = Curve::new("ColumnSGD");
+        let width = self.cfg.model.stats_width();
+        let stats_len = self.cfg.batch_size * width;
+
+        for t in 0..self.cfg.iterations {
+            // --- scripted failures -------------------------------------
+            let mut fail_task_on: Option<usize> = None;
+            for ev in self.plan.events_at(t).collect::<Vec<_>>() {
+                match ev {
+                    FailureEvent::TaskFailure { worker, .. } => fail_task_on = Some(worker),
+                    FailureEvent::WorkerFailure { worker, .. } => {
+                        let reload_s = self.recover_worker(worker);
+                        clock.charge(reload_s);
+                    }
+                }
+            }
+
+            // --- step 1: computeStatistics -----------------------------
+            for w in 0..self.k {
+                self.master
+                    .send(
+                        NodeId::Worker(w),
+                        ColMsg::ComputeStats {
+                            iteration: t,
+                            batch_size: self.cfg.batch_size,
+                            fail_task: fail_task_on == Some(w),
+                        },
+                    )
+                    .expect("compute stats");
+            }
+
+            // --- step 2: gather + reduce -------------------------------
+            let mut partials: HashMap<usize, (Vec<f64>, f64)> = HashMap::new();
+            let mut compute_times = vec![0.0f64; self.k];
+            while partials.len() < self.k {
+                let env = self.master.recv().expect("stats reply");
+                match env.payload {
+                    ColMsg::StatsReply {
+                        iteration,
+                        worker,
+                        partial,
+                        compute_s,
+                        task_failed,
+                    } => {
+                        debug_assert_eq!(iteration, t);
+                        compute_times[worker] += compute_s;
+                        if task_failed {
+                            // §X task failure: "start a new task … no
+                            // additional work on data loading is required."
+                            self.master
+                                .send(
+                                    NodeId::Worker(worker),
+                                    ColMsg::ComputeStats {
+                                        iteration: t,
+                                        batch_size: self.cfg.batch_size,
+                                        fail_task: false,
+                                    },
+                                )
+                                .expect("task retry");
+                        } else {
+                            partials.insert(worker, (partial, compute_s));
+                        }
+                    }
+                    other => panic!("unexpected message during gather: {other:?}"),
+                }
+            }
+
+            // Straggler injection (§V-C methodology). StragglerLevel is
+            // "the ratio between the extra time a straggler needs to
+            // finish a task and the time that a non-straggler worker
+            // needs" — a *task* pays both compute and the per-task
+            // executor overhead, so the inflation applies to their sum
+            // (the extra time then lands on the barrier).
+            let straggler = self.plan.straggler.map(|s| {
+                let victim = s.pick(t, self.k);
+                let task = compute_times[victim] + self.net.scheduling_overhead_s;
+                compute_times[victim] += (s.factor() - 1.0) * task;
+                victim
+            });
+
+            // Effective statistics-phase time under S-backup: the master
+            // can proceed once the *fastest replica of every group* has
+            // answered; slower replicas (stragglers) are killed (§IV-B).
+            let backed_up = self.cfg.backup_s > 0;
+            // Extension: without backup, stale-statistics mode lets the
+            // master abandon the straggler's partial entirely.
+            let stale_victim = match (self.cfg.staleness, straggler) {
+                (Some(mode), Some(v)) if !backed_up => Some((mode, v)),
+                _ => None,
+            };
+            let groups = self.cfg.num_groups(self.k);
+            let mut stat_phase = 0.0f64;
+            let mut counted: Vec<usize> = Vec::with_capacity(self.k);
+            for g in 0..groups {
+                let members: Vec<usize> = (g * (self.cfg.backup_s + 1)
+                    ..(g + 1) * (self.cfg.backup_s + 1))
+                    .collect();
+                if let Some((_, v)) = stale_victim {
+                    if members == [v] {
+                        continue; // abandoned; neither waited for nor counted
+                    }
+                }
+                let fastest = members
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        compute_times[a]
+                            .partial_cmp(&compute_times[b])
+                            .expect("finite times")
+                    })
+                    .expect("nonempty group");
+                stat_phase = stat_phase.max(compute_times[fastest]);
+                // Everyone who is not a killed straggler transmits.
+                for &m in &members {
+                    if backed_up && straggler == Some(m) && m != fastest {
+                        continue; // killed before transmitting
+                    }
+                    counted.push(m);
+                }
+            }
+
+            // Aggregate: one replica per group (they are bit-identical).
+            let mut agg = vec![0.0; stats_len];
+            for g in 0..groups {
+                let rep = self.group_representative(g, &compute_times);
+                if let Some((_, v)) = stale_victim {
+                    if rep == v {
+                        continue;
+                    }
+                }
+                let (partial, _) = partials.get(&rep).expect("group representative replied");
+                reduce_stats(&mut agg, partial);
+            }
+            if let Some((crate::config::StaleStats::DropRescaled, _)) = stale_victim {
+                // Compensate the missing partition: unbiased in expectation
+                // under round-robin partitioning.
+                let scale = self.k as f64 / (self.k - 1).max(1) as f64;
+                for v in agg.iter_mut() {
+                    *v *= scale;
+                }
+            }
+
+            // --- step 3: broadcast + updateModel ------------------------
+            // In stale mode the abandoned straggler also skips the update
+            // (its partition goes stale for this iteration).
+            let updaters: Vec<usize> = (0..self.k)
+                .filter(|&w| stale_victim.is_none_or(|(_, v)| v != w))
+                .collect();
+            for &w in &updaters {
+                self.master
+                    .send(
+                        NodeId::Worker(w),
+                        ColMsg::Update {
+                            iteration: t,
+                            stats: agg.clone(),
+                        },
+                    )
+                    .expect("broadcast stats");
+            }
+            let mut update_times = vec![0.0f64; self.k];
+            let mut acks = 0;
+            while acks < updaters.len() {
+                let env = self.master.recv().expect("update ack");
+                match env.payload {
+                    ColMsg::UpdateAck {
+                        worker, compute_s, ..
+                    } => {
+                        update_times[worker] = compute_s;
+                        acks += 1;
+                    }
+                    other => panic!("unexpected message during update: {other:?}"),
+                }
+            }
+            if let (Some(victim), Some(s)) = (straggler, self.plan.straggler) {
+                if !backed_up {
+                    update_times[victim] *= s.factor();
+                }
+                // With backup the straggler was killed; its model partition
+                // is also held by its replicas, so nobody waits for it.
+            }
+            let upd_phase = if backed_up {
+                // Per group, the fastest replica's update suffices.
+                (0..groups)
+                    .map(|g| {
+                        (g * (self.cfg.backup_s + 1)..(g + 1) * (self.cfg.backup_s + 1))
+                            .filter(|&m| Some(m) != straggler)
+                            .map(|m| update_times[m])
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .fold(0.0, f64::max)
+            } else {
+                update_times.iter().copied().fold(0.0, f64::max)
+            };
+
+            // --- pricing -------------------------------------------------
+            let reply_bytes =
+                (ColMsg::StatsReply {
+                    iteration: t,
+                    worker: 0,
+                    partial: vec![0.0; stats_len],
+                    compute_s: 0.0,
+                    task_failed: false,
+                })
+                .wire_size() as u64
+                    + ENVELOPE_BYTES as u64;
+            let gather_lanes: Vec<u64> = counted.iter().map(|_| reply_bytes).collect();
+            let bcast_bytes = (ColMsg::Update {
+                iteration: t,
+                stats: agg.clone(),
+            })
+            .wire_size() as u64
+                + ENVELOPE_BYTES as u64;
+            let comm = self.net.gather_time(&gather_lanes)
+                + self.net.broadcast_time(bcast_bytes, updaters.len());
+
+            let loss = self
+                .cfg
+                .model
+                .loss_from_stats(&self.batch_labels(t), &agg);
+            clock.record(IterationTime {
+                compute_s: stat_phase + upd_phase,
+                comm_s: comm,
+                overhead_s: self.net.scheduling_overhead_s,
+            });
+            curve.push(t, clock.elapsed_s(), loss);
+        }
+
+        TrainOutcome { curve, clock }
+    }
+
+    /// Deterministic group representative: the fastest member (ties break
+    /// to the lowest id).
+    fn group_representative(&self, g: usize, times: &[f64]) -> usize {
+        let r = self.cfg.backup_s + 1;
+        (g * r..(g + 1) * r)
+            .min_by(|&a, &b| {
+                times[a]
+                    .partial_cmp(&times[b])
+                    .expect("finite times")
+                    .then(a.cmp(&b))
+            })
+            .expect("nonempty group")
+    }
+
+    /// Worker-failure recovery (§X): kill the worker, stream every block
+    /// back to it for re-splitting, and return the priced reload time.
+    fn recover_worker(&mut self, worker: usize) -> f64 {
+        let before = self.traffic.received_by(NodeId::Worker(worker));
+        self.master
+            .send(NodeId::Worker(worker), ColMsg::Die)
+            .expect("kill worker");
+        for block in &self.blocks {
+            self.master
+                .send(NodeId::Worker(worker), ColMsg::ReloadBlock(block.clone()))
+                .expect("reload block");
+        }
+        self.master
+            .send(
+                NodeId::Worker(worker),
+                ColMsg::ReloadDone {
+                    blocks_total: self.blocks.len(),
+                },
+            )
+            .expect("reload done");
+        match self.master.recv().expect("reload ack").payload {
+            ColMsg::ReloadAck { worker: w } if w == worker => {}
+            other => panic!("unexpected message during reload: {other:?}"),
+        }
+        let after = self.traffic.received_by(NodeId::Worker(worker));
+        let bytes = after.bytes - before.bytes;
+        let objects = after.messages - before.messages;
+        bytes as f64 / self.net.bandwidth_bytes_per_s + objects as f64 * PER_OBJECT_S + self.net.latency_s
+    }
+
+    /// Gathers every model partition and reassembles the full model —
+    /// an inspection path for tests/examples, not part of the paper's
+    /// training protocol (ColumnSGD never materializes the full model).
+    pub fn collect_model(&mut self) -> ParamSet {
+        for w in 0..self.k {
+            self.master
+                .send(NodeId::Worker(w), ColMsg::FetchModel)
+                .expect("fetch model");
+        }
+        let dim = self.dim() as usize;
+        let part = self.cfg.partitioner(self.k, self.dim());
+        let mut full = self.cfg.model.init_params(dim, self.cfg.seed, |s| s as u64);
+        full.reset();
+        let widths = self.cfg.model.widths();
+        let mut seen = std::collections::HashSet::new();
+        let mut replies = 0;
+        while replies < self.k {
+            let env = self.master.recv().expect("model reply");
+            let ColMsg::ModelReply { parts, .. } = env.payload else {
+                panic!("unexpected message during model fetch");
+            };
+            replies += 1;
+            for (pid, local) in parts {
+                if !seen.insert(pid) {
+                    continue; // replicas carry identical copies
+                }
+                let local_dim = part.local_dim(pid, self.dim());
+                for slot in 0..local_dim {
+                    let j = part.global_index(pid, slot) as usize;
+                    for (b, &w) in widths.iter().enumerate() {
+                        for f in 0..w {
+                            full.blocks[b][j * w + f] = local.blocks[b][slot * w + f];
+                        }
+                    }
+                }
+            }
+        }
+        full
+    }
+
+    /// The model dimension m.
+    pub fn dim(&self) -> u64 {
+        self.dim
+    }
+}
+
+impl Drop for ColumnSgdEngine {
+    fn drop(&mut self) {
+        for w in 0..self.k {
+            // Workers may already be gone; ignore errors.
+            let _ = self.master.send(NodeId::Worker(w), ColMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The ColumnSGD wire protocol.
+//!
+//! Message payload sizes follow the conventions of `columnsgd-cluster`'s
+//! [`Wire`] trait: 8 bytes per scalar, 8-byte length headers, plus the
+//! router's fixed envelope. Control messages are tiny; the only payloads
+//! that matter quantitatively are [`ColMsg::Workset`] during loading and
+//! the statistics vectors during training — exactly the two traffic classes
+//! the paper analyzes.
+
+use columnsgd_cluster::Wire;
+use columnsgd_data::block::{Block, BlockId};
+use columnsgd_data::Workset;
+use columnsgd_ml::ParamSet;
+
+/// Messages exchanged between the ColumnSGD master and workers.
+#[derive(Debug, Clone)]
+pub enum ColMsg {
+    /// Master → worker: transform this row block (§IV-A step 2; carrying
+    /// the block body models the HDFS read of the assigned block ID).
+    LoadBlock(Block),
+    /// Worker → worker: a column-partitioned workset for partition `pid`
+    /// (§IV-A step 3).
+    Workset {
+        /// Logical partition the workset belongs to.
+        pid: usize,
+        /// The CSR-encoded workset.
+        ws: Workset,
+    },
+    /// Master → worker: the block stream ended after `blocks_total` blocks;
+    /// finalize once all expected worksets arrived.
+    LoadDone {
+        /// Total number of blocks dispatched.
+        blocks_total: usize,
+    },
+    /// Worker → master: loading finished; reports the (block, rows) layout
+    /// of one held partition so the master can sanity-check alignment.
+    LoadAck {
+        /// Reporting worker.
+        worker: usize,
+        /// `(block id, rows)` pairs of the worker's first partition.
+        layout: Vec<(BlockId, usize)>,
+    },
+    /// Master → worker: run `computeStatistics` for this iteration
+    /// (Algorithm 3 line 5).
+    ComputeStats {
+        /// Iteration number (doubles as the shared sampling seed input).
+        iteration: u64,
+        /// Global batch size B.
+        batch_size: usize,
+        /// Failure injection: throw a task exception on the first attempt.
+        fail_task: bool,
+    },
+    /// Worker → master: partial statistics (Algorithm 3 step 2).
+    StatsReply {
+        /// Iteration these statistics belong to.
+        iteration: u64,
+        /// Reporting worker.
+        worker: usize,
+        /// Partial statistics, length `B × stats_width` (the group
+        /// aggregate when the worker holds backup partitions).
+        partial: Vec<f64>,
+        /// Measured local compute seconds.
+        compute_s: f64,
+        /// The task threw (fault-injection); statistics are absent.
+        task_failed: bool,
+    },
+    /// Master → workers: the aggregated statistics (Algorithm 3 line 7).
+    Update {
+        /// Iteration number.
+        iteration: u64,
+        /// Complete statistics, length `B × stats_width`.
+        stats: Vec<f64>,
+    },
+    /// Worker → master: local model updated.
+    UpdateAck {
+        /// Iteration number.
+        iteration: u64,
+        /// Reporting worker.
+        worker: usize,
+        /// Measured local compute seconds.
+        compute_s: f64,
+    },
+    /// Master → worker: die (worker-failure injection, §X). The worker
+    /// wipes all partitions, models, and optimizer state.
+    Die,
+    /// Master → worker: recovery stream — re-split this block and keep
+    /// only your own partitions' worksets.
+    ReloadBlock(Block),
+    /// Master → worker: recovery stream finished.
+    ReloadDone {
+        /// Total number of blocks in the recovery stream.
+        blocks_total: usize,
+    },
+    /// Worker → master: recovery finished.
+    ReloadAck {
+        /// Reporting worker.
+        worker: usize,
+    },
+    /// Master → worker: send back your model partitions (test/inspection
+    /// path; not part of the paper's protocol).
+    FetchModel,
+    /// Worker → master: the requested model partitions.
+    ModelReply {
+        /// Reporting worker.
+        worker: usize,
+        /// `(partition id, parameters)` for every held partition.
+        parts: Vec<(usize, ParamSet)>,
+    },
+    /// Master → worker: shut down the mailbox loop.
+    Shutdown,
+}
+
+impl Wire for ColMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ColMsg::LoadBlock(b) | ColMsg::ReloadBlock(b) => 1 + b.wire_size(),
+            ColMsg::Workset { ws, .. } => 1 + 8 + ws.wire_size(),
+            ColMsg::LoadDone { .. } | ColMsg::ReloadDone { .. } => 1 + 8,
+            ColMsg::LoadAck { layout, .. } => 1 + 8 + 8 + 16 * layout.len(),
+            ColMsg::ComputeStats { .. } => 1 + 8 + 8 + 1,
+            ColMsg::StatsReply { partial, .. } => 1 + 8 + 8 + 8 + 1 + partial.wire_size(),
+            ColMsg::Update { stats, .. } => 1 + 8 + stats.wire_size(),
+            ColMsg::UpdateAck { .. } => 1 + 8 + 8 + 8,
+            ColMsg::Die | ColMsg::Shutdown | ColMsg::FetchModel => 1,
+            ColMsg::ReloadAck { .. } => 1 + 8,
+            ColMsg::ModelReply { parts, .. } => {
+                1 + 8 + 8 + parts.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnsgd_linalg::SparseVector;
+
+    #[test]
+    fn stats_reply_size_tracks_batch() {
+        let small = ColMsg::StatsReply {
+            iteration: 0,
+            worker: 0,
+            partial: vec![0.0; 10],
+            compute_s: 0.0,
+            task_failed: false,
+        };
+        let big = ColMsg::StatsReply {
+            iteration: 0,
+            worker: 0,
+            partial: vec![0.0; 1000],
+            compute_s: 0.0,
+            task_failed: false,
+        };
+        assert_eq!(big.wire_size() - small.wire_size(), 8 * 990);
+    }
+
+    #[test]
+    fn control_messages_are_tiny() {
+        assert!(ColMsg::Shutdown.wire_size() < 8);
+        assert!(ColMsg::Die.wire_size() < 8);
+        assert!(
+            (ColMsg::ComputeStats {
+                iteration: 9,
+                batch_size: 1000,
+                fail_task: false
+            })
+            .wire_size()
+                < 32
+        );
+    }
+
+    #[test]
+    fn workset_size_dominated_by_csr() {
+        let rows: Vec<(f64, SparseVector)> = (0..100)
+            .map(|i| (1.0, SparseVector::from_pairs(vec![(i, 1.0)])))
+            .collect();
+        let block = Block::from_rows(0, &rows);
+        let parts = columnsgd_data::workset::split_block(
+            &block,
+            &columnsgd_data::ColumnPartitioner::round_robin(2),
+        );
+        let msg = ColMsg::Workset {
+            pid: 0,
+            ws: parts[0].clone(),
+        };
+        assert!(msg.wire_size() > parts[0].wire_size());
+        assert!(msg.wire_size() < parts[0].wire_size() + 32);
+    }
+}

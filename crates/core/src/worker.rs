@@ -1,0 +1,365 @@
+//! The ColumnSGD worker node.
+//!
+//! A worker owns one or more *partitions*: a column-partitioned slice of
+//! the training data (a [`WorksetStore`]), the collocated model partition,
+//! and its optimizer state. Without backup computation a worker owns
+//! exactly one partition; with S-backup it owns the S+1 partitions of its
+//! replica group (§IV-B, Figure 6).
+//!
+//! The worker runs a mailbox loop ([`run_worker`]) on its own OS thread and
+//! communicates with the master exclusively through [`ColMsg`] messages.
+
+use std::time::Instant;
+
+use columnsgd_cluster::{Endpoint, NodeId};
+use columnsgd_data::block::Block;
+use columnsgd_data::index::RowAddr;
+use columnsgd_data::workset::{split_block, WorksetStore};
+use columnsgd_data::{ColumnPartitioner, TwoPhaseIndex, Workset};
+use columnsgd_linalg::CsrMatrix;
+use columnsgd_ml::spec::reduce_stats;
+use columnsgd_ml::{OptimizerState, ParamSet};
+
+use crate::config::ColumnSgdConfig;
+use crate::msg::ColMsg;
+
+/// One (data partition, model partition, optimizer state) triple.
+struct Partition {
+    pid: usize,
+    store: WorksetStore,
+    params: ParamSet,
+    opt: OptimizerState,
+    index: Option<TwoPhaseIndex>,
+}
+
+impl Partition {
+    fn new(pid: usize, cfg: &ColumnSgdConfig, part: &ColumnPartitioner, dim: u64) -> Self {
+        let local_dim = part.local_dim(pid, dim);
+        let params = cfg
+            .model
+            .init_params(local_dim, cfg.seed, |slot| part.global_index(pid, slot));
+        let opt = OptimizerState::for_params(cfg.optimizer, &params);
+        Self {
+            pid,
+            store: WorksetStore::new(),
+            params,
+            opt,
+            index: None,
+        }
+    }
+
+    /// Builds the batch CSR for this partition from sampled row addresses.
+    fn build_batch(&self, addrs: &[RowAddr]) -> CsrMatrix {
+        let mut batch = CsrMatrix::new();
+        for addr in addrs {
+            let ws = self
+                .store
+                .get(addr.block)
+                .unwrap_or_else(|| panic!("partition {} missing block {}", self.pid, addr.block));
+            let (idx, val) = ws.data.row(addr.offset);
+            batch.push_raw_row(ws.data.label(addr.offset), idx, val);
+        }
+        batch
+    }
+}
+
+/// The worker's full state.
+pub struct WorkerNode {
+    id: usize,
+    cfg: ColumnSgdConfig,
+    part: ColumnPartitioner,
+    partitions: Vec<Partition>,
+    received_worksets: usize,
+    /// Batches built by the last `ComputeStats`, reused by `Update`.
+    last_batches: Vec<CsrMatrix>,
+    last_iteration: u64,
+}
+
+impl WorkerNode {
+    fn new(id: usize, k: usize, dim: u64, cfg: ColumnSgdConfig) -> Self {
+        let part = cfg.partitioner(k, dim);
+        let partitions = cfg
+            .partitions_of(id)
+            .into_iter()
+            .map(|pid| Partition::new(pid, &cfg, &part, dim))
+            .collect();
+        Self {
+            id,
+            cfg,
+            part,
+            partitions,
+            received_worksets: 0,
+            last_batches: Vec::new(),
+            last_iteration: u64::MAX,
+        }
+    }
+
+    fn holds(&self, pid: usize) -> Option<usize> {
+        self.partitions.iter().position(|p| p.pid == pid)
+    }
+
+    /// Splits a block and dispatches each workset to the replicas of its
+    /// partition (§IV-A step 3). Self-deliveries are inserted directly.
+    fn dispatch_block(&mut self, ep: &Endpoint<ColMsg>, block: &Block) {
+        let worksets = split_block(block, &self.part);
+        for (pid, ws) in worksets.into_iter().enumerate() {
+            for replica in self.cfg.replicas_of(pid) {
+                if replica == self.id {
+                    self.accept_workset(pid, ws.clone());
+                } else {
+                    ep.send(
+                        NodeId::Worker(replica),
+                        ColMsg::Workset {
+                            pid,
+                            ws: ws.clone(),
+                        },
+                    )
+                    .expect("workset delivery");
+                }
+            }
+        }
+    }
+
+    /// Re-splits a recovery block, keeping only this worker's partitions
+    /// (worker-failure recovery: peers keep their data, §X).
+    fn reload_block(&mut self, block: &Block) {
+        let worksets = split_block(block, &self.part);
+        for (pid, ws) in worksets.into_iter().enumerate() {
+            if self.holds(pid).is_some() {
+                self.accept_workset(pid, ws);
+            }
+        }
+    }
+
+    fn accept_workset(&mut self, pid: usize, ws: Workset) {
+        let slot = self
+            .holds(pid)
+            .unwrap_or_else(|| panic!("worker {} received workset for foreign partition {pid}", self.id));
+        self.partitions[slot].store.insert(ws);
+        self.received_worksets += 1;
+    }
+
+    /// Builds the per-partition two-phase indexes once loading finishes.
+    fn finalize_load(&mut self) {
+        for p in &mut self.partitions {
+            let layout: Vec<(u64, usize)> = p
+                .store
+                .cumulative_rows()
+                .iter()
+                .scan(0usize, |prev, &(bid, cum)| {
+                    let rows = cum - *prev;
+                    *prev = cum;
+                    Some((bid, rows))
+                })
+                .collect();
+            p.index = Some(TwoPhaseIndex::new(layout, self.cfg.seed));
+        }
+    }
+
+    /// `computeStatistics` (Algorithm 3 lines 14-16): samples the batch via
+    /// the shared two-phase index and returns the summed partial statistics
+    /// of every held partition (the group aggregate under backup).
+    fn compute_stats(&mut self, iteration: u64) -> Vec<f64> {
+        let index = self.partitions[0]
+            .index
+            .as_ref()
+            .expect("loading must finish before training");
+        let addrs = index.sample_batch(iteration, self.cfg.batch_size);
+        self.last_batches = self.partitions.iter().map(|p| p.build_batch(&addrs)).collect();
+        self.last_iteration = iteration;
+
+        let width = self.cfg.model.stats_width();
+        let mut agg = vec![0.0; self.cfg.batch_size * width];
+        let mut partial = Vec::new();
+        for (p, batch) in self.partitions.iter().zip(&self.last_batches) {
+            self.cfg.model.compute_stats(&p.params, batch, &mut partial);
+            reduce_stats(&mut agg, &partial);
+        }
+        agg
+    }
+
+    /// `updateModel` (Algorithm 3 lines 17-20): recovers the local gradient
+    /// from the aggregated statistics and steps every held partition.
+    fn update(&mut self, iteration: u64, stats: &[f64]) {
+        assert_eq!(
+            iteration, self.last_iteration,
+            "update for an iteration whose batch was never sampled"
+        );
+        for (p, batch) in self.partitions.iter_mut().zip(&self.last_batches) {
+            self.cfg.model.update_from_stats(
+                &mut p.params,
+                &mut p.opt,
+                batch,
+                stats,
+                &self.cfg.update,
+                self.cfg.batch_size,
+            );
+        }
+    }
+
+    /// Worker-failure injection: lose everything (§X — "both partitions of
+    /// the model and the training data on this worker are lost").
+    fn die(&mut self) {
+        for p in &mut self.partitions {
+            p.store.clear();
+            p.params.reset();
+            p.opt = OptimizerState::for_params(self.cfg.optimizer, &p.params);
+            p.index = None;
+        }
+        self.received_worksets = 0;
+        self.last_batches.clear();
+        self.last_iteration = u64::MAX;
+    }
+
+    /// The first partition's `(block, rows)` layout for the LoadAck, in
+    /// canonical (block-id) order — workset *arrival* order differs across
+    /// workers, but the two-phase index sorts by block id, so the canonical
+    /// layout is what must agree.
+    fn layout(&self) -> Vec<(u64, usize)> {
+        let mut prev = 0usize;
+        let mut layout: Vec<(u64, usize)> = self.partitions[0]
+            .store
+            .cumulative_rows()
+            .iter()
+            .map(|&(bid, cum)| {
+                let rows = cum - prev;
+                prev = cum;
+                (bid, rows)
+            })
+            .collect();
+        layout.sort_unstable_by_key(|&(bid, _)| bid);
+        layout
+    }
+}
+
+/// The worker mailbox loop. Runs until [`ColMsg::Shutdown`].
+pub fn run_worker(ep: Endpoint<ColMsg>, id: usize, k: usize, dim: u64, cfg: ColumnSgdConfig) {
+    let mut w = WorkerNode::new(id, k, dim, cfg);
+    let held = w.partitions.len();
+    let mut load_done_total: Option<usize> = None;
+    let mut reload_done_total: Option<usize> = None;
+    let mut reload_received = 0usize;
+
+    loop {
+        let env = match ep.recv() {
+            Ok(env) => env,
+            // Master gone: shut down quietly (end of test/bench).
+            Err(_) => return,
+        };
+        match env.payload {
+            ColMsg::LoadBlock(block) => w.dispatch_block(&ep, &block),
+            ColMsg::Workset { pid, ws } => w.accept_workset(pid, ws),
+            ColMsg::LoadDone { blocks_total } => load_done_total = Some(blocks_total),
+            ColMsg::ComputeStats {
+                iteration,
+                batch_size,
+                fail_task,
+            } => {
+                debug_assert_eq!(batch_size, w.cfg.batch_size);
+                let start = Instant::now();
+                if fail_task {
+                    // Task failure: the Spark task throws; report and let
+                    // the master retry (Figure 13a).
+                    ep.send(
+                        NodeId::Master,
+                        ColMsg::StatsReply {
+                            iteration,
+                            worker: id,
+                            partial: Vec::new(),
+                            compute_s: start.elapsed().as_secs_f64(),
+                            task_failed: true,
+                        },
+                    )
+                    .expect("stats reply");
+                } else {
+                    let partial = w.compute_stats(iteration);
+                    ep.send(
+                        NodeId::Master,
+                        ColMsg::StatsReply {
+                            iteration,
+                            worker: id,
+                            partial,
+                            compute_s: start.elapsed().as_secs_f64(),
+                            task_failed: false,
+                        },
+                    )
+                    .expect("stats reply");
+                }
+            }
+            ColMsg::Update { iteration, stats } => {
+                let start = Instant::now();
+                w.update(iteration, &stats);
+                ep.send(
+                    NodeId::Master,
+                    ColMsg::UpdateAck {
+                        iteration,
+                        worker: id,
+                        compute_s: start.elapsed().as_secs_f64(),
+                    },
+                )
+                .expect("update ack");
+            }
+            ColMsg::Die => {
+                w.die();
+                reload_received = 0;
+                reload_done_total = None;
+            }
+            ColMsg::ReloadBlock(block) => {
+                w.reload_block(&block);
+                reload_received += 1;
+                maybe_finish_reload(&mut w, &ep, reload_done_total, reload_received, held);
+            }
+            ColMsg::ReloadDone { blocks_total } => {
+                reload_done_total = Some(blocks_total);
+                maybe_finish_reload(&mut w, &ep, reload_done_total, reload_received, held);
+            }
+            ColMsg::FetchModel => {
+                let parts = w
+                    .partitions
+                    .iter()
+                    .map(|p| (p.pid, p.params.clone()))
+                    .collect();
+                ep.send(NodeId::Master, ColMsg::ModelReply { worker: id, parts })
+                    .expect("model reply");
+            }
+            ColMsg::Shutdown => return,
+            other => panic!("worker {id} received unexpected message {other:?}"),
+        }
+
+        // Finalize loading when both the done-marker and all worksets have
+        // arrived (they race on different links).
+        if let Some(total) = load_done_total {
+            if w.received_worksets == total * held && w.partitions[0].index.is_none() {
+                w.finalize_load();
+                ep.send(
+                    NodeId::Master,
+                    ColMsg::LoadAck {
+                        worker: id,
+                        layout: w.layout(),
+                    },
+                )
+                .expect("load ack");
+                load_done_total = None;
+            }
+        }
+    }
+}
+
+fn maybe_finish_reload(
+    w: &mut WorkerNode,
+    ep: &Endpoint<ColMsg>,
+    total: Option<usize>,
+    received_blocks: usize,
+    _held: usize,
+) {
+    if let Some(total) = total {
+        if received_blocks == total && w.partitions[0].index.is_none() {
+            w.finalize_load();
+            ep.send(
+                NodeId::Master,
+                ColMsg::ReloadAck { worker: w.id },
+            )
+            .expect("reload ack");
+        }
+    }
+}

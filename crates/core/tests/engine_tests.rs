@@ -1,0 +1,475 @@
+//! Integration tests for the ColumnSGD engine: distributed-vs-serial
+//! equivalence, traffic accounting vs the analytic model, backup
+//! computation, straggler handling, and fault tolerance.
+
+use columnsgd_cluster::failure::FailureEvent;
+use columnsgd_cluster::{FailurePlan, NetworkModel, NodeId};
+use columnsgd_core::config::PartitionScheme;
+use columnsgd_core::{ColumnSgdConfig, ColumnSgdEngine};
+use columnsgd_data::{synth, Dataset};
+use columnsgd_ml::serial::{self, SerialConfig};
+use columnsgd_ml::{ModelSpec, OptimizerKind, UpdateParams};
+
+fn dataset(rows: usize, dim: u64, seed: u64) -> Dataset {
+    synth::small_test_dataset(rows, dim, seed)
+}
+
+fn base_cfg(model: ModelSpec) -> ColumnSgdConfig {
+    ColumnSgdConfig::new(model)
+        .with_batch_size(64)
+        .with_iterations(30)
+        .with_learning_rate(0.5)
+        .with_seed(11)
+}
+
+/// The central correctness claim: ColumnSGD with K workers computes the
+/// *identical* parameter trajectory to serial mini-batch SGD — vertical
+/// parallelism is an exact decomposition, not an approximation.
+#[test]
+fn distributed_matches_serial_exactly_lr() {
+    distributed_matches_serial(ModelSpec::Lr, 4, PartitionScheme::RoundRobin);
+}
+
+#[test]
+fn distributed_matches_serial_exactly_svm_range_partitioning() {
+    distributed_matches_serial(ModelSpec::Svm, 3, PartitionScheme::Range);
+}
+
+#[test]
+fn distributed_matches_serial_exactly_fm() {
+    distributed_matches_serial(ModelSpec::Fm { factors: 4 }, 4, PartitionScheme::RoundRobin);
+}
+
+#[test]
+fn distributed_matches_serial_exactly_single_worker() {
+    distributed_matches_serial(ModelSpec::Lr, 1, PartitionScheme::RoundRobin);
+}
+
+#[test]
+fn distributed_matches_serial_exactly_least_squares() {
+    distributed_matches_serial(ModelSpec::LeastSquares, 2, PartitionScheme::Range);
+}
+
+/// Adam's state (moments, step counter) must distribute exactly too.
+#[test]
+fn distributed_matches_serial_exactly_with_adam() {
+    let ds = dataset(400, 90, 8);
+    let mut cfg = base_cfg(ModelSpec::Lr).with_iterations(25);
+    cfg.optimizer = OptimizerKind::adam();
+    cfg.update = UpdateParams::plain(0.01);
+    cfg.block_size = ds.len();
+    let mut engine = ColumnSgdEngine::new(&ds, 3, cfg, NetworkModel::INSTANT, FailurePlan::none());
+    let _ = engine.train();
+    let distributed = engine.collect_model();
+
+    let rows: Vec<_> = ds.iter().cloned().collect();
+    let serial_run = serial::train(
+        ModelSpec::Lr,
+        &rows,
+        ds.dimension() as usize,
+        &SerialConfig {
+            batch_size: cfg.batch_size,
+            iterations: cfg.iterations,
+            update: cfg.update,
+            optimizer: cfg.optimizer,
+            seed: cfg.seed,
+        },
+    );
+    for (d, s) in distributed.blocks[0]
+        .as_slice()
+        .iter()
+        .zip(serial_run.params.blocks[0].as_slice())
+    {
+        assert!((d - s).abs() < 1e-9, "Adam state diverged: {d} vs {s}");
+    }
+}
+
+fn distributed_matches_serial(model: ModelSpec, k: usize, scheme: PartitionScheme) {
+    let ds = dataset(600, 120, 3);
+    let mut cfg = base_cfg(model);
+    cfg.scheme = scheme;
+
+    // ColumnSGD's two-phase index samples over (block, offset); with one
+    // block the address space is identical to the serial row space, so the
+    // trajectories must agree bit for bit.
+    cfg.block_size = ds.len();
+
+    let mut engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none());
+    let outcome = engine.train();
+    let distributed = engine.collect_model();
+
+    let rows: Vec<_> = ds.iter().cloned().collect();
+    let serial_run = serial::train(
+        model,
+        &rows,
+        ds.dimension() as usize,
+        &SerialConfig {
+            batch_size: cfg.batch_size,
+            iterations: cfg.iterations,
+            update: cfg.update,
+            optimizer: cfg.optimizer,
+            seed: cfg.seed,
+        },
+    );
+
+    for (b, (d, s)) in distributed
+        .blocks
+        .iter()
+        .zip(&serial_run.params.blocks)
+        .enumerate()
+    {
+        for (i, (x, y)) in d.as_slice().iter().zip(s.as_slice()).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-9,
+                "{model:?} K={k}: block {b} coord {i}: {x} vs {y}"
+            );
+        }
+    }
+    // Losses agree too.
+    for (p, l) in outcome.curve.points.iter().zip(&serial_run.losses) {
+        assert!((p.loss - l).abs() < 1e-9, "iter {}: {} vs {}", p.iteration, p.loss, l);
+    }
+}
+
+/// Multi-block training converges even though the sampling space is
+/// (block, offset) rather than a flat row index.
+#[test]
+fn multi_block_training_converges() {
+    let ds = dataset(2_000, 300, 5);
+    let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+        .with_batch_size(100)
+        .with_iterations(150)
+        .with_learning_rate(0.5);
+    let mut engine = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, FailurePlan::none());
+    let outcome = engine.train();
+    let first = outcome.curve.points[0].loss;
+    let last = outcome.curve.final_loss().unwrap();
+    assert!(last < first * 0.75, "no convergence: {first} -> {last}");
+
+    let model = engine.collect_model();
+    let rows: Vec<_> = ds.iter().cloned().collect();
+    let acc = serial::full_accuracy(ModelSpec::Lr, &model, &rows);
+    assert!(acc > 0.75, "accuracy {acc}");
+}
+
+/// Per-iteration traffic matches the analytic model of Table I:
+/// worker comm = 2·B·width units, master comm = 2K·B·width units
+/// (plus metered protocol headers, which we bound).
+#[test]
+fn traffic_matches_table1() {
+    let ds = dataset(500, 100, 7);
+    let k = 4;
+    let b = 50;
+    let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+        .with_batch_size(b)
+        .with_iterations(10)
+        .with_seed(1);
+    let mut engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none());
+    engine.traffic().reset(); // ignore loading traffic
+    let _ = engine.train();
+
+    let master = engine.traffic().touching(NodeId::Master);
+    let worker0_up = engine.traffic().link(NodeId::Worker(0), NodeId::Master);
+    let worker0_down = engine.traffic().link(NodeId::Master, NodeId::Worker(0));
+
+    let iters = 10u64;
+    // Statistics payload: B f64 per message each way.
+    let stats_bytes = 8 * b as u64;
+    let worker_payload = 2 * stats_bytes * iters;
+    let worker_measured = worker0_up.bytes + worker0_down.bytes;
+    // Headers/envelopes add overhead but must stay well under the payload.
+    assert!(
+        worker_measured >= worker_payload,
+        "{worker_measured} < {worker_payload}"
+    );
+    assert!(
+        worker_measured < worker_payload * 2,
+        "header overhead too large: {worker_measured} vs {worker_payload}"
+    );
+
+    // Master touches 2KB units per iteration.
+    let master_payload = 2 * stats_bytes * k as u64 * iters;
+    assert!(master.bytes >= master_payload);
+    assert!(master.bytes < master_payload * 2);
+}
+
+/// Communication volume is *independent of the model dimension* — the
+/// paper's core claim. Train two models whose dimensions differ 50× and
+/// compare per-iteration traffic.
+#[test]
+fn traffic_independent_of_model_size() {
+    let measure = |dim: u64| {
+        let ds = dataset(400, dim, 9);
+        let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+            .with_batch_size(64)
+            .with_iterations(5);
+        let mut engine =
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
+        engine.traffic().reset();
+        let _ = engine.train();
+        engine.traffic().total().bytes
+    };
+    let small = measure(100);
+    let large = measure(5_000);
+    assert_eq!(small, large, "traffic must not depend on m");
+}
+
+/// S-backup: training with replica groups produces the same model as
+/// without, and per-iteration time with a straggler stays near pure.
+#[test]
+fn backup_computation_matches_pure_model() {
+    let ds = dataset(600, 80, 13);
+    let cfg_pure = base_cfg(ModelSpec::Lr).with_iterations(20);
+    let cfg_backup = cfg_pure.with_backup(1);
+
+    let mut pure = ColumnSgdEngine::new(&ds, 4, cfg_pure, NetworkModel::INSTANT, FailurePlan::none());
+    let _ = pure.train();
+    let m_pure = pure.collect_model();
+
+    let mut backup =
+        ColumnSgdEngine::new(&ds, 4, cfg_backup, NetworkModel::INSTANT, FailurePlan::none());
+    let _ = backup.train();
+    let m_backup = backup.collect_model();
+
+    for (a, b) in m_pure.blocks.iter().zip(&m_backup.blocks) {
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-9, "backup changed the trajectory");
+        }
+    }
+}
+
+/// Figure 9's shape: stragglers slow pure ColumnSGD by ≈ (1+SL) but barely
+/// touch ColumnSGD-backup.
+#[test]
+fn stragglers_hurt_pure_but_not_backup() {
+    let ds = dataset(800, 100, 17);
+    let iters = 15u64;
+    let run = |backup: usize, level: f64| {
+        let cfg = base_cfg(ModelSpec::Lr)
+            .with_iterations(iters)
+            .with_backup(backup);
+        let plan = if level > 0.0 {
+            FailurePlan::with_straggler(level, 5)
+        } else {
+            FailurePlan::none()
+        };
+        let mut e = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, plan);
+        let outcome = e.train();
+        // Pure compute time (network is INSTANT, overhead 0).
+        outcome
+            .clock
+            .trace()
+            .iter()
+            .map(|it| it.compute_s)
+            .sum::<f64>()
+    };
+    let pure = run(0, 0.0);
+    let sl5 = run(0, 5.0);
+    let backed = run(1, 5.0);
+    assert!(
+        sl5 > pure * 2.0,
+        "SL5 should slow pure training: {pure} vs {sl5}"
+    );
+    assert!(
+        backed < sl5 / 2.0,
+        "backup should absorb the straggler: backed {backed} vs sl5 {sl5}"
+    );
+}
+
+/// §X task failure: training continues and converges; the failed iteration
+/// just pays the retry.
+#[test]
+fn task_failure_is_transparent() {
+    let ds = dataset(500, 80, 21);
+    let cfg = base_cfg(ModelSpec::Lr).with_iterations(20);
+    let plan = FailurePlan {
+        straggler: None,
+        events: vec![FailureEvent::TaskFailure {
+            iteration: 5,
+            worker: 2,
+        }],
+    };
+    let mut with_failure = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, plan);
+    let out_f = with_failure.train();
+    let m_f = with_failure.collect_model();
+
+    let mut clean = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
+    let _ = clean.train();
+    let m_c = clean.collect_model();
+
+    // Task failure must not change the learned model at all.
+    for (a, b) in m_f.blocks.iter().zip(&m_c.blocks) {
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+    assert_eq!(out_f.curve.points.len(), 20);
+}
+
+/// §X worker failure: the worker's partition is reloaded and its model
+/// zeroed; training still converges to a good model (Figure 13b).
+#[test]
+fn worker_failure_reloads_and_reconverges() {
+    let ds = dataset(1_500, 150, 23);
+    let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+        .with_batch_size(100)
+        .with_iterations(120)
+        .with_learning_rate(0.5)
+        .with_seed(2);
+    let plan = FailurePlan {
+        straggler: None,
+        events: vec![FailureEvent::WorkerFailure {
+            iteration: 60,
+            worker: 1,
+        }],
+    };
+    let mut engine = ColumnSgdEngine::new(&ds, 3, cfg, NetworkModel::CLUSTER1, plan);
+    let outcome = engine.train();
+
+    // The clock shows a reload charge (an extra record beyond iterations).
+    assert_eq!(outcome.clock.num_records() as u64, cfg.iterations + 1);
+
+    // Still converges after losing a third of the model.
+    let model = engine.collect_model();
+    let rows: Vec<_> = ds.iter().cloned().collect();
+    let acc = columnsgd_ml::serial::full_accuracy(ModelSpec::Lr, &model, &rows);
+    assert!(acc > 0.7, "post-failure accuracy {acc}");
+}
+
+/// The loading report: block-based dispatch ships exactly
+/// `blocks×(K + K-1-ish)` objects — far fewer than rows — and prices a
+/// positive simulated time.
+#[test]
+fn load_report_counts_blocks_not_rows() {
+    let ds = dataset(2_000, 100, 29);
+    let k = 4;
+    let cfg = ColumnSgdConfig::new(ModelSpec::Lr).with_batch_size(10);
+    let mut cfg = cfg;
+    cfg.block_size = 250; // 8 blocks
+    let engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, FailurePlan::none());
+    let report = engine.load_report();
+    // 8 blocks from master + 8 blocks × (K-1) foreign worksets + K
+    // LoadDone + K LoadAck: far fewer objects than the 2000 rows.
+    assert!(report.objects < 100, "objects = {}", report.objects);
+    assert!(report.bytes > 0);
+    assert!(report.sim_time_s > 0.0);
+}
+
+/// Different optimizers run end-to-end (Adam / AdaGrad in `updateModel`,
+/// §III-A).
+#[test]
+fn adam_and_adagrad_work_distributed() {
+    for opt in [OptimizerKind::adam(), OptimizerKind::adagrad()] {
+        let ds = dataset(800, 100, 31);
+        let mut cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+            .with_batch_size(64)
+            .with_iterations(80);
+        cfg.optimizer = opt;
+        cfg.update = UpdateParams::plain(0.1);
+        let mut engine =
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
+        let outcome = engine.train();
+        let first = outcome.curve.points[0].loss;
+        let last = outcome.curve.final_loss().unwrap();
+        assert!(last < first, "{opt:?} did not descend: {first} -> {last}");
+    }
+}
+
+/// MLR end-to-end: statistics width = classes.
+#[test]
+fn mlr_trains_distributed() {
+    let ds = synth::multiclass_dataset(1_200, 80, 3, 37);
+    let spec = ModelSpec::Mlr { classes: 3 };
+    let cfg = ColumnSgdConfig::new(spec)
+        .with_batch_size(64)
+        .with_iterations(120)
+        .with_learning_rate(0.5);
+    let mut engine = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
+    let _ = engine.train();
+    let model = engine.collect_model();
+    let rows: Vec<_> = ds.iter().cloned().collect();
+    let acc = serial::full_accuracy(spec, &model, &rows);
+    assert!(acc > 0.5, "MLR accuracy {acc} (chance 0.33)");
+}
+
+/// Extension: stale-statistics mode abandons the straggler instead of
+/// waiting — per-iteration time stays near pure, and training still
+/// converges (with DropRescaled compensating the missing partition).
+#[test]
+fn stale_statistics_absorb_stragglers_and_still_converge() {
+    use columnsgd_core::config::StaleStats;
+    let ds = dataset(2_000, 200, 41);
+    let run = |staleness: Option<StaleStats>, level: f64| {
+        let mut cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+            .with_batch_size(100)
+            .with_iterations(120)
+            .with_learning_rate(0.5)
+            .with_seed(6);
+        cfg.staleness = staleness;
+        let plan = if level > 0.0 {
+            FailurePlan::with_straggler(level, 9)
+        } else {
+            FailurePlan::none()
+        };
+        let mut e = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, plan);
+        let out = e.train();
+        let model = e.collect_model();
+        let rows: Vec<_> = ds.iter().cloned().collect();
+        let acc = serial::full_accuracy(ModelSpec::Lr, &model, &rows);
+        (out.clock.elapsed_s(), acc)
+    };
+
+    let (t_pure, acc_pure) = run(None, 0.0);
+    let (t_sync, _) = run(None, 5.0);
+    let (t_stale, acc_stale) = run(Some(StaleStats::DropRescaled), 5.0);
+
+    // Timing: synchronous waits ~6x; stale stays near pure.
+    assert!(t_sync > t_pure * 3.0, "sync {t_sync} vs pure {t_pure}");
+    assert!(
+        t_stale < t_sync / 2.0,
+        "stale {t_stale} must beat synchronous {t_sync}"
+    );
+    // Statistical efficiency: stale still reaches a usable model.
+    assert!(acc_pure > 0.8, "pure accuracy {acc_pure}");
+    assert!(
+        acc_stale > acc_pure - 0.1,
+        "stale accuracy {acc_stale} vs pure {acc_pure}"
+    );
+}
+
+/// Streaming path: blocks parsed directly from LIBSVM text train the same
+/// engine (out-of-core loading via `libsvm::BlockReader`).
+#[test]
+fn engine_trains_from_streamed_blocks() {
+    use columnsgd_data::libsvm::BlockReader;
+    let mut text = String::new();
+    for i in 0..300usize {
+        if i % 2 == 0 {
+            text.push_str(&format!("+1 1:1 3:{}\n", 1 + i % 3));
+        } else {
+            text.push_str(&format!("-1 2:1 4:{}\n", 1 + i % 3));
+        }
+    }
+    let mut reader = BlockReader::new(std::io::Cursor::new(text), 64);
+    let blocks: Vec<_> = reader.by_ref().map(|b| b.unwrap()).collect();
+    let dim = reader.dimension_bound;
+    assert_eq!(blocks.len(), 5);
+
+    let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+        .with_batch_size(32)
+        .with_iterations(100)
+        .with_learning_rate(1.0);
+    let mut engine = ColumnSgdEngine::from_blocks(
+        blocks,
+        dim,
+        3,
+        cfg,
+        NetworkModel::INSTANT,
+        FailurePlan::none(),
+    );
+    let out = engine.train();
+    assert!(out.curve.final_loss().unwrap() < 0.3, "loss {:?}", out.curve.final_loss());
+    // The separable structure is learned.
+    let model = engine.collect_model();
+    assert!(model.blocks[0][1] > 0.0 && model.blocks[0][2] < 0.0);
+}

@@ -1,0 +1,282 @@
+//! Streaming LIBSVM text format reader/writer.
+//!
+//! All five datasets in the paper (Table II) ship in LIBSVM format:
+//! one example per line, `label idx:val idx:val ...` with 1-based or
+//! 0-based indices. The parser accepts both (it never rebases; indices are
+//! taken verbatim) and tolerates comments and blank lines.
+
+use std::io::{BufRead, Write};
+
+use columnsgd_linalg::{FeatureIndex, SparseVector, Value};
+
+use crate::block::Block;
+use crate::dataset::Dataset;
+
+/// An error raised while parsing LIBSVM text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "libsvm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a single LIBSVM line into `(label, features)`.
+///
+/// Returns `Ok(None)` for blank lines and `#` comments.
+pub fn parse_line(line: &str, lineno: usize) -> Result<Option<(Value, SparseVector)>, ParseError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut tokens = line.split_ascii_whitespace();
+    let label_tok = tokens.next().expect("non-empty line has a first token");
+    let label: Value = label_tok.parse().map_err(|_| ParseError {
+        line: lineno,
+        message: format!("bad label {label_tok:?}"),
+    })?;
+    let mut pairs: Vec<(FeatureIndex, Value)> = Vec::new();
+    for tok in tokens {
+        // Trailing qid:... tokens (ranking datasets) are skipped.
+        if let Some(rest) = tok.strip_prefix("qid:") {
+            let _ = rest;
+            continue;
+        }
+        let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| ParseError {
+            line: lineno,
+            message: format!("feature token {tok:?} missing ':'"),
+        })?;
+        let idx: FeatureIndex = idx_s.parse().map_err(|_| ParseError {
+            line: lineno,
+            message: format!("bad feature index {idx_s:?}"),
+        })?;
+        let val: Value = val_s.parse().map_err(|_| ParseError {
+            line: lineno,
+            message: format!("bad feature value {val_s:?}"),
+        })?;
+        pairs.push((idx, val));
+    }
+    Ok(Some((label, SparseVector::from_pairs(pairs))))
+}
+
+/// Reads an entire LIBSVM stream into a [`Dataset`].
+///
+/// Labels are normalized to ±1: any label > 0 becomes +1.0, the rest -1.0
+/// (the convention the paper's GLM losses use; MLR datasets should use
+/// [`read_multiclass`] instead).
+pub fn read_binary<R: BufRead>(reader: R) -> Result<Dataset, Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if let Some((label, features)) = parse_line(&line, i + 1)? {
+            let y = if label > 0.0 { 1.0 } else { -1.0 };
+            rows.push((y, features));
+        }
+    }
+    Ok(Dataset::from_rows(rows))
+}
+
+/// Reads an entire LIBSVM stream keeping labels verbatim (for multiclass).
+pub fn read_multiclass<R: BufRead>(reader: R) -> Result<Dataset, Box<dyn std::error::Error>> {
+    let mut rows = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if let Some((label, features)) = parse_line(&line, i + 1)? {
+            rows.push((label, features));
+        }
+    }
+    Ok(Dataset::from_rows(rows))
+}
+
+/// Streaming block reader: parses LIBSVM text directly into row
+/// [`Block`]s of `block_size` rows without materializing the whole
+/// dataset — the out-of-core loading path for corpora larger than memory
+/// (the paper's datasets are 4.8–130 GB on disk; the master streams them
+/// block by block into the dispatch of §IV-A).
+///
+/// Labels are normalized to ±1 like [`read_binary`].
+pub struct BlockReader<R: BufRead> {
+    reader: R,
+    block_size: usize,
+    next_id: u64,
+    lineno: usize,
+    /// Largest feature index + 1 seen so far (final after exhaustion).
+    pub dimension_bound: FeatureIndex,
+    done: bool,
+}
+
+impl<R: BufRead> BlockReader<R> {
+    /// Creates a reader yielding blocks of `block_size` rows.
+    pub fn new(reader: R, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        Self {
+            reader,
+            block_size,
+            next_id: 0,
+            lineno: 0,
+            dimension_bound: 0,
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for BlockReader<R> {
+    type Item = Result<Block, Box<dyn std::error::Error>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut rows: Vec<(Value, SparseVector)> = Vec::with_capacity(self.block_size);
+        let mut line = String::new();
+        while rows.len() < self.block_size {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {
+                    self.done = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => return Some(Err(e.into())),
+            }
+            self.lineno += 1;
+            match parse_line(&line, self.lineno) {
+                Ok(Some((label, features))) => {
+                    self.dimension_bound = self.dimension_bound.max(features.dimension_bound());
+                    let y = if label > 0.0 { 1.0 } else { -1.0 };
+                    rows.push((y, features));
+                }
+                Ok(None) => {}
+                Err(e) => return Some(Err(e.into())),
+            }
+        }
+        if rows.is_empty() {
+            return None;
+        }
+        let block = Block::from_rows(self.next_id, &rows);
+        self.next_id += 1;
+        Some(Ok(block))
+    }
+}
+
+/// Writes a dataset as LIBSVM text.
+pub fn write<W: Write>(dataset: &Dataset, mut writer: W) -> std::io::Result<()> {
+    for (label, features) in dataset.iter() {
+        if *label == label.trunc() {
+            write!(writer, "{}", *label as i64)?;
+        } else {
+            write!(writer, "{label}")?;
+        }
+        for (i, v) in features.iter() {
+            if v == v.trunc() && v.abs() < 1e15 {
+                write!(writer, " {}:{}", i, v as i64)?;
+            } else {
+                write!(writer, " {i}:{v}")?;
+            }
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_line() {
+        let (y, x) = parse_line("+1 1:0.5 7:2 30:1", 1).unwrap().unwrap();
+        assert_eq!(y, 1.0);
+        assert_eq!(x.indices(), &[1, 7, 30]);
+        assert_eq!(x.values(), &[0.5, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        assert_eq!(parse_line("", 1).unwrap(), None);
+        assert_eq!(parse_line("   ", 2).unwrap(), None);
+        assert_eq!(parse_line("# header", 3).unwrap(), None);
+    }
+
+    #[test]
+    fn skips_qid_tokens() {
+        let (_, x) = parse_line("1 qid:3 2:1.0", 1).unwrap().unwrap();
+        assert_eq!(x.indices(), &[2]);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_error() {
+        let err = parse_line("1 oops", 17).unwrap_err();
+        assert_eq!(err.line, 17);
+        assert!(err.message.contains("missing ':'"));
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        assert!(parse_line("abc 1:2", 1).is_err());
+    }
+
+    #[test]
+    fn read_binary_normalizes_labels() {
+        let text = "0 1:1\n+1 2:1\n-1 3:1\n2 4:1\n";
+        let ds = read_binary(Cursor::new(text)).unwrap();
+        assert_eq!(ds.len(), 4);
+        let labels: Vec<f64> = ds.iter().map(|(y, _)| *y).collect();
+        assert_eq!(labels, vec![-1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let text = "1 1:1 5:2\n-1 2:3\n";
+        let ds = read_binary(Cursor::new(text)).unwrap();
+        let mut out = Vec::new();
+        write(&ds, &mut out).unwrap();
+        let ds2 = read_binary(Cursor::new(out)).unwrap();
+        assert_eq!(ds.len(), ds2.len());
+        for (a, b) in ds.iter().zip(ds2.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn block_reader_streams_blocks() {
+        let text: String = (0..10)
+            .map(|i| format!("{} {}:1\n", if i % 2 == 0 { 1 } else { -1 }, i + 1))
+            .collect();
+        let mut reader = BlockReader::new(Cursor::new(text), 4);
+        let blocks: Vec<_> = reader.by_ref().map(|b| b.unwrap()).collect();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks.iter().map(|b| b.nrows()).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(blocks[0].id(), 0);
+        assert_eq!(blocks[2].id(), 2);
+        // Dimension bound covers the largest 1-based index + 1.
+        assert_eq!(reader.dimension_bound, 11);
+        // Labels normalized.
+        assert_eq!(blocks[0].csr().label(1), -1.0);
+    }
+
+    #[test]
+    fn block_reader_skips_comments_and_reports_errors() {
+        let text = "# comment\n+1 1:1\n\nbogus line\n";
+        let mut reader = BlockReader::new(Cursor::new(text), 8);
+        let first = reader.next().unwrap();
+        assert!(first.is_err(), "bad line must surface as an error");
+    }
+
+    #[test]
+    fn read_multiclass_keeps_labels() {
+        let text = "3 1:1\n0 2:1\n7 3:1\n";
+        let ds = read_multiclass(Cursor::new(text)).unwrap();
+        let labels: Vec<f64> = ds.iter().map(|(y, _)| *y).collect();
+        assert_eq!(labels, vec![3.0, 0.0, 7.0]);
+    }
+}

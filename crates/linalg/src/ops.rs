@@ -1,0 +1,159 @@
+//! Free-standing kernels used by both training paradigms.
+//!
+//! These are the "statistics" computations of §II-C in kernel form: partial
+//! dot products over column partitions, the FM square-expansion terms, and
+//! the scalar link functions shared by the model implementations.
+
+use crate::{CsrMatrix, Value};
+
+/// Numerically-stable logistic sigmoid `1 / (1 + exp(-z))`.
+pub fn sigmoid(z: Value) -> Value {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically-stable `log(1 + exp(z))` (softplus), the LR loss kernel.
+pub fn log1p_exp(z: Value) -> Value {
+    if z > 0.0 {
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+/// Softmax of `logits` into `out` (both length K), numerically stable.
+///
+/// Used by multinomial logistic regression (§VIII-C), where the statistics
+/// per data point are the K dot products `<w_k, x>`.
+pub fn softmax_into(logits: &[Value], out: &mut [Value]) {
+    assert_eq!(logits.len(), out.len());
+    let max = logits.iter().copied().fold(Value::NEG_INFINITY, Value::max);
+    let mut sum = 0.0;
+    for (o, &z) in out.iter_mut().zip(logits) {
+        let e = (z - max).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Batch of partial dot products: for each row `r` of `data`, the sum of
+/// `value * model[index]` over nonzeros whose index is inside `model`.
+///
+/// This is the per-worker `computeStat` kernel for GLMs (Figure 12,
+/// lines 7-14): each worker's `model` covers only its column partition, and
+/// out-of-partition indices simply don't occur in its worksets.
+pub fn partial_dots(data: &CsrMatrix, rows: &[usize], model: &[Value], out: &mut Vec<Value>) {
+    out.clear();
+    out.reserve(rows.len());
+    for &r in rows {
+        out.push(data.row_dot_dense(r, model));
+    }
+}
+
+/// FM per-row partial statistics for one latent factor column `vf`:
+/// returns `(sum_i vf[i]*x_i, sum_i vf[i]^2 * x_i^2)` for row `r`.
+///
+/// These are the two aggregates Equation 10 of the paper needs per factor.
+pub fn fm_factor_partials(data: &CsrMatrix, r: usize, vf: &[Value]) -> (Value, Value) {
+    let (idx, val) = data.row(r);
+    let mut s = 0.0;
+    let mut sq = 0.0;
+    for (&i, &x) in idx.iter().zip(val) {
+        if let Some(&v) = vf.get(i as usize) {
+            s += v * x;
+            sq += v * v * x * x;
+        }
+    }
+    (s, sq)
+}
+
+/// Hinge-loss subgradient activity indicator: 1 if `1 - y*margin > 0`.
+pub fn hinge_active(y: Value, margin: Value) -> bool {
+    1.0 - y * margin > 0.0
+}
+
+/// Mean of a slice (0.0 for an empty slice).
+pub fn mean(xs: &[Value]) -> Value {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<Value>() / xs.len() as Value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparseVector;
+
+    #[test]
+    fn sigmoid_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(800.0) <= 1.0);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log1p_exp_matches_naive_in_safe_range() {
+        for &z in &[-5.0, -0.5, 0.0, 0.5, 5.0] {
+            let naive = (1.0f64 + f64::exp(z)).ln();
+            assert!((log1p_exp(z) - naive).abs() < 1e-12, "z={z}");
+        }
+        // And does not overflow where the naive form would.
+        assert!(log1p_exp(1000.0).is_finite());
+        assert!((log1p_exp(1000.0) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let logits = [1.0, 2.0, 3.0, 1000.0];
+        let mut out = [0.0; 4];
+        softmax_into(&logits, &mut out);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out[3] > 0.999);
+    }
+
+    #[test]
+    fn partial_dots_respects_partition() {
+        let m = CsrMatrix::from_rows(&[
+            (1.0, SparseVector::from_pairs(vec![(0, 1.0), (3, 2.0)])),
+            (-1.0, SparseVector::from_pairs(vec![(1, 4.0)])),
+        ]);
+        // Worker owns dimensions 0..2 only.
+        let model = [0.5, 0.25];
+        let mut out = Vec::new();
+        partial_dots(&m, &[0, 1], &model, &mut out);
+        assert_eq!(out, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn fm_partials() {
+        let m = CsrMatrix::from_rows(&[(1.0, SparseVector::from_pairs(vec![(0, 2.0), (1, 3.0)]))]);
+        let vf = [1.0, -1.0];
+        let (s, sq) = fm_factor_partials(&m, 0, &vf);
+        assert_eq!(s, 2.0 - 3.0);
+        assert_eq!(sq, 4.0 + 9.0);
+    }
+
+    #[test]
+    fn hinge_activity() {
+        assert!(hinge_active(1.0, 0.5));
+        assert!(!hinge_active(1.0, 1.5));
+        assert!(hinge_active(-1.0, 0.5));
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

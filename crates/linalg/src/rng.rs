@@ -1,0 +1,94 @@
+//! Deterministic random-number utilities.
+//!
+//! Two properties matter for this reproduction:
+//!
+//! 1. **Cross-run stability.** Every experiment must be re-runnable with
+//!    identical results, so we pin ChaCha8 (stable across `rand` versions)
+//!    rather than `StdRng`.
+//! 2. **Cross-worker agreement.** The two-phase indexing scheme of §IV-A2
+//!    requires every worker to draw *the same* (block, offset) sample
+//!    sequence from a shared seed ("using the same random seed (e.g., the
+//!    current iteration number)"). [`iteration_rng`] derives a per-iteration
+//!    stream all workers can reconstruct independently.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The deterministic RNG used across the workspace.
+pub type DetRng = ChaCha8Rng;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> DetRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Derives the shared per-iteration RNG of the two-phase indexing scheme.
+///
+/// Every worker calls this with the same `(experiment_seed, iteration)` and
+/// obtains an identical stream, which is what lets all workers land on the
+/// same logical rows without any coordination message.
+pub fn iteration_rng(experiment_seed: u64, iteration: u64) -> DetRng {
+    // Mix with splitmix64 so adjacent iterations are decorrelated.
+    let mut z = experiment_seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ChaCha8Rng::seed_from_u64(z)
+}
+
+/// Samples `count` indices uniformly from `0..n` (with replacement), the
+/// mini-batch row-sampling primitive.
+pub fn sample_indices(rng: &mut DetRng, n: usize, count: usize) -> Vec<usize> {
+    assert!(n > 0, "cannot sample from an empty range");
+    (0..count).map(|_| rng.gen_range(0..n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_reproducible() {
+        let a: Vec<u32> = {
+            let mut r = seeded(42);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = seeded(42);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iteration_rng_agrees_across_callers_and_differs_across_iterations() {
+        let mut w1 = iteration_rng(7, 3);
+        let mut w2 = iteration_rng(7, 3);
+        let s1: Vec<u64> = (0..4).map(|_| w1.gen()).collect();
+        let s2: Vec<u64> = (0..4).map(|_| w2.gen()).collect();
+        assert_eq!(s1, s2);
+
+        let mut next = iteration_rng(7, 4);
+        let s3: Vec<u64> = (0..4).map(|_| next.gen()).collect();
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn sample_indices_in_range() {
+        let mut r = seeded(1);
+        let s = sample_indices(&mut r, 10, 1000);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|&i| i < 10));
+        // All values should appear with 1000 draws from 10 buckets.
+        for v in 0..10 {
+            assert!(s.contains(&v), "value {v} never sampled");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn sample_indices_rejects_empty() {
+        let mut r = seeded(1);
+        let _ = sample_indices(&mut r, 0, 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use columnsgd_linalg::{ops, CsrMatrix, DenseVector, SparseVector};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary sparse vector with indices < `dim`.
+fn sparse_vec(dim: u64, max_nnz: usize) -> impl Strategy<Value = SparseVector> {
+    prop::collection::vec((0..dim, -10.0f64..10.0), 0..max_nnz)
+        .prop_map(SparseVector::from_pairs)
+}
+
+fn dense_vec(len: usize) -> impl Strategy<Value = DenseVector> {
+    prop::collection::vec(-10.0f64..10.0, len..=len).prop_map(DenseVector::from_vec)
+}
+
+proptest! {
+    /// from_pairs always yields a valid vector regardless of input order or
+    /// duplicates.
+    #[test]
+    fn from_pairs_always_valid(pairs in prop::collection::vec((0u64..100, -5.0f64..5.0), 0..64)) {
+        let v = SparseVector::from_pairs(pairs);
+        prop_assert!(v.validate().is_ok());
+    }
+
+    /// Splitting by any modular partitioner and merging is the identity.
+    #[test]
+    fn split_merge_roundtrip(v in sparse_vec(1000, 64), k in 1usize..8) {
+        let parts = v.split_by(k, |i| (i % k as u64) as usize);
+        prop_assert_eq!(parts.len(), k);
+        let merged = SparseVector::merge(&parts);
+        prop_assert_eq!(merged, v);
+    }
+
+    /// The nonzeros are conserved across a split: nnz sums match.
+    #[test]
+    fn split_conserves_nnz(v in sparse_vec(1000, 64), k in 1usize..8) {
+        let parts = v.split_by(k, |i| (i % k as u64) as usize);
+        let total: usize = parts.iter().map(|p| p.nnz()).sum();
+        prop_assert_eq!(total, v.nnz());
+    }
+
+    /// Sparse-sparse dot is symmetric.
+    #[test]
+    fn dot_sparse_symmetric(a in sparse_vec(100, 32), b in sparse_vec(100, 32)) {
+        let d1 = a.dot_sparse(&b);
+        let d2 = b.dot_sparse(&a);
+        prop_assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2}");
+    }
+
+    /// sparse·dense agrees with the dense-dense product of the densified
+    /// sparse vector.
+    #[test]
+    fn dot_dense_matches_densified(v in sparse_vec(50, 32), w in dense_vec(50)) {
+        let mut dv = DenseVector::zeros(50);
+        for (i, x) in v.iter() { dv.set(i as usize, x); }
+        let expect = dv.dot(&w);
+        prop_assert!((v.dot_dense(&w) - expect).abs() < 1e-9);
+    }
+
+    /// **Key ColumnSGD invariant**: the full dot product equals the sum of
+    /// the partial dot products computed over any column partition — the
+    /// decomposition that makes the vertical-parallel strategy correct
+    /// (paper §II-C).
+    #[test]
+    fn partial_dots_sum_to_full_dot(v in sparse_vec(120, 64), w in dense_vec(120), k in 1usize..6) {
+        let full = v.dot_dense(&w);
+        let parts = v.split_by(k, |i| (i % k as u64) as usize);
+        let partial_sum: f64 = parts.iter().map(|p| p.dot_dense(&w)).sum();
+        prop_assert!((full - partial_sum).abs() < 1e-9, "{full} vs {partial_sum}");
+    }
+
+    /// axpy_sparse then dot recovers the expected linear relation:
+    /// (w + a*x)·x = w·x + a*||x||².
+    #[test]
+    fn axpy_linear_relation(v in sparse_vec(60, 32), w in dense_vec(60), a in -2.0f64..2.0) {
+        let before = v.dot_dense(&w);
+        let mut w2 = w.clone();
+        w2.axpy_sparse(a, &v);
+        let after = v.dot_dense(&w2);
+        prop_assert!((after - (before + a * v.norm_sq())).abs() < 1e-8);
+    }
+
+    /// CSR round-trips rows losslessly.
+    #[test]
+    fn csr_roundtrip(rows in prop::collection::vec((prop::bool::ANY, sparse_vec(200, 32)), 0..16)) {
+        let labelled: Vec<(f64, SparseVector)> = rows
+            .into_iter()
+            .map(|(pos, v)| (if pos { 1.0 } else { -1.0 }, v))
+            .collect();
+        let m = CsrMatrix::from_rows(&labelled);
+        prop_assert!(m.validate().is_ok());
+        prop_assert_eq!(m.nrows(), labelled.len());
+        for (r, (label, v)) in labelled.iter().enumerate() {
+            prop_assert_eq!(m.label(r), *label);
+            prop_assert_eq!(&m.row_vector(r), v);
+        }
+    }
+
+    /// Softmax output is a probability distribution for any finite logits.
+    #[test]
+    fn softmax_is_distribution(logits in prop::collection::vec(-50.0f64..50.0, 1..10)) {
+        let mut out = vec![0.0; logits.len()];
+        ops::softmax_into(&logits, &mut out);
+        prop_assert!(out.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// sigmoid is monotone and bounded.
+    #[test]
+    fn sigmoid_monotone(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(ops::sigmoid(lo) <= ops::sigmoid(hi) + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&ops::sigmoid(a)));
+    }
+}

@@ -1,0 +1,191 @@
+//! Single-machine reference SGD (Algorithm 1 of the paper).
+//!
+//! The serial trainer is the ground truth the distributed engines are
+//! tested against: ColumnSGD with K workers and RowSGD with K workers must
+//! both produce the *same parameter trajectory* as this loop when given
+//! the same seed, batch schedule, and hyper-parameters, because mini-batch
+//! SGD under BSP is serially consistent (the property the paper leans on
+//! when arguing correctness; only the asynchronous PS variants give it up).
+
+use columnsgd_linalg::rng::{self};
+use columnsgd_linalg::CsrMatrix;
+use rand::Rng;
+
+use crate::optimizer::{OptimizerKind, OptimizerState};
+use crate::params::{ParamSet, UpdateParams};
+use crate::spec::ModelSpec;
+
+/// Configuration for a serial training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerialConfig {
+    /// Mini-batch size B.
+    pub batch_size: usize,
+    /// Number of iterations T.
+    pub iterations: u64,
+    /// Update hyper-parameters (η, Ω).
+    pub update: UpdateParams,
+    /// Optimizer variant.
+    pub optimizer: OptimizerKind,
+    /// Seed for batch sampling (and FM initialization).
+    pub seed: u64,
+}
+
+/// Result of a serial run: final parameters plus the per-iteration batch
+/// losses (evaluated before each update).
+#[derive(Debug, Clone)]
+pub struct SerialRun {
+    /// Final parameters.
+    pub params: ParamSet,
+    /// Batch loss before each update.
+    pub losses: Vec<f64>,
+}
+
+/// Rows of a dataset as borrowed labelled sparse vectors.
+pub type RowsRef<'a> = &'a [(f64, columnsgd_linalg::SparseVector)];
+
+/// Trains `spec` over `rows` (global feature indices) with plain
+/// sequential mini-batch SGD.
+pub fn train(spec: ModelSpec, rows: RowsRef<'_>, dim: usize, cfg: &SerialConfig) -> SerialRun {
+    assert!(!rows.is_empty(), "cannot train on an empty dataset");
+    let mut params = spec.init_params(dim, cfg.seed, |s| s as u64);
+    let mut opt = OptimizerState::for_params(cfg.optimizer, &params);
+    let mut losses = Vec::with_capacity(cfg.iterations as usize);
+    let mut stats = Vec::new();
+    for t in 0..cfg.iterations {
+        let batch = sample_batch(rows, cfg.batch_size, cfg.seed, t);
+        spec.compute_stats(&params, &batch, &mut stats);
+        losses.push(spec.loss_from_stats(batch.labels(), &stats));
+        spec.update_from_stats(&mut params, &mut opt, &batch, &stats.clone(), &cfg.update, cfg.batch_size);
+    }
+    SerialRun { params, losses }
+}
+
+/// Draws the iteration-`t` batch: uniform with replacement, deterministic
+/// in `(seed, t)` — the same schedule the distributed engines use, which is
+/// what makes trajectory-equality tests possible.
+pub fn sample_batch(rows: RowsRef<'_>, batch_size: usize, seed: u64, iteration: u64) -> CsrMatrix {
+    let mut r = rng::iteration_rng(seed, iteration);
+    let mut batch = CsrMatrix::new();
+    for _ in 0..batch_size {
+        let i = r.gen_range(0..rows.len());
+        let (y, x) = &rows[i];
+        batch.push_row(*y, x);
+    }
+    batch
+}
+
+/// Mean loss of `spec` over an entire dataset (full pass, no sampling).
+pub fn full_loss(spec: ModelSpec, params: &ParamSet, rows: RowsRef<'_>) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut stats = Vec::new();
+    // Chunked to bound peak memory on large datasets.
+    for chunk in rows.chunks(8_192) {
+        let batch = CsrMatrix::from_rows(chunk);
+        spec.compute_stats(params, &batch, &mut stats);
+        total += spec.loss_from_stats(batch.labels(), &stats) * chunk.len() as f64;
+    }
+    total / rows.len() as f64
+}
+
+/// Classification accuracy of `spec` over an entire dataset.
+pub fn full_accuracy(spec: ModelSpec, params: &ParamSet, rows: RowsRef<'_>) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0.0;
+    let mut stats = Vec::new();
+    for chunk in rows.chunks(8_192) {
+        let batch = CsrMatrix::from_rows(chunk);
+        spec.compute_stats(params, &batch, &mut stats);
+        correct += spec.accuracy_from_stats(batch.labels(), &stats) * chunk.len() as f64;
+    }
+    correct / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnsgd_data::synth;
+
+    fn cfg(batch: usize, iters: u64, lr: f64, seed: u64) -> SerialConfig {
+        SerialConfig {
+            batch_size: batch,
+            iterations: iters,
+            update: UpdateParams::plain(lr),
+            optimizer: OptimizerKind::Sgd,
+            seed,
+        }
+    }
+
+    #[test]
+    fn lr_converges_on_synthetic_data() {
+        let ds = synth::small_test_dataset(2_000, 200, 1);
+        let rows = ds.iter().cloned().collect::<Vec<_>>();
+        let run = train(ModelSpec::Lr, &rows, 200, &cfg(64, 300, 0.5, 7));
+        let first = run.losses[..10].iter().sum::<f64>() / 10.0;
+        let last = run.losses[run.losses.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(last < first * 0.8, "no convergence: {first} -> {last}");
+        let acc = full_accuracy(ModelSpec::Lr, &run.params, &rows);
+        assert!(acc > 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn svm_converges_on_synthetic_data() {
+        let ds = synth::small_test_dataset(2_000, 200, 2);
+        let rows = ds.iter().cloned().collect::<Vec<_>>();
+        let run = train(ModelSpec::Svm, &rows, 200, &cfg(64, 300, 0.2, 3));
+        let acc = full_accuracy(ModelSpec::Svm, &run.params, &rows);
+        assert!(acc > 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn fm_converges_on_synthetic_data() {
+        let ds = synth::small_test_dataset(1_000, 100, 3);
+        let rows = ds.iter().cloned().collect::<Vec<_>>();
+        let run = train(ModelSpec::Fm { factors: 4 }, &rows, 100, &cfg(64, 300, 0.5, 5));
+        let first = run.losses[..10].iter().sum::<f64>() / 10.0;
+        let last = run.losses[run.losses.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(last < first, "no FM convergence: {first} -> {last}");
+    }
+
+    #[test]
+    fn mlr_converges_on_synthetic_data() {
+        let ds = synth::multiclass_dataset(2_000, 100, 3, 4);
+        let rows = ds.iter().cloned().collect::<Vec<_>>();
+        let spec = ModelSpec::Mlr { classes: 3 };
+        let run = train(spec, &rows, 100, &cfg(64, 400, 0.5, 11));
+        let acc = full_accuracy(spec, &run.params, &rows);
+        assert!(acc > 0.55, "MLR accuracy {acc} (chance = 0.33)");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = synth::small_test_dataset(500, 50, 9);
+        let rows = ds.iter().cloned().collect::<Vec<_>>();
+        let a = train(ModelSpec::Lr, &rows, 50, &cfg(32, 50, 0.1, 13));
+        let b = train(ModelSpec::Lr, &rows, 50, &cfg(32, 50, 0.1, 13));
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.losses, b.losses);
+    }
+
+    #[test]
+    fn batch_sampling_is_seed_stable_but_iteration_varying() {
+        let ds = synth::small_test_dataset(100, 30, 0);
+        let rows = ds.iter().cloned().collect::<Vec<_>>();
+        let b1 = sample_batch(&rows, 16, 5, 0);
+        let b2 = sample_batch(&rows, 16, 5, 0);
+        let b3 = sample_batch(&rows, 16, 5, 1);
+        assert_eq!(b1, b2);
+        assert_ne!(b1, b3);
+        assert_eq!(b1.nrows(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_empty_dataset() {
+        let _ = train(ModelSpec::Lr, &[], 10, &cfg(8, 1, 0.1, 0));
+    }
+}

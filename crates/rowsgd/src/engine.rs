@@ -1,0 +1,601 @@
+//! The RowSGD driver: loads row partitions, runs the per-variant training
+//! loop, and prices every iteration with the same network model used for
+//! ColumnSGD.
+
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use columnsgd_cluster::clock::IterationTime;
+use columnsgd_cluster::wire::ENVELOPE_BYTES;
+use columnsgd_cluster::{Endpoint, NetworkModel, NodeId, Router, SimClock, TrafficStats, Wire};
+use columnsgd_data::Dataset;
+use columnsgd_linalg::CsrMatrix;
+use columnsgd_ml::metrics::Curve;
+use columnsgd_ml::{OptimizerState, ParamSet, SparseGrad};
+
+use crate::config::{RowSgdConfig, RowSgdVariant};
+use crate::msg::RowMsg;
+use crate::worker::run_row_worker;
+
+/// Serialization cost per object during loading (same constant as the
+/// ColumnSGD engine, so Figure 7 comparisons are apples to apples).
+pub const PER_OBJECT_S: f64 = 20e-6;
+
+/// Result of a RowSGD training run.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Batch-loss convergence curve.
+    pub curve: Curve,
+    /// The simulated clock.
+    pub clock: SimClock,
+}
+
+impl TrainOutcome {
+    /// Mean per-iteration simulated time over the final `n` iterations.
+    pub fn mean_iteration_s(&self, n: usize) -> f64 {
+        self.clock.mean_iteration_s(n)
+    }
+}
+
+/// Cost report for row-oriented data loading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Serialized objects (row-by-row pipeline: one per data point, plus
+    /// one per shuffled point under repartitioning).
+    pub objects: u64,
+    /// Total bytes shipped.
+    pub bytes: u64,
+    /// Simulated loading time.
+    pub sim_time_s: f64,
+}
+
+/// The RowSGD driver (master + virtual servers + K worker threads).
+pub struct RowSgdEngine {
+    cfg: RowSgdConfig,
+    k: usize,
+    p: usize,
+    net: NetworkModel,
+    master: Endpoint<RowMsg>,
+    handles: Vec<JoinHandle<()>>,
+    traffic: TrafficStats,
+    /// The master/server-side model (absent for MLlib*, whose model lives
+    /// in worker replicas). Keys are hash-sharded over the P servers
+    /// ([`RowSgdEngine::server_of`]), as real parameter servers do — range
+    /// sharding would hot-spot one server under Zipf-distributed features.
+    params: Option<(ParamSet, OptimizerState)>,
+    dim: u64,
+    rows_total: usize,
+    load_report: LoadReport,
+}
+
+impl RowSgdEngine {
+    /// Spawns K workers, ships them their row partitions, and initializes
+    /// the master/server-side model.
+    pub fn new(dataset: &Dataset, k: usize, cfg: RowSgdConfig, net: NetworkModel) -> Self {
+        Self::with_repartition(dataset, k, cfg, net, false)
+    }
+
+    /// Like [`RowSgdEngine::new`], optionally simulating a global row
+    /// repartitioning after the initial load (the "MLlib-Repartition"
+    /// configuration of Figure 7).
+    pub fn with_repartition(
+        dataset: &Dataset,
+        k: usize,
+        cfg: RowSgdConfig,
+        net: NetworkModel,
+        repartition: bool,
+    ) -> Self {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let traffic = TrafficStats::new();
+        let p = cfg.num_servers(k);
+        let mut ids = vec![NodeId::Master];
+        ids.extend((0..k).map(NodeId::Worker));
+        let (_router, mut endpoints) = Router::new(&ids, traffic.clone());
+        let master = endpoints.remove(0);
+        let dim = dataset.dimension();
+        let handles: Vec<JoinHandle<()>> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(w, ep)| {
+                std::thread::Builder::new()
+                    .name(format!("rowsgd-worker{w}"))
+                    .spawn(move || run_row_worker(ep, w, k, dim, cfg))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let params = if cfg.variant == RowSgdVariant::MLlibStar {
+            None
+        } else {
+            let params = cfg.model.init_params(dim as usize, cfg.seed, |s| s as u64);
+            let opt = OptimizerState::for_params(cfg.optimizer, &params);
+            Some((params, opt))
+        };
+
+        let mut engine = Self {
+            cfg,
+            k,
+            p,
+            net,
+            master,
+            handles,
+            traffic,
+            params,
+            dim,
+            rows_total: dataset.len(),
+            load_report: LoadReport {
+                objects: 0,
+                bytes: 0,
+                sim_time_s: 0.0,
+            },
+        };
+        engine.load(dataset, repartition);
+        engine
+    }
+
+    /// Ships each worker its horizontal partition and prices the load:
+    /// rows move row-by-row through Spark's pipeline (one object per data
+    /// point), optionally followed by a global shuffle.
+    #[allow(clippy::needless_range_loop)]
+    fn load(&mut self, dataset: &Dataset, repartition: bool) {
+        self.traffic.reset();
+        let parts = dataset.row_partitions(self.k);
+        let mut part_rows = Vec::with_capacity(self.k);
+        for (w, part) in parts.iter().enumerate() {
+            let rows: Vec<_> = part.iter().cloned().collect();
+            part_rows.push(rows.len());
+            let csr = CsrMatrix::from_rows(&rows);
+            self.master
+                .send(NodeId::Worker(w), RowMsg::LoadRows(csr))
+                .expect("load rows");
+        }
+        let mut acks = 0;
+        while acks < self.k {
+            match self.master.recv().expect("load ack").payload {
+                RowMsg::LoadAck { .. } => acks += 1,
+                other => panic!("unexpected message during load: {other:?}"),
+            }
+        }
+        if repartition {
+            // Global shuffle: every row crosses the network once more,
+            // worker → worker. Price it as a second pass of the data.
+            for (w, &rows) in part_rows.iter().enumerate() {
+                let bytes = self.traffic.link(NodeId::Master, NodeId::Worker(w)).bytes;
+                self.master
+                    .router()
+                    .meter_only(NodeId::Worker(w), NodeId::Worker((w + 1) % self.k), bytes as usize);
+                let _ = rows;
+            }
+        }
+        // Pricing: a row-by-row pipeline pays one serialized object per
+        // data point at the parsing node, twice under repartitioning.
+        let passes = if repartition { 2 } else { 1 };
+        let total = self.traffic.total();
+        let mut worst = 0.0f64;
+        for w in 0..self.k {
+            let node = NodeId::Worker(w);
+            let bytes = self.traffic.received_by(node).bytes + self.traffic.sent_by(node).bytes;
+            let objects = part_rows[w] * passes;
+            worst = worst.max(bytes as f64 / self.net.bandwidth_bytes_per_s + objects as f64 * PER_OBJECT_S);
+        }
+        self.load_report = LoadReport {
+            objects: (self.rows_total * passes) as u64,
+            bytes: total.bytes,
+            sim_time_s: worst + self.net.latency_s,
+        };
+    }
+
+    /// The loading cost report.
+    pub fn load_report(&self) -> LoadReport {
+        self.load_report
+    }
+
+    /// The shared traffic meter.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// The variant label (paper naming).
+    pub fn label(&self) -> &'static str {
+        self.cfg.variant.label()
+    }
+
+    /// The server owning key `j` (splitmix64 hash sharding).
+    fn server_of(&self, j: u64) -> usize {
+        let mut z = j.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+        (z % self.p as u64) as usize
+    }
+
+    /// Dense-pull bytes of server `p`'s shard (balanced by hashing).
+    fn shard_unit_dims(&self) -> u64 {
+        self.dim.div_ceil(self.p as u64)
+    }
+
+    /// Runs the training loop and returns the outcome.
+    pub fn train(&mut self) -> TrainOutcome {
+        let mut clock = SimClock::new();
+        let mut curve = Curve::new(self.cfg.variant.label());
+        for t in 0..self.cfg.iterations {
+            let it = match self.cfg.variant {
+                RowSgdVariant::MLlib => self.iteration_mllib(t),
+                RowSgdVariant::MLlibStar => self.iteration_mllib_star(t),
+                RowSgdVariant::PsDense => self.iteration_ps(t, false),
+                RowSgdVariant::PsSparse => self.iteration_ps(t, true),
+            };
+            clock.record(it.0);
+            curve.push(t, clock.elapsed_s(), it.1);
+        }
+        TrainOutcome { curve, clock }
+    }
+
+    /// One MLlib iteration: broadcast the dense model, gather dense
+    /// gradients, update at the master (Algorithm 2).
+    fn iteration_mllib(&mut self, t: u64) -> (IterationTime, f64) {
+        let model_msg_bytes;
+        {
+            let (params, _) = self.params.as_ref().expect("master model");
+            model_msg_bytes = (RowMsg::FullModelGrad {
+                iteration: t,
+                params: params.clone(),
+            })
+            .wire_size() as u64
+                + ENVELOPE_BYTES as u64;
+            for w in 0..self.k {
+                self.master
+                    .send(
+                        NodeId::Worker(w),
+                        RowMsg::FullModelGrad {
+                            iteration: t,
+                            params: params.clone(),
+                        },
+                    )
+                    .expect("model broadcast");
+            }
+        }
+        let mut agg: Option<ParamSet> = None;
+        let mut grad_bytes = 0u64;
+        let mut losses = Vec::with_capacity(self.k);
+        let mut compute = vec![0.0; self.k];
+        let mut got = 0;
+        while got < self.k {
+            match self.master.recv().expect("grad reply").payload {
+                RowMsg::GradReplyDense {
+                    worker,
+                    grad,
+                    loss,
+                    compute_s,
+                    ..
+                } => {
+                    grad_bytes = grad.wire_size() as u64 + 64;
+                    match &mut agg {
+                        None => agg = Some(grad),
+                        Some(a) => {
+                            for (ab, gb) in a.blocks.iter_mut().zip(&grad.blocks) {
+                                ab.axpy(1.0, gb);
+                            }
+                        }
+                    }
+                    losses.push(loss);
+                    compute[worker] = compute_s;
+                    got += 1;
+                }
+                other => panic!("unexpected message: {other:?}"),
+            }
+        }
+        let agg = agg.expect("at least one gradient");
+        let start = Instant::now();
+        self.apply_dense(&agg);
+        let master_compute = start.elapsed().as_secs_f64();
+
+        let comm = self.net.broadcast_time(model_msg_bytes, self.k)
+            + self.net.gather_time(&vec![grad_bytes; self.k]);
+        (
+            IterationTime {
+                compute_s: compute.iter().copied().fold(0.0, f64::max) + master_compute,
+                comm_s: comm,
+                overhead_s: self.net.scheduling_overhead_s,
+            },
+            mean(&losses),
+        )
+    }
+
+    /// One MLlib* iteration: local steps + ring AllReduce model averaging.
+    fn iteration_mllib_star(&mut self, t: u64) -> (IterationTime, f64) {
+        for w in 0..self.k {
+            self.master
+                .send(NodeId::Worker(w), RowMsg::LocalStep { iteration: t })
+                .expect("local step");
+        }
+        let mut losses = Vec::with_capacity(self.k);
+        let mut compute = vec![0.0; self.k];
+        let mut got = 0;
+        while got < self.k {
+            match self.master.recv().expect("step done").payload {
+                RowMsg::StepDone {
+                    worker,
+                    loss,
+                    compute_s,
+                    ..
+                } => {
+                    losses.push(loss);
+                    compute[worker] = compute_s;
+                    got += 1;
+                }
+                other => panic!("unexpected message: {other:?}"),
+            }
+        }
+        let model_bytes = 8 * self.cfg.model.num_params(self.dim);
+        (
+            IterationTime {
+                compute_s: compute.iter().copied().fold(0.0, f64::max),
+                comm_s: self.net.allreduce_time(model_bytes, self.k),
+                overhead_s: self.net.scheduling_overhead_s,
+            },
+            mean(&losses),
+        )
+    }
+
+    /// One parameter-server iteration (dense or sparse pull).
+    // Indexed loops: `p`/`w` are node ids of the simulated server plane.
+    #[allow(clippy::needless_range_loop)]
+    fn iteration_ps(&mut self, t: u64, sparse_pull: bool) -> (IterationTime, f64) {
+        let router = self.master.router().clone();
+        let unit = 8 * self.cfg.model.widths().iter().sum::<usize>() as u64;
+        let mut pull_keys_per_server = vec![0u64; self.p];
+        let mut pull_down_per_server: Vec<Vec<u64>> = vec![Vec::new(); self.p];
+        let mut pull_up_per_server: Vec<Vec<u64>> = vec![Vec::new(); self.p];
+        let mut compute = vec![0.0; self.k];
+
+        if sparse_pull {
+            // Round 1: workers report the indices their batch needs. The
+            // request is driver-loop plumbing (real MXNet workers are
+            // self-driving), so it is not metered.
+            for w in 0..self.k {
+                router
+                    .send_unmetered(NodeId::Master, NodeId::Worker(w), RowMsg::RequestIndices { iteration: t })
+                    .expect("request indices");
+            }
+            let mut requests: Vec<Option<Vec<u64>>> = vec![None; self.k];
+            let mut got = 0;
+            while got < self.k {
+                match self.master.recv().expect("indices reply").payload {
+                    RowMsg::IndicesReply {
+                        worker,
+                        indices,
+                        compute_s,
+                        ..
+                    } => {
+                        compute[worker] += compute_s;
+                        requests[worker] = Some(indices);
+                        got += 1;
+                    }
+                    other => panic!("unexpected message: {other:?}"),
+                }
+            }
+            // Round 2: virtual servers answer each worker's pull.
+            let (params, _) = self.params.as_ref().expect("server model");
+            for (w, indices) in requests.into_iter().enumerate() {
+                let indices = indices.expect("reply per worker");
+                // Meter the request + reply on each logical server link.
+                for p in 0..self.p {
+                    let cnt = indices.iter().filter(|&&j| self.server_of(j) == p).count() as u64;
+                    if cnt > 0 {
+                        router.meter_only(
+                            NodeId::Worker(w),
+                            NodeId::Server(p),
+                            (8 * cnt) as usize + ENVELOPE_BYTES,
+                        );
+                        router.meter_only(
+                            NodeId::Server(p),
+                            NodeId::Worker(w),
+                            ((8 + unit) * cnt) as usize + ENVELOPE_BYTES,
+                        );
+                        pull_keys_per_server[p] += cnt;
+                        pull_up_per_server[p].push(8 * cnt + ENVELOPE_BYTES as u64);
+                        pull_down_per_server[p].push((8 + unit) * cnt + ENVELOPE_BYTES as u64);
+                    }
+                }
+                let values = gather_values(&self.cfg.model.widths(), params, &indices);
+                router
+                    .send_unmetered(
+                        NodeId::Master,
+                        NodeId::Worker(w),
+                        RowMsg::SparseModelGrad {
+                            iteration: t,
+                            values,
+                        },
+                    )
+                    .expect("pull reply");
+            }
+        } else {
+            // Dense pull: every worker receives the full model; each
+            // server's shard crosses its own logical link.
+            let (params, _) = self.params.as_ref().expect("server model");
+            let msg = RowMsg::FullModelGrad {
+                iteration: t,
+                params: params.clone(),
+            };
+            let total_bytes = msg.wire_size() as u64 + ENVELOPE_BYTES as u64;
+            for w in 0..self.k {
+                for p in 0..self.p {
+                    let share =
+                        self.shard_unit_dims() * unit + ENVELOPE_BYTES as u64 / self.p as u64;
+                    router.meter_only(NodeId::Server(p), NodeId::Worker(w), share as usize);
+                    pull_down_per_server[p].push(share);
+                }
+                let _ = total_bytes;
+                router
+                    .send_unmetered(
+                        NodeId::Master,
+                        NodeId::Worker(w),
+                        RowMsg::FullModelGrad {
+                            iteration: t,
+                            params: params.clone(),
+                        },
+                    )
+                    .expect("dense pull");
+            }
+        }
+
+        // Gather sparse gradients (push).
+        let mut push_keys_per_server = vec![0u64; self.p];
+        let mut push_per_server: Vec<Vec<u64>> = vec![Vec::new(); self.p];
+        let mut merged = SparseGrad::default();
+        let mut losses = Vec::with_capacity(self.k);
+        let mut got = 0;
+        while got < self.k {
+            match self.master.recv().expect("grad reply").payload {
+                RowMsg::GradReplySparse {
+                    worker,
+                    grad,
+                    loss,
+                    compute_s,
+                    ..
+                } => {
+                    for p in 0..self.p {
+                        let cnt = grad
+                            .indices
+                            .iter()
+                            .filter(|&&j| self.server_of(j) == p)
+                            .count() as u64;
+                        if cnt > 0 {
+                            let bytes = (8 + unit) * cnt + ENVELOPE_BYTES as u64;
+                            router.meter_only(NodeId::Worker(worker), NodeId::Server(p), bytes as usize);
+                            push_keys_per_server[p] += cnt;
+                            push_per_server[p].push(bytes);
+                        }
+                    }
+                    merged = merged.merge(&grad);
+                    losses.push(loss);
+                    compute[worker] += compute_s;
+                    got += 1;
+                }
+                other => panic!("unexpected message: {other:?}"),
+            }
+        }
+        let start = Instant::now();
+        {
+            let cfg = self.cfg;
+            let (params, opt) = self.params.as_mut().expect("server model");
+            cfg.model
+                .apply_gradient(params, opt, &merged, &cfg.update, cfg.batch_size);
+        }
+        let server_compute = start.elapsed().as_secs_f64();
+
+        // Pricing: per-server links run in parallel; within one server,
+        // transfers serialize.
+        let pull_down = per_server_max(&pull_down_per_server, &self.net);
+        let pull_up = per_server_max(&pull_up_per_server, &self.net);
+        let push = per_server_max(&push_per_server, &self.net);
+        // Per-key server processing cost: only the sparse KVStore pays it
+        // (MXNet's row-sparse engine); Petuum's dense shards apply pushes
+        // with plain array arithmetic.
+        let per_key: f64 = if sparse_pull {
+            (0..self.p)
+                .map(|p| {
+                    (pull_keys_per_server[p] + push_keys_per_server[p]) as f64
+                        * (unit as f64 / 8.0)
+                        * self.cfg.ps_per_key_s
+                })
+                .fold(0.0, f64::max)
+        } else {
+            0.0
+        };
+
+        (
+            IterationTime {
+                compute_s: compute.iter().copied().fold(0.0, f64::max) + server_compute,
+                comm_s: pull_up + pull_down + push + per_key,
+                overhead_s: self.cfg.ps_scheduling_s,
+            },
+            mean(&losses),
+        )
+    }
+
+    /// Applies a dense aggregated gradient at the master (MLlib path).
+    fn apply_dense(&mut self, agg: &ParamSet) {
+        let cfg = self.cfg;
+        let (params, opt) = self.params.as_mut().expect("master model");
+        opt.begin_step();
+        let inv_b = 1.0 / cfg.batch_size.max(1) as f64;
+        for (b, gb) in agg.blocks.iter().enumerate() {
+            for (coord, &g_sum) in gb.as_slice().iter().enumerate() {
+                if g_sum == 0.0 {
+                    continue;
+                }
+                let w = params.blocks[b][coord];
+                let g = g_sum * inv_b + cfg.update.regularizer.subgradient(w);
+                opt.apply(b, &mut params.blocks[b], coord, g, cfg.update.learning_rate);
+            }
+        }
+    }
+
+    /// The current full model (master copy, or worker 0's replica for
+    /// MLlib*).
+    pub fn collect_model(&mut self) -> ParamSet {
+        match &self.params {
+            Some((p, _)) => p.clone(),
+            None => {
+                self.master
+                    .send(NodeId::Worker(0), RowMsg::FetchModel)
+                    .expect("fetch model");
+                match self.master.recv().expect("model reply").payload {
+                    RowMsg::ModelReply { params, .. } => params,
+                    other => panic!("unexpected message: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+impl Drop for RowSgdEngine {
+    fn drop(&mut self) {
+        for w in 0..self.k {
+            let _ = self.master.send(NodeId::Worker(w), RowMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Extracts model values at `indices` as a [`SparseGrad`]-shaped record.
+fn gather_values(widths: &[usize], params: &ParamSet, indices: &[u64]) -> SparseGrad {
+    let blocks = widths
+        .iter()
+        .enumerate()
+        .map(|(b, &w)| {
+            let mut vals = Vec::with_capacity(indices.len() * w);
+            for &j in indices {
+                let j = j as usize;
+                for f in 0..w {
+                    vals.push(params.blocks[b][j * w + f]);
+                }
+            }
+            vals
+        })
+        .collect();
+    SparseGrad {
+        indices: indices.to_vec(),
+        blocks,
+        widths: widths.to_vec(),
+    }
+}
+
+/// Max over servers of the serialized transfer time of that server's lane.
+fn per_server_max(per_server: &[Vec<u64>], net: &NetworkModel) -> f64 {
+    per_server
+        .iter()
+        .map(|lanes| net.gather_time(lanes))
+        .fold(0.0, f64::max)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}

@@ -1,0 +1,445 @@
+//! The RowSGD worker node.
+//!
+//! Holds one horizontal (row) partition of the training data. Depending on
+//! the variant it either computes gradients against a model received per
+//! iteration (MLlib / PS variants) or maintains a local model replica and
+//! participates in a worker-to-worker ring AllReduce (MLlib*).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use columnsgd_cluster::allreduce::chunk_bounds;
+use columnsgd_cluster::{Endpoint, NodeId};
+use columnsgd_linalg::rng;
+use columnsgd_linalg::{CsrMatrix, SparseVector};
+use columnsgd_ml::spec::GradAccum;
+use columnsgd_ml::{OptimizerState, ParamSet, SparseGrad};
+use rand::Rng;
+
+use crate::config::{RowSgdConfig, RowSgdVariant};
+use crate::msg::RowMsg;
+
+/// Computes `(summed gradient, mean batch loss)` in one statistics pass.
+pub fn grad_and_loss(
+    spec: columnsgd_ml::ModelSpec,
+    params: &ParamSet,
+    batch: &CsrMatrix,
+) -> (SparseGrad, f64) {
+    let mut stats = Vec::new();
+    spec.compute_stats(params, batch, &mut stats);
+    let loss = spec.loss_from_stats(batch.labels(), &stats);
+    let mut accum = GradAccum::new(&spec.widths());
+    spec.accumulate_grad(params, batch, &stats, &mut accum);
+    (accum.to_sparse_grad(), loss)
+}
+
+struct RowWorker {
+    id: usize,
+    k: usize,
+    dim: u64,
+    cfg: RowSgdConfig,
+    rows: Vec<(f64, SparseVector)>,
+    /// MLlib*: the local model replica + optimizer.
+    replica: Option<(ParamSet, OptimizerState)>,
+    /// Batch sampled while answering `RequestIndices`, consumed by the
+    /// following `SparseModelGrad` (PsSparse two-round protocol).
+    pending_batch: Option<(u64, CsrMatrix)>,
+}
+
+impl RowWorker {
+    /// The worker's local batch for iteration `t`: B/K rows sampled with a
+    /// worker-specific seed stream (each worker draws an independent share
+    /// of the global batch, Algorithm 2 line 13).
+    fn sample_batch(&self, t: u64) -> CsrMatrix {
+        let share = self.local_batch_size();
+        let mut r = rng::iteration_rng(self.cfg.seed ^ (self.id as u64 + 1).wrapping_mul(0xA5A5_A5A5), t);
+        let mut batch = CsrMatrix::new();
+        for _ in 0..share {
+            let (y, x) = &self.rows[r.gen_range(0..self.rows.len())];
+            batch.push_row(*y, x);
+        }
+        batch
+    }
+
+    fn local_batch_size(&self) -> usize {
+        (self.cfg.batch_size / self.k).max(1)
+    }
+
+    /// MLlib / PsDense: gradient against a freshly pulled full model.
+    fn dense_model_grad(&mut self, t: u64, params: &ParamSet) -> (SparseGrad, f64) {
+        let batch = self.sample_batch(t);
+        grad_and_loss(self.cfg.model, params, &batch)
+    }
+
+    /// PsSparse round 1: sample the batch and extract its distinct indices.
+    fn batch_indices(&mut self, t: u64) -> Vec<u64> {
+        let batch = self.sample_batch(t);
+        let distinct: BTreeSet<u64> = batch
+            .iter_rows()
+            .flat_map(|(_, idx, _)| idx.iter().copied())
+            .collect();
+        self.pending_batch = Some((t, batch));
+        distinct.into_iter().collect()
+    }
+
+    /// PsSparse round 2: gradient from the pulled values, computed in a
+    /// *compacted* index space so no dense m-sized buffer is ever built
+    /// (this is what lets sparse-pull engines scale to huge m).
+    fn sparse_model_grad(&mut self, t: u64, pulled: &SparseGrad) -> (SparseGrad, f64) {
+        let (bt, batch) = self
+            .pending_batch
+            .take()
+            .expect("SparseModelGrad without a preceding RequestIndices");
+        assert_eq!(bt, t, "pull reply for a different iteration");
+
+        // Compact params: slot i ↔ global index pulled.indices[i].
+        let widths = self.cfg.model.widths();
+        let n = pulled.indices.len();
+        let mut compact = ParamSet::zeros(n, &widths);
+        for (slot, _) in pulled.indices.iter().enumerate() {
+            for (b, &w) in widths.iter().enumerate() {
+                for f in 0..w {
+                    compact.blocks[b][slot * w + f] = pulled.blocks[b][slot * w + f];
+                }
+            }
+        }
+        // Remap the batch into compact slots.
+        let mut compact_batch = CsrMatrix::new();
+        for (label, idx, val) in batch.iter_rows() {
+            let mut slots = Vec::with_capacity(idx.len());
+            let mut vals = Vec::with_capacity(val.len());
+            for (&j, &x) in idx.iter().zip(val) {
+                let slot = pulled
+                    .indices
+                    .binary_search(&j)
+                    .expect("pull covers every batch index");
+                slots.push(slot as u64);
+                vals.push(x);
+            }
+            compact_batch.push_raw_row(label, &slots, &vals);
+        }
+        let (grad_c, loss) = grad_and_loss(self.cfg.model, &compact, &compact_batch);
+        // Map gradient indices back to the global space.
+        let grad = SparseGrad {
+            indices: grad_c
+                .indices
+                .iter()
+                .map(|&s| pulled.indices[s as usize])
+                .collect(),
+            blocks: grad_c.blocks,
+            widths: grad_c.widths,
+        };
+        (grad, loss)
+    }
+
+    /// MLlib*: one local mini-batch step on the replica, returning the
+    /// pre-update batch loss.
+    fn local_step(&mut self, t: u64) -> f64 {
+        let batch = self.sample_batch(t);
+        let share = batch.nrows();
+        let (params, opt) = self.replica.as_mut().expect("MLlib* replica initialized");
+        let mut stats = Vec::new();
+        self.cfg.model.compute_stats(params, &batch, &mut stats);
+        let loss = self.cfg.model.loss_from_stats(batch.labels(), &stats);
+        self.cfg
+            .model
+            .update_from_stats(params, opt, &batch, &stats, &self.cfg.update, share);
+        loss
+    }
+
+    /// MLlib*: ring AllReduce over the flattened replica, then divide by K
+    /// (model averaging). Blocks on the endpoint until the ring completes.
+    ///
+    /// `early` buffers RingChunk messages that raced ahead of this
+    /// worker's own `LocalStep` (the master→worker and worker→worker links
+    /// are independently FIFO, so a fast predecessor can start the ring
+    /// before a slow successor has even seen the step request).
+    fn ring_average(&mut self, ep: &Endpoint<RowMsg>, early: &mut std::collections::VecDeque<(u8, u32, Vec<f64>)>) {
+        let k = self.k;
+        if k == 1 {
+            return;
+        }
+        let (params, _) = self.replica.as_mut().expect("replica");
+        // Flatten all blocks into one buffer.
+        let mut flat: Vec<f64> = params
+            .blocks
+            .iter()
+            .flat_map(|b| b.as_slice().iter().copied())
+            .collect();
+        let bounds = chunk_bounds(flat.len(), k);
+        let next = NodeId::Worker((self.id + 1) % k);
+
+        let mut recv_chunk = |expect_phase: u8, expect_step: u32| -> Vec<f64> {
+            if let Some((phase, step, data)) = early.pop_front() {
+                assert_eq!(
+                    (phase, step),
+                    (expect_phase, expect_step),
+                    "buffered ring chunk out of order"
+                );
+                return data;
+            }
+            let env = ep.recv().expect("ring recv");
+            match env.payload {
+                RowMsg::RingChunk { phase, step, data } => {
+                    assert_eq!(
+                        (phase, step),
+                        (expect_phase, expect_step),
+                        "ring protocol out of order"
+                    );
+                    data
+                }
+                other => panic!("unexpected message during ring: {other:?}"),
+            }
+        };
+
+        // Phase 0: reduce-scatter.
+        for step in 0..k - 1 {
+            let send_chunk = (self.id + k - step) % k;
+            let (lo, hi) = bounds[send_chunk];
+            ep.send(
+                next,
+                RowMsg::RingChunk {
+                    phase: 0,
+                    step: step as u32,
+                    data: flat[lo..hi].to_vec(),
+                },
+            )
+            .expect("ring send");
+            let incoming = recv_chunk(0, step as u32);
+            let recv_id = (self.id + k - step - 1) % k;
+            let (lo, hi) = bounds[recv_id];
+            for (dst, src) in flat[lo..hi].iter_mut().zip(&incoming) {
+                *dst += src;
+            }
+        }
+        // Phase 1: all-gather.
+        for step in 0..k - 1 {
+            let send_chunk = (self.id + 1 + k - step) % k;
+            let (lo, hi) = bounds[send_chunk];
+            ep.send(
+                next,
+                RowMsg::RingChunk {
+                    phase: 1,
+                    step: step as u32,
+                    data: flat[lo..hi].to_vec(),
+                },
+            )
+            .expect("ring send");
+            let incoming = recv_chunk(1, step as u32);
+            let recv_id = (self.id + k - step) % k;
+            let (lo, hi) = bounds[recv_id];
+            flat[lo..hi].copy_from_slice(&incoming);
+        }
+
+        // Unflatten, averaging by K.
+        let inv_k = 1.0 / k as f64;
+        let mut off = 0;
+        for b in &mut params.blocks {
+            for v in b.as_mut_slice() {
+                *v = flat[off] * inv_k;
+                off += 1;
+            }
+        }
+    }
+}
+
+/// The RowSGD worker mailbox loop.
+pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: RowSgdConfig) {
+    let replica = if cfg.variant == RowSgdVariant::MLlibStar {
+        let params = cfg.model.init_params(dim as usize, cfg.seed, |s| s as u64);
+        let opt = OptimizerState::for_params(cfg.optimizer, &params);
+        Some((params, opt))
+    } else {
+        None
+    };
+    let mut w = RowWorker {
+        id,
+        k,
+        dim,
+        cfg,
+        rows: Vec::new(),
+        replica,
+        pending_batch: None,
+    };
+    let _ = w.dim;
+    // Ring chunks that raced ahead of this worker's LocalStep.
+    let mut early_chunks: std::collections::VecDeque<(u8, u32, Vec<f64>)> =
+        std::collections::VecDeque::new();
+
+    loop {
+        let env = match ep.recv() {
+            Ok(env) => env,
+            Err(_) => return,
+        };
+        match env.payload {
+            RowMsg::LoadRows(csr) => {
+                w.rows = (0..csr.nrows())
+                    .map(|r| (csr.label(r), csr.row_vector(r)))
+                    .collect();
+                ep.send(NodeId::Master, RowMsg::LoadAck { worker: id })
+                    .expect("load ack");
+            }
+            RowMsg::FullModelGrad { iteration, params } => {
+                let start = Instant::now();
+                let (grad, loss) = w.dense_model_grad(iteration, &params);
+                let compute_s = start.elapsed().as_secs_f64();
+                let is_ps = !w.cfg.variant.is_spark();
+                let reply = match w.cfg.variant {
+                    RowSgdVariant::MLlib => {
+                        // MLlib materializes dense gradients (treeAggregate).
+                        let mut dense = ParamSet::zeros(w.dim as usize, &w.cfg.model.widths());
+                        scatter_grad(&grad, &mut dense);
+                        RowMsg::GradReplyDense {
+                            iteration,
+                            worker: id,
+                            grad: dense,
+                            loss,
+                            compute_s,
+                        }
+                    }
+                    _ => RowMsg::GradReplySparse {
+                        iteration,
+                        worker: id,
+                        grad,
+                        loss,
+                        compute_s,
+                    },
+                };
+                if is_ps {
+                    // PS push: bytes are metered per server link by the
+                    // engine; the physical hop to the driver is a courier.
+                    ep.router()
+                        .send_unmetered(ep.id(), NodeId::Master, reply)
+                        .expect("grad reply");
+                } else {
+                    ep.send(NodeId::Master, reply).expect("grad reply");
+                }
+            }
+            RowMsg::RequestIndices { iteration } => {
+                let start = Instant::now();
+                let indices = w.batch_indices(iteration);
+                ep.router()
+                    .send_unmetered(
+                        ep.id(),
+                        NodeId::Master,
+                        RowMsg::IndicesReply {
+                            iteration,
+                            worker: id,
+                            indices,
+                            compute_s: start.elapsed().as_secs_f64(),
+                        },
+                    )
+                    .expect("indices reply");
+            }
+            RowMsg::SparseModelGrad { iteration, values } => {
+                let start = Instant::now();
+                let (grad, loss) = w.sparse_model_grad(iteration, &values);
+                ep.router()
+                    .send_unmetered(
+                        ep.id(),
+                        NodeId::Master,
+                        RowMsg::GradReplySparse {
+                            iteration,
+                            worker: id,
+                            grad,
+                            loss,
+                            compute_s: start.elapsed().as_secs_f64(),
+                        },
+                    )
+                    .expect("grad reply");
+            }
+            RowMsg::LocalStep { iteration } => {
+                // Measure only local compute; the ring's communication is
+                // priced analytically by the engine (waiting on chunks is
+                // not compute).
+                let start = Instant::now();
+                let loss = w.local_step(iteration);
+                let compute_s = start.elapsed().as_secs_f64();
+                w.ring_average(&ep, &mut early_chunks);
+                ep.send(
+                    NodeId::Master,
+                    RowMsg::StepDone {
+                        iteration,
+                        worker: id,
+                        loss,
+                        compute_s,
+                    },
+                )
+                .expect("step done");
+            }
+            RowMsg::FetchModel => {
+                let params = w
+                    .replica
+                    .as_ref()
+                    .map(|(p, _)| p.clone())
+                    .unwrap_or_default();
+                ep.send(NodeId::Master, RowMsg::ModelReply { worker: id, params })
+                    .expect("model reply");
+            }
+            RowMsg::Shutdown => return,
+            // A predecessor's ring chunk can arrive before this worker's
+            // LocalStep; buffer it for the upcoming ring.
+            RowMsg::RingChunk { phase, step, data } => {
+                early_chunks.push_back((phase, step, data));
+            }
+            other => panic!("worker {id} received unexpected message {other:?}"),
+        }
+    }
+}
+
+/// Scatters a sparse gradient into dense blocks (MLlib's representation).
+pub fn scatter_grad(grad: &SparseGrad, dense: &mut ParamSet) {
+    for (pos, &j) in grad.indices.iter().enumerate() {
+        let j = j as usize;
+        for (b, &w) in grad.widths.iter().enumerate() {
+            for f in 0..w {
+                dense.blocks[b][j * w + f] += grad.blocks[b][pos * w + f];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnsgd_ml::ModelSpec;
+
+    #[test]
+    fn grad_and_loss_consistent_with_row_gradient() {
+        let spec = ModelSpec::Lr;
+        let params = spec.init_params(10, 0, |s| s as u64);
+        let batch = CsrMatrix::from_rows(&[
+            (1.0, SparseVector::from_pairs(vec![(0, 1.0), (3, 2.0)])),
+            (-1.0, SparseVector::from_pairs(vec![(5, 1.0)])),
+        ]);
+        let (g1, loss) = grad_and_loss(spec, &params, &batch);
+        let g2 = spec.row_gradient(&params, &batch);
+        assert_eq!(g1, g2);
+        assert!((loss - std::f64::consts::LN_2).abs() < 1e-12); // zero model
+    }
+
+    #[test]
+    fn scatter_grad_places_values() {
+        let grad = SparseGrad {
+            indices: vec![1, 3],
+            blocks: vec![vec![10.0, 30.0]],
+            widths: vec![1],
+        };
+        let mut dense = ParamSet::zeros(5, &[1]);
+        scatter_grad(&grad, &mut dense);
+        assert_eq!(dense.blocks[0].as_slice(), &[0.0, 10.0, 0.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_grad_multiblock() {
+        let grad = SparseGrad {
+            indices: vec![2],
+            blocks: vec![vec![1.0], vec![5.0, 6.0]],
+            widths: vec![1, 2],
+        };
+        let mut dense = ParamSet::zeros(3, &[1, 2]);
+        scatter_grad(&grad, &mut dense);
+        assert_eq!(dense.blocks[0].as_slice(), &[0.0, 0.0, 1.0]);
+        assert_eq!(dense.blocks[1].as_slice(), &[0.0, 0.0, 0.0, 0.0, 5.0, 6.0]);
+    }
+}

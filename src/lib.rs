@@ -1,0 +1,2 @@
+// facade re-export, see crates/columnsgd
+pub use columnsgd::*;

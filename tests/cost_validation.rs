@@ -1,0 +1,127 @@
+//! Cross-validation of the analytic cost model (Table I) against the
+//! engines' *metered* traffic — the reproduction's accounting must agree
+//! with the paper's closed forms.
+
+use columnsgd::cluster::{FailurePlan, NetworkModel, NodeId};
+use columnsgd::costmodel::{self, Workload};
+use columnsgd::data::synth;
+use columnsgd::ml::ModelSpec;
+use columnsgd::prelude::*;
+
+const ITERS: u64 = 8;
+
+fn workload(ds: &columnsgd::data::Dataset, b: usize, k: usize) -> Workload {
+    let m = ds.dimension();
+    let rho = 1.0 - ds.avg_nnz() / m as f64;
+    Workload::glm(m, b, k, rho, ds.len() as u64)
+}
+
+/// ColumnSGD metered traffic ≈ the Table I column (payload = units × 8
+/// bytes; headers bounded by 2×).
+#[test]
+fn columnsgd_traffic_matches_analytic() {
+    let ds = synth::small_test_dataset(2_000, 5_000, 1);
+    let (b, k) = (200usize, 4usize);
+    let w = workload(&ds, b, k);
+    let analytic = costmodel::columnsgd(&w);
+
+    let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+        .with_batch_size(b)
+        .with_iterations(ITERS);
+    let mut e = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none());
+    e.traffic().reset();
+    let _ = e.train();
+
+    let master = e.traffic().touching(NodeId::Master).bytes as f64 / ITERS as f64;
+    let worker = e.traffic().touching(NodeId::Worker(0)).bytes as f64 / ITERS as f64;
+    let expect_master = analytic.master_comm * 8.0;
+    let expect_worker = analytic.worker_comm * 8.0;
+    assert!(
+        master >= expect_master && master < 2.0 * expect_master,
+        "master {master} vs analytic {expect_master}"
+    );
+    assert!(
+        worker >= expect_worker && worker < 2.0 * expect_worker,
+        "worker {worker} vs analytic {expect_worker}"
+    );
+}
+
+/// MLlib (dense-pull) metered traffic ≈ the dense-pull closed form.
+#[test]
+fn mllib_traffic_matches_dense_pull_analytic() {
+    let ds = synth::small_test_dataset(2_000, 5_000, 2);
+    let (b, k) = (200usize, 4usize);
+    let w = workload(&ds, b, k);
+    // MLlib pushes *dense* gradients, so both directions carry m units.
+    let expect_master = (2 * k as u64 * ds.dimension() * 8) as f64;
+
+    let cfg = RowSgdConfig::new(ModelSpec::Lr, RowSgdVariant::MLlib)
+        .with_batch_size(b)
+        .with_iterations(ITERS);
+    let mut e = RowSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT);
+    e.traffic().reset();
+    let _ = e.train();
+    let master = e.traffic().touching(NodeId::Master).bytes as f64 / ITERS as f64;
+    assert!(
+        master >= expect_master && master < 1.2 * expect_master,
+        "MLlib master {master} vs analytic {expect_master}"
+    );
+    let _ = w;
+}
+
+/// Sparse-pull (MXNet) per-iteration traffic is bounded by the Table I
+/// sparse RowSGD form: 2·mφ₁-ish per worker (plus indices).
+#[test]
+fn ps_sparse_traffic_bounded_by_table1() {
+    let ds = synth::small_test_dataset(2_000, 5_000, 3);
+    let (b, k) = (200usize, 4usize);
+    let w = workload(&ds, b, k);
+    let analytic = costmodel::rowsgd(&w);
+
+    let cfg = RowSgdConfig::new(ModelSpec::Lr, RowSgdVariant::PsSparse)
+        .with_batch_size(b)
+        .with_iterations(ITERS);
+    let mut e = RowSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT);
+    e.traffic().reset();
+    let _ = e.train();
+
+    // Sum over all server links touching worker 0.
+    let w0 = e.traffic().touching(NodeId::Worker(0)).bytes as f64 / ITERS as f64;
+    // Table I counts value units; the wire also carries 8-byte indices per
+    // key (pull request + keyed values + keyed gradients ⇒ ≤ 3 extra units
+    // per value unit) plus envelopes.
+    let upper = analytic.worker_comm * 8.0 * 4.0 + 4096.0;
+    assert!(
+        w0 > 0.0 && w0 < upper,
+        "worker0 sparse traffic {w0} vs upper bound {upper}"
+    );
+}
+
+/// The headline Table I contrast, measured: ColumnSGD's per-iteration
+/// traffic is independent of m; MLlib's grows linearly.
+#[test]
+fn measured_scaling_contrast() {
+    let measure = |dim: u64, column: bool| {
+        let ds = synth::small_test_dataset(1_000, dim, 4);
+        if column {
+            let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+                .with_batch_size(100)
+                .with_iterations(4);
+            let mut e =
+                ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
+            e.traffic().reset();
+            let _ = e.train();
+            e.traffic().total().bytes
+        } else {
+            let cfg = RowSgdConfig::new(ModelSpec::Lr, RowSgdVariant::MLlib)
+                .with_batch_size(100)
+                .with_iterations(4);
+            let mut e = RowSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT);
+            e.traffic().reset();
+            let _ = e.train();
+            e.traffic().total().bytes
+        }
+    };
+    assert_eq!(measure(1_000, true), measure(100_000, true));
+    assert!(measure(100_000, false) > 50 * measure(1_000, false));
+}

@@ -1,0 +1,111 @@
+//! Workspace-level end-to-end test: LIBSVM text → dataset → distributed
+//! ColumnSGD training → model extraction → scoring, through the public
+//! facade only.
+
+use std::io::Cursor;
+
+use columnsgd::data::libsvm;
+use columnsgd::ml::serial;
+use columnsgd::prelude::*;
+
+/// Builds LIBSVM text for a linearly separable toy problem.
+fn toy_libsvm(rows: usize) -> String {
+    let mut out = String::new();
+    for i in 0..rows {
+        // Even rows: positive class with features {1, 3}; odd: negative
+        // with {2, 4}; feature 5 is noise shared by both.
+        if i % 2 == 0 {
+            out.push_str(&format!("+1 1:1 3:{} 5:0.5\n", 1 + i % 3));
+        } else {
+            out.push_str(&format!("-1 2:1 4:{} 5:0.5\n", 1 + i % 3));
+        }
+    }
+    out
+}
+
+#[test]
+fn libsvm_to_trained_model() {
+    let text = toy_libsvm(400);
+    let dataset = libsvm::read_binary(Cursor::new(text)).expect("parse");
+    assert_eq!(dataset.len(), 400);
+
+    let config = ColumnSgdConfig::new(ModelSpec::Lr)
+        .with_batch_size(32)
+        .with_iterations(150)
+        .with_learning_rate(1.0)
+        .with_seed(5);
+    let mut engine = ColumnSgdEngine::new(
+        &dataset,
+        3,
+        config,
+        NetworkModel::CLUSTER1,
+        FailurePlan::none(),
+    );
+    let outcome = engine.train();
+    assert!(outcome.curve.final_loss().unwrap() < 0.3);
+
+    let model = engine.collect_model();
+    let rows: Vec<_> = dataset.iter().cloned().collect();
+    let acc = serial::full_accuracy(ModelSpec::Lr, &model, &rows);
+    assert!(acc > 0.95, "separable problem must be solved, got {acc}");
+
+    // Separating structure: positive features up, negative features down.
+    let w = &model.blocks[0];
+    assert!(w[1] > 0.0 && w[3] > 0.0, "positive features: {:?}", w.as_slice());
+    assert!(w[2] < 0.0 && w[4] < 0.0, "negative features: {:?}", w.as_slice());
+}
+
+#[test]
+fn row_and_column_paradigms_agree_on_the_problem() {
+    // Not trajectory equality (they sample batches differently) but both
+    // must solve the same separable problem to high accuracy.
+    let text = toy_libsvm(600);
+    let dataset = libsvm::read_binary(Cursor::new(text)).expect("parse");
+    let rows: Vec<_> = dataset.iter().cloned().collect();
+
+    let mut col = ColumnSgdEngine::new(
+        &dataset,
+        3,
+        ColumnSgdConfig::new(ModelSpec::Svm)
+            .with_batch_size(32)
+            .with_iterations(200)
+            .with_learning_rate(0.5),
+        NetworkModel::INSTANT,
+        FailurePlan::none(),
+    );
+    let _ = col.train();
+    let col_acc = serial::full_accuracy(ModelSpec::Svm, &col.collect_model(), &rows);
+
+    let mut row = RowSgdEngine::new(
+        &dataset,
+        3,
+        RowSgdConfig::new(ModelSpec::Svm, RowSgdVariant::MLlib)
+            .with_batch_size(32)
+            .with_iterations(200)
+            .with_learning_rate(0.5),
+        NetworkModel::INSTANT,
+    );
+    let _ = row.train();
+    let row_acc = serial::full_accuracy(ModelSpec::Svm, &row.collect_model(), &rows);
+
+    assert!(col_acc > 0.95, "ColumnSGD accuracy {col_acc}");
+    assert!(row_acc > 0.95, "RowSGD accuracy {row_acc}");
+}
+
+#[test]
+fn facade_prelude_covers_the_quickstart_surface() {
+    // Compile-time check that the prelude exposes the public API the
+    // examples and README rely on.
+    let _net: NetworkModel = NetworkModel::CLUSTER2;
+    let _plan: FailurePlan = FailurePlan::with_straggler(1.0, 0);
+    let _part: ColumnPartitioner = ColumnPartitioner::round_robin(4);
+    let _spec: ModelSpec = ModelSpec::Fm { factors: 10 };
+    let _opt: OptimizerKind = OptimizerKind::adam();
+    let _reg: Regularizer = Regularizer::L2(0.01);
+    let _up: UpdateParams = UpdateParams::plain(0.1);
+    let _sv: SparseVector = SparseVector::from_pairs(vec![(0, 1.0)]);
+    let _dv: DenseVector = DenseVector::zeros(3);
+    let _cm: CsrMatrix = CsrMatrix::new();
+    let _tr: TrafficStats = TrafficStats::new();
+    let _cl: SimClock = SimClock::new();
+}
