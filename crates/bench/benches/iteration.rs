@@ -18,9 +18,10 @@ fn bench_columnsgd_iteration(c: &mut Criterion) {
                 .with_batch_size(1000)
                 .with_iterations(iters);
             let mut e =
-                ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
+                ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+                    .expect("engine");
             let start = std::time::Instant::now();
-            black_box(e.train());
+            black_box(e.train().expect("train"));
             start.elapsed()
         })
     });

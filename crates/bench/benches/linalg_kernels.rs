@@ -7,7 +7,11 @@ use rand::Rng;
 
 fn random_sparse(dim: u64, nnz: usize, seed: u64) -> SparseVector {
     let mut r = rng::seeded(seed);
-    SparseVector::from_pairs((0..nnz).map(|_| (r.gen_range(0..dim), r.gen::<f64>())).collect())
+    SparseVector::from_pairs(
+        (0..nnz)
+            .map(|_| (r.gen_range(0..dim), r.gen::<f64>()))
+            .collect(),
+    )
 }
 
 fn bench_dot(c: &mut Criterion) {

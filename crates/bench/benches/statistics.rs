@@ -1,9 +1,9 @@
 //! Per-model statistics computation (`computeStat`) and model update
 //! (`updateModel`) — the two worker-side kernels of Algorithm 3.
 
+use columnsgd::data::synth;
 use columnsgd::linalg::CsrMatrix;
 use columnsgd::ml::{ModelSpec, OptimizerKind, OptimizerState, UpdateParams};
-use columnsgd::data::synth;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn batch(rows: usize, dim: u64) -> CsrMatrix {
@@ -35,7 +35,10 @@ fn bench_compute_stats(c: &mut Criterion) {
 fn bench_update_from_stats(c: &mut Criterion) {
     let mut g = c.benchmark_group("update_from_stats");
     let b = batch(1000, 20_000);
-    for (name, spec) in [("lr", ModelSpec::Lr), ("fm10", ModelSpec::Fm { factors: 10 })] {
+    for (name, spec) in [
+        ("lr", ModelSpec::Lr),
+        ("fm10", ModelSpec::Fm { factors: 10 }),
+    ] {
         let mut params = spec.init_params(20_000, 7, |s| s as u64);
         let mut opt = OptimizerState::for_params(OptimizerKind::Sgd, &params);
         let mut stats = Vec::new();

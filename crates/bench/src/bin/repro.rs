@@ -56,7 +56,10 @@ fn run_one(id: &str, scale: f64) {
             eprintln!("warning: could not write JSON for {}: {e}", report.id);
         }
     }
-    eprintln!("<<< {id} finished in {:.1}s\n", start.elapsed().as_secs_f64());
+    eprintln!(
+        "<<< {id} finished in {:.1}s\n",
+        start.elapsed().as_secs_f64()
+    );
 }
 
 fn write_json(report: &columnsgd_bench::Report) -> std::io::Result<()> {
@@ -71,5 +74,9 @@ fn write_json(report: &columnsgd_bench::Report) -> std::io::Result<()> {
         "notes": report.notes,
         "data": report.json,
     });
-    writeln!(f, "{}", serde_json::to_string_pretty(&doc).expect("serializable"))
+    writeln!(
+        f,
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("serializable")
+    )
 }

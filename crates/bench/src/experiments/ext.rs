@@ -33,43 +33,57 @@ pub fn stale(scale: f64) -> Report {
     let mut r = Report::new(
         "ext_stale",
         "Extension: stale statistics under an SL5 straggler (LR, kddb-synth, K=8)",
-        &["mode", "total time s", "s/iter", "final loss", "extra memory"],
+        &[
+            "mode",
+            "total time s",
+            "s/iter",
+            "final loss",
+            "extra memory",
+        ],
     );
     let rows_ref: Vec<_> = ds.iter().cloned().collect();
     let mut out = Vec::new();
-    let mut run = |label: &str, staleness: Option<StaleStats>, backup: usize, straggle: bool, mem: &str| {
-        let mut cfg = ColumnSgdConfig::new(ModelSpec::Lr)
-            .with_batch_size(1000)
-            .with_iterations(iters)
-            .with_learning_rate(0.5)
-            .with_backup(backup);
-        cfg.staleness = staleness;
-        let plan = if straggle {
-            FailurePlan::with_straggler(5.0, 13)
-        } else {
-            FailurePlan::none()
+    let mut run =
+        |label: &str, staleness: Option<StaleStats>, backup: usize, straggle: bool, mem: &str| {
+            let mut cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+                .with_batch_size(1000)
+                .with_iterations(iters)
+                .with_learning_rate(0.5)
+                .with_backup(backup);
+            cfg.staleness = staleness;
+            let plan = if straggle {
+                FailurePlan::with_straggler(5.0, 13)
+            } else {
+                FailurePlan::none()
+            };
+            let mut e =
+                ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, plan).expect("engine");
+            let o = e.train().expect("train");
+            let model = e.collect_model();
+            let loss = columnsgd::ml::serial::full_loss(ModelSpec::Lr, &model, &rows_ref);
+            r.row(vec![
+                label.to_string(),
+                fmt_s(o.clock.elapsed_s()),
+                fmt_s(o.mean_iteration_s(iters as usize)),
+                format!("{loss:.4}"),
+                mem.to_string(),
+            ]);
+            out.push(json!({
+                "mode": label, "total_s": o.clock.elapsed_s(),
+                "s_per_iter": o.mean_iteration_s(iters as usize), "final_loss": loss,
+            }));
         };
-        let mut e = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, plan);
-        let o = e.train();
-        let model = e.collect_model();
-        let loss = columnsgd::ml::serial::full_loss(ModelSpec::Lr, &model, &rows_ref);
-        r.row(vec![
-            label.to_string(),
-            fmt_s(o.clock.elapsed_s()),
-            fmt_s(o.mean_iteration_s(iters as usize)),
-            format!("{loss:.4}"),
-            mem.to_string(),
-        ]);
-        out.push(json!({
-            "mode": label, "total_s": o.clock.elapsed_s(),
-            "s_per_iter": o.mean_iteration_s(iters as usize), "final_loss": loss,
-        }));
-    };
     run("no straggler", None, 0, false, "1x");
     run("synchronous (wait)", None, 0, true, "1x");
     run("backup S=1", None, 1, true, "2x");
     run("stale (drop)", Some(StaleStats::Drop), 0, true, "1x");
-    run("stale (drop+rescale)", Some(StaleStats::DropRescaled), 0, true, "1x");
+    run(
+        "stale (drop+rescale)",
+        Some(StaleStats::DropRescaled),
+        0,
+        true,
+        "1x",
+    );
     r.note("answering §IV-B's open question: dropping the straggler's partial keeps per-iteration time at the no-straggler level WITHOUT backup's 2x memory; rescaling by K/(K-1) recovers most statistical efficiency under round-robin partitioning");
     let mut report = r;
     report.json = json!({ "rows": out, "scale": scale });
@@ -84,7 +98,14 @@ pub fn backup_sweep(scale: f64) -> Report {
     let mut r = Report::new(
         "ext_backup",
         "Extension: backup factor sweep — per-iteration time (s) under stragglers",
-        &["S", "replicas/partition", "memory", "no straggler", "SL1", "SL5"],
+        &[
+            "S",
+            "replicas/partition",
+            "memory",
+            "no straggler",
+            "SL1",
+            "SL5",
+        ],
     );
     let mut out = Vec::new();
     for &s in &[0usize, 1, 3] {
@@ -98,8 +119,9 @@ pub fn backup_sweep(scale: f64) -> Report {
             } else {
                 FailurePlan::none()
             };
-            let mut e = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, plan);
-            e.train().mean_iteration_s(iters as usize)
+            let mut e =
+                ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, plan).expect("engine");
+            e.train().expect("train").mean_iteration_s(iters as usize)
         };
         let (pure, sl1, sl5) = (time(0.0), time(1.0), time(5.0));
         r.row(vec![
@@ -157,8 +179,10 @@ pub fn partition_skew(scale: f64) -> Report {
             let mean = nnz.iter().sum::<usize>() as f64 / k as f64;
             let imbalance = *nnz.iter().max().expect("k > 0") as f64 / mean;
 
-            let mut e = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, FailurePlan::none());
-            let t = e.train().mean_iteration_s(5);
+            let mut e =
+                ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, FailurePlan::none())
+                    .expect("engine");
+            let t = e.train().expect("train").mean_iteration_s(5);
             r.row(vec![
                 format!("{skew}"),
                 format!("{scheme:?}"),
@@ -197,8 +221,9 @@ pub fn optimizers(scale: f64) -> Report {
             .with_iterations(150)
             .with_learning_rate(eta);
         cfg.optimizer = opt;
-        let mut e = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, FailurePlan::none());
-        let o = e.train();
+        let mut e = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, FailurePlan::none())
+            .expect("engine");
+        let o = e.train().expect("train");
         let model = e.collect_model();
         let loss = columnsgd::ml::serial::full_loss(ModelSpec::Lr, &model, &rows_ref);
         let acc = columnsgd::ml::serial::full_accuracy(ModelSpec::Lr, &model, &rows_ref);
@@ -235,9 +260,10 @@ pub fn mlr(scale: f64) -> Report {
             .with_batch_size(1000)
             .with_iterations(150)
             .with_learning_rate(0.5);
-        let mut e = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, FailurePlan::none());
+        let mut e = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, FailurePlan::none())
+            .expect("engine");
         e.traffic().reset();
-        let o = e.train();
+        let o = e.train().expect("train");
         let mb = e.traffic().total().bytes as f64 / 1e6 / 150.0;
         let model = e.collect_model();
         let acc = columnsgd::ml::serial::full_accuracy(spec, &model, &rows_ref);

@@ -1,0 +1,114 @@
+//! **Extension** — chaos sweep: training under seeded random message
+//! drop/duplication/reordering plus spontaneous worker crashes.
+//!
+//! The paper's fault-tolerance story (§X, Figure 13) injects *one*
+//! scripted failure. This extension stress-tests the same detection-based
+//! recovery machinery under continuous, probabilistic chaos at increasing
+//! intensity, and reports what the master *observed*: how many faults it
+//! detected, by which method, and what recovery cost. Same seed ⇒
+//! bit-identical fault pattern, so rows are reproducible.
+
+use columnsgd::cluster::{ChaosSpec, FailurePlan, NetworkModel};
+use columnsgd::core::{ColumnSgdConfig, ColumnSgdEngine, DetectionMethod};
+use columnsgd::data::DatasetPreset;
+use columnsgd::ml::ModelSpec;
+use serde_json::json;
+
+use crate::datasets;
+use crate::report::Report;
+
+/// Chaos intensities swept: (label, wire fault probability, crash
+/// probability per attempt).
+const LEVELS: [(&str, f64, f64); 4] = [
+    ("calm", 0.00, 0.00),
+    ("mild", 0.02, 0.005),
+    ("rough", 0.05, 0.02),
+    ("hostile", 0.10, 0.04),
+];
+
+/// Runs the chaos sweep.
+pub fn run(scale: f64) -> Report {
+    let ds = datasets::build(DatasetPreset::Kdd12, scale * 0.2, 8_000, 83);
+    let iters = 60u64;
+    let mut r = Report::new(
+        "ext_chaos",
+        "Extension: detection-based recovery under chaos (LR, K=4, 60 iterations)",
+        &[
+            "level",
+            "wire p",
+            "crash p",
+            "detections",
+            "err-reply",
+            "panic",
+            "send-fail",
+            "timeout",
+            "retries max",
+            "final loss",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    for (label, wire_p, crash_p) in LEVELS {
+        let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+            .with_batch_size(500)
+            .with_iterations(iters)
+            .with_learning_rate(0.5)
+            .with_seed(83)
+            .with_deadline_ms(300)
+            // At 10% drop each way + 4% crash per attempt, a worker-
+            // iteration fails ~23% of the time; the default budget of 3
+            // would abort with RetriesExhausted roughly every other run.
+            .with_max_task_retries(10);
+        let chaos = ChaosSpec::uniform(101, wire_p, crash_p);
+        let mut e = ColumnSgdEngine::new(
+            &ds,
+            4,
+            cfg,
+            NetworkModel::CLUSTER1,
+            FailurePlan::with_chaos(chaos),
+        )
+        .expect("engine");
+        let out = e.train().expect("training must survive every chaos level");
+        let by = |m: DetectionMethod| out.recovery.iter().filter(|e| e.detection == m).count();
+        let max_attempt = out.recovery.iter().map(|e| e.attempt).max().unwrap_or(0);
+        let loss = out.curve.final_loss().unwrap();
+        r.row(vec![
+            label.to_string(),
+            format!("{wire_p:.2}"),
+            format!("{crash_p:.3}"),
+            out.recovery.len().to_string(),
+            by(DetectionMethod::ErrorReply).to_string(),
+            by(DetectionMethod::PanicReport).to_string(),
+            by(DetectionMethod::SendFailure).to_string(),
+            by(DetectionMethod::Timeout).to_string(),
+            max_attempt.to_string(),
+            format!("{loss:.4}"),
+        ]);
+        rows_json.push(json!({
+            "level": label,
+            "wire_p": wire_p,
+            "crash_p": crash_p,
+            "detections": out.recovery.len(),
+            "final_loss": loss,
+            "events": out.recovery.iter().map(|e| json!({
+                "iteration": e.iteration,
+                "worker": e.worker,
+                "fault": format!("{:?}", e.fault),
+                "detection": format!("{:?}", e.detection),
+                "attempt": e.attempt,
+            })).collect::<Vec<_>>(),
+        }));
+    }
+    r.note(
+        "dropped messages surface as timeouts (master probes, worker alive+loaded ⇒ task re-issued); \
+         crashes surface as panic reports (guarded thread converts the panic to a message) or send \
+         failures; duplicates/reorders are absorbed by per-iteration dedup and never show up here",
+    );
+    r.note("all runs converge to the same neighborhood — recovery re-executes, it does not skip");
+    r.note(
+        "retry budget raised to 10 for the sweep: at the hostile level a worker-iteration fails \
+         ~23% of the time, so the default budget of 3 aborts with TrainError::RetriesExhausted \
+         about every other run — exactly the typed error a production config would surface",
+    );
+    r.json = json!({ "iterations": iters, "seed": 101, "levels": rows_json });
+    r
+}

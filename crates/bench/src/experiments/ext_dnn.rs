@@ -19,7 +19,13 @@ pub fn run(_scale: f64) -> Report {
     let mut r = Report::new(
         "ext_dnn",
         "Extension: ColumnSGD for FC layers (§III-C) — per-iteration cost vs width and input dim",
-        &["input dim m", "hidden", "stats floats/iter", "comm s/iter", "s/iter"],
+        &[
+            "input dim m",
+            "hidden",
+            "stats floats/iter",
+            "comm s/iter",
+            "s/iter",
+        ],
     );
     let mut out = Vec::new();
     let cases: [(u64, Vec<usize>); 5] = [

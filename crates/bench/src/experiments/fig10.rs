@@ -47,9 +47,9 @@ pub fn run() -> Report {
         let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
             .with_batch_size(1000)
             .with_iterations(iters);
-        let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none());
+        let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none()).expect("engine");
         e.traffic().reset();
-        let time = e.train().mean_iteration_s(iters as usize);
+        let time = e.train().expect("train").mean_iteration_s(iters as usize);
         let bytes = e.traffic().total().bytes / iters;
         r.row(vec![dim.to_string(), fmt_s(time), bytes.to_string()]);
         out.push(json!({ "dim": dim, "s_per_iter": time, "bytes_per_iter": bytes }));

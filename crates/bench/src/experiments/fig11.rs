@@ -29,9 +29,9 @@ pub fn run(scale: f64) -> Report {
         // Enough blocks that every machine participates in the dispatch
         // even at K = 40 (the paper's WX corpus has thousands of blocks).
         cfg.block_size = 256;
-        let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none());
+        let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none()).expect("engine");
         let load = e.load_report().sim_time_s;
-        let time = e.train().mean_iteration_s(iters as usize);
+        let time = e.train().expect("train").mean_iteration_s(iters as usize);
         r.row(vec![k.to_string(), fmt_s(load), fmt_s(time)]);
         out.push(json!({ "k": k, "load_s": load, "s_per_iter": time }));
     }

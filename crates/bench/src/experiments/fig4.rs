@@ -24,7 +24,14 @@ pub fn fig4a(scale: f64) -> Report {
     let mut r = Report::new(
         "fig4a",
         "Figure 4(a): SVM on kddb-synth — train loss vs #iterations per batch size",
-        &["batch", "loss@10", "loss@50", "loss@100", "tail stddev", "thrashes"],
+        &[
+            "batch",
+            "loss@10",
+            "loss@50",
+            "loss@100",
+            "tail stddev",
+            "thrashes",
+        ],
     );
     let mut curves = Vec::new();
     for &b in &[10usize, 100, 1_000, 10_000] {
@@ -34,8 +41,9 @@ pub fn fig4a(scale: f64) -> Report {
             .with_learning_rate(0.5)
             .with_seed(7);
         let mut engine =
-            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
-        let out = engine.train();
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+                .expect("engine");
+        let out = engine.train().expect("train");
         let curve = out.curve.smoothed(5);
         let loss_at = |i: usize| curve.points[i.min(curve.points.len() - 1)].loss;
         let thrash = out.curve.thrashes(30, 0.05);
@@ -44,7 +52,13 @@ pub fn fig4a(scale: f64) -> Report {
             format!("{:.4}", loss_at(9)),
             format!("{:.4}", loss_at(49)),
             format!("{:.4}", loss_at(99)),
-            format!("{:.4}", tail_stddev(&out.curve.points.iter().map(|p| p.loss).collect::<Vec<_>>(), 30)),
+            format!(
+                "{:.4}",
+                tail_stddev(
+                    &out.curve.points.iter().map(|p| p.loss).collect::<Vec<_>>(),
+                    30
+                )
+            ),
             thrash.to_string(),
         ]);
         curves.push(json!({
@@ -72,8 +86,9 @@ pub fn fig4b(scale: f64) -> Report {
             .with_iterations(3)
             .with_learning_rate(0.5);
         let mut engine =
-            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, FailurePlan::none());
-        let out = engine.train();
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, FailurePlan::none())
+                .expect("engine");
+        let out = engine.train().expect("train");
         let mean = out.mean_iteration_s(3);
         let comm = out.clock.trace().iter().map(|it| it.comm_s).sum::<f64>() / 3.0;
         r.row(vec![b.to_string(), fmt_s(mean), fmt_s(comm)]);

@@ -26,7 +26,13 @@ pub fn run(scale: f64) -> Report {
     let mut r = Report::new(
         "fig7",
         "Figure 7: time cost of data loading (seconds; Cluster 1, K=8)",
-        &["dataset", "Naive-ColumnSGD", "ColumnSGD", "MLlib", "MLlib-Repartition"],
+        &[
+            "dataset",
+            "Naive-ColumnSGD",
+            "ColumnSGD",
+            "MLlib",
+            "MLlib-Repartition",
+        ],
     );
     let mut out = Vec::new();
     for preset in datasets::MAIN_TRIO {
@@ -34,7 +40,8 @@ pub fn run(scale: f64) -> Report {
         let cfg = ColumnSgdConfig::new(ModelSpec::Lr).with_batch_size(100);
 
         // ColumnSGD: the engine's metered block-based dispatch.
-        let col_engine = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none());
+        let col_engine =
+            ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none()).expect("engine");
         let col = col_engine.load_report();
         drop(col_engine);
 

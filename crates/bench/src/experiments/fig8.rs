@@ -28,7 +28,14 @@ pub fn run(scale: f64) -> Report {
     let mut r = Report::new(
         "fig8",
         "Figure 8: convergence — time (s) to reach the target loss, per system",
-        &["dataset", "model", "system", "final loss", "total time s", "time to target s"],
+        &[
+            "dataset",
+            "model",
+            "system",
+            "final loss",
+            "total time s",
+            "time to target s",
+        ],
     );
     let mut all = Vec::new();
     for preset in datasets::MAIN_TRIO {
@@ -51,8 +58,9 @@ pub fn run(scale: f64) -> Report {
                 .with_iterations(iters)
                 .with_learning_rate(eta)
                 .with_seed(3);
-            let mut engine = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none());
-            curves.push(engine.train().curve);
+            let mut engine =
+                ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none()).expect("engine");
+            curves.push(engine.train().expect("train").curve);
             drop(engine);
 
             // The four RowSGD systems.

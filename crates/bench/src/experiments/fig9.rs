@@ -33,8 +33,8 @@ pub fn run(scale: f64) -> Report {
             } else {
                 FailurePlan::none()
             };
-            let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, plan);
-            e.train().mean_iteration_s(iters as usize)
+            let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, plan).expect("engine");
+            e.train().expect("train").mean_iteration_s(iters as usize)
         };
         let pure = run_one(0, 0.0);
         let backup = run_one(1, 5.0);

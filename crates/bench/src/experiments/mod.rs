@@ -1,6 +1,7 @@
 //! One module per paper table/figure. See DESIGN.md §3 for the index.
 
 pub mod ext;
+pub mod ext_chaos;
 pub mod ext_dnn;
 pub mod fig10;
 pub mod fig11;
@@ -17,10 +18,27 @@ pub mod tables23;
 use crate::Report;
 
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 19] = [
-    "table1", "table2", "table3", "fig4a", "fig4b", "fig7", "fig8", "table4", "table5", "fig9",
-    "fig10", "fig11", "fig13", "ext_stale", "ext_backup", "ext_partition", "ext_optimizer",
-    "ext_mlr", "ext_dnn",
+pub const ALL_IDS: [&str; 20] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig4a",
+    "fig4b",
+    "fig7",
+    "fig8",
+    "table4",
+    "table5",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig13",
+    "ext_stale",
+    "ext_backup",
+    "ext_partition",
+    "ext_optimizer",
+    "ext_mlr",
+    "ext_dnn",
+    "ext_chaos",
 ];
 
 /// Runs one experiment by id at the given feature-dimension scale.
@@ -46,6 +64,7 @@ pub fn run(id: &str, scale: f64) -> Option<Vec<Report>> {
         "ext_optimizer" => vec![ext::optimizers(scale)],
         "ext_mlr" => vec![ext::mlr(scale)],
         "ext_dnn" => vec![ext_dnn::run(scale)],
+        "ext_chaos" => vec![ext_chaos::run(scale)],
         _ => return None,
     };
     Some(reports)

@@ -76,9 +76,10 @@ fn meter_columnsgd() -> (u64, u64, u64, u64) {
     let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
         .with_batch_size(b)
         .with_iterations(iters);
-    let mut engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none());
+    let mut engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none())
+        .expect("engine");
     engine.traffic().reset();
-    let _ = engine.train();
+    let _ = engine.train().expect("train");
     let master = engine.traffic().touching(NodeId::Master).bytes;
     let worker = engine.traffic().touching(NodeId::Worker(0)).bytes;
     let analytic_master = 2 * k as u64 * b as u64 * 8 * iters;

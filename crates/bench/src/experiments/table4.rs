@@ -18,7 +18,15 @@ pub fn run(scale: f64) -> Report {
     let mut r = Report::new(
         "table4",
         "Table IV: per-iteration time (s) of training LR (Cluster 1, B=1000, K=8)",
-        &["dataset", "m (scaled)", "MLlib", "Petuum", "MXNet", "ColumnSGD", "speedup (MLlib/Petuum/MXNet)"],
+        &[
+            "dataset",
+            "m (scaled)",
+            "MLlib",
+            "Petuum",
+            "MXNet",
+            "ColumnSGD",
+            "speedup (MLlib/Petuum/MXNet)",
+        ],
     );
     let mut out = Vec::new();
     for preset in datasets::MAIN_TRIO {
@@ -39,8 +47,8 @@ pub fn run(scale: f64) -> Report {
         let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
             .with_batch_size(b)
             .with_iterations(iters);
-        let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none());
-        let col = e.train().mean_iteration_s(iters as usize);
+        let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none()).expect("engine");
+        let col = e.train().expect("train").mean_iteration_s(iters as usize);
 
         r.row(vec![
             preset.meta().name,

@@ -53,8 +53,8 @@ pub fn run(scale: f64) -> Report {
         let cfg = ColumnSgdConfig::new(spec)
             .with_batch_size(b)
             .with_iterations(iters);
-        let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none());
-        let col = e.train().mean_iteration_s(iters as usize);
+        let mut e = ColumnSgdEngine::new(&ds, k, cfg, net, FailurePlan::none()).expect("engine");
+        let col = e.train().expect("train").mean_iteration_s(iters as usize);
 
         let name = format!("{} (F={})", preset.meta().name, factors);
         r.row(vec![

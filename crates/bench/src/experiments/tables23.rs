@@ -11,7 +11,13 @@ pub fn table2() -> Report {
     let mut r = Report::new(
         "table2",
         "Table II: dataset statistics (generator presets)",
-        &["Dataset", "#Instances", "#Features", "avg nnz/row", "sparsity"],
+        &[
+            "Dataset",
+            "#Instances",
+            "#Features",
+            "avg nnz/row",
+            "sparsity",
+        ],
     );
     let mut items = Vec::new();
     for preset in DatasetPreset::ALL {

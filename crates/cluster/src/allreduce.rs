@@ -13,11 +13,14 @@
 //! engines call it between supersteps, which is exactly when Spark's
 //! barrier would run it), metering every chunk transfer.
 
+use std::time::Duration;
+
 use columnsgd_linalg::DenseVector;
 
 use crate::node::NodeId;
+use crate::router::{Endpoint, NetError};
 use crate::traffic::TrafficStats;
-use crate::wire::ENVELOPE_BYTES;
+use crate::wire::{Wire, ENVELOPE_BYTES};
 
 /// Chunk boundaries: splits `len` into `k` nearly-equal ranges.
 ///
@@ -107,9 +110,107 @@ pub fn ring_allreduce_sum(buffers: &mut [DenseVector], traffic: &TrafficStats) {
     }
 }
 
+/// One chunk transfer in the distributed ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingMsg {
+    /// Global step index, `0..2(k-1)`; guards against stale deliveries.
+    pub step: u64,
+    /// The chunk payload.
+    pub chunk: Vec<f64>,
+}
+
+impl Wire for RingMsg {
+    fn wire_size(&self) -> usize {
+        8 + self.chunk.wire_size()
+    }
+}
+
+/// Ring all-reduce (sum) executed *by* a worker over its [`Endpoint`].
+///
+/// Unlike [`ring_allreduce_sum`], which the driver computes in-memory,
+/// this runs the actual message exchange: each participant sends its
+/// chunk to `rank + 1` and receives from `rank - 1`, step by step, with
+/// every receive bounded by `step_timeout`. A dead successor surfaces as
+/// [`NetError::NodeDown`] on the send; a dead predecessor surfaces as
+/// [`NetError::Timeout`] on the receive — the ring degrades into an
+/// error, never a hang.
+///
+/// On success `buffer` contains the element-wise sum of all `k` inputs.
+///
+/// # Panics
+/// Panics if `rank >= k` or `k == 0`.
+pub fn ring_allreduce_worker(
+    ep: &Endpoint<RingMsg>,
+    rank: usize,
+    k: usize,
+    buffer: &mut DenseVector,
+    step_timeout: Duration,
+) -> Result<(), NetError> {
+    assert!(k > 0, "allreduce needs at least one participant");
+    assert!(rank < k, "rank {rank} out of range for {k} participants");
+    if k == 1 {
+        return Ok(());
+    }
+    let bounds = chunk_bounds(buffer.len(), k);
+    let next = NodeId::Worker((rank + 1) % k);
+    let prev_rank = (rank + k - 1) % k;
+
+    let exchange = |step: u64,
+                    send_chunk: usize,
+                    recv_chunk: usize,
+                    buffer: &mut DenseVector,
+                    reduce: bool|
+     -> Result<(), NetError> {
+        let (lo, hi) = bounds[send_chunk];
+        ep.send(
+            next,
+            RingMsg {
+                step,
+                chunk: buffer.as_slice()[lo..hi].to_vec(),
+            },
+        )?;
+        // Receive the matching-step chunk from the predecessor, skipping
+        // any stale duplicates an unreliable wire may have injected.
+        let msg = loop {
+            let env = ep.recv_timeout(step_timeout)?;
+            if env.from == NodeId::Worker(prev_rank) && env.payload.step == step {
+                break env.payload;
+            }
+        };
+        let (lo, hi) = bounds[recv_chunk];
+        if msg.chunk.len() != hi - lo {
+            return Err(NetError::Disconnected);
+        }
+        let dst = &mut buffer.as_mut_slice()[lo..hi];
+        if reduce {
+            for (d, s) in dst.iter_mut().zip(&msg.chunk) {
+                *d += s;
+            }
+        } else {
+            dst.copy_from_slice(&msg.chunk);
+        }
+        Ok(())
+    };
+
+    // Phase 1: reduce-scatter.
+    for step in 0..k - 1 {
+        let send_chunk = (rank + k - step) % k;
+        let recv_chunk = (rank + k - 1 - step) % k;
+        exchange(step as u64, send_chunk, recv_chunk, buffer, true)?;
+    }
+    // Phase 2: all-gather.
+    for step in 0..k - 1 {
+        let send_chunk = (rank + 1 + k - step) % k;
+        let recv_chunk = (rank + k - step) % k;
+        exchange((k - 1 + step) as u64, send_chunk, recv_chunk, buffer, false)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::Router;
 
     fn check_sum(k: usize, len: usize) {
         let mut buffers: Vec<DenseVector> = (0..k)
@@ -174,5 +275,72 @@ mod tests {
     fn rejects_mismatched_lengths() {
         let mut buffers = vec![DenseVector::zeros(3), DenseVector::zeros(4)];
         ring_allreduce_sum(&mut buffers, &TrafficStats::new());
+    }
+
+    #[test]
+    fn distributed_ring_matches_in_memory() {
+        let k = 4;
+        let len = 10;
+        let ids: Vec<NodeId> = (0..k).map(NodeId::Worker).collect();
+        let traffic = TrafficStats::new();
+        let (_router, eps) = Router::<RingMsg>::new(&ids, traffic.clone());
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ep)| {
+                std::thread::spawn(move || {
+                    let mut buf =
+                        DenseVector::from_vec((0..len).map(|i| (rank * len + i) as f64).collect());
+                    ring_allreduce_worker(&ep, rank, k, &mut buf, Duration::from_secs(5)).unwrap();
+                    buf
+                })
+            })
+            .collect();
+        let expected: Vec<f64> = (0..len)
+            .map(|i| (0..k).map(|w| (w * len + i) as f64).sum())
+            .collect();
+        for h in handles {
+            let buf = h.join().unwrap();
+            for (got, want) in buf.as_slice().iter().zip(&expected) {
+                assert!((got - want).abs() < 1e-9);
+            }
+        }
+        // Same volume as the in-memory version.
+        assert_eq!(traffic.total().messages, (2 * (k - 1) * k) as u64);
+    }
+
+    #[test]
+    fn dead_worker_surfaces_node_down_not_a_hang() {
+        let k = 4;
+        let dead = 2usize;
+        let ids: Vec<NodeId> = (0..k).map(NodeId::Worker).collect();
+        let (_router, eps) = Router::<RingMsg>::new(&ids, TrafficStats::new());
+        // Worker `dead` dies before the collective starts: its endpoint
+        // (and therefore its mailbox) is gone.
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .filter(|&(rank, _)| rank != dead)
+            .map(|(rank, ep)| {
+                std::thread::spawn(move || {
+                    let mut buf = DenseVector::zeros(8);
+                    let res =
+                        ring_allreduce_worker(&ep, rank, k, &mut buf, Duration::from_millis(200));
+                    (rank, res)
+                })
+            })
+            .collect();
+        let mut results = std::collections::HashMap::new();
+        for h in handles {
+            let (rank, res) = h.join().unwrap();
+            results.insert(rank, res);
+        }
+        // The dead worker's predecessor sees NodeDown on its send; the
+        // successor sees Timeout waiting for the chunk. Nobody hangs.
+        assert_eq!(
+            results[&((dead + k - 1) % k)],
+            Err(NetError::NodeDown(NodeId::Worker(dead)))
+        );
+        assert_eq!(results[&((dead + 1) % k)], Err(NetError::Timeout));
     }
 }

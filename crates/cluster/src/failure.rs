@@ -15,6 +15,8 @@ use columnsgd_linalg::rng::{self, DetRng};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::chaos::ChaosSpec;
+
 /// Straggler injection specification.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StragglerSpec {
@@ -72,6 +74,9 @@ pub struct FailurePlan {
     pub straggler: Option<StragglerSpec>,
     /// Scripted failures, in any order.
     pub events: Vec<FailureEvent>,
+    /// Optional seeded probabilistic chaos, applied at the wire by the
+    /// router and at compute-attempt boundaries by the workers.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl FailurePlan {
@@ -84,7 +89,15 @@ impl FailurePlan {
     pub fn with_straggler(level: f64, seed: u64) -> Self {
         Self {
             straggler: Some(StragglerSpec { level, seed }),
-            events: Vec::new(),
+            ..Self::default()
+        }
+    }
+
+    /// A plan with only probabilistic chaos injection.
+    pub fn with_chaos(spec: ChaosSpec) -> Self {
+        Self {
+            chaos: Some(spec),
+            ..Self::default()
         }
     }
 
@@ -95,6 +108,61 @@ impl FailurePlan {
             | FailureEvent::WorkerFailure { iteration: i, .. } => *i == iteration,
         })
     }
+
+    /// Scripted failure events that target `worker`.
+    pub fn events_for(&self, worker: usize) -> impl Iterator<Item = FailureEvent> + '_ {
+        self.events.iter().copied().filter(move |e| match e {
+            FailureEvent::TaskFailure { worker: w, .. }
+            | FailureEvent::WorkerFailure { worker: w, .. } => *w == worker,
+        })
+    }
+
+    /// Checks the plan against a cluster of `k` workers: every scripted
+    /// event must name a worker in `0..k`, and chaos probabilities must be
+    /// valid (each in `[0, 1]`, wire faults summing to at most 1).
+    ///
+    /// Engines call this at construction so a bad plan fails fast with a
+    /// descriptive message instead of silently never firing (or panicking
+    /// deep inside a training loop).
+    pub fn validate(&self, k: usize) -> Result<(), String> {
+        for e in &self.events {
+            let (kind, iteration, worker) = match *e {
+                FailureEvent::TaskFailure { iteration, worker } => {
+                    ("TaskFailure", iteration, worker)
+                }
+                FailureEvent::WorkerFailure { iteration, worker } => {
+                    ("WorkerFailure", iteration, worker)
+                }
+            };
+            if worker >= k {
+                return Err(format!(
+                    "failure plan {kind} at iteration {iteration} names worker {worker}, \
+                     but the cluster has only {k} workers (valid: 0..{k})"
+                ));
+            }
+        }
+        if let Some(c) = &self.chaos {
+            let probs = [
+                ("drop_p", c.drop_p),
+                ("dup_p", c.dup_p),
+                ("delay_p", c.delay_p),
+                ("crash_p", c.crash_p),
+            ];
+            for (name, p) in probs {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos {name} = {p} is not a probability in [0, 1]"));
+                }
+            }
+            let wire_sum = c.drop_p + c.dup_p + c.delay_p;
+            if wire_sum > 1.0 {
+                return Err(format!(
+                    "chaos drop_p + dup_p + delay_p = {wire_sum} exceeds 1; \
+                     the wire faults are mutually exclusive per message"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +171,10 @@ mod tests {
 
     #[test]
     fn straggler_pick_is_deterministic_and_in_range() {
-        let s = StragglerSpec { level: 1.0, seed: 9 };
+        let s = StragglerSpec {
+            level: 1.0,
+            seed: 9,
+        };
         for it in 0..50 {
             let a = s.pick(it, 8);
             let b = s.pick(it, 8);
@@ -114,15 +185,24 @@ mod tests {
 
     #[test]
     fn straggler_moves_around() {
-        let s = StragglerSpec { level: 5.0, seed: 3 };
+        let s = StragglerSpec {
+            level: 5.0,
+            seed: 3,
+        };
         let picks: Vec<usize> = (0..20).map(|it| s.pick(it, 8)).collect();
         let first = picks[0];
-        assert!(picks.iter().any(|&p| p != first), "straggler never moved: {picks:?}");
+        assert!(
+            picks.iter().any(|&p| p != first),
+            "straggler never moved: {picks:?}"
+        );
     }
 
     #[test]
     fn inflate_scales_exactly_one_worker() {
-        let s = StragglerSpec { level: 1.0, seed: 1 };
+        let s = StragglerSpec {
+            level: 1.0,
+            seed: 1,
+        };
         let mut times = vec![1.0; 4];
         let victim = s.inflate(7, &mut times);
         assert_eq!(times[victim], 2.0);
@@ -132,11 +212,17 @@ mod tests {
     #[test]
     fn plan_filters_events_by_iteration() {
         let plan = FailurePlan {
-            straggler: None,
             events: vec![
-                FailureEvent::TaskFailure { iteration: 5, worker: 1 },
-                FailureEvent::WorkerFailure { iteration: 9, worker: 2 },
+                FailureEvent::TaskFailure {
+                    iteration: 5,
+                    worker: 1,
+                },
+                FailureEvent::WorkerFailure {
+                    iteration: 9,
+                    worker: 2,
+                },
             ],
+            ..FailurePlan::default()
         };
         assert_eq!(plan.events_at(5).count(), 1);
         assert_eq!(plan.events_at(6).count(), 0);
@@ -144,11 +230,46 @@ mod tests {
             plan.events_at(9).next(),
             Some(FailureEvent::WorkerFailure { worker: 2, .. })
         ));
+        assert_eq!(plan.events_for(1).count(), 1);
+        assert_eq!(plan.events_for(0).count(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_worker() {
+        let plan = FailurePlan {
+            events: vec![FailureEvent::WorkerFailure {
+                iteration: 3,
+                worker: 4,
+            }],
+            ..FailurePlan::default()
+        };
+        assert!(plan.validate(8).is_ok());
+        let err = plan.validate(4).unwrap_err();
+        assert!(err.contains("worker 4"), "unhelpful message: {err}");
+        assert!(err.contains("4 workers"), "unhelpful message: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_chaos_probabilities() {
+        let plan = FailurePlan::with_chaos(ChaosSpec::uniform(1, 0.5, 0.0));
+        let err = plan.validate(4).unwrap_err();
+        assert!(err.contains("exceeds 1"), "unhelpful message: {err}");
+        let plan = FailurePlan::with_chaos(ChaosSpec {
+            seed: 1,
+            drop_p: -0.1,
+            ..ChaosSpec::default()
+        });
+        assert!(plan.validate(4).is_err());
+        let plan = FailurePlan::with_chaos(ChaosSpec::uniform(1, 0.05, 0.01));
+        assert!(plan.validate(4).is_ok());
     }
 
     #[test]
     fn level5_means_six_times_slower() {
-        let s = StragglerSpec { level: 5.0, seed: 0 };
+        let s = StragglerSpec {
+            level: 5.0,
+            seed: 0,
+        };
         assert_eq!(s.factor(), 6.0);
     }
 }

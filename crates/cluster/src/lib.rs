@@ -37,6 +37,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod allreduce;
+pub mod chaos;
 pub mod clock;
 pub mod failure;
 pub mod netmodel;
@@ -45,10 +46,11 @@ pub mod router;
 pub mod traffic;
 pub mod wire;
 
+pub use chaos::{ChaosSpec, WireFault};
 pub use clock::SimClock;
-pub use failure::{FailurePlan, StragglerSpec};
+pub use failure::{FailureEvent, FailurePlan, StragglerSpec};
 pub use netmodel::NetworkModel;
 pub use node::NodeId;
-pub use router::{Endpoint, Envelope, Router};
+pub use router::{panic_message, spawn_guarded, Endpoint, Envelope, NetError, Router};
 pub use traffic::TrafficStats;
 pub use wire::Wire;

@@ -70,11 +70,21 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut v = vec![NodeId::Server(0), NodeId::Worker(1), NodeId::Master, NodeId::Worker(0)];
+        let mut v = vec![
+            NodeId::Server(0),
+            NodeId::Worker(1),
+            NodeId::Master,
+            NodeId::Worker(0),
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![NodeId::Master, NodeId::Worker(0), NodeId::Worker(1), NodeId::Server(0)]
+            vec![
+                NodeId::Master,
+                NodeId::Worker(0),
+                NodeId::Worker(1),
+                NodeId::Server(0)
+            ]
         );
     }
 }

@@ -5,17 +5,37 @@
 //! [`Router::send`], which meters payload + envelope bytes in the shared
 //! [`TrafficStats`] — nothing can cross a node boundary unmetered, which
 //! is what makes the communication claims of the reproduction checkable.
+//! Metering happens *before* hand-off, so neither the receiver nor the
+//! driver thread can ever observe a delivered message whose bytes are not
+//! yet in the meter.
 //!
 //! Channels are unbounded crossbeam channels; worker nodes typically run
 //! `loop { endpoint.recv() }` on their own OS thread while the master
 //! drives supersteps from the test/bench thread.
+//!
+//! # Fault injection and recovery
+//!
+//! A router can carry a [`ChaosSpec`]: once [`Router::arm_chaos`] is
+//! called, every *data-plane* [`Router::send`] is subject to seeded
+//! drop/duplicate/delay faults. Control-plane traffic (recovery streams,
+//! probes, shutdown) goes through [`Router::send_reliable`], which meters
+//! identically but bypasses injection — mirroring the reliable control
+//! channel of a real scheduler. [`Router::reregister`] replaces a dead
+//! node's mailbox so a respawned worker can rejoin, and [`spawn_guarded`]
+//! converts a worker panic into a failure message to the master instead
+//! of a silently dead thread.
 
 use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
 
+use crate::chaos::{ChaosSpec, WireFault};
 use crate::node::NodeId;
 use crate::traffic::TrafficStats;
 use crate::wire::{Wire, ENVELOPE_BYTES};
@@ -57,11 +77,36 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// Chaos machinery shared by all clones of one router.
+struct ChaosState<M> {
+    spec: ChaosSpec,
+    /// Injection only applies once armed (after the load phase: losing a
+    /// load message would model an HDFS failure, which is outside the
+    /// paper's fault model).
+    armed: AtomicBool,
+    /// Per-link data-plane sequence numbers — the chaos decision
+    /// coordinate. A link's sender is one thread, so the numbering is
+    /// independent of cross-thread interleaving.
+    seq: Mutex<HashMap<(NodeId, NodeId), u64>>,
+    /// Per-link held-back message; released behind the *next* send on the
+    /// same link (reordering).
+    held: Mutex<HashMap<(NodeId, NodeId), Envelope<M>>>,
+}
+
 /// The shared sender table + traffic meter.
-#[derive(Debug)]
 pub struct Router<M> {
-    senders: Arc<HashMap<NodeId, Sender<Envelope<M>>>>,
+    senders: Arc<RwLock<HashMap<NodeId, Sender<Envelope<M>>>>>,
     traffic: TrafficStats,
+    chaos: Option<Arc<ChaosState<M>>>,
+}
+
+impl<M> std::fmt::Debug for Router<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("nodes", &self.senders.read().len())
+            .field("chaos", &self.chaos.as_ref().map(|c| c.spec))
+            .finish()
+    }
 }
 
 // Manual impl: `Router` is clonable regardless of whether `M` is.
@@ -70,8 +115,21 @@ impl<M> Clone for Router<M> {
         Self {
             senders: Arc::clone(&self.senders),
             traffic: self.traffic.clone(),
+            chaos: self.chaos.clone(),
         }
     }
+}
+
+/// Stable 64-bit encoding of a link for chaos decisions.
+fn link_hash(from: NodeId, to: NodeId) -> u64 {
+    let enc = |n: NodeId| -> u64 {
+        match n {
+            NodeId::Master => 0,
+            NodeId::Worker(k) => 1 << 32 | k as u64,
+            NodeId::Server(p) => 2 << 32 | p as u64,
+        }
+    };
+    enc(from).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ enc(to)
 }
 
 impl<M: Wire> Router<M> {
@@ -81,6 +139,16 @@ impl<M: Wire> Router<M> {
     /// # Panics
     /// Panics if `ids` contains duplicates.
     pub fn new(ids: &[NodeId], traffic: TrafficStats) -> (Router<M>, Vec<Endpoint<M>>) {
+        Self::with_chaos(ids, traffic, None)
+    }
+
+    /// Like [`Router::new`] but with optional chaos injection (disarmed
+    /// until [`Router::arm_chaos`] is called).
+    pub fn with_chaos(
+        ids: &[NodeId],
+        traffic: TrafficStats,
+        chaos: Option<ChaosSpec>,
+    ) -> (Router<M>, Vec<Endpoint<M>>) {
         let mut senders = HashMap::with_capacity(ids.len());
         let mut receivers = Vec::with_capacity(ids.len());
         for &id in ids {
@@ -89,8 +157,16 @@ impl<M: Wire> Router<M> {
             receivers.push((id, rx));
         }
         let router = Router {
-            senders: Arc::new(senders),
+            senders: Arc::new(RwLock::new(senders)),
             traffic,
+            chaos: chaos.map(|spec| {
+                Arc::new(ChaosState {
+                    spec,
+                    armed: AtomicBool::new(false),
+                    seq: Mutex::new(HashMap::new()),
+                    held: Mutex::new(HashMap::new()),
+                })
+            }),
         };
         let endpoints = receivers
             .into_iter()
@@ -103,22 +179,128 @@ impl<M: Wire> Router<M> {
         (router, endpoints)
     }
 
+    /// Arms chaos injection (no-op for a router without a [`ChaosSpec`]).
+    /// Called after the load phase so initial data dispatch is never
+    /// injected.
+    pub fn arm_chaos(&self) {
+        if let Some(c) = &self.chaos {
+            c.armed.store(true, Ordering::Release);
+        }
+    }
+
+    /// The chaos spec, if this router injects faults.
+    pub fn chaos_spec(&self) -> Option<ChaosSpec> {
+        self.chaos.as_ref().map(|c| c.spec)
+    }
+
+    /// Replaces `id`'s mailbox with a fresh channel and returns the new
+    /// [`Endpoint`] — the respawn path for a dead worker. Messages queued
+    /// in the old mailbox are lost, exactly like a process restart.
+    ///
+    /// # Panics
+    /// Panics if `id` was never registered.
+    pub fn reregister(&self, id: NodeId) -> Endpoint<M> {
+        let (tx, rx) = unbounded();
+        let mut senders = self.senders.write();
+        assert!(
+            senders.insert(id, tx).is_some(),
+            "cannot reregister unknown node {id}"
+        );
+        drop(senders);
+        // A message held back mid-delay for the dead node belongs to the
+        // lost mailbox; discard it along with everything queued there.
+        if let Some(c) = &self.chaos {
+            c.held.lock().retain(|&(_, to), _| to != id);
+        }
+        Endpoint {
+            id,
+            rx,
+            router: self.clone(),
+        }
+    }
+
+    fn push(&self, env: Envelope<M>) -> Result<(), NetError> {
+        let senders = self.senders.read();
+        let sender = senders.get(&env.to).ok_or(NetError::UnknownNode(env.to))?;
+        let to = env.to;
+        sender.send(env).map_err(|_| NetError::NodeDown(to))
+    }
+
     /// Sends `payload` from `from` to `to`, metering its wire footprint.
+    /// Subject to chaos injection once armed.
     ///
     /// Self-sends (`from == to`) are delivered but **not metered**: local
     /// hand-offs on one machine cross no network, which matters when a
     /// worker dispatches a workset to itself during the row-to-column
     /// transformation.
-    pub fn send(&self, from: NodeId, to: NodeId, payload: M) -> Result<(), NetError> {
-        let sender = self.senders.get(&to).ok_or(NetError::UnknownNode(to))?;
+    ///
+    /// Injected faults are invisible to the sender: a dropped message
+    /// still returns `Ok` — the loss must be *detected* by the receiver's
+    /// deadline — and its bytes are still metered, because it crossed the
+    /// wire. A duplicate is metered twice.
+    pub fn send(&self, from: NodeId, to: NodeId, payload: M) -> Result<(), NetError>
+    where
+        M: Clone,
+    {
         let bytes = payload.wire_size() + ENVELOPE_BYTES;
-        sender
-            .send(Envelope { from, to, payload })
-            .map_err(|_| NetError::NodeDown(to))?;
+        let chaos = self
+            .chaos
+            .as_ref()
+            .filter(|c| from != to && c.spec.is_active() && c.armed.load(Ordering::Acquire));
+        let fault = match chaos {
+            Some(c) => {
+                let seq = {
+                    let mut seqs = c.seq.lock();
+                    let s = seqs.entry((from, to)).or_insert(0);
+                    let cur = *s;
+                    *s += 1;
+                    cur
+                };
+                c.spec.wire_fault(link_hash(from, to), seq)
+            }
+            None => WireFault::Deliver,
+        };
         if from != to {
             self.traffic.record(from, to, bytes);
         }
+        // Any message held back on this link is released by this send
+        // (delivered behind the current message — that is the reordering).
+        let released = chaos.and_then(|c| c.held.lock().remove(&(from, to)));
+        let env = Envelope { from, to, payload };
+        match fault {
+            WireFault::Deliver => self.push(env)?,
+            WireFault::Drop => {
+                // Metered, never enqueued. The sender cannot tell.
+            }
+            WireFault::Duplicate => {
+                if from != to {
+                    self.traffic.record(from, to, bytes);
+                }
+                self.push(env.clone())?;
+                self.push(env)?;
+            }
+            WireFault::Delay => {
+                if let Some(c) = chaos {
+                    c.held.lock().insert((from, to), env);
+                }
+            }
+        }
+        if let Some(held) = released {
+            self.push(held)?;
+        }
         Ok(())
+    }
+
+    /// Sends on the reliable control plane: metered exactly like
+    /// [`Router::send`] but never subject to chaos injection. Use for
+    /// recovery streams, probes, and shutdown — traffic whose loss the
+    /// reliable control channel of a real scheduler would mask.
+    pub fn send_reliable(&self, from: NodeId, to: NodeId, payload: M) -> Result<(), NetError> {
+        let bytes = payload.wire_size() + ENVELOPE_BYTES;
+        if from != to {
+            self.traffic.record(from, to, bytes);
+        }
+        self.push(Envelope { from, to, payload })
     }
 
     /// Delivers `payload` physically but records its bytes on a different
@@ -137,19 +319,15 @@ impl<M: Wire> Router<M> {
         to: NodeId,
         payload: M,
     ) -> Result<(), NetError> {
-        let sender = self.senders.get(&to).ok_or(NetError::UnknownNode(to))?;
         let bytes = payload.wire_size() + ENVELOPE_BYTES;
-        sender
-            .send(Envelope {
-                from: physical_from,
-                to,
-                payload,
-            })
-            .map_err(|_| NetError::NodeDown(to))?;
         if logical_from != to {
             self.traffic.record(logical_from, to, bytes);
         }
-        Ok(())
+        self.push(Envelope {
+            from: physical_from,
+            to,
+            payload,
+        })
     }
 
     /// Delivers `payload` without recording any traffic. Only for payloads
@@ -157,11 +335,7 @@ impl<M: Wire> Router<M> {
     /// logical links (e.g. a model pull that logically arrives from P
     /// parameter servers but is physically one message from the driver).
     pub fn send_unmetered(&self, from: NodeId, to: NodeId, payload: M) -> Result<(), NetError> {
-        let sender = self.senders.get(&to).ok_or(NetError::UnknownNode(to))?;
-        sender
-            .send(Envelope { from, to, payload })
-            .map_err(|_| NetError::NodeDown(to))?;
-        Ok(())
+        self.push(Envelope { from, to, payload })
     }
 
     /// Records traffic on a logical link without a physical delivery (the
@@ -180,7 +354,7 @@ impl<M: Wire> Router<M> {
 
     /// All registered node ids, sorted.
     pub fn nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.senders.keys().copied().collect();
+        let mut v: Vec<NodeId> = self.senders.read().keys().copied().collect();
         v.sort();
         v
     }
@@ -200,9 +374,17 @@ impl<M: Wire> Endpoint<M> {
         self.id
     }
 
-    /// Sends a message from this node.
-    pub fn send(&self, to: NodeId, payload: M) -> Result<(), NetError> {
+    /// Sends a data-plane message from this node (chaos applies).
+    pub fn send(&self, to: NodeId, payload: M) -> Result<(), NetError>
+    where
+        M: Clone,
+    {
         self.router.send(self.id, to, payload)
+    }
+
+    /// Sends a control-plane message from this node (chaos never applies).
+    pub fn send_reliable(&self, to: NodeId, payload: M) -> Result<(), NetError> {
+        self.router.send_reliable(self.id, to, payload)
     }
 
     /// Blocks until a message arrives.
@@ -232,6 +414,64 @@ impl<M: Wire> Endpoint<M> {
     pub fn router(&self) -> &Router<M> {
         &self.router
     }
+}
+
+/// Thread-name prefix marking a panic as supervised: suppressed from
+/// stderr and converted into a failure message instead.
+const GUARDED_PREFIX: &str = "guarded:";
+
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let guarded = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(GUARDED_PREFIX));
+            if !guarded {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Spawns a supervised node thread: runs `body` with the endpoint and, if
+/// the body panics, converts the panic into `on_panic(message)` sent to
+/// the master over the reliable control plane — the "panic → worker
+/// failure" conversion an executor runtime performs in a real cluster.
+/// The panic backtrace is suppressed from stderr.
+///
+/// If the master is already gone the failure notice is silently dropped
+/// (the run is over; nobody is listening).
+pub fn spawn_guarded<M, F, P>(name: String, ep: Endpoint<M>, body: F, on_panic: P) -> JoinHandle<()>
+where
+    M: Wire + Send + 'static,
+    F: FnOnce(Endpoint<M>) + Send + 'static,
+    P: FnOnce(String) -> M + Send + 'static,
+{
+    install_quiet_panic_hook();
+    let id = ep.id();
+    let router = ep.router().clone();
+    std::thread::Builder::new()
+        .name(format!("{GUARDED_PREFIX}{name}"))
+        .spawn(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(ep))) {
+                let info = panic_message(payload.as_ref());
+                let _ = router.send_reliable(id, NodeId::Master, on_panic(info));
+            }
+        })
+        .expect("spawn guarded node thread")
 }
 
 #[cfg(test)]
@@ -330,5 +570,168 @@ mod tests {
     #[should_panic(expected = "duplicate node id")]
     fn duplicate_ids_rejected() {
         let _ = Router::<u64>::new(&[NodeId::Master, NodeId::Master], TrafficStats::new());
+    }
+
+    #[test]
+    fn metering_is_visible_before_delivery() {
+        // The meter must already contain a message's bytes by the time the
+        // receiver can observe it: metering after enqueue would let the
+        // driver read the traffic right after the last expected reply and
+        // undercount.
+        let traffic = TrafficStats::new();
+        let (_router, mut eps) =
+            Router::<u64>::new(&[NodeId::Master, NodeId::Worker(0)], traffic.clone());
+        let w0 = eps.pop().unwrap();
+        let master = eps.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            for i in 0..200u64 {
+                w0.send(NodeId::Master, i).unwrap();
+            }
+        });
+        for i in 0..200u64 {
+            let _ = master.recv().unwrap();
+            let seen = traffic.link(NodeId::Worker(0), NodeId::Master).messages;
+            assert!(seen > i, "meter lags delivery: {seen} < {}", i + 1);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn chaos_drop_is_metered_but_not_delivered() {
+        let spec = ChaosSpec {
+            seed: 1,
+            drop_p: 1.0,
+            ..ChaosSpec::default()
+        };
+        let traffic = TrafficStats::new();
+        let (router, mut eps) = Router::<u64>::with_chaos(
+            &[NodeId::Master, NodeId::Worker(0)],
+            traffic.clone(),
+            Some(spec),
+        );
+        let w0 = eps.pop().unwrap();
+        let _master = eps.pop().unwrap();
+
+        // Disarmed: delivered normally.
+        router.send(NodeId::Master, NodeId::Worker(0), 7).unwrap();
+        assert_eq!(w0.recv().unwrap().payload, 7);
+
+        router.arm_chaos();
+        router.send(NodeId::Master, NodeId::Worker(0), 8).unwrap();
+        assert!(w0.try_recv().is_none(), "dropped message must not arrive");
+        // Both messages metered regardless.
+        assert_eq!(traffic.link(NodeId::Master, NodeId::Worker(0)).messages, 2);
+
+        // The reliable plane bypasses injection.
+        router
+            .send_reliable(NodeId::Master, NodeId::Worker(0), 9)
+            .unwrap();
+        assert_eq!(w0.recv().unwrap().payload, 9);
+        assert_eq!(traffic.link(NodeId::Master, NodeId::Worker(0)).messages, 3);
+    }
+
+    #[test]
+    fn chaos_duplicate_delivers_twice_and_meters_twice() {
+        let spec = ChaosSpec {
+            seed: 1,
+            dup_p: 1.0,
+            ..ChaosSpec::default()
+        };
+        let traffic = TrafficStats::new();
+        let (router, mut eps) = Router::<u64>::with_chaos(
+            &[NodeId::Master, NodeId::Worker(0)],
+            traffic.clone(),
+            Some(spec),
+        );
+        let w0 = eps.pop().unwrap();
+        router.arm_chaos();
+        router.send(NodeId::Master, NodeId::Worker(0), 5).unwrap();
+        assert_eq!(w0.recv().unwrap().payload, 5);
+        assert_eq!(w0.recv().unwrap().payload, 5);
+        assert_eq!(traffic.link(NodeId::Master, NodeId::Worker(0)).messages, 2);
+    }
+
+    #[test]
+    fn chaos_delay_reorders_behind_next_message() {
+        let spec = ChaosSpec {
+            seed: 1,
+            delay_p: 1.0,
+            ..ChaosSpec::default()
+        };
+        let (router, mut eps) = Router::<u64>::with_chaos(
+            &[NodeId::Master, NodeId::Worker(0)],
+            TrafficStats::new(),
+            Some(spec),
+        );
+        let w0 = eps.pop().unwrap();
+        router.arm_chaos();
+        // Every message is delayed: each send holds the new message and
+        // releases the previously held one.
+        router.send(NodeId::Master, NodeId::Worker(0), 1).unwrap();
+        assert!(w0.try_recv().is_none());
+        router.send(NodeId::Master, NodeId::Worker(0), 2).unwrap();
+        assert_eq!(w0.recv().unwrap().payload, 1);
+        router.send(NodeId::Master, NodeId::Worker(0), 3).unwrap();
+        assert_eq!(w0.recv().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn reregister_replaces_a_dead_mailbox() {
+        let (router, mut eps) =
+            Router::<u64>::new(&[NodeId::Master, NodeId::Worker(0)], TrafficStats::new());
+        let w0 = eps.pop().unwrap();
+        let _master = eps.pop().unwrap();
+        drop(w0); // the worker dies
+        assert_eq!(
+            router.send(NodeId::Master, NodeId::Worker(0), 1),
+            Err(NetError::NodeDown(NodeId::Worker(0)))
+        );
+        let w0b = router.reregister(NodeId::Worker(0));
+        router.send(NodeId::Master, NodeId::Worker(0), 2).unwrap();
+        assert_eq!(w0b.recv().unwrap().payload, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reregister unknown node")]
+    fn reregister_unknown_node_rejected() {
+        let (router, _eps) = Router::<u64>::new(&[NodeId::Master], TrafficStats::new());
+        let _ = router.reregister(NodeId::Worker(3));
+    }
+
+    #[test]
+    fn guarded_spawn_converts_panic_to_message() {
+        let (_router, mut eps) =
+            Router::<String>::new(&[NodeId::Master, NodeId::Worker(0)], TrafficStats::new());
+        let w0 = eps.pop().unwrap();
+        let master = eps.pop().unwrap();
+        let h = spawn_guarded(
+            "w0".to_string(),
+            w0,
+            |_ep| panic!("worker exploded"),
+            |info| format!("FAILED: {info}"),
+        );
+        let env = master.recv().unwrap();
+        assert_eq!(env.from, NodeId::Worker(0));
+        assert_eq!(env.payload, "FAILED: worker exploded");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn guarded_spawn_normal_exit_sends_nothing() {
+        let (_router, mut eps) =
+            Router::<String>::new(&[NodeId::Master, NodeId::Worker(0)], TrafficStats::new());
+        let w0 = eps.pop().unwrap();
+        let master = eps.pop().unwrap();
+        let h = spawn_guarded(
+            "w0".to_string(),
+            w0,
+            |ep| {
+                ep.send(NodeId::Master, "done".to_string()).unwrap();
+            },
+            |info| format!("FAILED: {info}"),
+        );
+        assert_eq!(master.recv().unwrap().payload, "done");
+        h.join().unwrap();
+        assert!(master.try_recv().is_none());
     }
 }

@@ -44,7 +44,11 @@ impl TrafficStats {
 
     /// Counters for one directed link.
     pub fn link(&self, from: NodeId, to: NodeId) -> LinkStats {
-        self.inner.lock().get(&(from, to)).copied().unwrap_or_default()
+        self.inner
+            .lock()
+            .get(&(from, to))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Total bytes sent by `node` (sum over outgoing links).
@@ -119,7 +123,10 @@ mod tests {
         let up = t.link(NodeId::Worker(0), NodeId::Master);
         assert_eq!(up.messages, 2);
         assert_eq!(up.bytes, 150);
-        assert_eq!(t.link(NodeId::Master, NodeId::Worker(1)), LinkStats::default());
+        assert_eq!(
+            t.link(NodeId::Master, NodeId::Worker(1)),
+            LinkStats::default()
+        );
     }
 
     #[test]

@@ -46,6 +46,12 @@ impl Wire for bool {
     }
 }
 
+impl Wire for String {
+    fn wire_size(&self) -> usize {
+        8 + self.len()
+    }
+}
+
 impl<T: Wire> Wire for Vec<T> {
     fn wire_size(&self) -> usize {
         8 + self.iter().map(Wire::wire_size).sum::<usize>()

@@ -82,10 +82,12 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| it.next().unwrap_or_else(|| {
-            eprintln!("{name} needs a value");
-            usage()
-        });
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--model" => {
                 let v = value("--model");
@@ -164,8 +166,9 @@ fn main() {
         config,
         NetworkModel::CLUSTER1,
         FailurePlan::none(),
-    );
-    let outcome = engine.train();
+    )
+    .expect("engine");
+    let outcome = engine.train().expect("train");
 
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let model = engine.collect_model();

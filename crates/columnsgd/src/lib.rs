@@ -25,9 +25,10 @@
 //!     .with_iterations(50)
 //!     .with_learning_rate(0.5);
 //! let mut engine = ColumnSgdEngine::new(
-//!     &dataset, 2, config, NetworkModel::CLUSTER1, FailurePlan::none());
+//!     &dataset, 2, config, NetworkModel::CLUSTER1, FailurePlan::none())
+//!     .expect("valid failure plan");
 //!
-//! let outcome = engine.train();
+//! let outcome = engine.train().expect("no unrecoverable failures");
 //! assert!(outcome.curve.final_loss().unwrap() < 0.75);
 //!
 //! // Communication was statistics-only: 2·K·B·8 payload bytes/iteration,
@@ -48,8 +49,10 @@ pub use columnsgd_rowsgd as rowsgd;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use columnsgd_cluster::{FailurePlan, NetworkModel, SimClock, TrafficStats};
-    pub use columnsgd_core::{ColumnSgdConfig, ColumnSgdEngine};
+    pub use columnsgd_cluster::{ChaosSpec, FailurePlan, NetworkModel, SimClock, TrafficStats};
+    pub use columnsgd_core::{
+        ColumnSgdConfig, ColumnSgdEngine, DetectionMethod, FaultKind, RecoveryEvent, TrainError,
+    };
     pub use columnsgd_data::{ColumnPartitioner, Dataset, DatasetPreset, SynthConfig};
     pub use columnsgd_linalg::{CsrMatrix, DenseVector, SparseVector};
     pub use columnsgd_ml::{ModelSpec, OptimizerKind, Regularizer, UpdateParams};

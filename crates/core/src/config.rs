@@ -37,6 +37,15 @@ pub struct ColumnSgdConfig {
     pub backup_s: usize,
     /// Column-partitioning scheme.
     pub scheme: PartitionScheme,
+    /// Maximum re-issues of one iteration's task on one worker before
+    /// training aborts with `TrainError::RetriesExhausted` (Spark's
+    /// `spark.task.maxFailures` analogue; default 3).
+    pub max_task_retries: u64,
+    /// Master receive deadline in wall-clock milliseconds. A reply missing
+    /// past this deadline is *detected* as a failure and classified by
+    /// probing the worker. Generous by default — local compute is
+    /// sub-millisecond, so 2 s only fires when something is actually gone.
+    pub deadline_ms: u64,
     /// **Extension** — stale-statistics mode, probing the question the
     /// paper leaves open (§IV-B: "It is unclear whether ColumnSGD can use
     /// staled statistics (due to stragglers) to update the model without
@@ -74,6 +83,8 @@ impl ColumnSgdConfig {
             block_size: 4096,
             backup_s: 0,
             scheme: PartitionScheme::RoundRobin,
+            max_task_retries: 3,
+            deadline_ms: 2_000,
             staleness: None,
         }
     }
@@ -111,6 +122,18 @@ impl ColumnSgdConfig {
     /// Builder-style stale-statistics mode (extension).
     pub fn with_staleness(mut self, mode: StaleStats) -> Self {
         self.staleness = Some(mode);
+        self
+    }
+
+    /// Builder-style task-retry budget.
+    pub fn with_max_task_retries(mut self, retries: u64) -> Self {
+        self.max_task_retries = retries;
+        self
+    }
+
+    /// Builder-style detection deadline (wall-clock milliseconds).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = ms;
         self
     }
 
@@ -169,12 +192,23 @@ mod tests {
             .with_iterations(10)
             .with_learning_rate(0.5)
             .with_seed(7)
-            .with_backup(1);
+            .with_backup(1)
+            .with_max_task_retries(5)
+            .with_deadline_ms(500);
         assert_eq!(c.batch_size, 64);
         assert_eq!(c.iterations, 10);
         assert_eq!(c.update.learning_rate, 0.5);
         assert_eq!(c.seed, 7);
         assert_eq!(c.backup_s, 1);
+        assert_eq!(c.max_task_retries, 5);
+        assert_eq!(c.deadline_ms, 500);
+    }
+
+    #[test]
+    fn retry_and_deadline_defaults() {
+        let c = ColumnSgdConfig::new(ModelSpec::Lr);
+        assert_eq!(c.max_task_retries, 3);
+        assert_eq!(c.deadline_ms, 2_000);
     }
 
     #[test]
@@ -201,6 +235,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires (S+1)|K")]
     fn rejects_indivisible_groups() {
-        let _ = ColumnSgdConfig::new(ModelSpec::Lr).with_backup(1).num_groups(5);
+        let _ = ColumnSgdConfig::new(ModelSpec::Lr)
+            .with_backup(1)
+            .num_groups(5);
     }
 }

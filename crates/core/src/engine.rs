@@ -1,14 +1,34 @@
 //! The ColumnSGD master/driver: data loading, the BSP training loop,
-//! straggler handling, and fault tolerance.
+//! straggler handling, and detection-based fault tolerance.
+//!
+//! # Reactive fault tolerance
+//!
+//! The master never *interprets* the failure plan during training — faults
+//! are injected at the workers (panics, thrown tasks) and at the wire
+//! (seeded chaos in the router), and the master only learns about them by
+//! **detection**:
+//!
+//! * an explicit error reply (`StatsReply { task_failed: true }`),
+//! * a [`ColMsg::WorkerPanic`] report from the guarded node runtime,
+//! * a send failing because the worker's mailbox is gone, or
+//! * the per-iteration receive deadline expiring, after which the master
+//!   probes the silent worker to classify the fault: alive-and-loaded
+//!   means a lost task (re-issue), anything else means a lost worker
+//!   (respawn and stream the partition reload).
+//!
+//! Every detected-and-recovered fault is logged as a [`RecoveryEvent`] on
+//! the [`TrainOutcome`], so experiments report recovery behaviour from
+//! observed events rather than from the injection script.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use columnsgd_cluster::clock::IterationTime;
-use columnsgd_cluster::failure::FailureEvent;
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
 use columnsgd_cluster::{
-    Endpoint, FailurePlan, NetworkModel, NodeId, Router, SimClock, TrafficStats, Wire,
+    spawn_guarded, Endpoint, Envelope, FailurePlan, NetError, NetworkModel, NodeId, Router,
+    SimClock, TrafficStats, Wire,
 };
 use columnsgd_data::block::Block;
 use columnsgd_data::{Dataset, TwoPhaseIndex};
@@ -17,8 +37,9 @@ use columnsgd_ml::spec::reduce_stats;
 use columnsgd_ml::ParamSet;
 
 use crate::config::ColumnSgdConfig;
+use crate::error::{DetectionMethod, FaultKind, RecoveryEvent, TrainError};
 use crate::msg::ColMsg;
-use crate::worker::run_worker;
+use crate::worker::{run_worker, WorkerScript};
 
 /// Serialization cost charged per shipped object when pricing data loading
 /// (the Figure 7 effect: many small objects are expensive even when their
@@ -45,6 +66,9 @@ pub struct TrainOutcome {
     pub curve: Curve,
     /// The simulated clock (per-iteration breakdown).
     pub clock: SimClock,
+    /// Every fault the master detected and recovered from, in detection
+    /// order.
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 impl TrainOutcome {
@@ -55,15 +79,35 @@ impl TrainOutcome {
     }
 }
 
-/// The ColumnSGD driver: one master endpoint plus K worker threads.
+/// Outcome of probing a silent worker after a deadline expired.
+enum Probed {
+    /// The worker answered the probe.
+    Alive {
+        /// Whether its partitions are loaded (true ⇒ task failure;
+        /// false ⇒ its data is gone and must be reloaded).
+        loaded: bool,
+    },
+    /// No answer (or the probe could not even be sent): the worker is gone.
+    Dead,
+    /// Direct evidence about the worker (a reply or panic report) arrived
+    /// while probing and was buffered; the main loop will resolve it.
+    Deferred,
+}
+
+/// The ColumnSGD driver: one master endpoint plus K supervised worker
+/// threads.
 pub struct ColumnSgdEngine {
     cfg: ColumnSgdConfig,
     k: usize,
     net: NetworkModel,
     plan: FailurePlan,
     master: Endpoint<ColMsg>,
-    handles: Vec<JoinHandle<()>>,
+    router: Router<ColMsg>,
+    handles: Vec<Option<JoinHandle<()>>>,
     traffic: TrafficStats,
+    /// Messages received while waiting for something more specific
+    /// (probe acks, reload acks); drained before the mailbox.
+    pending: VecDeque<Envelope<ColMsg>>,
     /// The master's copy of the blocks (the "HDFS" source): used for the
     /// initial dispatch, worker-failure recovery, and label lookup.
     blocks: Vec<Block>,
@@ -80,39 +124,25 @@ impl ColumnSgdEngine {
     /// Spawns K workers, runs the block-based column dispatch of §IV-A,
     /// and waits for every worker to finish loading.
     ///
+    /// # Errors
+    /// Returns [`TrainError::InvalidPlan`] if the failure plan names
+    /// out-of-range workers or carries invalid chaos probabilities, and
+    /// [`TrainError::LoadFailed`] if loading does not complete.
+    ///
     /// # Panics
     /// Panics if the dataset is empty or the backup factor does not divide
-    /// K.
+    /// K (configuration bugs, not runtime faults).
     pub fn new(
         dataset: &Dataset,
         k: usize,
         cfg: ColumnSgdConfig,
         net: NetworkModel,
         plan: FailurePlan,
-    ) -> Self {
+    ) -> Result<Self, TrainError> {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
-        let _ = cfg.num_groups(k); // validate S | K early
-        let traffic = TrafficStats::new();
-        let mut ids = vec![NodeId::Master];
-        ids.extend((0..k).map(NodeId::Worker));
-        let (_router, mut endpoints): (Router<ColMsg>, Vec<Endpoint<ColMsg>>) =
-            Router::new(&ids, traffic.clone());
-        let master = endpoints.remove(0);
-        let dim = dataset.dimension();
-        let handles = endpoints
-            .into_iter()
-            .enumerate()
-            .map(|(w, ep)| {
-                std::thread::Builder::new()
-                    .name(format!("colsgd-worker{w}"))
-                    .spawn(move || run_worker(ep, w, k, dim, cfg))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-
         let queue = dataset.into_block_queue(cfg.block_size);
         let blocks: Vec<Block> = queue.iter().cloned().collect();
-        Self::spawned(cfg, k, net, plan, master, handles, traffic, blocks, dim)
+        Self::from_blocks(blocks, dataset.dimension(), k, cfg, net, plan)
     }
 
     /// Builds an engine from pre-cut blocks — the streaming loading path:
@@ -121,6 +151,9 @@ impl ColumnSgdEngine {
     ///
     /// `dim` must cover every feature index in the blocks (use the
     /// reader's `dimension_bound` after exhaustion, or a known dimension).
+    ///
+    /// # Errors
+    /// Same contract as [`ColumnSgdEngine::new`].
     pub fn from_blocks(
         blocks: Vec<Block>,
         dim: u64,
@@ -128,26 +161,24 @@ impl ColumnSgdEngine {
         cfg: ColumnSgdConfig,
         net: NetworkModel,
         plan: FailurePlan,
-    ) -> Self {
+    ) -> Result<Self, TrainError> {
         assert!(!blocks.is_empty(), "cannot train on an empty block set");
-        let _ = cfg.num_groups(k);
+        let _ = cfg.num_groups(k); // validate (S+1) | K early
+        plan.validate(k).map_err(TrainError::InvalidPlan)?;
         let traffic = TrafficStats::new();
         let mut ids = vec![NodeId::Master];
         ids.extend((0..k).map(NodeId::Worker));
-        let (_router, mut endpoints): (Router<ColMsg>, Vec<Endpoint<ColMsg>>) =
-            Router::new(&ids, traffic.clone());
+        let (router, mut endpoints): (Router<ColMsg>, Vec<Endpoint<ColMsg>>) =
+            Router::with_chaos(&ids, traffic.clone(), plan.chaos);
         let master = endpoints.remove(0);
         let handles = endpoints
             .into_iter()
             .enumerate()
-            .map(|(w, ep)| {
-                std::thread::Builder::new()
-                    .name(format!("colsgd-worker{w}"))
-                    .spawn(move || run_worker(ep, w, k, dim, cfg))
-                    .expect("spawn worker thread")
-            })
+            .map(|(w, ep)| Some(spawn_worker(ep, w, k, dim, cfg, &plan)))
             .collect();
-        Self::spawned(cfg, k, net, plan, master, handles, traffic, blocks, dim)
+        Self::spawned(
+            cfg, k, net, plan, master, router, handles, traffic, blocks, dim,
+        )
     }
 
     #[allow(clippy::too_many_arguments)] // internal assembly step
@@ -157,11 +188,12 @@ impl ColumnSgdEngine {
         net: NetworkModel,
         plan: FailurePlan,
         master: Endpoint<ColMsg>,
-        handles: Vec<JoinHandle<()>>,
+        router: Router<ColMsg>,
+        handles: Vec<Option<JoinHandle<()>>>,
         traffic: TrafficStats,
         blocks: Vec<Block>,
         dim: u64,
-    ) -> Self {
+    ) -> Result<Self, TrainError> {
         // The master's label lookup indexes blocks by id; both producers
         // (Dataset::into_block_queue and libsvm::BlockReader) emit dense
         // sequential ids, and arbitrary ids would silently misattribute
@@ -173,18 +205,17 @@ impl ColumnSgdEngine {
                 "blocks must carry dense sequential ids (0, 1, …)"
             );
         }
-        let index = TwoPhaseIndex::new(
-            blocks.iter().map(|b| (b.id(), b.nrows())),
-            cfg.seed,
-        );
+        let index = TwoPhaseIndex::new(blocks.iter().map(|b| (b.id(), b.nrows())), cfg.seed);
         let mut engine = Self {
             cfg,
             k,
             net,
             plan,
             master,
+            router,
             handles,
             traffic,
+            pending: VecDeque::new(),
             blocks,
             index,
             dim,
@@ -194,20 +225,42 @@ impl ColumnSgdEngine {
                 sim_time_s: 0.0,
             },
         };
-        engine.load_report = engine.load();
-        engine
+        engine.load_report = engine.load()?;
+        // Chaos only applies from here on: losing a load message would
+        // model an HDFS failure, outside the paper's fault model.
+        engine.router.arm_chaos();
+        Ok(engine)
+    }
+
+    /// The per-receive detection deadline.
+    fn deadline(&self) -> Duration {
+        Duration::from_millis(self.cfg.deadline_ms)
+    }
+
+    /// The (longer) deadline for bulk transfers: loading and reloading
+    /// move whole datasets, not single replies.
+    fn bulk_deadline(&self) -> Duration {
+        Duration::from_millis(self.cfg.deadline_ms.saturating_mul(10))
+    }
+
+    /// Pops a buffered message, or waits up to `deadline` on the mailbox.
+    fn recv_next(&mut self, deadline: Duration) -> Result<Envelope<ColMsg>, NetError> {
+        if let Some(env) = self.pending.pop_front() {
+            return Ok(env);
+        }
+        self.master.recv_timeout(deadline)
     }
 
     /// Runs the block-based dispatch: every block goes to a splitting
     /// worker (round-robin over idle workers), which shuffles CSR worksets
     /// to their owners; then barriers on every worker's LoadAck.
-    fn load(&mut self) -> LoadReport {
+    fn load(&mut self) -> Result<LoadReport, TrainError> {
         self.traffic.reset();
         for (i, block) in self.blocks.iter().enumerate() {
             let splitter = NodeId::Worker(i % self.k);
             self.master
                 .send(splitter, ColMsg::LoadBlock(block.clone()))
-                .expect("block dispatch");
+                .map_err(|e| TrainError::LoadFailed(format!("block dispatch: {e}")))?;
         }
         for w in 0..self.k {
             self.master
@@ -217,26 +270,39 @@ impl ColumnSgdEngine {
                         blocks_total: self.blocks.len(),
                     },
                 )
-                .expect("load done");
+                .map_err(|e| TrainError::LoadFailed(format!("load-done marker: {e}")))?;
         }
+        let deadline = self.bulk_deadline();
         let mut acks = 0;
         let mut reference_layout: Option<Vec<(u64, usize)>> = None;
         while acks < self.k {
-            let env = self.master.recv().expect("load ack");
+            let env = self.recv_next(deadline).map_err(|e| {
+                TrainError::LoadFailed(format!(
+                    "only {acks}/{} workers acknowledged loading: {e}",
+                    self.k
+                ))
+            })?;
             match env.payload {
                 ColMsg::LoadAck { layout, .. } => {
                     // Every partition must expose the identical (block →
                     // rows) layout or two-phase sampling would diverge.
                     match &reference_layout {
                         None => reference_layout = Some(layout),
-                        Some(r) => assert_eq!(r, &layout, "divergent workset layouts"),
+                        Some(r) if r == &layout => {}
+                        Some(_) => {
+                            return Err(TrainError::LoadFailed(
+                                "divergent workset layouts across workers".to_string(),
+                            ))
+                        }
                     }
                     acks += 1;
                 }
-                other => panic!("unexpected message during load: {other:?}"),
+                other => {
+                    eprintln!("master: dropping unexpected {} during load", other.name());
+                }
             }
         }
-        self.price_load()
+        Ok(self.price_load())
     }
 
     /// Prices the metered loading traffic into a simulated makespan.
@@ -287,73 +353,256 @@ impl ColumnSgdEngine {
             .collect()
     }
 
-    /// Runs the full training loop (Algorithm 3) and returns the outcome.
-    pub fn train(&mut self) -> TrainOutcome {
-        let mut clock = SimClock::new();
-        let mut curve = Curve::new("ColumnSGD");
-        let width = self.cfg.model.stats_width();
-        let stats_len = self.cfg.batch_size * width;
+    /// Increments a worker's attempt counter, failing when the retry
+    /// budget (`max_task_retries`) is exhausted.
+    fn bump_attempts(&self, t: u64, w: usize, attempts: &mut [u64]) -> Result<(), TrainError> {
+        attempts[w] += 1;
+        if attempts[w] > self.cfg.max_task_retries {
+            return Err(TrainError::RetriesExhausted {
+                iteration: t,
+                worker: w,
+                attempts: attempts[w],
+            });
+        }
+        Ok(())
+    }
 
-        for t in 0..self.cfg.iterations {
-            // --- scripted failures -------------------------------------
-            let mut fail_task_on: Option<usize> = None;
-            for ev in self.plan.events_at(t).collect::<Vec<_>>() {
-                match ev {
-                    FailureEvent::TaskFailure { worker, .. } => fail_task_on = Some(worker),
-                    FailureEvent::WorkerFailure { worker, .. } => {
-                        let reload_s = self.recover_worker(worker);
-                        clock.charge(reload_s);
+    /// Sends `ComputeStats` to worker `w`. A dead mailbox is a detected
+    /// worker failure: respawn, reload, log, and retry the send.
+    fn issue_compute(
+        &mut self,
+        t: u64,
+        w: usize,
+        attempts: &mut [u64],
+        issued: &Instant,
+        recovery: &mut Vec<RecoveryEvent>,
+        charge: &mut f64,
+    ) -> Result<(), TrainError> {
+        loop {
+            let msg = ColMsg::ComputeStats {
+                iteration: t,
+                batch_size: self.cfg.batch_size,
+                attempt: attempts[w],
+            };
+            if self.master.send(NodeId::Worker(w), msg).is_ok() {
+                return Ok(());
+            }
+            let cost = self.respawn_worker(t, w)?;
+            *charge += cost;
+            recovery.push(RecoveryEvent {
+                iteration: t,
+                worker: w,
+                fault: FaultKind::WorkerFailure,
+                detection: DetectionMethod::SendFailure,
+                detection_latency_s: issued.elapsed().as_secs_f64(),
+                recovery_cost_s: cost,
+                attempt: attempts[w],
+            });
+            self.bump_attempts(t, w, attempts)?;
+        }
+    }
+
+    /// Whether the pending buffer already carries direct evidence about
+    /// worker `w` at iteration `t` (so probing it would be redundant).
+    fn pending_has_evidence(&self, t: u64, w: usize) -> bool {
+        self.pending.iter().any(|env| match &env.payload {
+            ColMsg::StatsReply {
+                iteration, worker, ..
+            }
+            | ColMsg::UpdateAck {
+                iteration, worker, ..
+            } => *iteration == t && *worker == w,
+            ColMsg::WorkerPanic { worker, .. } => *worker == w,
+            _ => false,
+        })
+    }
+
+    /// Probes a silent worker over the reliable control plane to classify
+    /// the missing reply: task failure (alive and loaded) or worker
+    /// failure (unloaded, unreachable, or silent).
+    fn probe_worker(&mut self, t: u64, w: usize) -> Result<Probed, TrainError> {
+        if self
+            .master
+            .send_reliable(NodeId::Worker(w), ColMsg::Probe { iteration: t })
+            .is_err()
+        {
+            return Ok(Probed::Dead);
+        }
+        let wait = self.deadline();
+        let start = Instant::now();
+        loop {
+            let left = wait.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                return Ok(Probed::Dead);
+            }
+            match self.master.recv_timeout(left) {
+                Ok(env) => match &env.payload {
+                    ColMsg::ProbeAck {
+                        worker,
+                        iteration,
+                        loaded,
+                    } if *worker == w && *iteration == t => {
+                        return Ok(Probed::Alive { loaded: *loaded });
                     }
+                    // A stale probe answer from an earlier round: drop.
+                    ColMsg::ProbeAck { .. } => {}
+                    ColMsg::WorkerPanic { worker, .. } if *worker == w => {
+                        self.pending.push_back(env);
+                        return Ok(Probed::Deferred);
+                    }
+                    ColMsg::StatsReply {
+                        iteration, worker, ..
+                    }
+                    | ColMsg::UpdateAck {
+                        iteration, worker, ..
+                    } if *iteration == t && *worker == w => {
+                        // The answer was merely slow; let the main loop
+                        // consume it.
+                        self.pending.push_back(env);
+                        return Ok(Probed::Deferred);
+                    }
+                    _ => self.pending.push_back(env),
+                },
+                Err(NetError::Timeout) => return Ok(Probed::Dead),
+                Err(e) => {
+                    return Err(TrainError::Network {
+                        iteration: t,
+                        source: e,
+                    })
                 }
             }
+        }
+    }
+
+    /// Runs the full training loop (Algorithm 3) and returns the outcome.
+    ///
+    /// # Errors
+    /// Returns [`TrainError::RetriesExhausted`] when one worker's task
+    /// keeps failing past the retry budget, [`TrainError::WorkerLost`]
+    /// when a worker cannot be brought back, and [`TrainError::Network`]
+    /// if the master's own mailbox fails.
+    pub fn train(&mut self) -> Result<TrainOutcome, TrainError> {
+        let mut clock = SimClock::new();
+        let mut curve = Curve::new("ColumnSGD");
+        let mut recovery: Vec<RecoveryEvent> = Vec::new();
+        let width = self.cfg.model.stats_width();
+        let stats_len = self.cfg.batch_size * width;
+        let deadline = self.deadline();
+
+        for t in 0..self.cfg.iterations {
+            let issued = Instant::now();
+            let mut attempts = vec![0u64; self.k];
+            // Simulated seconds spent on detection waits and reloads this
+            // iteration, charged to the clock as pure overhead.
+            let mut charge = 0.0f64;
 
             // --- step 1: computeStatistics -----------------------------
             for w in 0..self.k {
-                self.master
-                    .send(
-                        NodeId::Worker(w),
-                        ColMsg::ComputeStats {
-                            iteration: t,
-                            batch_size: self.cfg.batch_size,
-                            fail_task: fail_task_on == Some(w),
-                        },
-                    )
-                    .expect("compute stats");
+                self.issue_compute(t, w, &mut attempts, &issued, &mut recovery, &mut charge)?;
             }
 
             // --- step 2: gather + reduce -------------------------------
-            let mut partials: HashMap<usize, (Vec<f64>, f64)> = HashMap::new();
+            let mut partials: HashMap<usize, Vec<f64>> = HashMap::new();
             let mut compute_times = vec![0.0f64; self.k];
             while partials.len() < self.k {
-                let env = self.master.recv().expect("stats reply");
-                match env.payload {
-                    ColMsg::StatsReply {
-                        iteration,
-                        worker,
-                        partial,
-                        compute_s,
-                        task_failed,
-                    } => {
-                        debug_assert_eq!(iteration, t);
-                        compute_times[worker] += compute_s;
-                        if task_failed {
-                            // §X task failure: "start a new task … no
-                            // additional work on data loading is required."
-                            self.master
-                                .send(
-                                    NodeId::Worker(worker),
-                                    ColMsg::ComputeStats {
-                                        iteration: t,
-                                        batch_size: self.cfg.batch_size,
-                                        fail_task: false,
-                                    },
-                                )
-                                .expect("task retry");
-                        } else {
-                            partials.insert(worker, (partial, compute_s));
+                match self.recv_next(deadline) {
+                    Ok(env) => match env.payload {
+                        ColMsg::StatsReply {
+                            iteration,
+                            worker,
+                            partial,
+                            compute_s,
+                            task_failed,
+                        } if iteration == t => {
+                            compute_times[worker] += compute_s;
+                            if task_failed {
+                                // §X task failure: "start a new task … no
+                                // additional work on data loading is
+                                // required."
+                                recovery.push(RecoveryEvent {
+                                    iteration: t,
+                                    worker,
+                                    fault: FaultKind::TaskFailure,
+                                    detection: DetectionMethod::ErrorReply,
+                                    detection_latency_s: issued.elapsed().as_secs_f64(),
+                                    recovery_cost_s: 0.0,
+                                    attempt: attempts[worker],
+                                });
+                                self.bump_attempts(t, worker, &mut attempts)?;
+                                self.issue_compute(
+                                    t,
+                                    worker,
+                                    &mut attempts,
+                                    &issued,
+                                    &mut recovery,
+                                    &mut charge,
+                                )?;
+                            } else {
+                                // Duplicates (chaos, redundant re-issues)
+                                // carry identical statistics; keep the
+                                // first.
+                                partials.entry(worker).or_insert(partial);
+                            }
+                        }
+                        // A late reply from an earlier iteration: drop.
+                        ColMsg::StatsReply { .. } => {}
+                        ColMsg::WorkerPanic { worker, .. } => {
+                            let cost = self.respawn_worker(t, worker)?;
+                            charge += cost;
+                            recovery.push(RecoveryEvent {
+                                iteration: t,
+                                worker,
+                                fault: FaultKind::WorkerFailure,
+                                detection: DetectionMethod::PanicReport,
+                                detection_latency_s: issued.elapsed().as_secs_f64(),
+                                recovery_cost_s: cost,
+                                attempt: attempts[worker],
+                            });
+                            self.bump_attempts(t, worker, &mut attempts)?;
+                            // Its model partition was re-initialized; any
+                            // pre-crash partial no longer matches it.
+                            partials.remove(&worker);
+                            self.issue_compute(
+                                t,
+                                worker,
+                                &mut attempts,
+                                &issued,
+                                &mut recovery,
+                                &mut charge,
+                            )?;
+                        }
+                        // Stray control answers from resolved recoveries.
+                        ColMsg::ProbeAck { .. } | ColMsg::UpdateAck { .. } => {}
+                        other => {
+                            eprintln!("master: dropping unexpected {} during gather", other.name());
+                        }
+                    },
+                    Err(NetError::Timeout) => {
+                        // Detection: deadline expired with replies missing.
+                        charge += deadline.as_secs_f64();
+                        let missing: Vec<usize> =
+                            (0..self.k).filter(|w| !partials.contains_key(w)).collect();
+                        for w in missing {
+                            if self.pending_has_evidence(t, w) {
+                                continue;
+                            }
+                            self.recover_silent(
+                                t,
+                                w,
+                                &mut attempts,
+                                &issued,
+                                &mut recovery,
+                                &mut charge,
+                                None,
+                            )?;
                         }
                     }
-                    other => panic!("unexpected message during gather: {other:?}"),
+                    Err(e) => {
+                        return Err(TrainError::Network {
+                            iteration: t,
+                            source: e,
+                        })
+                    }
                 }
             }
 
@@ -384,9 +633,8 @@ impl ColumnSgdEngine {
             let mut stat_phase = 0.0f64;
             let mut counted: Vec<usize> = Vec::with_capacity(self.k);
             for g in 0..groups {
-                let members: Vec<usize> = (g * (self.cfg.backup_s + 1)
-                    ..(g + 1) * (self.cfg.backup_s + 1))
-                    .collect();
+                let members: Vec<usize> =
+                    (g * (self.cfg.backup_s + 1)..(g + 1) * (self.cfg.backup_s + 1)).collect();
                 if let Some((_, v)) = stale_victim {
                     if members == [v] {
                         continue; // abandoned; neither waited for nor counted
@@ -420,7 +668,7 @@ impl ColumnSgdEngine {
                         continue;
                     }
                 }
-                let (partial, _) = partials.get(&rep).expect("group representative replied");
+                let partial = partials.get(&rep).expect("group representative replied");
                 reduce_stats(&mut agg, partial);
             }
             if let Some((crate::config::StaleStats::DropRescaled, _)) = stale_victim {
@@ -439,28 +687,86 @@ impl ColumnSgdEngine {
                 .filter(|&w| stale_victim.is_none_or(|(_, v)| v != w))
                 .collect();
             for &w in &updaters {
-                self.master
-                    .send(
-                        NodeId::Worker(w),
-                        ColMsg::Update {
-                            iteration: t,
-                            stats: agg.clone(),
-                        },
-                    )
-                    .expect("broadcast stats");
+                self.issue_update(
+                    t,
+                    w,
+                    &agg,
+                    &mut attempts,
+                    &issued,
+                    &mut recovery,
+                    &mut charge,
+                )?;
             }
             let mut update_times = vec![0.0f64; self.k];
+            let mut acked = vec![false; self.k];
             let mut acks = 0;
             while acks < updaters.len() {
-                let env = self.master.recv().expect("update ack");
-                match env.payload {
-                    ColMsg::UpdateAck {
-                        worker, compute_s, ..
-                    } => {
-                        update_times[worker] = compute_s;
-                        acks += 1;
+                match self.recv_next(deadline) {
+                    Ok(env) => match env.payload {
+                        ColMsg::UpdateAck {
+                            iteration,
+                            worker,
+                            compute_s,
+                        } if iteration == t => {
+                            if !acked[worker] {
+                                acked[worker] = true;
+                                update_times[worker] = compute_s;
+                                acks += 1;
+                            }
+                        }
+                        // Stale acks, rebuild replies, stray probe answers.
+                        ColMsg::UpdateAck { .. }
+                        | ColMsg::StatsReply { .. }
+                        | ColMsg::ProbeAck { .. } => {}
+                        ColMsg::WorkerPanic { worker, .. } => {
+                            let cost = self.respawn_worker(t, worker)?;
+                            charge += cost;
+                            recovery.push(RecoveryEvent {
+                                iteration: t,
+                                worker,
+                                fault: FaultKind::WorkerFailure,
+                                detection: DetectionMethod::PanicReport,
+                                detection_latency_s: issued.elapsed().as_secs_f64(),
+                                recovery_cost_s: cost,
+                                attempt: attempts[worker],
+                            });
+                            self.bump_attempts(t, worker, &mut attempts)?;
+                            if !acked[worker] {
+                                self.resequence_update(t, worker, &agg, attempts[worker]);
+                            }
+                            // If the ack was already counted, the applied
+                            // update died with the worker — exactly the §X
+                            // data-loss semantics; nothing to re-await.
+                        }
+                        other => {
+                            eprintln!("master: dropping unexpected {} during update", other.name());
+                        }
+                    },
+                    Err(NetError::Timeout) => {
+                        charge += deadline.as_secs_f64();
+                        let silent: Vec<usize> =
+                            updaters.iter().copied().filter(|&w| !acked[w]).collect();
+                        for w in silent {
+                            if self.pending_has_evidence(t, w) {
+                                continue;
+                            }
+                            self.recover_silent(
+                                t,
+                                w,
+                                &mut attempts,
+                                &issued,
+                                &mut recovery,
+                                &mut charge,
+                                Some(&agg),
+                            )?;
+                        }
                     }
-                    other => panic!("unexpected message during update: {other:?}"),
+                    Err(e) => {
+                        return Err(TrainError::Network {
+                            iteration: t,
+                            source: e,
+                        })
+                    }
                 }
             }
             if let (Some(victim), Some(s)) = (straggler, self.plan.straggler) {
@@ -485,16 +791,15 @@ impl ColumnSgdEngine {
             };
 
             // --- pricing -------------------------------------------------
-            let reply_bytes =
-                (ColMsg::StatsReply {
-                    iteration: t,
-                    worker: 0,
-                    partial: vec![0.0; stats_len],
-                    compute_s: 0.0,
-                    task_failed: false,
-                })
-                .wire_size() as u64
-                    + ENVELOPE_BYTES as u64;
+            let reply_bytes = (ColMsg::StatsReply {
+                iteration: t,
+                worker: 0,
+                partial: vec![0.0; stats_len],
+                compute_s: 0.0,
+                task_failed: false,
+            })
+            .wire_size() as u64
+                + ENVELOPE_BYTES as u64;
             let gather_lanes: Vec<u64> = counted.iter().map(|_| reply_bytes).collect();
             let bcast_bytes = (ColMsg::Update {
                 iteration: t,
@@ -505,10 +810,10 @@ impl ColumnSgdEngine {
             let comm = self.net.gather_time(&gather_lanes)
                 + self.net.broadcast_time(bcast_bytes, updaters.len());
 
-            let loss = self
-                .cfg
-                .model
-                .loss_from_stats(&self.batch_labels(t), &agg);
+            let loss = self.cfg.model.loss_from_stats(&self.batch_labels(t), &agg);
+            if charge > 0.0 {
+                clock.charge(charge);
+            }
             clock.record(IterationTime {
                 compute_s: stat_phase + upd_phase,
                 comm_s: comm,
@@ -517,7 +822,116 @@ impl ColumnSgdEngine {
             curve.push(t, clock.elapsed_s(), loss);
         }
 
-        TrainOutcome { curve, clock }
+        Ok(TrainOutcome {
+            curve,
+            clock,
+            recovery,
+        })
+    }
+
+    /// Probe-classify-recover for one silent worker. `agg` is `Some`
+    /// during the update phase (recovery must re-drive the update) and
+    /// `None` during the gather phase (recovery re-issues the task).
+    #[allow(clippy::too_many_arguments)] // iteration-local recovery state
+    fn recover_silent(
+        &mut self,
+        t: u64,
+        w: usize,
+        attempts: &mut [u64],
+        issued: &Instant,
+        recovery: &mut Vec<RecoveryEvent>,
+        charge: &mut f64,
+        agg: Option<&[f64]>,
+    ) -> Result<(), TrainError> {
+        let (fault, cost) = match self.probe_worker(t, w)? {
+            Probed::Deferred => return Ok(()),
+            Probed::Alive { loaded: true } => (FaultKind::TaskFailure, 0.0),
+            Probed::Alive { loaded: false } => {
+                let cost = self.reload_worker(t, w)?;
+                *charge += cost;
+                (FaultKind::WorkerFailure, cost)
+            }
+            Probed::Dead => {
+                let cost = self.respawn_worker(t, w)?;
+                *charge += cost;
+                (FaultKind::WorkerFailure, cost)
+            }
+        };
+        recovery.push(RecoveryEvent {
+            iteration: t,
+            worker: w,
+            fault,
+            detection: DetectionMethod::Timeout,
+            detection_latency_s: issued.elapsed().as_secs_f64(),
+            recovery_cost_s: cost,
+            attempt: attempts[w],
+        });
+        self.bump_attempts(t, w, attempts)?;
+        match agg {
+            None => self.issue_compute(t, w, attempts, issued, recovery, charge)?,
+            Some(agg) => self.resequence_update(t, w, agg, attempts[w]),
+        }
+        Ok(())
+    }
+
+    /// Re-drives worker `w` through iteration `t`'s update: a fresh
+    /// `ComputeStats` (idempotently re-samples the batch; its reply is
+    /// discarded) followed by the `Update`. A worker that already applied
+    /// the update simply re-acks.
+    fn resequence_update(&mut self, t: u64, w: usize, agg: &[f64], attempt: u64) {
+        // Send failures here mean the worker died between the probe and
+        // now; the next deadline round detects and handles it.
+        let _ = self.master.send(
+            NodeId::Worker(w),
+            ColMsg::ComputeStats {
+                iteration: t,
+                batch_size: self.cfg.batch_size,
+                attempt,
+            },
+        );
+        let _ = self.master.send(
+            NodeId::Worker(w),
+            ColMsg::Update {
+                iteration: t,
+                stats: agg.to_vec(),
+            },
+        );
+    }
+
+    /// Sends `Update` to worker `w`; a dead mailbox is detected, the
+    /// worker respawned and re-driven through the iteration.
+    #[allow(clippy::too_many_arguments)] // iteration-local recovery state
+    fn issue_update(
+        &mut self,
+        t: u64,
+        w: usize,
+        agg: &[f64],
+        attempts: &mut [u64],
+        issued: &Instant,
+        recovery: &mut Vec<RecoveryEvent>,
+        charge: &mut f64,
+    ) -> Result<(), TrainError> {
+        let msg = ColMsg::Update {
+            iteration: t,
+            stats: agg.to_vec(),
+        };
+        if self.master.send(NodeId::Worker(w), msg).is_ok() {
+            return Ok(());
+        }
+        let cost = self.respawn_worker(t, w)?;
+        *charge += cost;
+        recovery.push(RecoveryEvent {
+            iteration: t,
+            worker: w,
+            fault: FaultKind::WorkerFailure,
+            detection: DetectionMethod::SendFailure,
+            detection_latency_s: issued.elapsed().as_secs_f64(),
+            recovery_cost_s: cost,
+            attempt: attempts[w],
+        });
+        self.bump_attempts(t, w, attempts)?;
+        self.resequence_update(t, w, agg, attempts[w]);
+        Ok(())
     }
 
     /// Deterministic group representative: the fastest member (ties break
@@ -534,58 +948,132 @@ impl ColumnSgdEngine {
             .expect("nonempty group")
     }
 
-    /// Worker-failure recovery (§X): kill the worker, stream every block
+    /// Brings a dead worker back: replaces its mailbox, joins the dead
+    /// thread, discards its stale panic notice, spawns a fresh supervised
+    /// incarnation, and streams the partition reload. Returns the priced
+    /// reload time.
+    fn respawn_worker(&mut self, t: u64, w: usize) -> Result<f64, TrainError> {
+        // Reregistering first drops the old sender: a live-but-wedged old
+        // incarnation sees its mailbox disconnect and exits, so the join
+        // below cannot hang.
+        let ep = self.router.reregister(NodeId::Worker(w));
+        if let Some(h) = self.handles[w].take() {
+            let _ = h.join();
+        }
+        // The dead thread exited before join returned, so any panic notice
+        // it sent is already queued — drop it, it describes the old
+        // incarnation.
+        let stale = |env: &Envelope<ColMsg>| matches!(&env.payload, ColMsg::WorkerPanic { worker, .. } if *worker == w);
+        self.pending.retain(|env| !stale(env));
+        let mut kept = Vec::new();
+        while let Some(env) = self.master.try_recv() {
+            if !stale(&env) {
+                kept.push(env);
+            }
+        }
+        self.pending.extend(kept);
+
+        self.handles[w] = Some(spawn_worker(ep, w, self.k, self.dim, self.cfg, &self.plan));
+        self.reload_worker(t, w)
+    }
+
+    /// Worker-failure recovery (§X): wipe the worker, stream every block
     /// back to it for re-splitting, and return the priced reload time.
-    fn recover_worker(&mut self, worker: usize) -> f64 {
-        let before = self.traffic.received_by(NodeId::Worker(worker));
-        self.master
-            .send(NodeId::Worker(worker), ColMsg::Die)
-            .expect("kill worker");
+    /// Runs on the reliable control plane — recovery of a fault must not
+    /// itself be chaos-injected, or injection and recovery never converge.
+    fn reload_worker(&mut self, t: u64, w: usize) -> Result<f64, TrainError> {
+        let node = NodeId::Worker(w);
+        let lost = |e: NetError| TrainError::WorkerLost {
+            worker: w,
+            iteration: t,
+            detail: format!("reload stream failed: {e}"),
+        };
+        let before = self.traffic.received_by(node);
+        self.master.send_reliable(node, ColMsg::Die).map_err(lost)?;
         for block in &self.blocks {
             self.master
-                .send(NodeId::Worker(worker), ColMsg::ReloadBlock(block.clone()))
-                .expect("reload block");
+                .send_reliable(node, ColMsg::ReloadBlock(block.clone()))
+                .map_err(lost)?;
         }
         self.master
-            .send(
-                NodeId::Worker(worker),
+            .send_reliable(
+                node,
                 ColMsg::ReloadDone {
                     blocks_total: self.blocks.len(),
                 },
             )
-            .expect("reload done");
-        match self.master.recv().expect("reload ack").payload {
-            ColMsg::ReloadAck { worker: w } if w == worker => {}
-            other => panic!("unexpected message during reload: {other:?}"),
+            .map_err(lost)?;
+        let wait = self.bulk_deadline();
+        let start = Instant::now();
+        loop {
+            let left = wait.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                return Err(TrainError::WorkerLost {
+                    worker: w,
+                    iteration: t,
+                    detail: "reload never acknowledged".to_string(),
+                });
+            }
+            match self.master.recv_timeout(left) {
+                Ok(env) => match &env.payload {
+                    ColMsg::ReloadAck { worker } if *worker == w => break,
+                    // In-flight training traffic from the other workers.
+                    _ => self.pending.push_back(env),
+                },
+                Err(NetError::Timeout) => {
+                    return Err(TrainError::WorkerLost {
+                        worker: w,
+                        iteration: t,
+                        detail: "reload never acknowledged".to_string(),
+                    })
+                }
+                Err(e) => {
+                    return Err(TrainError::Network {
+                        iteration: t,
+                        source: e,
+                    })
+                }
+            }
         }
-        let after = self.traffic.received_by(NodeId::Worker(worker));
+        let after = self.traffic.received_by(node);
         let bytes = after.bytes - before.bytes;
         let objects = after.messages - before.messages;
-        bytes as f64 / self.net.bandwidth_bytes_per_s + objects as f64 * PER_OBJECT_S + self.net.latency_s
+        Ok(bytes as f64 / self.net.bandwidth_bytes_per_s
+            + objects as f64 * PER_OBJECT_S
+            + self.net.latency_s)
     }
 
     /// Gathers every model partition and reassembles the full model —
     /// an inspection path for tests/examples, not part of the paper's
     /// training protocol (ColumnSGD never materializes the full model).
+    /// Runs on the reliable plane so chaos cannot wedge it.
+    ///
+    /// # Panics
+    /// Panics if a worker cannot answer within the bulk deadline — after a
+    /// successful `train()` every worker is alive.
     pub fn collect_model(&mut self) -> ParamSet {
         for w in 0..self.k {
             self.master
-                .send(NodeId::Worker(w), ColMsg::FetchModel)
+                .send_reliable(NodeId::Worker(w), ColMsg::FetchModel)
                 .expect("fetch model");
         }
+        let deadline = self.bulk_deadline();
         let dim = self.dim() as usize;
         let part = self.cfg.partitioner(self.k, self.dim());
         let mut full = self.cfg.model.init_params(dim, self.cfg.seed, |s| s as u64);
         full.reset();
         let widths = self.cfg.model.widths();
         let mut seen = std::collections::HashSet::new();
-        let mut replies = 0;
-        while replies < self.k {
-            let env = self.master.recv().expect("model reply");
-            let ColMsg::ModelReply { parts, .. } = env.payload else {
-                panic!("unexpected message during model fetch");
+        let mut replied = std::collections::HashSet::new();
+        while replied.len() < self.k {
+            let env = self.recv_next(deadline).expect("model reply");
+            let ColMsg::ModelReply { worker, parts } = env.payload else {
+                // Leftover training traffic (stale acks, late replies).
+                continue;
             };
-            replies += 1;
+            if !replied.insert(worker) {
+                continue;
+            }
             for (pid, local) in parts {
                 if !seen.insert(pid) {
                     continue; // replicas carry identical copies
@@ -610,14 +1098,37 @@ impl ColumnSgdEngine {
     }
 }
 
+/// Spawns one supervised worker thread with its slice of the failure plan.
+fn spawn_worker(
+    ep: Endpoint<ColMsg>,
+    w: usize,
+    k: usize,
+    dim: u64,
+    cfg: ColumnSgdConfig,
+    plan: &FailurePlan,
+) -> JoinHandle<()> {
+    let script = WorkerScript::from_plan(plan, w);
+    spawn_guarded(
+        format!("colsgd-worker{w}"),
+        ep,
+        move |ep| run_worker(ep, w, k, dim, cfg, script),
+        move |info| ColMsg::WorkerPanic { worker: w, info },
+    )
+}
+
 impl Drop for ColumnSgdEngine {
     fn drop(&mut self) {
         for w in 0..self.k {
+            // Reliable plane: a chaos-dropped Shutdown would hang the join.
             // Workers may already be gone; ignore errors.
-            let _ = self.master.send(NodeId::Worker(w), ColMsg::Shutdown);
+            let _ = self
+                .master
+                .send_reliable(NodeId::Worker(w), ColMsg::Shutdown);
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        for h in self.handles.iter_mut() {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
         }
     }
 }

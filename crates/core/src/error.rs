@@ -1,0 +1,187 @@
+//! Typed training errors and the recovery-event log.
+//!
+//! The training path never panics on a fault: everything a run can
+//! observe — a task reporting an exception, a missing reply detected by
+//! the master's receive deadline, a worker panic converted by the node
+//! runtime — is classified into a [`RecoveryEvent`] (when recovered) or a
+//! [`TrainError`] (when recovery is impossible or exhausted). The event
+//! log rides on `TrainOutcome`, so experiments like `repro fig13` report
+//! recovery behaviour from *observed* detections rather than from the
+//! injection script.
+
+use columnsgd_cluster::NetError;
+use serde::{Deserialize, Serialize};
+
+/// What failed, as classified by the master after detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A task attempt failed (exception or lost reply); the worker and its
+    /// state survive, the task is re-issued.
+    TaskFailure,
+    /// The worker itself is gone (panic or dead mailbox); its partitions
+    /// are lost and must be reloaded, §X.
+    WorkerFailure,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::TaskFailure => write!(f, "task failure"),
+            FaultKind::WorkerFailure => write!(f, "worker failure"),
+        }
+    }
+}
+
+/// How the master *detected* the fault — the reactive part of reactive
+/// fault tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DetectionMethod {
+    /// The worker replied with an explicit task-failure report.
+    ErrorReply,
+    /// The iteration deadline expired with the reply missing; the worker
+    /// was probed to classify the failure.
+    Timeout,
+    /// The node runtime converted a worker panic into a failure message.
+    PanicReport,
+    /// A send to the worker failed because its mailbox is gone.
+    SendFailure,
+}
+
+impl std::fmt::Display for DetectionMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectionMethod::ErrorReply => write!(f, "error reply"),
+            DetectionMethod::Timeout => write!(f, "deadline timeout"),
+            DetectionMethod::PanicReport => write!(f, "panic report"),
+            DetectionMethod::SendFailure => write!(f, "send failure"),
+        }
+    }
+}
+
+/// One detected-and-recovered fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Iteration during which the fault was detected.
+    pub iteration: u64,
+    /// The worker involved.
+    pub worker: usize,
+    /// Classification after detection.
+    pub fault: FaultKind,
+    /// How the master noticed.
+    pub detection: DetectionMethod,
+    /// Wall-clock seconds from issuing the iteration's tasks to detecting
+    /// this fault (real time; the receive deadline bounds it).
+    pub detection_latency_s: f64,
+    /// Simulated seconds charged to the clock for recovery (reload
+    /// streaming for worker failures, deadline waits for timeouts).
+    pub recovery_cost_s: f64,
+    /// Which attempt failed (0 = the original task).
+    pub attempt: u64,
+}
+
+/// A training run failed in a way recovery could not mask.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The failure plan is inconsistent with the cluster (bad worker ids,
+    /// invalid chaos probabilities).
+    InvalidPlan(String),
+    /// A task kept failing past `max_task_retries`.
+    RetriesExhausted {
+        /// Iteration that could not complete.
+        iteration: u64,
+        /// The worker whose task kept failing.
+        worker: usize,
+        /// Attempts made (original + retries).
+        attempts: u64,
+    },
+    /// A worker could not be brought back (respawn or reload failed).
+    WorkerLost {
+        /// The unrecoverable worker.
+        worker: usize,
+        /// Iteration at which recovery gave up.
+        iteration: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The messaging layer failed in a way that is not a worker fault
+    /// (e.g. the master's own mailbox disconnected).
+    Network {
+        /// Iteration during which the error surfaced.
+        iteration: u64,
+        /// The underlying transport error.
+        source: NetError,
+    },
+    /// Loading never completed within the deadline.
+    LoadFailed(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::InvalidPlan(msg) => write!(f, "invalid failure plan: {msg}"),
+            TrainError::RetriesExhausted {
+                iteration,
+                worker,
+                attempts,
+            } => write!(
+                f,
+                "worker {worker} failed {attempts} attempts at iteration {iteration}; \
+                 retry budget exhausted"
+            ),
+            TrainError::WorkerLost {
+                worker,
+                iteration,
+                detail,
+            } => write!(
+                f,
+                "worker {worker} unrecoverable at iteration {iteration}: {detail}"
+            ),
+            TrainError::Network { iteration, source } => {
+                write!(f, "network failure at iteration {iteration}: {source}")
+            }
+            TrainError::LoadFailed(msg) => write!(f, "data loading failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_helpfully() {
+        let e = TrainError::RetriesExhausted {
+            iteration: 7,
+            worker: 2,
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("worker 2"));
+        assert!(msg.contains("iteration 7"));
+
+        let e = TrainError::Network {
+            iteration: 3,
+            source: NetError::Timeout,
+        };
+        assert!(e.to_string().contains("iteration 3"));
+    }
+
+    #[test]
+    fn recovery_event_is_copy_and_comparable() {
+        let ev = RecoveryEvent {
+            iteration: 5,
+            worker: 1,
+            fault: FaultKind::WorkerFailure,
+            detection: DetectionMethod::PanicReport,
+            detection_latency_s: 0.001,
+            recovery_cost_s: 23.0,
+            attempt: 0,
+        };
+        let copy = ev;
+        assert_eq!(ev, copy);
+        assert_eq!(format!("{}", ev.fault), "worker failure");
+        assert_eq!(format!("{}", ev.detection), "panic report");
+    }
+}

@@ -23,16 +23,20 @@
 //!   replica groups,
 //! * [`engine`]: the master/driver — block-based column dispatch (§IV-A),
 //!   the BSP training loop, straggler recovery via backup computation
-//!   (§IV-B), and the fault-tolerance behaviours of §X.
+//!   (§IV-B), and detection-based recovery from the failures of §X,
+//! * [`error`]: typed training errors ([`TrainError`]) and the
+//!   recovery-event log ([`RecoveryEvent`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod mlp;
 pub mod msg;
 pub mod worker;
 
 pub use config::{ColumnSgdConfig, PartitionScheme};
 pub use engine::{ColumnSgdEngine, LoadReport, TrainOutcome, PER_OBJECT_S};
+pub use error::{DetectionMethod, FaultKind, RecoveryEvent, TrainError};

@@ -87,7 +87,9 @@ impl DistributedMlp {
                     0,
                     // Global identities are the global feature ids, so the
                     // init is partition-invariant.
-                    (0..local_dim).map(|s| part.global_index(w, s) as usize).collect(),
+                    (0..local_dim)
+                        .map(|s| part.global_index(w, s) as usize)
+                        .collect(),
                     dim as usize,
                     outputs[0],
                     cfg.seed,
@@ -133,8 +135,10 @@ impl DistributedMlp {
     fn sync_cost(&self, floats: usize) -> f64 {
         let bytes = (8 * floats + ENVELOPE_BYTES) as u64;
         for w in 0..self.k {
-            self.traffic.record(NodeId::Worker(w), NodeId::Master, bytes as usize);
-            self.traffic.record(NodeId::Master, NodeId::Worker(w), bytes as usize);
+            self.traffic
+                .record(NodeId::Worker(w), NodeId::Master, bytes as usize);
+            self.traffic
+                .record(NodeId::Master, NodeId::Worker(w), bytes as usize);
         }
         self.net.gather_time(&vec![bytes; self.k]) + self.net.broadcast_time(bytes, self.k)
     }
@@ -271,8 +275,7 @@ mod tests {
                 let a = if i % 2 == 0 { 1.0 } else { -1.0 };
                 let bcoord = if (i / 2) % 2 == 0 { 1.0 } else { -1.0 };
                 let y = a * bcoord; // XOR: not linearly separable
-                let mut pairs: Vec<(u64, f64)> =
-                    x.iter().map(|(j, v)| (j + 2, v * 0.01)).collect();
+                let mut pairs: Vec<(u64, f64)> = x.iter().map(|(j, v)| (j + 2, v * 0.01)).collect();
                 pairs.push((0, a));
                 pairs.push((1, bcoord));
                 (y, SparseVector::from_pairs(pairs))
@@ -327,10 +330,7 @@ mod tests {
         for k in [2usize, 3, 4] {
             let dist = run(k);
             for (i, (a, b)) in serial.iter().zip(&dist).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-9,
-                    "K={k} iter {i}: {a} vs {b}"
-                );
+                assert!((a - b).abs() < 1e-9, "K={k} iter {i}: {a} vs {b}");
             }
         }
     }
@@ -370,6 +370,9 @@ mod tests {
         };
         let narrow = measure(8);
         let wide = measure(64);
-        assert!(wide > 4 * narrow, "width must drive traffic: {narrow} vs {wide}");
+        assert!(
+            wide > 4 * narrow,
+            "width must drive traffic: {narrow} vs {wide}"
+        );
     }
 }

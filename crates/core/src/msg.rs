@@ -47,8 +47,10 @@ pub enum ColMsg {
         iteration: u64,
         /// Global batch size B.
         batch_size: usize,
-        /// Failure injection: throw a task exception on the first attempt.
-        fail_task: bool,
+        /// Attempt number (0 = original task, >0 = re-issue after a
+        /// detected failure). Injection scripts key off it so a retried
+        /// task is not doomed to fail forever.
+        attempt: u64,
     },
     /// Worker → master: partial statistics (Algorithm 3 step 2).
     StatsReply {
@@ -106,8 +108,58 @@ pub enum ColMsg {
         /// `(partition id, parameters)` for every held partition.
         parts: Vec<(usize, ParamSet)>,
     },
+    /// Master → worker (reliable): are you alive, and is your data loaded?
+    /// Sent when the iteration deadline expires to classify a missing
+    /// reply as a task failure (alive + loaded) or a worker failure.
+    Probe {
+        /// Iteration the master is trying to complete.
+        iteration: u64,
+    },
+    /// Worker → master (reliable): probe response.
+    ProbeAck {
+        /// Responding worker.
+        worker: usize,
+        /// Echoed iteration tag.
+        iteration: u64,
+        /// Whether the worker's partitions are loaded and trainable.
+        loaded: bool,
+    },
+    /// Supervisor → master (reliable): the worker's thread panicked; the
+    /// node runtime caught it and reports the panic message.
+    WorkerPanic {
+        /// The worker that died.
+        worker: usize,
+        /// The panic message.
+        info: String,
+    },
     /// Master → worker: shut down the mailbox loop.
     Shutdown,
+}
+
+impl ColMsg {
+    /// Short variant name for log lines (avoids dumping block payloads).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ColMsg::LoadBlock(_) => "LoadBlock",
+            ColMsg::Workset { .. } => "Workset",
+            ColMsg::LoadDone { .. } => "LoadDone",
+            ColMsg::LoadAck { .. } => "LoadAck",
+            ColMsg::ComputeStats { .. } => "ComputeStats",
+            ColMsg::StatsReply { .. } => "StatsReply",
+            ColMsg::Update { .. } => "Update",
+            ColMsg::UpdateAck { .. } => "UpdateAck",
+            ColMsg::Die => "Die",
+            ColMsg::ReloadBlock(_) => "ReloadBlock",
+            ColMsg::ReloadDone { .. } => "ReloadDone",
+            ColMsg::ReloadAck { .. } => "ReloadAck",
+            ColMsg::FetchModel => "FetchModel",
+            ColMsg::ModelReply { .. } => "ModelReply",
+            ColMsg::Probe { .. } => "Probe",
+            ColMsg::ProbeAck { .. } => "ProbeAck",
+            ColMsg::WorkerPanic { .. } => "WorkerPanic",
+            ColMsg::Shutdown => "Shutdown",
+        }
+    }
 }
 
 impl Wire for ColMsg {
@@ -117,7 +169,7 @@ impl Wire for ColMsg {
             ColMsg::Workset { ws, .. } => 1 + 8 + ws.wire_size(),
             ColMsg::LoadDone { .. } | ColMsg::ReloadDone { .. } => 1 + 8,
             ColMsg::LoadAck { layout, .. } => 1 + 8 + 8 + 16 * layout.len(),
-            ColMsg::ComputeStats { .. } => 1 + 8 + 8 + 1,
+            ColMsg::ComputeStats { .. } => 1 + 8 + 8 + 8,
             ColMsg::StatsReply { partial, .. } => 1 + 8 + 8 + 8 + 1 + partial.wire_size(),
             ColMsg::Update { stats, .. } => 1 + 8 + stats.wire_size(),
             ColMsg::UpdateAck { .. } => 1 + 8 + 8 + 8,
@@ -126,6 +178,9 @@ impl Wire for ColMsg {
             ColMsg::ModelReply { parts, .. } => {
                 1 + 8 + 8 + parts.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
             }
+            ColMsg::Probe { .. } => 1 + 8,
+            ColMsg::ProbeAck { .. } => 1 + 8 + 8 + 1,
+            ColMsg::WorkerPanic { info, .. } => 1 + 8 + info.wire_size(),
         }
     }
 }
@@ -162,10 +217,33 @@ mod tests {
             (ColMsg::ComputeStats {
                 iteration: 9,
                 batch_size: 1000,
-                fail_task: false
+                attempt: 0
             })
             .wire_size()
                 < 32
+        );
+        assert!(ColMsg::Probe { iteration: 9 }.wire_size() < 16);
+        assert!(
+            (ColMsg::ProbeAck {
+                worker: 3,
+                iteration: 9,
+                loaded: true
+            })
+            .wire_size()
+                < 32
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ColMsg::Shutdown.name(), "Shutdown");
+        assert_eq!(
+            ColMsg::WorkerPanic {
+                worker: 0,
+                info: "boom".into()
+            }
+            .name(),
+            "WorkerPanic"
         );
     }
 

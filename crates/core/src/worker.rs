@@ -8,10 +8,22 @@
 //!
 //! The worker runs a mailbox loop ([`run_worker`]) on its own OS thread and
 //! communicates with the master exclusively through [`ColMsg`] messages.
+//!
+//! # Fault injection and resilience
+//!
+//! Faults originate *here*, not at the master: a [`WorkerScript`] carries
+//! the worker's slice of the failure plan, and scripted worker failures
+//! (plus probabilistic chaos crashes) are real `panic!`s that the guarded
+//! spawn converts into a [`ColMsg::WorkerPanic`] report. The master only
+//! ever learns about a fault by *detecting* it. Conversely the worker is
+//! resilient to a faulty wire: unexpected or stale messages are logged
+//! and dropped, duplicate updates are acknowledged idempotently, and
+//! every reply carries its iteration tag so the master can discard
+//! stragglers' late answers.
 
 use std::time::Instant;
 
-use columnsgd_cluster::{Endpoint, NodeId};
+use columnsgd_cluster::{ChaosSpec, Endpoint, FailureEvent, FailurePlan, NodeId};
 use columnsgd_data::block::Block;
 use columnsgd_data::index::RowAddr;
 use columnsgd_data::workset::{split_block, WorksetStore};
@@ -22,6 +34,54 @@ use columnsgd_ml::{OptimizerState, ParamSet};
 
 use crate::config::ColumnSgdConfig;
 use crate::msg::ColMsg;
+
+/// The worker-local slice of a failure plan: which of *this* worker's
+/// compute attempts fail, and how.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerScript {
+    /// Iterations whose first attempt throws a task exception.
+    pub task_failures: Vec<u64>,
+    /// Iterations whose first attempt panics the whole worker.
+    pub crashes: Vec<u64>,
+    /// Probabilistic chaos (crash decisions; wire faults are applied by
+    /// the router, not here).
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl WorkerScript {
+    /// Extracts worker `w`'s script from a failure plan.
+    pub fn from_plan(plan: &FailurePlan, w: usize) -> Self {
+        let mut script = WorkerScript {
+            chaos: plan.chaos,
+            ..WorkerScript::default()
+        };
+        for ev in plan.events_for(w) {
+            match ev {
+                FailureEvent::TaskFailure { iteration, .. } => script.task_failures.push(iteration),
+                FailureEvent::WorkerFailure { iteration, .. } => script.crashes.push(iteration),
+            }
+        }
+        script
+    }
+
+    /// Whether this compute attempt throws a task exception. Scripted
+    /// failures hit only attempt 0, so the retry succeeds (§X: "start a
+    /// new task … no additional work on data loading is required").
+    pub fn task_fails(&self, iteration: u64, attempt: u64) -> bool {
+        attempt == 0 && self.task_failures.contains(&iteration)
+    }
+
+    /// Whether this compute attempt kills the worker — scripted crashes on
+    /// attempt 0, plus seeded chaos crashes on any attempt (keyed by
+    /// attempt, so a respawned worker is not doomed).
+    pub fn crashes(&self, worker: usize, iteration: u64, attempt: u64) -> bool {
+        if attempt == 0 && self.crashes.contains(&iteration) {
+            return true;
+        }
+        self.chaos
+            .is_some_and(|c| c.crash_decision(worker, iteration, attempt))
+    }
+}
 
 /// One (data partition, model partition, optimizer state) triple.
 struct Partition {
@@ -73,6 +133,9 @@ pub struct WorkerNode {
     /// Batches built by the last `ComputeStats`, reused by `Update`.
     last_batches: Vec<CsrMatrix>,
     last_iteration: u64,
+    /// Iteration of the last applied `Update` (for idempotent re-acks
+    /// when an unreliable wire duplicates the broadcast).
+    applied_iteration: Option<u64>,
 }
 
 impl WorkerNode {
@@ -91,11 +154,17 @@ impl WorkerNode {
             received_worksets: 0,
             last_batches: Vec::new(),
             last_iteration: u64::MAX,
+            applied_iteration: None,
         }
     }
 
     fn holds(&self, pid: usize) -> Option<usize> {
         self.partitions.iter().position(|p| p.pid == pid)
+    }
+
+    /// Whether loading finished and the worker can compute.
+    fn loaded(&self) -> bool {
+        self.partitions[0].index.is_some()
     }
 
     /// Splits a block and dispatches each workset to the replicas of its
@@ -132,9 +201,15 @@ impl WorkerNode {
     }
 
     fn accept_workset(&mut self, pid: usize, ws: Workset) {
-        let slot = self
-            .holds(pid)
-            .unwrap_or_else(|| panic!("worker {} received workset for foreign partition {pid}", self.id));
+        let Some(slot) = self.holds(pid) else {
+            // A misrouted workset cannot be stored; drop it rather than
+            // dying — the sender's master will detect any resulting gap.
+            eprintln!(
+                "worker {}: dropping workset for foreign partition {pid}",
+                self.id
+            );
+            return;
+        };
         self.partitions[slot].store.insert(ws);
         self.received_worksets += 1;
     }
@@ -165,7 +240,11 @@ impl WorkerNode {
             .as_ref()
             .expect("loading must finish before training");
         let addrs = index.sample_batch(iteration, self.cfg.batch_size);
-        self.last_batches = self.partitions.iter().map(|p| p.build_batch(&addrs)).collect();
+        self.last_batches = self
+            .partitions
+            .iter()
+            .map(|p| p.build_batch(&addrs))
+            .collect();
         self.last_iteration = iteration;
 
         let width = self.cfg.model.stats_width();
@@ -181,7 +260,7 @@ impl WorkerNode {
     /// `updateModel` (Algorithm 3 lines 17-20): recovers the local gradient
     /// from the aggregated statistics and steps every held partition.
     fn update(&mut self, iteration: u64, stats: &[f64]) {
-        assert_eq!(
+        debug_assert_eq!(
             iteration, self.last_iteration,
             "update for an iteration whose batch was never sampled"
         );
@@ -195,6 +274,7 @@ impl WorkerNode {
                 self.cfg.batch_size,
             );
         }
+        self.applied_iteration = Some(iteration);
     }
 
     /// Worker-failure injection: lose everything (§X — "both partitions of
@@ -209,6 +289,7 @@ impl WorkerNode {
         self.received_worksets = 0;
         self.last_batches.clear();
         self.last_iteration = u64::MAX;
+        self.applied_iteration = None;
     }
 
     /// The first partition's `(block, rows)` layout for the LoadAck, in
@@ -232,8 +313,18 @@ impl WorkerNode {
     }
 }
 
-/// The worker mailbox loop. Runs until [`ColMsg::Shutdown`].
-pub fn run_worker(ep: Endpoint<ColMsg>, id: usize, k: usize, dim: u64, cfg: ColumnSgdConfig) {
+/// The worker mailbox loop. Runs until [`ColMsg::Shutdown`] or the master
+/// disappears; panics (scripted, chaos, or genuine bugs) unwind out of
+/// here and are converted into [`ColMsg::WorkerPanic`] by the guarded
+/// spawn in the engine.
+pub fn run_worker(
+    ep: Endpoint<ColMsg>,
+    id: usize,
+    k: usize,
+    dim: u64,
+    cfg: ColumnSgdConfig,
+    script: WorkerScript,
+) {
     let mut w = WorkerNode::new(id, k, dim, cfg);
     let held = w.partitions.len();
     let mut load_done_total: Option<usize> = None;
@@ -253,14 +344,26 @@ pub fn run_worker(ep: Endpoint<ColMsg>, id: usize, k: usize, dim: u64, cfg: Colu
             ColMsg::ComputeStats {
                 iteration,
                 batch_size,
-                fail_task,
+                attempt,
             } => {
                 debug_assert_eq!(batch_size, w.cfg.batch_size);
+                if script.crashes(id, iteration, attempt) {
+                    // A real panic: the guarded spawn converts it into a
+                    // WorkerPanic report to the master.
+                    panic!("injected worker failure at iteration {iteration} attempt {attempt}");
+                }
+                if !w.loaded() {
+                    // Can't compute without data (e.g. a stale re-issue
+                    // raced a respawn). The master's deadline will fire
+                    // and its probe will see loaded=false.
+                    eprintln!("worker {id}: dropping ComputeStats t={iteration} before loading");
+                    continue;
+                }
                 let start = Instant::now();
-                if fail_task {
-                    // Task failure: the Spark task throws; report and let
-                    // the master retry (Figure 13a).
-                    ep.send(
+                if script.task_fails(iteration, attempt) {
+                    // Task failure: the task throws; report the exception
+                    // and let the master decide (Figure 13a).
+                    let _ = ep.send(
                         NodeId::Master,
                         ColMsg::StatsReply {
                             iteration,
@@ -269,11 +372,10 @@ pub fn run_worker(ep: Endpoint<ColMsg>, id: usize, k: usize, dim: u64, cfg: Colu
                             compute_s: start.elapsed().as_secs_f64(),
                             task_failed: true,
                         },
-                    )
-                    .expect("stats reply");
+                    );
                 } else {
                     let partial = w.compute_stats(iteration);
-                    ep.send(
+                    let _ = ep.send(
                         NodeId::Master,
                         ColMsg::StatsReply {
                             iteration,
@@ -282,22 +384,50 @@ pub fn run_worker(ep: Endpoint<ColMsg>, id: usize, k: usize, dim: u64, cfg: Colu
                             compute_s: start.elapsed().as_secs_f64(),
                             task_failed: false,
                         },
-                    )
-                    .expect("stats reply");
+                    );
                 }
             }
             ColMsg::Update { iteration, stats } => {
-                let start = Instant::now();
-                w.update(iteration, &stats);
-                ep.send(
+                if w.applied_iteration == Some(iteration) {
+                    // Duplicate broadcast (chaos): the update is already
+                    // in; re-ack idempotently so a lost ack also heals.
+                    let _ = ep.send(
+                        NodeId::Master,
+                        ColMsg::UpdateAck {
+                            iteration,
+                            worker: id,
+                            compute_s: 0.0,
+                        },
+                    );
+                } else if iteration == w.last_iteration {
+                    let start = Instant::now();
+                    w.update(iteration, &stats);
+                    let _ = ep.send(
+                        NodeId::Master,
+                        ColMsg::UpdateAck {
+                            iteration,
+                            worker: id,
+                            compute_s: start.elapsed().as_secs_f64(),
+                        },
+                    );
+                } else {
+                    // Stale or unsampled iteration: applying would corrupt
+                    // the model. Drop; the master's deadline recovers.
+                    eprintln!(
+                        "worker {id}: dropping Update t={iteration} (batch is t={})",
+                        w.last_iteration
+                    );
+                }
+            }
+            ColMsg::Probe { iteration } => {
+                let _ = ep.send_reliable(
                     NodeId::Master,
-                    ColMsg::UpdateAck {
-                        iteration,
+                    ColMsg::ProbeAck {
                         worker: id,
-                        compute_s: start.elapsed().as_secs_f64(),
+                        iteration,
+                        loaded: w.loaded(),
                     },
-                )
-                .expect("update ack");
+                );
             }
             ColMsg::Die => {
                 w.die();
@@ -307,11 +437,11 @@ pub fn run_worker(ep: Endpoint<ColMsg>, id: usize, k: usize, dim: u64, cfg: Colu
             ColMsg::ReloadBlock(block) => {
                 w.reload_block(&block);
                 reload_received += 1;
-                maybe_finish_reload(&mut w, &ep, reload_done_total, reload_received, held);
+                maybe_finish_reload(&mut w, &ep, reload_done_total, reload_received);
             }
             ColMsg::ReloadDone { blocks_total } => {
                 reload_done_total = Some(blocks_total);
-                maybe_finish_reload(&mut w, &ep, reload_done_total, reload_received, held);
+                maybe_finish_reload(&mut w, &ep, reload_done_total, reload_received);
             }
             ColMsg::FetchModel => {
                 let parts = w
@@ -319,19 +449,27 @@ pub fn run_worker(ep: Endpoint<ColMsg>, id: usize, k: usize, dim: u64, cfg: Colu
                     .iter()
                     .map(|p| (p.pid, p.params.clone()))
                     .collect();
-                ep.send(NodeId::Master, ColMsg::ModelReply { worker: id, parts })
-                    .expect("model reply");
+                // Reliable: the inspection path must work even under chaos.
+                let _ = ep.send_reliable(NodeId::Master, ColMsg::ModelReply { worker: id, parts });
             }
             ColMsg::Shutdown => return,
-            other => panic!("worker {id} received unexpected message {other:?}"),
+            other => {
+                // Unexpected (master-bound or malformed) traffic: a
+                // resilient worker logs and drops instead of panicking.
+                eprintln!(
+                    "worker {id}: dropping unexpected {} from {}",
+                    other.name(),
+                    env.from
+                );
+            }
         }
 
         // Finalize loading when both the done-marker and all worksets have
         // arrived (they race on different links).
         if let Some(total) = load_done_total {
-            if w.received_worksets == total * held && w.partitions[0].index.is_none() {
+            if w.received_worksets == total * held && !w.loaded() {
                 w.finalize_load();
-                ep.send(
+                ep.send_reliable(
                     NodeId::Master,
                     ColMsg::LoadAck {
                         worker: id,
@@ -350,16 +488,64 @@ fn maybe_finish_reload(
     ep: &Endpoint<ColMsg>,
     total: Option<usize>,
     received_blocks: usize,
-    _held: usize,
 ) {
     if let Some(total) = total {
-        if received_blocks == total && w.partitions[0].index.is_none() {
+        if received_blocks == total && !w.loaded() {
             w.finalize_load();
-            ep.send(
-                NodeId::Master,
-                ColMsg::ReloadAck { worker: w.id },
-            )
-            .expect("reload ack");
+            let _ = ep.send_reliable(NodeId::Master, ColMsg::ReloadAck { worker: w.id });
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnsgd_cluster::FailurePlan;
+
+    #[test]
+    fn script_extracts_this_workers_events() {
+        let plan = FailurePlan {
+            events: vec![
+                FailureEvent::TaskFailure {
+                    iteration: 3,
+                    worker: 1,
+                },
+                FailureEvent::WorkerFailure {
+                    iteration: 7,
+                    worker: 1,
+                },
+                FailureEvent::TaskFailure {
+                    iteration: 5,
+                    worker: 0,
+                },
+            ],
+            ..FailurePlan::default()
+        };
+        let s = WorkerScript::from_plan(&plan, 1);
+        assert_eq!(s.task_failures, vec![3]);
+        assert_eq!(s.crashes, vec![7]);
+        assert!(s.task_fails(3, 0));
+        assert!(!s.task_fails(3, 1), "retry must succeed");
+        assert!(s.crashes(1, 7, 0));
+        assert!(!s.crashes(1, 7, 1), "respawned worker must survive");
+        let s0 = WorkerScript::from_plan(&plan, 0);
+        assert_eq!(s0.task_failures, vec![5]);
+        assert!(s0.crashes.is_empty());
+    }
+
+    #[test]
+    fn chaos_crashes_flow_through_script() {
+        let spec = ChaosSpec {
+            seed: 3,
+            crash_p: 1.0,
+            ..ChaosSpec::default()
+        };
+        let s = WorkerScript {
+            chaos: Some(spec),
+            ..WorkerScript::default()
+        };
+        assert!(s.crashes(0, 0, 0));
+        let none = WorkerScript::default();
+        assert!(!none.crashes(0, 0, 0));
     }
 }

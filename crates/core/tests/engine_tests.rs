@@ -3,9 +3,9 @@
 //! computation, straggler handling, and fault tolerance.
 
 use columnsgd_cluster::failure::FailureEvent;
-use columnsgd_cluster::{FailurePlan, NetworkModel, NodeId};
+use columnsgd_cluster::{ChaosSpec, FailurePlan, NetworkModel, NodeId};
 use columnsgd_core::config::PartitionScheme;
-use columnsgd_core::{ColumnSgdConfig, ColumnSgdEngine};
+use columnsgd_core::{ColumnSgdConfig, ColumnSgdEngine, DetectionMethod, FaultKind, TrainError};
 use columnsgd_data::{synth, Dataset};
 use columnsgd_ml::serial::{self, SerialConfig};
 use columnsgd_ml::{ModelSpec, OptimizerKind, UpdateParams};
@@ -58,8 +58,9 @@ fn distributed_matches_serial_exactly_with_adam() {
     cfg.optimizer = OptimizerKind::adam();
     cfg.update = UpdateParams::plain(0.01);
     cfg.block_size = ds.len();
-    let mut engine = ColumnSgdEngine::new(&ds, 3, cfg, NetworkModel::INSTANT, FailurePlan::none());
-    let _ = engine.train();
+    let mut engine = ColumnSgdEngine::new(&ds, 3, cfg, NetworkModel::INSTANT, FailurePlan::none())
+        .expect("engine");
+    let _ = engine.train().expect("train");
     let distributed = engine.collect_model();
 
     let rows: Vec<_> = ds.iter().cloned().collect();
@@ -94,8 +95,9 @@ fn distributed_matches_serial(model: ModelSpec, k: usize, scheme: PartitionSchem
     // trajectories must agree bit for bit.
     cfg.block_size = ds.len();
 
-    let mut engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none());
-    let outcome = engine.train();
+    let mut engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none())
+        .expect("engine");
+    let outcome = engine.train().expect("train");
     let distributed = engine.collect_model();
 
     let rows: Vec<_> = ds.iter().cloned().collect();
@@ -127,7 +129,13 @@ fn distributed_matches_serial(model: ModelSpec, k: usize, scheme: PartitionSchem
     }
     // Losses agree too.
     for (p, l) in outcome.curve.points.iter().zip(&serial_run.losses) {
-        assert!((p.loss - l).abs() < 1e-9, "iter {}: {} vs {}", p.iteration, p.loss, l);
+        assert!(
+            (p.loss - l).abs() < 1e-9,
+            "iter {}: {} vs {}",
+            p.iteration,
+            p.loss,
+            l
+        );
     }
 }
 
@@ -140,8 +148,9 @@ fn multi_block_training_converges() {
         .with_batch_size(100)
         .with_iterations(150)
         .with_learning_rate(0.5);
-    let mut engine = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, FailurePlan::none());
-    let outcome = engine.train();
+    let mut engine = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, FailurePlan::none())
+        .expect("engine");
+    let outcome = engine.train().expect("train");
     let first = outcome.curve.points[0].loss;
     let last = outcome.curve.final_loss().unwrap();
     assert!(last < first * 0.75, "no convergence: {first} -> {last}");
@@ -164,9 +173,10 @@ fn traffic_matches_table1() {
         .with_batch_size(b)
         .with_iterations(10)
         .with_seed(1);
-    let mut engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none());
+    let mut engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none())
+        .expect("engine");
     engine.traffic().reset(); // ignore loading traffic
-    let _ = engine.train();
+    let _ = engine.train().expect("train");
 
     let master = engine.traffic().touching(NodeId::Master);
     let worker0_up = engine.traffic().link(NodeId::Worker(0), NodeId::Master);
@@ -204,9 +214,10 @@ fn traffic_independent_of_model_size() {
             .with_batch_size(64)
             .with_iterations(5);
         let mut engine =
-            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+                .expect("engine");
         engine.traffic().reset();
-        let _ = engine.train();
+        let _ = engine.train().expect("train");
         engine.traffic().total().bytes
     };
     let small = measure(100);
@@ -222,13 +233,21 @@ fn backup_computation_matches_pure_model() {
     let cfg_pure = base_cfg(ModelSpec::Lr).with_iterations(20);
     let cfg_backup = cfg_pure.with_backup(1);
 
-    let mut pure = ColumnSgdEngine::new(&ds, 4, cfg_pure, NetworkModel::INSTANT, FailurePlan::none());
-    let _ = pure.train();
+    let mut pure =
+        ColumnSgdEngine::new(&ds, 4, cfg_pure, NetworkModel::INSTANT, FailurePlan::none())
+            .expect("engine");
+    let _ = pure.train().expect("train");
     let m_pure = pure.collect_model();
 
-    let mut backup =
-        ColumnSgdEngine::new(&ds, 4, cfg_backup, NetworkModel::INSTANT, FailurePlan::none());
-    let _ = backup.train();
+    let mut backup = ColumnSgdEngine::new(
+        &ds,
+        4,
+        cfg_backup,
+        NetworkModel::INSTANT,
+        FailurePlan::none(),
+    )
+    .expect("engine");
+    let _ = backup.train().expect("train");
     let m_backup = backup.collect_model();
 
     for (a, b) in m_pure.blocks.iter().zip(&m_backup.blocks) {
@@ -253,8 +272,8 @@ fn stragglers_hurt_pure_but_not_backup() {
         } else {
             FailurePlan::none()
         };
-        let mut e = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, plan);
-        let outcome = e.train();
+        let mut e = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, plan).expect("engine");
+        let outcome = e.train().expect("train");
         // Pure compute time (network is INSTANT, overhead 0).
         outcome
             .clock
@@ -283,18 +302,20 @@ fn task_failure_is_transparent() {
     let ds = dataset(500, 80, 21);
     let cfg = base_cfg(ModelSpec::Lr).with_iterations(20);
     let plan = FailurePlan {
-        straggler: None,
         events: vec![FailureEvent::TaskFailure {
             iteration: 5,
             worker: 2,
         }],
+        ..FailurePlan::default()
     };
-    let mut with_failure = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, plan);
-    let out_f = with_failure.train();
+    let mut with_failure =
+        ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, plan).expect("engine");
+    let out_f = with_failure.train().expect("train");
     let m_f = with_failure.collect_model();
 
-    let mut clean = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
-    let _ = clean.train();
+    let mut clean = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+        .expect("engine");
+    let _ = clean.train().expect("train");
     let m_c = clean.collect_model();
 
     // Task failure must not change the learned model at all.
@@ -304,6 +325,16 @@ fn task_failure_is_transparent() {
         }
     }
     assert_eq!(out_f.curve.points.len(), 20);
+
+    // The master *observed* the failure: an explicit error reply, not an
+    // inspection of the injection script.
+    assert_eq!(out_f.recovery.len(), 1);
+    let ev = out_f.recovery[0];
+    assert_eq!(ev.iteration, 5);
+    assert_eq!(ev.worker, 2);
+    assert_eq!(ev.fault, FaultKind::TaskFailure);
+    assert_eq!(ev.detection, DetectionMethod::ErrorReply);
+    assert_eq!(ev.attempt, 0);
 }
 
 /// §X worker failure: the worker's partition is reloaded and its model
@@ -317,17 +348,27 @@ fn worker_failure_reloads_and_reconverges() {
         .with_learning_rate(0.5)
         .with_seed(2);
     let plan = FailurePlan {
-        straggler: None,
         events: vec![FailureEvent::WorkerFailure {
             iteration: 60,
             worker: 1,
         }],
+        ..FailurePlan::default()
     };
-    let mut engine = ColumnSgdEngine::new(&ds, 3, cfg, NetworkModel::CLUSTER1, plan);
-    let outcome = engine.train();
+    let mut engine =
+        ColumnSgdEngine::new(&ds, 3, cfg, NetworkModel::CLUSTER1, plan).expect("engine");
+    let outcome = engine.train().expect("train");
 
     // The clock shows a reload charge (an extra record beyond iterations).
     assert_eq!(outcome.clock.num_records() as u64, cfg.iterations + 1);
+
+    // Detected as a panic report from the guarded node runtime, and the
+    // reload cost was priced into the event.
+    assert_eq!(outcome.recovery.len(), 1);
+    let ev = outcome.recovery[0];
+    assert_eq!((ev.iteration, ev.worker), (60, 1));
+    assert_eq!(ev.fault, FaultKind::WorkerFailure);
+    assert_eq!(ev.detection, DetectionMethod::PanicReport);
+    assert!(ev.recovery_cost_s > 0.0, "reload must cost simulated time");
 
     // Still converges after losing a third of the model.
     let model = engine.collect_model();
@@ -346,7 +387,8 @@ fn load_report_counts_blocks_not_rows() {
     let cfg = ColumnSgdConfig::new(ModelSpec::Lr).with_batch_size(10);
     let mut cfg = cfg;
     cfg.block_size = 250; // 8 blocks
-    let engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, FailurePlan::none());
+    let engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, FailurePlan::none())
+        .expect("engine");
     let report = engine.load_report();
     // 8 blocks from master + 8 blocks × (K-1) foreign worksets + K
     // LoadDone + K LoadAck: far fewer objects than the 2000 rows.
@@ -367,8 +409,9 @@ fn adam_and_adagrad_work_distributed() {
         cfg.optimizer = opt;
         cfg.update = UpdateParams::plain(0.1);
         let mut engine =
-            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
-        let outcome = engine.train();
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+                .expect("engine");
+        let outcome = engine.train().expect("train");
         let first = outcome.curve.points[0].loss;
         let last = outcome.curve.final_loss().unwrap();
         assert!(last < first, "{opt:?} did not descend: {first} -> {last}");
@@ -384,8 +427,9 @@ fn mlr_trains_distributed() {
         .with_batch_size(64)
         .with_iterations(120)
         .with_learning_rate(0.5);
-    let mut engine = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
-    let _ = engine.train();
+    let mut engine = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+        .expect("engine");
+    let _ = engine.train().expect("train");
     let model = engine.collect_model();
     let rows: Vec<_> = ds.iter().cloned().collect();
     let acc = serial::full_accuracy(spec, &model, &rows);
@@ -411,8 +455,9 @@ fn stale_statistics_absorb_stragglers_and_still_converge() {
         } else {
             FailurePlan::none()
         };
-        let mut e = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, plan);
-        let out = e.train();
+        let mut e =
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, plan).expect("engine");
+        let out = e.train().expect("train");
         let model = e.collect_model();
         let rows: Vec<_> = ds.iter().cloned().collect();
         let acc = serial::full_accuracy(ModelSpec::Lr, &model, &rows);
@@ -466,10 +511,179 @@ fn engine_trains_from_streamed_blocks() {
         cfg,
         NetworkModel::INSTANT,
         FailurePlan::none(),
+    )
+    .expect("engine");
+    let out = engine.train().expect("train");
+    assert!(
+        out.curve.final_loss().unwrap() < 0.3,
+        "loss {:?}",
+        out.curve.final_loss()
     );
-    let out = engine.train();
-    assert!(out.curve.final_loss().unwrap() < 0.3, "loss {:?}", out.curve.final_loss());
     // The separable structure is learned.
     let model = engine.collect_model();
     assert!(model.blocks[0][1] > 0.0 && model.blocks[0][2] < 0.0);
+}
+
+/// A plan naming a worker that does not exist is rejected at engine
+/// construction, before any thread is spawned.
+#[test]
+fn invalid_plan_rejected_at_construction() {
+    let ds = dataset(200, 40, 3);
+    let cfg = base_cfg(ModelSpec::Lr);
+    let plan = FailurePlan {
+        events: vec![FailureEvent::TaskFailure {
+            iteration: 1,
+            worker: 9,
+        }],
+        ..FailurePlan::default()
+    };
+    match ColumnSgdEngine::new(&ds, 3, cfg, NetworkModel::INSTANT, plan) {
+        Err(TrainError::InvalidPlan(msg)) => {
+            assert!(msg.contains("worker 9"), "message was: {msg}");
+        }
+        other => panic!("expected InvalidPlan, got {:?}", other.map(|_| ())),
+    }
+}
+
+/// A worker that crashes on *every* attempt exhausts the retry budget and
+/// surfaces a typed error instead of looping forever.
+#[test]
+fn retries_exhausted_surfaces_typed_error() {
+    let ds = dataset(200, 40, 3);
+    let cfg = base_cfg(ModelSpec::Lr)
+        .with_iterations(5)
+        .with_max_task_retries(2)
+        .with_deadline_ms(200);
+    let chaos = ChaosSpec {
+        seed: 7,
+        drop_p: 0.0,
+        dup_p: 0.0,
+        delay_p: 0.0,
+        crash_p: 1.0,
+    };
+    let mut engine = ColumnSgdEngine::new(
+        &ds,
+        2,
+        cfg,
+        NetworkModel::INSTANT,
+        FailurePlan::with_chaos(chaos),
+    )
+    .expect("engine");
+    match engine.train() {
+        Err(TrainError::RetriesExhausted {
+            iteration,
+            attempts,
+            ..
+        }) => {
+            assert_eq!(iteration, 0);
+            assert!(attempts > 2);
+        }
+        other => panic!("expected RetriesExhausted, got {:?}", other.map(|_| ())),
+    }
+}
+
+/// Under moderate chaos — dropped, duplicated, and delayed messages plus
+/// occasional crashes — training still completes, and the recovery log
+/// records what the master actually detected.
+#[test]
+fn chaos_run_completes_with_recovery_log() {
+    let ds = dataset(300, 50, 9);
+    let cfg = base_cfg(ModelSpec::Lr)
+        .with_iterations(40)
+        .with_deadline_ms(250);
+    let chaos = ChaosSpec::uniform(21, 0.05, 0.02);
+    let mut engine = ColumnSgdEngine::new(
+        &ds,
+        3,
+        cfg,
+        NetworkModel::INSTANT,
+        FailurePlan::with_chaos(chaos),
+    )
+    .expect("engine");
+    let out = engine.train().expect("train under chaos");
+    assert_eq!(out.curve.points.len(), 40);
+    assert!(
+        !out.recovery.is_empty(),
+        "chaos at these rates must trip at least one detection"
+    );
+    assert!(out.curve.final_loss().unwrap().is_finite());
+}
+
+/// Chaos is deterministic: two runs with the same seed produce identical
+/// loss curves and identical recovery-event sequences (modulo wall-clock
+/// latencies, which are measurement, not behavior).
+#[test]
+fn chaos_fixed_seed_is_reproducible() {
+    let run = || {
+        let ds = dataset(250, 40, 5);
+        let cfg = base_cfg(ModelSpec::Lr)
+            .with_iterations(30)
+            .with_deadline_ms(250);
+        let chaos = ChaosSpec::uniform(99, 0.04, 0.015);
+        let mut engine = ColumnSgdEngine::new(
+            &ds,
+            3,
+            cfg,
+            NetworkModel::INSTANT,
+            FailurePlan::with_chaos(chaos),
+        )
+        .expect("engine");
+        let out = engine.train().expect("train");
+        let losses: Vec<f64> = out.curve.points.iter().map(|p| p.loss).collect();
+        let mut events: Vec<_> = out
+            .recovery
+            .iter()
+            .map(|e| (e.iteration, e.worker, e.fault, e.detection, e.attempt))
+            .collect();
+        // Arrival order can differ when two workers fail in the same
+        // iteration; compare the set, not the interleaving.
+        events.sort_unstable();
+        (losses, events)
+    };
+    let (l1, e1) = run();
+    let (l2, e2) = run();
+    assert_eq!(l1, l2, "loss curves must be bit-identical");
+    assert_eq!(e1, e2, "recovery events must be identical");
+    assert!(
+        !e1.is_empty(),
+        "seed 99 at these rates must inject something"
+    );
+}
+
+/// A silent worker (crash scripted mid-run) is detected within the
+/// configured deadline via timeout + probe, not by waiting forever.
+#[test]
+fn timeout_detection_recovers_scripted_crash() {
+    let ds = dataset(250, 40, 6);
+    let cfg = base_cfg(ModelSpec::Lr)
+        .with_iterations(20)
+        .with_deadline_ms(300);
+    let plan = FailurePlan {
+        events: vec![FailureEvent::WorkerFailure {
+            iteration: 7,
+            worker: 1,
+        }],
+        ..FailurePlan::default()
+    };
+    let started = std::time::Instant::now();
+    let mut engine =
+        ColumnSgdEngine::new(&ds, 3, cfg, NetworkModel::INSTANT, plan).expect("engine");
+    let out = engine.train().expect("train");
+    assert_eq!(out.curve.points.len(), 20);
+    assert_eq!(out.recovery.len(), 1);
+    let ev = out.recovery[0];
+    assert_eq!((ev.iteration, ev.worker), (7, 1));
+    assert_eq!(ev.fault, FaultKind::WorkerFailure);
+    // Scripted crashes panic inside the guarded thread, so the usual
+    // detection path is the panic report; either way detection must be
+    // far faster than hanging for the rest of the run.
+    assert!(
+        ev.detection == DetectionMethod::PanicReport || ev.detection == DetectionMethod::Timeout
+    );
+    assert!(
+        ev.detection_latency_s < 5.0,
+        "latency {}",
+        ev.detection_latency_s
+    );
+    assert!(started.elapsed().as_secs() < 30, "no hang on a dead worker");
 }

@@ -20,15 +20,26 @@ impl Dataset {
     /// Builds a dataset from labelled rows; the dimension is inferred as
     /// the largest feature index + 1.
     pub fn from_rows(rows: Vec<(Value, SparseVector)>) -> Self {
-        let dim = rows.iter().map(|(_, x)| x.dimension_bound()).max().unwrap_or(0);
+        let dim = rows
+            .iter()
+            .map(|(_, x)| x.dimension_bound())
+            .max()
+            .unwrap_or(0);
         Self { rows, dim }
     }
 
     /// Builds a dataset with an explicit dimension (≥ the inferred one),
     /// for sweeps where the model size exceeds any observed index.
     pub fn with_dimension(rows: Vec<(Value, SparseVector)>, dim: FeatureIndex) -> Self {
-        let inferred = rows.iter().map(|(_, x)| x.dimension_bound()).max().unwrap_or(0);
-        assert!(dim >= inferred, "declared dimension {dim} < inferred {inferred}");
+        let inferred = rows
+            .iter()
+            .map(|(_, x)| x.dimension_bound())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            dim >= inferred,
+            "declared dimension {dim} < inferred {inferred}"
+        );
         Self { rows, dim }
     }
 
@@ -201,7 +212,10 @@ mod tests {
         assert_eq!(q.len(), 3);
         let total: usize = q.iter().map(|b| b.nrows()).sum();
         assert_eq!(total, 10);
-        assert_eq!(q.iter().map(|b| b.nrows()).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(
+            q.iter().map(|b| b.nrows()).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
     }
 
     #[test]

@@ -77,7 +77,11 @@ impl TwoPhaseIndex {
         let pos = self.cumulative.partition_point(|&(_, cum)| cum <= global);
         let (block, _) = self.cumulative[pos];
         // Phase 2: the ordinal offset within that block.
-        let start = if pos == 0 { 0 } else { self.cumulative[pos - 1].1 };
+        let start = if pos == 0 {
+            0
+        } else {
+            self.cumulative[pos - 1].1
+        };
         RowAddr {
             block,
             offset: global - start,

@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "libsvm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "libsvm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -255,7 +259,10 @@ mod tests {
         let mut reader = BlockReader::new(Cursor::new(text), 4);
         let blocks: Vec<_> = reader.by_ref().map(|b| b.unwrap()).collect();
         assert_eq!(blocks.len(), 3);
-        assert_eq!(blocks.iter().map(|b| b.nrows()).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(
+            blocks.iter().map(|b| b.nrows()).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
         assert_eq!(blocks[0].id(), 0);
         assert_eq!(blocks[2].id(), 2);
         // Dimension bound covers the largest 1-based index + 1.

@@ -38,7 +38,10 @@ impl DatasetMeta {
     /// methodology: "the number of nonzero features remains stable
     /// regardless of the model size"), capped at the scaled feature count.
     pub fn scaled(&self, factor: f64) -> DatasetMeta {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0,1], got {factor}");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0,1], got {factor}"
+        );
         let features = ((self.features as f64 * factor).round() as u64).max(1);
         DatasetMeta {
             name: format!("{}-x{factor}", self.name),

@@ -89,7 +89,10 @@ impl ColumnPartitioner {
                 (base + u64::from((w as FeatureIndex) < extra)) as usize
             }
             ColumnPartitioner::Range { k, dim: own } => {
-                debug_assert_eq!(own, dim, "Range partitioner queried with a foreign dimension");
+                debug_assert_eq!(
+                    own, dim,
+                    "Range partitioner queried with a foreign dimension"
+                );
                 let c = Self::chunk(k, dim).max(1);
                 let lo = (w as FeatureIndex * c).min(dim);
                 let hi = ((w as FeatureIndex + 1) * c).min(dim);
@@ -102,7 +105,9 @@ impl ColumnPartitioner {
     /// inverse of ([`owner`](Self::owner), [`local_slot`](Self::local_slot)).
     pub fn global_index(&self, w: usize, slot: usize) -> FeatureIndex {
         match *self {
-            ColumnPartitioner::RoundRobin { k } => slot as FeatureIndex * k as FeatureIndex + w as FeatureIndex,
+            ColumnPartitioner::RoundRobin { k } => {
+                slot as FeatureIndex * k as FeatureIndex + w as FeatureIndex
+            }
             ColumnPartitioner::Range { k, dim } => {
                 let c = Self::chunk(k, dim).max(1);
                 w as FeatureIndex * c + slot as FeatureIndex
@@ -139,7 +144,10 @@ mod tests {
     fn local_dims_sum_to_total() {
         for &dim in &[0u64, 1, 7, 10, 100, 101] {
             for k in 1..8 {
-                for p in [ColumnPartitioner::round_robin(k), ColumnPartitioner::range(k, dim)] {
+                for p in [
+                    ColumnPartitioner::round_robin(k),
+                    ColumnPartitioner::range(k, dim),
+                ] {
                     let total: usize = (0..k).map(|w| p.local_dim(w, dim)).sum();
                     assert_eq!(total as u64, dim, "{p:?} dim={dim}");
                 }
@@ -151,7 +159,10 @@ mod tests {
     fn owner_slot_global_roundtrip() {
         for k in 1..6 {
             let dim = 50u64;
-            for p in [ColumnPartitioner::round_robin(k), ColumnPartitioner::range(k, dim)] {
+            for p in [
+                ColumnPartitioner::round_robin(k),
+                ColumnPartitioner::range(k, dim),
+            ] {
                 for i in 0..dim {
                     let w = p.owner(i);
                     let s = p.local_slot(i);

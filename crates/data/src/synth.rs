@@ -81,13 +81,21 @@ impl SynthConfig {
     /// Generates the dataset.
     pub fn generate(&self) -> Dataset {
         assert!(self.dim > 0, "dimension must be positive");
-        assert!(self.avg_nnz >= 1.0, "need at least one feature per row on average");
-        assert!((0.0..=0.5).contains(&self.noise), "noise must be in [0, 0.5]");
+        assert!(
+            self.avg_nnz >= 1.0,
+            "need at least one feature per row on average"
+        );
+        assert!(
+            (0.0..=0.5).contains(&self.noise),
+            "noise must be in [0, 0.5]"
+        );
         assert!(self.skew >= 1.0, "skew exponent must be >= 1");
         let mut r = rng::seeded(self.seed);
         let mut rows = Vec::with_capacity(self.rows);
         let lo = (self.avg_nnz * 0.5).max(1.0) as usize;
-        let hi = ((self.avg_nnz * 1.5) as usize).max(lo + 1).min(self.dim as usize + 1);
+        let hi = ((self.avg_nnz * 1.5) as usize)
+            .max(lo + 1)
+            .min(self.dim as usize + 1);
         for _ in 0..self.rows {
             let nnz = r.gen_range(lo..hi);
             let mut pairs = Vec::with_capacity(nnz);
@@ -219,7 +227,9 @@ mod tests {
     #[test]
     fn zipf_is_skewed_toward_low_indices() {
         let mut r = rng::seeded(11);
-        let draws: Vec<FeatureIndex> = (0..10_000).map(|_| zipf_index(1_000_000, 1.0, r.gen())).collect();
+        let draws: Vec<FeatureIndex> = (0..10_000)
+            .map(|_| zipf_index(1_000_000, 1.0, r.gen()))
+            .collect();
         let low = draws.iter().filter(|&&i| i < 1_000).count();
         // With Zipf(1) over 1e6 features, ln(1001)/ln(1e6+1) ≈ 50% of mass
         // lies below index 1000.

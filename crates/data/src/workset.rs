@@ -204,7 +204,10 @@ mod tests {
                     .filter(|i| (i + r as u64).is_multiple_of(3))
                     .map(|i| (i, (i + 1) as f64))
                     .collect();
-                (if r % 2 == 0 { 1.0 } else { -1.0 }, SparseVector::from_pairs(pairs))
+                (
+                    if r % 2 == 0 { 1.0 } else { -1.0 },
+                    SparseVector::from_pairs(pairs),
+                )
             })
             .collect();
         Block::from_rows(id, &rows)
@@ -228,7 +231,10 @@ mod tests {
     #[test]
     fn split_remaps_to_local_slots_losslessly() {
         let b = block(0, 4, 15);
-        for p in [ColumnPartitioner::round_robin(3), ColumnPartitioner::range(3, 15)] {
+        for p in [
+            ColumnPartitioner::round_robin(3),
+            ColumnPartitioner::range(3, 15),
+        ] {
             let ws = split_block(&b, &p);
             // Reconstruct each row from the worksets and compare.
             for r in 0..b.nrows() {
@@ -254,7 +260,10 @@ mod tests {
         let blocked = block_dispatch_stats(&b, &p);
         assert_eq!(naive.objects, 6 * 4);
         assert_eq!(blocked.objects, 4);
-        assert!(naive.bytes > blocked.bytes, "naive {naive:?} vs blocked {blocked:?}");
+        assert!(
+            naive.bytes > blocked.bytes,
+            "naive {naive:?} vs blocked {blocked:?}"
+        );
     }
 
     #[test]

@@ -185,7 +185,10 @@ mod tests {
         CsrMatrix::from_rows(&[
             (-1.0, SparseVector::from_pairs(vec![(0, 0.3), (2, 0.5)])),
             (-1.0, SparseVector::from_pairs(vec![(2, 0.8)])),
-            (1.0, SparseVector::from_pairs(vec![(0, 0.1), (1, 0.9), (2, 0.1)])),
+            (
+                1.0,
+                SparseVector::from_pairs(vec![(0, 0.1), (1, 0.9), (2, 0.1)]),
+            ),
         ])
     }
 
@@ -240,7 +243,9 @@ mod tests {
         assert_eq!(m.wire_size(), 16 + 24 + 32 + 96);
         // Naive per-row encoding for the same data is strictly larger once
         // per-row label + header overheads are counted.
-        let naive: usize = (0..m.nrows()).map(|r| 8 + m.row_vector(r).wire_size()).sum();
+        let naive: usize = (0..m.nrows())
+            .map(|r| 8 + m.row_vector(r).wire_size())
+            .sum();
         assert!(m.wire_size() < naive + 16 * m.nrows());
     }
 

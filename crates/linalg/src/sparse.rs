@@ -61,7 +61,10 @@ impl SparseVector {
     /// Panics in debug builds if the invariants do not hold.
     pub fn from_sorted(indices: Vec<FeatureIndex>, values: Vec<Value>) -> Self {
         debug_assert_eq!(indices.len(), values.len());
-        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must be strictly increasing");
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly increasing"
+        );
         Self { indices, values }
     }
 
@@ -71,7 +74,10 @@ impl SparseVector {
     /// Panics if `index` is not strictly greater than the last stored index.
     pub fn push(&mut self, index: FeatureIndex, value: Value) {
         if let Some(&last) = self.indices.last() {
-            assert!(index > last, "push must keep indices strictly increasing ({index} after {last})");
+            assert!(
+                index > last,
+                "push must keep indices strictly increasing ({index} after {last})"
+            );
         }
         self.indices.push(index);
         self.values.push(value);
@@ -104,7 +110,10 @@ impl SparseVector {
 
     /// Iterates over `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (FeatureIndex, Value)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// The value at `index`, or 0.0 if it is not stored.
@@ -197,7 +206,8 @@ impl SparseVector {
     /// The inverse of [`SparseVector::split_by`]; used by tests to verify the
     /// transformation is lossless.
     pub fn merge(parts: &[SparseVector]) -> SparseVector {
-        let mut pairs: Vec<(FeatureIndex, Value)> = Vec::with_capacity(parts.iter().map(|p| p.nnz()).sum());
+        let mut pairs: Vec<(FeatureIndex, Value)> =
+            Vec::with_capacity(parts.iter().map(|p| p.nnz()).sum());
         for p in parts {
             pairs.extend(p.iter());
         }
@@ -216,7 +226,10 @@ impl SparseVector {
         }
         for w in self.indices.windows(2) {
             if w[0] >= w[1] {
-                return Err(format!("indices not strictly increasing at {} >= {}", w[0], w[1]));
+                return Err(format!(
+                    "indices not strictly increasing at {} >= {}",
+                    w[0], w[1]
+                ));
             }
         }
         Ok(())

@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 /// Strategy producing an arbitrary sparse vector with indices < `dim`.
 fn sparse_vec(dim: u64, max_nnz: usize) -> impl Strategy<Value = SparseVector> {
-    prop::collection::vec((0..dim, -10.0f64..10.0), 0..max_nnz)
-        .prop_map(SparseVector::from_pairs)
+    prop::collection::vec((0..dim, -10.0f64..10.0), 0..max_nnz).prop_map(SparseVector::from_pairs)
 }
 
 fn dense_vec(len: usize) -> impl Strategy<Value = DenseVector> {

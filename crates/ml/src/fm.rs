@@ -193,7 +193,8 @@ mod tests {
         let factors = 3;
         let dim = 10;
         let p = sample_params(dim, factors);
-        let x = SparseVector::from_pairs((0..dim as u64).map(|j| (j, 0.3 + j as f64 * 0.1)).collect());
+        let x =
+            SparseVector::from_pairs((0..dim as u64).map(|j| (j, 0.3 + j as f64 * 0.1)).collect());
         let batch_full = CsrMatrix::from_rows(&[(1.0, x.clone())]);
         let mut serial = vec![0.0; factors + 1];
         partial_stats(factors, &p, &batch_full, &mut serial);
@@ -202,7 +203,9 @@ mod tests {
         // per-worker compacted params and slots).
         let mut agg = vec![0.0; factors + 1];
         for wkr in 0..2usize {
-            let feats: Vec<u64> = (0..dim as u64).filter(|j| (*j % 2) as usize == wkr).collect();
+            let feats: Vec<u64> = (0..dim as u64)
+                .filter(|j| (*j % 2) as usize == wkr)
+                .collect();
             let mut local = ParamSet::zeros(feats.len(), &[1, factors]);
             for (slot, &j) in feats.iter().enumerate() {
                 local.blocks[0][slot] = p.blocks[0][j as usize];

@@ -25,9 +25,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod fm;
-pub mod mlp;
 pub mod glm;
 pub mod metrics;
+pub mod mlp;
 pub mod mlr;
 pub mod optimizer;
 pub mod params;

@@ -86,7 +86,10 @@ impl Curve {
     /// below — the paper's "time to reach a certain loss" comparison
     /// (the horizontal line in each Figure 8 plot). `None` if never.
     pub fn time_to_loss(&self, target: f64) -> Option<f64> {
-        self.points.iter().find(|p| p.loss <= target).map(|p| p.time_s)
+        self.points
+            .iter()
+            .find(|p| p.loss <= target)
+            .map(|p| p.time_s)
     }
 
     /// Final loss (last point), or `None` for an empty curve.
@@ -101,7 +104,8 @@ impl Curve {
         let mut out = Curve::new(self.label.clone());
         for (i, p) in self.points.iter().enumerate() {
             let lo = (i + 1).saturating_sub(window);
-            let mean = self.points[lo..=i].iter().map(|q| q.loss).sum::<f64>() / (i - lo + 1) as f64;
+            let mean =
+                self.points[lo..=i].iter().map(|q| q.loss).sum::<f64>() / (i - lo + 1) as f64;
             out.points.push(CurvePoint {
                 iteration: p.iteration,
                 time_s: p.time_s,

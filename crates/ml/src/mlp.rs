@@ -129,7 +129,12 @@ pub fn forward_partial_input(part: &LayerPartition, batch: &CsrMatrix) -> Vec<f6
 
 /// Forward partial for a **hidden layer** from the full previous
 /// activations (`B × n_prev`, broadcast): only the owned rows contribute.
-pub fn forward_partial_dense(part: &LayerPartition, a_prev: &[f64], n_prev: usize, batch: usize) -> Vec<f64> {
+pub fn forward_partial_dense(
+    part: &LayerPartition,
+    a_prev: &[f64],
+    n_prev: usize,
+    batch: usize,
+) -> Vec<f64> {
     let out = part.out;
     let mut z = vec![0.0; batch * out];
     for b in 0..batch {
@@ -264,7 +269,9 @@ mod tests {
         let n_in = 10;
         let out = 4;
         let full = dense_layer(0, n_in, out, 7);
-        let a_prev: Vec<f64> = (0..2 * n_in).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let a_prev: Vec<f64> = (0..2 * n_in)
+            .map(|i| (i as f64 * 0.37).sin().abs())
+            .collect();
         let z_full = forward_partial_dense(&full, &a_prev, n_in, 2);
 
         for k in [2usize, 3] {
@@ -324,10 +331,26 @@ mod tests {
         let delta2 = output_delta(&zs[1], &[y]);
         let before1 = layers[1].w.clone();
         let delta1 = backward_dense(&mut layers[1], &acts[1], &zs[0], h, &delta2, 1, 1.0);
-        let grad1: Vec<f64> = before1.iter().zip(&layers[1].w).map(|(a, b)| a - b).collect();
+        let grad1: Vec<f64> = before1
+            .iter()
+            .zip(&layers[1].w)
+            .map(|(a, b)| a - b)
+            .collect();
         let before0 = layers[0].w.clone();
-        let _ = backward_dense(&mut layers[0], &acts[0], &vec![1.0; n_in], n_in, &delta1, 1, 1.0);
-        let grad0: Vec<f64> = before0.iter().zip(&layers[0].w).map(|(a, b)| a - b).collect();
+        let _ = backward_dense(
+            &mut layers[0],
+            &acts[0],
+            &vec![1.0; n_in],
+            n_in,
+            &delta1,
+            1,
+            1.0,
+        );
+        let grad0: Vec<f64> = before0
+            .iter()
+            .zip(&layers[0].w)
+            .map(|(a, b)| a - b)
+            .collect();
         // NOTE: layer 0's "z_prev" is the raw input (identity activation);
         // we passed all-positive ones so relu_prime = 1 and delta_prev is
         // unused.
@@ -353,7 +376,9 @@ mod tests {
         let n_prev = 8;
         let h = 3;
         let batch = 2;
-        let a_prev: Vec<f64> = (0..batch * n_prev).map(|i| (i as f64 * 0.11).cos().abs()).collect();
+        let a_prev: Vec<f64> = (0..batch * n_prev)
+            .map(|i| (i as f64 * 0.11).cos().abs())
+            .collect();
         let z_prev = a_prev.clone();
         let delta: Vec<f64> = (0..batch * h).map(|i| 0.1 * i as f64 - 0.2).collect();
         let k = 3;
@@ -361,7 +386,9 @@ mod tests {
         for w in 0..k {
             let rows: Vec<usize> = (0..n_prev).filter(|r| r % k == w).collect();
             let mut part = LayerPartition::init(1, rows, n_prev, h, 5);
-            pieces.push(backward_dense(&mut part, &a_prev, &z_prev, n_prev, &delta, batch, 0.0));
+            pieces.push(backward_dense(
+                &mut part, &a_prev, &z_prev, n_prev, &delta, batch, 0.0,
+            ));
         }
         // Every coordinate is nonzero in at most one piece.
         for c in 0..batch * n_prev {
@@ -391,7 +418,9 @@ mod tests {
 
     #[test]
     fn stats_per_point_formula() {
-        let spec = MlpSpec { hidden: vec![64, 32] };
+        let spec = MlpSpec {
+            hidden: vec![64, 32],
+        };
         assert_eq!(spec.layer_outputs(), vec![64, 32, 1]);
         // forward: 64+32+1, backward deltas: 64+32, both directions.
         assert_eq!(spec.stats_per_point(), 2 * (97 + 96));

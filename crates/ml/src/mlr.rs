@@ -34,7 +34,10 @@ pub fn loss(classes: usize, labels: &[f64], logits: &[f64]) -> f64 {
         let row = &logits[i * classes..(i + 1) * classes];
         ops::softmax_into(row, &mut probs);
         let target = y as usize;
-        debug_assert!(target < classes, "label {y} out of range for {classes} classes");
+        debug_assert!(
+            target < classes,
+            "label {y} out of range for {classes} classes"
+        );
         total += -(probs[target].max(1e-300)).ln();
     }
     total / labels.len() as f64

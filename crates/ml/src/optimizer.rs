@@ -58,13 +58,8 @@ impl OptimizerKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum BlockState {
     Sgd,
-    AdaGrad {
-        acc: DenseVector,
-    },
-    Adam {
-        m: DenseVector,
-        v: DenseVector,
-    },
+    AdaGrad { acc: DenseVector },
+    Adam { m: DenseVector, v: DenseVector },
 }
 
 /// Optimizer state covering one [`crate::ParamSet`]'s blocks.
@@ -118,7 +113,14 @@ impl OptimizerState {
 
     /// Applies one coordinate's gradient `g` to `model[coord]` in block
     /// `block`.
-    pub fn apply(&mut self, block: usize, model: &mut DenseVector, coord: usize, g: f64, learning_rate: f64) {
+    pub fn apply(
+        &mut self,
+        block: usize,
+        model: &mut DenseVector,
+        coord: usize,
+        g: f64,
+        learning_rate: f64,
+    ) {
         match (&mut self.blocks[block], self.kind) {
             (BlockState::Sgd, OptimizerKind::Sgd) => {
                 model[coord] -= learning_rate * g;

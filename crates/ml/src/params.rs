@@ -58,7 +58,11 @@ impl ParamSet {
 
     /// Bytes on the simulated wire.
     pub fn wire_size(&self) -> usize {
-        8 + self.blocks.iter().map(DenseVector::wire_size).sum::<usize>()
+        8 + self
+            .blocks
+            .iter()
+            .map(DenseVector::wire_size)
+            .sum::<usize>()
     }
 }
 
@@ -105,11 +109,15 @@ impl SparseGrad {
             .collect();
         let (mut a, mut b) = (0usize, 0usize);
         while a < self.nnz() || b < other.nnz() {
-            let take_a = b >= other.nnz()
-                || (a < self.nnz() && self.indices[a] <= other.indices[b]);
-            let take_b = a >= self.nnz()
-                || (b < other.nnz() && other.indices[b] <= self.indices[a]);
-            let idx = if take_a { self.indices[a] } else { other.indices[b] };
+            let take_a =
+                b >= other.nnz() || (a < self.nnz() && self.indices[a] <= other.indices[b]);
+            let take_b =
+                a >= self.nnz() || (b < other.nnz() && other.indices[b] <= self.indices[a]);
+            let idx = if take_a {
+                self.indices[a]
+            } else {
+                other.indices[b]
+            };
             indices.push(idx);
             for blk in 0..nb {
                 let w = self.widths[blk];

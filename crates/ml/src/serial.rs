@@ -55,7 +55,14 @@ pub fn train(spec: ModelSpec, rows: RowsRef<'_>, dim: usize, cfg: &SerialConfig)
         let batch = sample_batch(rows, cfg.batch_size, cfg.seed, t);
         spec.compute_stats(&params, &batch, &mut stats);
         losses.push(spec.loss_from_stats(batch.labels(), &stats));
-        spec.update_from_stats(&mut params, &mut opt, &batch, &stats.clone(), &cfg.update, cfg.batch_size);
+        spec.update_from_stats(
+            &mut params,
+            &mut opt,
+            &batch,
+            &stats.clone(),
+            &cfg.update,
+            cfg.batch_size,
+        );
     }
     SerialRun { params, losses }
 }
@@ -145,7 +152,12 @@ mod tests {
     fn fm_converges_on_synthetic_data() {
         let ds = synth::small_test_dataset(1_000, 100, 3);
         let rows = ds.iter().cloned().collect::<Vec<_>>();
-        let run = train(ModelSpec::Fm { factors: 4 }, &rows, 100, &cfg(64, 300, 0.5, 5));
+        let run = train(
+            ModelSpec::Fm { factors: 4 },
+            &rows,
+            100,
+            &cfg(64, 300, 0.5, 5),
+        );
         let first = run.losses[..10].iter().sum::<f64>() / 10.0;
         let last = run.losses[run.losses.len() - 10..].iter().sum::<f64>() / 10.0;
         assert!(last < first, "no FM convergence: {first} -> {last}");

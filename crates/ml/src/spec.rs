@@ -91,7 +91,12 @@ impl ModelSpec {
     /// zero; FM factor matrices use the functional initializer
     /// [`fm::init_v`] keyed by *global* index, so any column partitioning
     /// of the model initializes identically to the serial model.
-    pub fn init_params<G: Fn(usize) -> u64>(&self, dim: usize, seed: u64, global_of: G) -> ParamSet {
+    pub fn init_params<G: Fn(usize) -> u64>(
+        &self,
+        dim: usize,
+        seed: u64,
+        global_of: G,
+    ) -> ParamSet {
         let mut params = ParamSet::zeros(dim, &self.widths());
         if let ModelSpec::Fm { factors } = *self {
             let v = &mut params.blocks[1];
@@ -354,7 +359,10 @@ mod tests {
         assert_eq!(ModelSpec::Fm { factors: 10 }.widths(), vec![1, 10]);
         assert_eq!(ModelSpec::Fm { factors: 10 }.stats_width(), 11);
         assert_eq!(ModelSpec::Svm.stats_width(), 1);
-        assert_eq!(ModelSpec::Fm { factors: 50 }.num_params(54_686_452), 54_686_452 * 51);
+        assert_eq!(
+            ModelSpec::Fm { factors: 50 }.num_params(54_686_452),
+            54_686_452 * 51
+        );
     }
 
     #[test]
@@ -460,7 +468,10 @@ mod tests {
         let spec = ModelSpec::Mlr { classes: 2 };
         let mut p = spec.init_params(2, 0, |s| s as u64);
         p.blocks[1] = vec![5.0, 5.0].into();
-        assert_eq!(spec.predict(&p, &SparseVector::from_pairs(vec![(0, 1.0)])), 1.0);
+        assert_eq!(
+            spec.predict(&p, &SparseVector::from_pairs(vec![(0, 1.0)])),
+            1.0
+        );
     }
 
     use columnsgd_linalg::SparseVector;

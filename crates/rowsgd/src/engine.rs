@@ -3,7 +3,7 @@
 //! ColumnSGD.
 
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use columnsgd_cluster::clock::IterationTime;
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
@@ -20,6 +20,11 @@ use crate::worker::run_row_worker;
 /// Serialization cost per object during loading (same constant as the
 /// ColumnSGD engine, so Figure 7 comparisons are apples to apples).
 pub const PER_OBJECT_S: f64 = 20e-6;
+
+/// Master receive deadline. RowSGD is the baseline, not the subject of
+/// the fault-tolerance study, so it does not recover — but a dead worker
+/// must surface as a loud, attributable panic, never a silent hang.
+const MASTER_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Result of a RowSGD training run.
 #[derive(Debug, Clone)]
@@ -151,7 +156,12 @@ impl RowSgdEngine {
         }
         let mut acks = 0;
         while acks < self.k {
-            match self.master.recv().expect("load ack").payload {
+            match self
+                .master
+                .recv_timeout(MASTER_DEADLINE)
+                .expect("load ack (worker silent past deadline)")
+                .payload
+            {
                 RowMsg::LoadAck { .. } => acks += 1,
                 other => panic!("unexpected message during load: {other:?}"),
             }
@@ -161,9 +171,11 @@ impl RowSgdEngine {
             // worker → worker. Price it as a second pass of the data.
             for (w, &rows) in part_rows.iter().enumerate() {
                 let bytes = self.traffic.link(NodeId::Master, NodeId::Worker(w)).bytes;
-                self.master
-                    .router()
-                    .meter_only(NodeId::Worker(w), NodeId::Worker((w + 1) % self.k), bytes as usize);
+                self.master.router().meter_only(
+                    NodeId::Worker(w),
+                    NodeId::Worker((w + 1) % self.k),
+                    bytes as usize,
+                );
                 let _ = rows;
             }
         }
@@ -176,7 +188,8 @@ impl RowSgdEngine {
             let node = NodeId::Worker(w);
             let bytes = self.traffic.received_by(node).bytes + self.traffic.sent_by(node).bytes;
             let objects = part_rows[w] * passes;
-            worst = worst.max(bytes as f64 / self.net.bandwidth_bytes_per_s + objects as f64 * PER_OBJECT_S);
+            worst = worst
+                .max(bytes as f64 / self.net.bandwidth_bytes_per_s + objects as f64 * PER_OBJECT_S);
         }
         self.load_report = LoadReport {
             objects: (self.rows_total * passes) as u64,
@@ -260,7 +273,12 @@ impl RowSgdEngine {
         let mut compute = vec![0.0; self.k];
         let mut got = 0;
         while got < self.k {
-            match self.master.recv().expect("grad reply").payload {
+            match self
+                .master
+                .recv_timeout(MASTER_DEADLINE)
+                .expect("grad reply (worker silent past deadline)")
+                .payload
+            {
                 RowMsg::GradReplyDense {
                     worker,
                     grad,
@@ -312,7 +330,12 @@ impl RowSgdEngine {
         let mut compute = vec![0.0; self.k];
         let mut got = 0;
         while got < self.k {
-            match self.master.recv().expect("step done").payload {
+            match self
+                .master
+                .recv_timeout(MASTER_DEADLINE)
+                .expect("step done (worker silent past deadline)")
+                .payload
+            {
                 RowMsg::StepDone {
                     worker,
                     loss,
@@ -354,13 +377,22 @@ impl RowSgdEngine {
             // self-driving), so it is not metered.
             for w in 0..self.k {
                 router
-                    .send_unmetered(NodeId::Master, NodeId::Worker(w), RowMsg::RequestIndices { iteration: t })
+                    .send_unmetered(
+                        NodeId::Master,
+                        NodeId::Worker(w),
+                        RowMsg::RequestIndices { iteration: t },
+                    )
                     .expect("request indices");
             }
             let mut requests: Vec<Option<Vec<u64>>> = vec![None; self.k];
             let mut got = 0;
             while got < self.k {
-                match self.master.recv().expect("indices reply").payload {
+                match self
+                    .master
+                    .recv_timeout(MASTER_DEADLINE)
+                    .expect("indices reply (worker silent past deadline)")
+                    .payload
+                {
                     RowMsg::IndicesReply {
                         worker,
                         indices,
@@ -446,7 +478,12 @@ impl RowSgdEngine {
         let mut losses = Vec::with_capacity(self.k);
         let mut got = 0;
         while got < self.k {
-            match self.master.recv().expect("grad reply").payload {
+            match self
+                .master
+                .recv_timeout(MASTER_DEADLINE)
+                .expect("grad reply (worker silent past deadline)")
+                .payload
+            {
                 RowMsg::GradReplySparse {
                     worker,
                     grad,
@@ -462,7 +499,11 @@ impl RowSgdEngine {
                             .count() as u64;
                         if cnt > 0 {
                             let bytes = (8 + unit) * cnt + ENVELOPE_BYTES as u64;
-                            router.meter_only(NodeId::Worker(worker), NodeId::Server(p), bytes as usize);
+                            router.meter_only(
+                                NodeId::Worker(worker),
+                                NodeId::Server(p),
+                                bytes as usize,
+                            );
                             push_keys_per_server[p] += cnt;
                             push_per_server[p].push(bytes);
                         }
@@ -541,7 +582,12 @@ impl RowSgdEngine {
                 self.master
                     .send(NodeId::Worker(0), RowMsg::FetchModel)
                     .expect("fetch model");
-                match self.master.recv().expect("model reply").payload {
+                match self
+                    .master
+                    .recv_timeout(MASTER_DEADLINE)
+                    .expect("model reply (worker silent past deadline)")
+                    .payload
+                {
                     RowMsg::ModelReply { params, .. } => params,
                     other => panic!("unexpected message: {other:?}"),
                 }

@@ -48,7 +48,13 @@ pub fn model_bytes(spec: ModelSpec, m: u64) -> u64 {
 
 /// Peak-memory estimate for a RowSGD variant at dimension `m` with `k`
 /// workers and `p` servers.
-pub fn estimate(variant: RowSgdVariant, spec: ModelSpec, m: u64, k: usize, p: usize) -> MemoryEstimate {
+pub fn estimate(
+    variant: RowSgdVariant,
+    spec: ModelSpec,
+    m: u64,
+    k: usize,
+    p: usize,
+) -> MemoryEstimate {
     let model = model_bytes(spec, m);
     let _ = k;
     match variant {
@@ -111,11 +117,7 @@ mod tests {
         );
 
         let col = columnsgd_worker_bytes(spec, m, 8, 1000);
-        assert!(
-            col < CLUSTER1_NODE,
-            "ColumnSGD must fit: {} GB",
-            col / GB
-        );
+        assert!(col < CLUSTER1_NODE, "ColumnSGD must fit: {} GB", col / GB);
     }
 
     #[test]
@@ -138,7 +140,13 @@ mod tests {
     fn fm10_on_kdd12_fits_mxnet() {
         // Table V row 3: MXNet runs kdd12 F=10 (0.84 s/iter), so its
         // estimate must fit: 11 × 54.7M × 8 B ≈ 4.8 GB, 2× peak ≈ 9.6 GB.
-        let e = estimate(RowSgdVariant::PsSparse, ModelSpec::Fm { factors: 10 }, 54_686_452, 8, 8);
+        let e = estimate(
+            RowSgdVariant::PsSparse,
+            ModelSpec::Fm { factors: 10 },
+            54_686_452,
+            8,
+            8,
+        );
         assert!(!e.exceeds(CLUSTER1_NODE));
     }
 

@@ -6,7 +6,7 @@
 //! participates in a worker-to-worker ring AllReduce (MLlib*).
 
 use std::collections::BTreeSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use columnsgd_cluster::allreduce::chunk_bounds;
 use columnsgd_cluster::{Endpoint, NodeId};
@@ -52,7 +52,10 @@ impl RowWorker {
     /// of the global batch, Algorithm 2 line 13).
     fn sample_batch(&self, t: u64) -> CsrMatrix {
         let share = self.local_batch_size();
-        let mut r = rng::iteration_rng(self.cfg.seed ^ (self.id as u64 + 1).wrapping_mul(0xA5A5_A5A5), t);
+        let mut r = rng::iteration_rng(
+            self.cfg.seed ^ (self.id as u64 + 1).wrapping_mul(0xA5A5_A5A5),
+            t,
+        );
         let mut batch = CsrMatrix::new();
         for _ in 0..share {
             let (y, x) = &self.rows[r.gen_range(0..self.rows.len())];
@@ -154,7 +157,11 @@ impl RowWorker {
     /// worker's own `LocalStep` (the master→worker and worker→worker links
     /// are independently FIFO, so a fast predecessor can start the ring
     /// before a slow successor has even seen the step request).
-    fn ring_average(&mut self, ep: &Endpoint<RowMsg>, early: &mut std::collections::VecDeque<(u8, u32, Vec<f64>)>) {
+    fn ring_average(
+        &mut self,
+        ep: &Endpoint<RowMsg>,
+        early: &mut std::collections::VecDeque<(u8, u32, Vec<f64>)>,
+    ) {
         let k = self.k;
         if k == 1 {
             return;
@@ -178,7 +185,9 @@ impl RowWorker {
                 );
                 return data;
             }
-            let env = ep.recv().expect("ring recv");
+            let env = ep
+                .recv_timeout(Duration::from_secs(30))
+                .expect("ring recv (peer silent past deadline)");
             match env.payload {
                 RowMsg::RingChunk { phase, step, data } => {
                     assert_eq!(
@@ -267,8 +276,11 @@ pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: 
         std::collections::VecDeque::new();
 
     loop {
-        let env = match ep.recv() {
+        let env = match ep.recv_timeout(Duration::from_secs(30)) {
             Ok(env) => env,
+            // Idle is fine (the master may be between phases); a closed
+            // channel means the run is over.
+            Err(columnsgd_cluster::NetError::Timeout) => continue,
             Err(_) => return,
         };
         match env.payload {

@@ -218,7 +218,10 @@ fn fm_trains_on_ps_variants() {
             .map(|p| p.loss)
             .sum::<f64>()
             / 5.0;
-        assert!(last < first, "{variant:?} FM did not descend: {first} -> {last}");
+        assert!(
+            last < first,
+            "{variant:?} FM did not descend: {first} -> {last}"
+        );
     }
 }
 

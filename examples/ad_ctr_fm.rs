@@ -27,7 +27,10 @@ fn main() {
 
     let k = 4;
     let rows: Vec<_> = dataset.iter().cloned().collect();
-    for (name, spec) in [("LR", ModelSpec::Lr), ("FM(F=10)", ModelSpec::Fm { factors: 10 })] {
+    for (name, spec) in [
+        ("LR", ModelSpec::Lr),
+        ("FM(F=10)", ModelSpec::Fm { factors: 10 }),
+    ] {
         let config = ColumnSgdConfig::new(spec)
             .with_batch_size(1000)
             .with_iterations(300)
@@ -39,8 +42,9 @@ fn main() {
             config,
             NetworkModel::CLUSTER1,
             FailurePlan::none(),
-        );
-        let outcome = engine.train();
+        )
+        .expect("engine");
+        let outcome = engine.train().expect("train");
         let model = engine.collect_model();
         let acc = columnsgd::ml::serial::full_accuracy(spec, &model, &rows);
         let loss = columnsgd::ml::serial::full_loss(spec, &model, &rows);

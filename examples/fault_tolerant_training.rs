@@ -1,14 +1,24 @@
 //! Fault-tolerant training: survive a worker crash mid-run (§X of the
-//! paper, Figure 13b).
+//! paper, Figure 13b), then survive *chaos* — randomly dropped,
+//! duplicated, delayed messages and spontaneous crashes.
 //!
 //! ```text
 //! cargo run --release --example fault_tolerant_training
 //! ```
 //!
-//! Kills worker 1 at iteration 150 of a 300-iteration run. Its data
-//! partition is reloaded from the (simulated) distributed store and its
-//! model partition restarts from zero — ColumnSGD does **no model
+//! Part 1 kills worker 1 at iteration 150 of a 300-iteration run. Its
+//! data partition is reloaded from the (simulated) distributed store and
+//! its model partition restarts from zero — ColumnSGD does **no model
 //! checkpointing**; it relies on SGD's robustness to reconverge.
+//!
+//! Part 2 re-runs training under a seeded [`ChaosSpec`]: every
+//! data-plane message has a small chance of being dropped, duplicated,
+//! or reordered, and workers occasionally crash on task start. The
+//! master detects each fault (error reply, panic report, send failure,
+//! or timeout + probe), recovers, and logs a [`RecoveryEvent`].
+//!
+//! Everything printed comes from the master's *observations* — it never
+//! reads the injection script.
 
 use columnsgd::cluster::failure::FailureEvent;
 use columnsgd::prelude::*;
@@ -30,18 +40,19 @@ fn main() {
         .with_learning_rate(1.0)
         .with_seed(11);
 
+    // ---- Part 1: one scripted worker crash -----------------------------
     let crash_at = 150u64;
     let plan = FailurePlan {
-        straggler: None,
         events: vec![FailureEvent::WorkerFailure {
             iteration: crash_at,
             worker: 1,
         }],
+        ..FailurePlan::default()
     };
 
-    let mut engine =
-        ColumnSgdEngine::new(&dataset, 4, config, NetworkModel::CLUSTER1, plan);
-    let outcome = engine.train();
+    let mut engine = ColumnSgdEngine::new(&dataset, 4, config, NetworkModel::CLUSTER1, plan)
+        .expect("valid failure plan");
+    let outcome = engine.train().expect("training survives a worker crash");
 
     println!("loss trajectory (worker 1 dies at iteration {crash_at}):");
     let sm = outcome.curve.smoothed(10);
@@ -57,18 +68,60 @@ fn main() {
         );
     }
 
-    // The reload pause is visible in the clock as a pure-overhead record.
-    let reload = outcome
-        .clock
-        .trace()
-        .iter()
-        .find(|it| it.compute_s == 0.0 && it.comm_s == 0.0 && it.overhead_s > 1e-6)
-        .map(|it| it.overhead_s)
-        .unwrap_or(0.0);
-    println!("\nreload pause: {reload:.4} simulated seconds (no checkpoint was ever taken)");
+    // What the master saw, from its own recovery log.
+    for ev in &outcome.recovery {
+        println!(
+            "\ndetected {:?} on worker {} at iteration {} via {:?} \
+             (detection {:.1} ms, recovery charged {:.4} simulated s)",
+            ev.fault,
+            ev.worker,
+            ev.iteration,
+            ev.detection,
+            ev.detection_latency_s * 1e3,
+            ev.recovery_cost_s
+        );
+    }
+    println!("no checkpoint was ever taken");
 
     let model = engine.collect_model();
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let acc = columnsgd::ml::serial::full_accuracy(ModelSpec::Lr, &model, &rows);
     println!("final accuracy after recovery: {:.1}%", acc * 100.0);
+
+    // ---- Part 2: chaos -------------------------------------------------
+    let chaos = ChaosSpec::uniform(
+        /* seed */ 23, /* wire p */ 0.03, /* crash p */ 0.01,
+    );
+    println!(
+        "\nchaos run: drop/dup/delay p={}, crash p={} (seed {}):",
+        chaos.drop_p, chaos.crash_p, chaos.seed
+    );
+    let cfg = config.with_iterations(150).with_deadline_ms(300);
+    let mut engine = ColumnSgdEngine::new(
+        &dataset,
+        4,
+        cfg,
+        NetworkModel::CLUSTER1,
+        FailurePlan::with_chaos(chaos),
+    )
+    .expect("valid chaos spec");
+    let outcome = engine.train().expect("training converges under chaos");
+    println!(
+        "  completed {} iterations, final loss {:.4}",
+        outcome.curve.points.len(),
+        outcome.curve.final_loss().unwrap()
+    );
+    println!(
+        "  {} faults detected and recovered:",
+        outcome.recovery.len()
+    );
+    for ev in outcome.recovery.iter().take(12) {
+        println!(
+            "    iter {:>3}  worker {}  {:?} via {:?} (attempt {})",
+            ev.iteration, ev.worker, ev.fault, ev.detection, ev.attempt
+        );
+    }
+    if outcome.recovery.len() > 12 {
+        println!("    ... and {} more", outcome.recovery.len() - 12);
+    }
 }

@@ -58,12 +58,22 @@ fn main() {
         .with_batch_size(500)
         .with_iterations(300)
         .with_learning_rate(0.5);
-    let mut lr = ColumnSgdEngine::new(&dataset, 4, lr_cfg, NetworkModel::CLUSTER1, FailurePlan::none());
-    let _ = lr.train();
+    let mut lr = ColumnSgdEngine::new(
+        &dataset,
+        4,
+        lr_cfg,
+        NetworkModel::CLUSTER1,
+        FailurePlan::none(),
+    )
+    .expect("engine");
+    let _ = lr.train().expect("train");
     let model = lr.collect_model();
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let lr_acc = columnsgd::ml::serial::full_accuracy(ModelSpec::Lr, &model, &rows);
-    println!("LR        accuracy: {:.1}% (XOR is not linearly separable)", lr_acc * 100.0);
+    println!(
+        "LR        accuracy: {:.1}% (XOR is not linearly separable)",
+        lr_acc * 100.0
+    );
 
     // 2. A 16-unit MLP with column-partitioned FC layers solves it.
     let cfg = MlpConfig {

@@ -69,9 +69,10 @@ fn main() {
         cfg,
         NetworkModel::CLUSTER1,
         FailurePlan::none(),
-    );
+    )
+    .expect("engine");
     engine.traffic().reset();
-    let outcome = engine.train();
+    let outcome = engine.train().expect("train");
     let mb = engine.traffic().total().bytes as f64 / 1e6 / iters as f64;
     println!(
         "{:<12} {:>12.4} {:>14.3} {:>16}",

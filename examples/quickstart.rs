@@ -45,7 +45,8 @@ fn main() {
         config,
         NetworkModel::CLUSTER1, // 1 Gbps / 0.5 ms, the paper's Cluster 1
         FailurePlan::none(),
-    );
+    )
+    .expect("engine");
     let load = engine.load_report();
     println!(
         "loading: {} objects, {:.2} MB shuffled, {:.3} s simulated",
@@ -57,7 +58,7 @@ fn main() {
     // 4. Train. Every iteration: workers compute partial dot products,
     //    the master sums and broadcasts them, workers update their model
     //    partitions — no gradient or model ever crosses the network.
-    let outcome = engine.train();
+    let outcome = engine.train().expect("train");
     for p in outcome.curve.smoothed(10).points.iter().step_by(40) {
         println!(
             "iter {:>4}  sim-time {:>7.2}s  batch loss {:.4}",

@@ -28,9 +28,10 @@ fn columnsgd_traffic_matches_analytic() {
     let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
         .with_batch_size(b)
         .with_iterations(ITERS);
-    let mut e = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none());
+    let mut e = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none())
+        .expect("engine");
     e.traffic().reset();
-    let _ = e.train();
+    let _ = e.train().expect("train");
 
     let master = e.traffic().touching(NodeId::Master).bytes as f64 / ITERS as f64;
     let worker = e.traffic().touching(NodeId::Worker(0)).bytes as f64 / ITERS as f64;
@@ -108,9 +109,10 @@ fn measured_scaling_contrast() {
                 .with_batch_size(100)
                 .with_iterations(4);
             let mut e =
-                ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none());
+                ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+                    .expect("engine");
             e.traffic().reset();
-            let _ = e.train();
+            let _ = e.train().expect("train");
             e.traffic().total().bytes
         } else {
             let cfg = RowSgdConfig::new(ModelSpec::Lr, RowSgdVariant::MLlib)

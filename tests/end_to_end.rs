@@ -40,8 +40,9 @@ fn libsvm_to_trained_model() {
         config,
         NetworkModel::CLUSTER1,
         FailurePlan::none(),
-    );
-    let outcome = engine.train();
+    )
+    .expect("engine");
+    let outcome = engine.train().expect("train");
     assert!(outcome.curve.final_loss().unwrap() < 0.3);
 
     let model = engine.collect_model();
@@ -51,8 +52,16 @@ fn libsvm_to_trained_model() {
 
     // Separating structure: positive features up, negative features down.
     let w = &model.blocks[0];
-    assert!(w[1] > 0.0 && w[3] > 0.0, "positive features: {:?}", w.as_slice());
-    assert!(w[2] < 0.0 && w[4] < 0.0, "negative features: {:?}", w.as_slice());
+    assert!(
+        w[1] > 0.0 && w[3] > 0.0,
+        "positive features: {:?}",
+        w.as_slice()
+    );
+    assert!(
+        w[2] < 0.0 && w[4] < 0.0,
+        "negative features: {:?}",
+        w.as_slice()
+    );
 }
 
 #[test]
@@ -72,8 +81,9 @@ fn row_and_column_paradigms_agree_on_the_problem() {
             .with_learning_rate(0.5),
         NetworkModel::INSTANT,
         FailurePlan::none(),
-    );
-    let _ = col.train();
+    )
+    .expect("engine");
+    let _ = col.train().expect("train");
     let col_acc = serial::full_accuracy(ModelSpec::Svm, &col.collect_model(), &rows);
 
     let mut row = RowSgdEngine::new(

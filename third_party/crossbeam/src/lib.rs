@@ -1,0 +1,273 @@
+//! Offline stand-in for the `crossbeam::channel` subset this workspace
+//! uses: unbounded MPMC channels with `send`, `recv`, `recv_timeout`,
+//! `try_recv`, `len`, and disconnect semantics.
+//!
+//! Built on a `Mutex<VecDeque>` plus `Condvar`; throughput is far below the
+//! real crossbeam but the semantics match: a send to a channel whose every
+//! receiver is gone fails, and a receive on a channel whose every sender is
+//! gone fails rather than blocking forever.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The message could not be delivered: every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// No message can ever arrive: every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a bounded-time receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Outcome of a non-blocking receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty.
+        Empty,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders += 1;
+            drop(st);
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            let none_left = st.senders == 0;
+            drop(st);
+            if none_left {
+                // Wake blocked receivers so they observe the disconnect.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .chan
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers += 1;
+            drop(st);
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.receivers -= 1;
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn roundtrip_and_len() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                got.push(rx.recv().unwrap());
+            }
+            t.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

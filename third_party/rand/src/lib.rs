@@ -1,0 +1,239 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses.
+//!
+//! The build container has no network access and no crates.io mirror, so
+//! the real `rand` cannot be fetched. This crate reimplements exactly the
+//! surface the workspace exercises — [`RngCore`], [`SeedableRng`] (with the
+//! SplitMix64-based `seed_from_u64` expansion), and the [`Rng`] extension
+//! trait with `gen`, `gen_range`, and `gen_bool` — with the same semantics
+//! (deterministic, uniform, seed-stable). It makes no attempt to be
+//! bit-compatible with upstream `rand` streams; the workspace pins its own
+//! generator (`ChaCha8Rng` from the sibling `rand_chacha` stand-in) for
+//! cross-run stability.
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be built from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a 64-bit seed, expanding it with
+    /// SplitMix64 (the same construction upstream `rand` uses, so small
+    /// seeds still fill the whole key).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, byte) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = byte;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from an [`RngCore`] — the stand-in
+/// for `rand`'s `Standard: Distribution<T>` bound on [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),*) => {
+        $(impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        })*
+    };
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64);
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every word is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*
+    };
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = <$t as Standard>::draw(rng);
+                    self.start + (self.end - self.start) * unit
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let unit = <$t as Standard>::draw(rng);
+                    lo + (hi - lo) * unit
+                }
+            }
+        )*
+    };
+}
+impl_sample_range_float!(f32, f64);
+
+/// The user-facing extension trait: `gen`, `gen_range`, `gen_bool`.
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Minimal `rngs` module for API compatibility.
+pub mod rngs {
+    /// A tiny self-seeded generator (SplitMix64), filling in for
+    /// `rand::rngs::SmallRng` in non-reproducible contexts.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(u64);
+
+    impl super::SeedableRng for SmallRng {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            SmallRng(u64::from_le_bytes(seed))
+        }
+    }
+
+    impl super::RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::SmallRng;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = r.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let i: u64 = r.gen_range(5..=5);
+            assert_eq!(i, 5);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

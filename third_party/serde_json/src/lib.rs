@@ -1,0 +1,345 @@
+//! Offline stand-in for the `serde_json` subset this workspace uses:
+//! [`Value`], the [`json!`] macro, and [`to_string_pretty`].
+//!
+//! Instead of routing through serde's data model (whose derive is a no-op
+//! in the offline stand-ins), interpolated expressions convert through the
+//! local [`ToJson`] trait, implemented for the primitive, string, vector,
+//! and option shapes the workspace interpolates.
+
+// The json! macro expands to init-then-push sequences by design.
+#![allow(clippy::vec_init_then_push)]
+
+use std::fmt::{self, Write as _};
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; rendered as an integer when it is one.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1, pretty);
+                    item.write(out, indent + 1, pretty);
+                }
+                newline_indent(out, indent, pretty);
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, val)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1, pretty);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    val.write(out, indent + 1, pretty);
+                }
+                newline_indent(out, indent, pretty);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize, pretty: bool) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, 0, false);
+        f.write_str(&s)
+    }
+}
+
+/// Error type kept for API compatibility; rendering never fails here.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as indented JSON.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    value.write(&mut s, 0, true);
+    Ok(s)
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Conversion into [`Value`] for interpolated `json!` expressions.
+pub trait ToJson {
+    /// Converts a borrowed value into a JSON tree.
+    fn to_json(&self) -> Value;
+}
+
+/// Converts any [`ToJson`] into a [`Value`] (used by the `json!` macro).
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_tojson_num {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        })*
+    };
+}
+impl_tojson_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal with interpolated
+/// expressions; object keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_items!(items; $($tt)*);
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_entries!(entries; $($tt)*);
+        $crate::Value::Object(entries)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: munches array elements. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident;) => {};
+    ($items:ident; null $(, $($rest:tt)*)?) => {
+        $items.push($crate::Value::Null);
+        $( $crate::json_items!($items; $($rest)*); )?
+    };
+    ($items:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $( $crate::json_items!($items; $($rest)*); )?
+    };
+    ($items:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $( $crate::json_items!($items; $($rest)*); )?
+    };
+    ($items:ident; $value:expr $(, $($rest:tt)*)?) => {
+        $items.push($crate::to_value(&$value));
+        $( $crate::json_items!($items; $($rest)*); )?
+    };
+}
+
+/// Internal: munches object entries. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($entries:ident;) => {};
+    ($entries:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::Value::Null));
+        $( $crate::json_entries!($entries; $($rest)*); )?
+    };
+    ($entries:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $( $crate::json_entries!($entries; $($rest)*); )?
+    };
+    ($entries:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $( $crate::json_entries!($entries; $($rest)*); )?
+    };
+    ($entries:ident; $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $entries.push(($key.to_string(), $crate::to_value(&$value)));
+        $( $crate::json_entries!($entries; $($rest)*); )?
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(json!(null).to_string(), "null");
+        assert_eq!(json!(3).to_string(), "3");
+        assert_eq!(json!(2.5).to_string(), "2.5");
+        assert_eq!(json!("hi").to_string(), "\"hi\"");
+        assert_eq!(json!(true).to_string(), "true");
+    }
+
+    #[test]
+    fn objects_preserve_order_and_nest() {
+        let nested = json!({
+            "b": 1,
+            "a": { "x": [1, 2.5, "s"], "y": null },
+            "c": 4.0 * 0.5,
+        });
+        assert_eq!(
+            nested.to_string(),
+            r#"{"b":1,"a":{"x":[1,2.5,"s"],"y":null},"c":2}"#
+        );
+    }
+
+    #[test]
+    fn interpolation_accepts_common_types() {
+        let v: Vec<Value> = (0..2).map(|i| json!([i, i as f64 + 0.5])).collect();
+        let name = String::from("n");
+        let doc = json!({ "rows": v, "name": name, "opt": Option::<u32>::None });
+        assert_eq!(
+            doc.to_string(),
+            r#"{"rows":[[0,0.5],[1,1.5]],"name":"n","opt":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_is_indented_and_escaped() {
+        let doc = json!({ "a": ["x\"y"] });
+        let s = to_string_pretty(&doc).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    \"x\\\"y\"\n  ]\n}");
+    }
+
+    #[test]
+    fn trailing_commas_accepted() {
+        assert_eq!(json!([1, 2,]).to_string(), "[1,2]");
+        assert_eq!(json!({ "a": 1, }).to_string(), r#"{"a":1}"#);
+    }
+
+    #[test]
+    fn nonfinite_numbers_become_null() {
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+        assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+}
