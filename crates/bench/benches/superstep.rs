@@ -1,0 +1,41 @@
+//! The full worker-local superstep (sample → batch CSR → statistics →
+//! update) for a k=8 logistic regression, legacy allocation-churn path vs
+//! the engine's buffer-reuse path. The `BENCH_superstep` repro experiment
+//! reports the same comparison as JSON.
+
+use columnsgd::data::synth;
+use columnsgd::ml::ModelSpec;
+use columnsgd_bench::superstep::SuperstepSim;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_superstep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("superstep");
+    let ds = synth::small_test_dataset(5_000, 100_000, 13);
+    let (k, b) = (8, 1_000);
+
+    let mut legacy = SuperstepSim::new(&ds, ModelSpec::Lr, k, b, 7);
+    let mut t = 0u64;
+    g.bench_function("lr_k8_legacy", |bch| {
+        bch.iter(|| {
+            legacy.step_legacy(black_box(t));
+            t += 1;
+        })
+    });
+
+    let mut tuned = SuperstepSim::new(&ds, ModelSpec::Lr, k, b, 7);
+    let mut t = 0u64;
+    g.bench_function("lr_k8_tuned", |bch| {
+        bch.iter(|| {
+            tuned.step_tuned(black_box(t));
+            t += 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_superstep
+}
+criterion_main!(benches);

@@ -10,6 +10,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod superstep;
 pub mod table1;
 pub mod table4;
 pub mod table5;
@@ -18,7 +19,7 @@ pub mod tables23;
 use crate::Report;
 
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "table1",
     "table2",
     "table3",
@@ -39,6 +40,7 @@ pub const ALL_IDS: [&str; 20] = [
     "ext_mlr",
     "ext_dnn",
     "ext_chaos",
+    "BENCH_superstep",
 ];
 
 /// Runs one experiment by id at the given feature-dimension scale.
@@ -65,6 +67,7 @@ pub fn run(id: &str, scale: f64) -> Option<Vec<Report>> {
         "ext_mlr" => vec![ext::mlr(scale)],
         "ext_dnn" => vec![ext_dnn::run(scale)],
         "ext_chaos" => vec![ext_chaos::run(scale)],
+        "BENCH_superstep" => vec![superstep::run(scale)],
         _ => return None,
     };
     Some(reports)

@@ -20,5 +20,6 @@
 pub mod datasets;
 pub mod experiments;
 pub mod report;
+pub mod superstep;
 
 pub use report::Report;

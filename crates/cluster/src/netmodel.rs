@@ -20,6 +20,9 @@ pub struct NetworkModel {
     pub bandwidth_bytes_per_s: f64,
     /// Fixed per-superstep scheduling overhead at the master, in seconds.
     pub scheduling_overhead_s: f64,
+    /// CPU cores per worker machine — the default size of the worker-local
+    /// kernel thread pool when `threads_per_worker` is left at auto.
+    pub cores: usize,
 }
 
 impl NetworkModel {
@@ -29,6 +32,7 @@ impl NetworkModel {
         latency_s: 0.000_5,
         bandwidth_bytes_per_s: 125_000_000.0, // 1 Gbps
         scheduling_overhead_s: 0.05,
+        cores: 2,
     };
 
     /// The paper's Cluster 2: 40 machines, 8 CPUs, 50 GB, 10 Gbps.
@@ -36,6 +40,7 @@ impl NetworkModel {
         latency_s: 0.000_1,
         bandwidth_bytes_per_s: 1_250_000_000.0, // 10 Gbps
         scheduling_overhead_s: 0.05,
+        cores: 8,
     };
 
     /// An idealized instantaneous network (for correctness-only tests).
@@ -43,6 +48,7 @@ impl NetworkModel {
         latency_s: 0.0,
         bandwidth_bytes_per_s: f64::INFINITY,
         scheduling_overhead_s: 0.0,
+        cores: 1,
     };
 
     /// Time for one point-to-point transfer of `bytes`.
@@ -58,8 +64,20 @@ impl NetworkModel {
         if per_sender_bytes.is_empty() {
             return 0.0;
         }
-        let total: u64 = per_sender_bytes.iter().sum();
-        self.latency_s + total as f64 / self.bandwidth_bytes_per_s
+        // Sum in f64: u64 addition would wrap for huge-model transfers.
+        let total: f64 = per_sender_bytes.iter().map(|&b| b as f64).sum();
+        self.latency_s + total / self.bandwidth_bytes_per_s
+    }
+
+    /// [`NetworkModel::gather_time`] when every sender ships the same
+    /// `bytes` — the ColumnSGD statistics gather, where each of the K
+    /// workers sends a B×width partial. Avoids materializing a per-sender
+    /// vector on the per-iteration pricing path.
+    pub fn gather_time_uniform(&self, bytes: u64, senders: usize) -> f64 {
+        if senders == 0 {
+            return 0.0;
+        }
+        self.latency_s + bytes as f64 * senders as f64 / self.bandwidth_bytes_per_s
     }
 
     /// Time for a broadcast from a single endpoint of `bytes` to each of
@@ -68,7 +86,10 @@ impl NetworkModel {
         if receivers == 0 {
             return 0.0;
         }
-        self.latency_s + (bytes * receivers as u64) as f64 / self.bandwidth_bytes_per_s
+        // The product is formed in f64: `bytes * receivers as u64` wraps
+        // for models past ~u64::MAX/K bytes and priced such broadcasts at
+        // nearly zero.
+        self.latency_s + bytes as f64 * receivers as f64 / self.bandwidth_bytes_per_s
     }
 
     /// Time for a ring all-reduce of an `bytes`-sized buffer over `k`
@@ -150,5 +171,48 @@ mod tests {
     fn instant_network_is_free() {
         let m = NetworkModel::INSTANT;
         assert_eq!(m.transfer_time(u64::MAX / 2), 0.0);
+    }
+
+    #[test]
+    fn broadcast_of_huge_model_does_not_wrap() {
+        // Regression: `bytes * receivers as u64` wrapped for huge models,
+        // pricing the broadcast at ~0 s. With f64 arithmetic the cost stays
+        // monotone in both bytes and receiver count.
+        let m = NetworkModel::CLUSTER1;
+        let huge = u64::MAX / 4; // 16 receivers would overflow u64
+        let b8 = m.broadcast_time(huge, 8);
+        let b16 = m.broadcast_time(huge, 16);
+        assert!(b8 > 1e9, "huge broadcast must be expensive, got {b8}");
+        assert!(
+            b16 > 1.9 * b8,
+            "more receivers must cost more: {b16} vs {b8}"
+        );
+        assert!(m.broadcast_time(huge, 16) > m.broadcast_time(huge / 2, 16));
+    }
+
+    #[test]
+    fn gather_of_huge_partials_does_not_wrap() {
+        let m = NetworkModel::CLUSTER1;
+        let huge = u64::MAX / 4;
+        let g8 = m.gather_time(&[huge; 8]); // u64 sum would overflow
+        assert!(g8 > 1e9, "huge gather must be expensive, got {g8}");
+        assert!(g8 > m.gather_time(&[huge; 4]));
+    }
+
+    #[test]
+    fn uniform_gather_matches_per_sender_vector() {
+        let m = NetworkModel::CLUSTER1;
+        for senders in [0usize, 1, 3, 8] {
+            let per: Vec<u64> = vec![123_456; senders];
+            assert_eq!(m.gather_time_uniform(123_456, senders), m.gather_time(&per));
+        }
+        assert!(m.gather_time_uniform(u64::MAX / 4, 16).is_finite());
+    }
+
+    #[test]
+    fn presets_carry_paper_core_counts() {
+        assert_eq!(NetworkModel::CLUSTER1.cores, 2);
+        assert_eq!(NetworkModel::CLUSTER2.cores, 8);
+        assert_eq!(NetworkModel::INSTANT.cores, 1);
     }
 }

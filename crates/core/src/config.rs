@@ -55,6 +55,13 @@ pub struct ColumnSgdConfig {
     /// partition contributes nothing that iteration, optionally
     /// compensated by rescaling the aggregate by `K/(K-1)`.
     pub staleness: Option<StaleStats>,
+    /// Size of the worker-local thread pool running the per-partition
+    /// statistics/update kernels (§IV-B: with S-backup a worker holds S+1
+    /// independent partitions). `0` means auto: use the cluster preset's
+    /// per-machine core count. Thread count never changes results — the
+    /// kernels are deterministic per partition and reduced in partition
+    /// order.
+    pub threads_per_worker: usize,
 }
 
 /// Stale-statistics policy (extension; see [`ColumnSgdConfig::staleness`]).
@@ -86,6 +93,7 @@ impl ColumnSgdConfig {
             max_task_retries: 3,
             deadline_ms: 2_000,
             staleness: None,
+            threads_per_worker: 0,
         }
     }
 
@@ -134,6 +142,13 @@ impl ColumnSgdConfig {
     /// Builder-style detection deadline (wall-clock milliseconds).
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = ms;
+        self
+    }
+
+    /// Builder-style worker kernel-pool size (`0` = auto from the cluster
+    /// preset's core count).
+    pub fn with_threads_per_worker(mut self, threads: usize) -> Self {
+        self.threads_per_worker = threads;
         self
     }
 
@@ -194,7 +209,8 @@ mod tests {
             .with_seed(7)
             .with_backup(1)
             .with_max_task_retries(5)
-            .with_deadline_ms(500);
+            .with_deadline_ms(500)
+            .with_threads_per_worker(4);
         assert_eq!(c.batch_size, 64);
         assert_eq!(c.iterations, 10);
         assert_eq!(c.update.learning_rate, 0.5);
@@ -202,6 +218,7 @@ mod tests {
         assert_eq!(c.backup_s, 1);
         assert_eq!(c.max_task_retries, 5);
         assert_eq!(c.deadline_ms, 500);
+        assert_eq!(c.threads_per_worker, 4);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use columnsgd_cluster::clock::IterationTime;
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
 use columnsgd_cluster::{
     spawn_guarded, Endpoint, Envelope, FailurePlan, NetError, NetworkModel, NodeId, Router,
-    SimClock, TrafficStats, Wire,
+    SimClock, TrafficStats,
 };
 use columnsgd_data::block::Block;
 use columnsgd_data::{Dataset, TwoPhaseIndex};
@@ -163,6 +163,12 @@ impl ColumnSgdEngine {
         plan: FailurePlan,
     ) -> Result<Self, TrainError> {
         assert!(!blocks.is_empty(), "cannot train on an empty block set");
+        let mut cfg = cfg;
+        if cfg.threads_per_worker == 0 {
+            // Auto: one kernel thread per simulated core of the cluster
+            // preset (2 on the paper's Cluster 1, 8 on Cluster 2).
+            cfg.threads_per_worker = net.cores.max(1);
+        }
         let _ = cfg.num_groups(k); // validate (S+1) | K early
         plan.validate(k).map_err(TrainError::InvalidPlan)?;
         let traffic = TrafficStats::new();
@@ -514,8 +520,15 @@ impl ColumnSgdEngine {
                             compute_s,
                             task_failed,
                         } if iteration == t => {
-                            compute_times[worker] += compute_s;
-                            if task_failed {
+                            let failed = fold_stats_reply(
+                                &mut partials,
+                                &mut compute_times,
+                                worker,
+                                partial,
+                                compute_s,
+                                task_failed,
+                            );
+                            if failed {
                                 // §X task failure: "start a new task … no
                                 // additional work on data loading is
                                 // required."
@@ -537,11 +550,6 @@ impl ColumnSgdEngine {
                                     &mut recovery,
                                     &mut charge,
                                 )?;
-                            } else {
-                                // Duplicates (chaos, redundant re-issues)
-                                // carry identical statistics; keep the
-                                // first.
-                                partials.entry(worker).or_insert(partial);
                             }
                         }
                         // A late reply from an earlier iteration: drop.
@@ -560,8 +568,10 @@ impl ColumnSgdEngine {
                             });
                             self.bump_attempts(t, worker, &mut attempts)?;
                             // Its model partition was re-initialized; any
-                            // pre-crash partial no longer matches it.
-                            partials.remove(&worker);
+                            // pre-crash partial no longer matches it — and
+                            // neither does its charged compute time (only
+                            // the attempt actually counted may be billed).
+                            discard_partial(&mut partials, &mut compute_times, worker);
                             self.issue_compute(
                                 t,
                                 worker,
@@ -791,23 +801,13 @@ impl ColumnSgdEngine {
             };
 
             // --- pricing -------------------------------------------------
-            let reply_bytes = (ColMsg::StatsReply {
-                iteration: t,
-                worker: 0,
-                partial: vec![0.0; stats_len],
-                compute_s: 0.0,
-                task_failed: false,
-            })
-            .wire_size() as u64
-                + ENVELOPE_BYTES as u64;
-            let gather_lanes: Vec<u64> = counted.iter().map(|_| reply_bytes).collect();
-            let bcast_bytes = (ColMsg::Update {
-                iteration: t,
-                stats: agg.clone(),
-            })
-            .wire_size() as u64
-                + ENVELOPE_BYTES as u64;
-            let comm = self.net.gather_time(&gather_lanes)
+            // Analytic wire sizes: every counted reply carries stats_len
+            // scalars, so no throwaway message (or clone of `agg`) is ever
+            // materialized just to measure it. The analytic helpers are
+            // pinned equal to `wire_size()` by test.
+            let reply_bytes = (ColMsg::stats_reply_wire_size(stats_len) + ENVELOPE_BYTES) as u64;
+            let bcast_bytes = (ColMsg::update_wire_size(agg.len()) + ENVELOPE_BYTES) as u64;
+            let comm = self.net.gather_time_uniform(reply_bytes, counted.len())
                 + self.net.broadcast_time(bcast_bytes, updaters.len());
 
             let loss = self.cfg.model.loss_from_stats(&self.batch_labels(t), &agg);
@@ -1098,6 +1098,44 @@ impl ColumnSgdEngine {
     }
 }
 
+/// Folds one `StatsReply` into the gather state. Returns whether the reply
+/// reported a task failure (caller retries).
+///
+/// Only the attempt whose partial is actually *kept* is billed to
+/// `compute_times`: failed attempts burn wall-clock the master already
+/// accounts as recovery charge, and duplicate replies (chaos, redundant
+/// re-issues) carry identical statistics and must not inflate the compute
+/// phase. The old `+=` here double-billed every retried attempt.
+fn fold_stats_reply(
+    partials: &mut HashMap<usize, Vec<f64>>,
+    compute_times: &mut [f64],
+    worker: usize,
+    partial: Vec<f64>,
+    compute_s: f64,
+    task_failed: bool,
+) -> bool {
+    if task_failed {
+        return true;
+    }
+    if let std::collections::hash_map::Entry::Vacant(slot) = partials.entry(worker) {
+        slot.insert(partial);
+        compute_times[worker] = compute_s;
+    }
+    false
+}
+
+/// Forgets a worker's partial *and* its billed compute time — used when a
+/// crash invalidates the pre-crash reply (the respawned incarnation's
+/// reply, and only it, may be counted).
+fn discard_partial(
+    partials: &mut HashMap<usize, Vec<f64>>,
+    compute_times: &mut [f64],
+    worker: usize,
+) {
+    partials.remove(&worker);
+    compute_times[worker] = 0.0;
+}
+
 /// Spawns one supervised worker thread with its slice of the failure plan.
 fn spawn_worker(
     ep: Endpoint<ColMsg>,
@@ -1130,5 +1168,85 @@ impl Drop for ColumnSgdEngine {
                 let _ = h.join();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_time_charges_only_the_counted_attempt() {
+        // Regression: a scripted TaskFailure used to leave its compute
+        // time accumulated (`+=`) on top of the successful retry's, so a
+        // worker that failed once was billed for both attempts.
+        let mut partials: HashMap<usize, Vec<f64>> = HashMap::new();
+        let mut times = vec![0.0f64; 2];
+
+        // Attempt 0 throws after burning 5 s: retry requested, nothing
+        // billed, no partial kept.
+        assert!(fold_stats_reply(
+            &mut partials,
+            &mut times,
+            1,
+            Vec::new(),
+            5.0,
+            true
+        ));
+        assert_eq!(times[1], 0.0);
+        assert!(!partials.contains_key(&1));
+
+        // Attempt 1 succeeds in 2 s: kept and billed exactly 2 s.
+        assert!(!fold_stats_reply(
+            &mut partials,
+            &mut times,
+            1,
+            vec![1.0],
+            2.0,
+            false
+        ));
+        assert_eq!(times[1], 2.0);
+        assert_eq!(partials[&1], vec![1.0]);
+
+        // A duplicate reply (chaos) must change neither the partial nor
+        // the bill.
+        assert!(!fold_stats_reply(
+            &mut partials,
+            &mut times,
+            1,
+            vec![9.0],
+            9.0,
+            false
+        ));
+        assert_eq!(times[1], 2.0);
+        assert_eq!(partials[&1], vec![1.0]);
+    }
+
+    #[test]
+    fn crash_discards_partial_and_its_bill() {
+        let mut partials: HashMap<usize, Vec<f64>> = HashMap::new();
+        let mut times = vec![0.0f64; 2];
+        assert!(!fold_stats_reply(
+            &mut partials,
+            &mut times,
+            0,
+            vec![3.0],
+            4.0,
+            false
+        ));
+        discard_partial(&mut partials, &mut times, 0);
+        assert!(partials.is_empty());
+        assert_eq!(times[0], 0.0);
+        // The respawned incarnation's reply is then billed normally.
+        assert!(!fold_stats_reply(
+            &mut partials,
+            &mut times,
+            0,
+            vec![7.0],
+            1.0,
+            false
+        ));
+        assert_eq!(times[0], 1.0);
+        assert_eq!(partials[&0], vec![7.0]);
     }
 }

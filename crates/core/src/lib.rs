@@ -35,8 +35,10 @@ pub mod engine;
 pub mod error;
 pub mod mlp;
 pub mod msg;
+pub mod pool;
 pub mod worker;
 
 pub use config::{ColumnSgdConfig, PartitionScheme};
 pub use engine::{ColumnSgdEngine, LoadReport, TrainOutcome, PER_OBJECT_S};
 pub use error::{DetectionMethod, FaultKind, RecoveryEvent, TrainError};
+pub use pool::WorkerPool;

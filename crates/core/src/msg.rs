@@ -137,6 +137,23 @@ pub enum ColMsg {
 }
 
 impl ColMsg {
+    /// Analytic wire size of a [`ColMsg::StatsReply`] carrying `stats_len`
+    /// statistics scalars — equal to `wire_size()` of the materialized
+    /// message, so the pricing path never has to construct (or clone the
+    /// payload of) a throwaway reply.
+    pub fn stats_reply_wire_size(stats_len: usize) -> usize {
+        // tag + iteration + worker + compute_s + task_failed + Vec<f64>.
+        1 + 8 + 8 + 8 + 1 + (8 + 8 * stats_len)
+    }
+
+    /// Analytic wire size of a [`ColMsg::Update`] carrying `stats_len`
+    /// statistics scalars — equal to `wire_size()` of the materialized
+    /// message.
+    pub fn update_wire_size(stats_len: usize) -> usize {
+        // tag + iteration + Vec<f64>.
+        1 + 8 + (8 + 8 * stats_len)
+    }
+
     /// Short variant name for log lines (avoids dumping block payloads).
     pub fn name(&self) -> &'static str {
         match self {
@@ -207,6 +224,33 @@ mod tests {
             task_failed: false,
         };
         assert_eq!(big.wire_size() - small.wire_size(), 8 * 990);
+    }
+
+    #[test]
+    fn analytic_sizes_match_serialized_sizes() {
+        for stats_len in [0usize, 1, 10, 1_000, 123_457] {
+            let reply = ColMsg::StatsReply {
+                iteration: 7,
+                worker: 3,
+                partial: vec![1.5; stats_len],
+                compute_s: 0.25,
+                task_failed: false,
+            };
+            assert_eq!(
+                ColMsg::stats_reply_wire_size(stats_len),
+                reply.wire_size(),
+                "StatsReply, stats_len={stats_len}"
+            );
+            let update = ColMsg::Update {
+                iteration: 7,
+                stats: vec![1.5; stats_len],
+            };
+            assert_eq!(
+                ColMsg::update_wire_size(stats_len),
+                update.wire_size(),
+                "Update, stats_len={stats_len}"
+            );
+        }
     }
 
     #[test]

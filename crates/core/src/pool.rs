@@ -1,0 +1,112 @@
+//! Worker-local kernel thread pool.
+//!
+//! With S-backup computation a worker holds S+1 *independent* partitions
+//! (§IV-B, Figure 6): their statistics kernels read disjoint model slices
+//! and their update kernels write disjoint model slices. [`WorkerPool`]
+//! exploits that independence by fanning the per-partition loop out over a
+//! small scoped thread pool, sized by `threads_per_worker` (auto: the
+//! cluster preset's per-machine core count, e.g. 2 for the paper's
+//! Cluster 1 and 8 for Cluster 2).
+//!
+//! Parallelism here changes **when** work happens, never **what** is
+//! computed or sent: each partition's kernel is deterministic in
+//! isolation, and the caller reduces results in fixed partition order, so
+//! any thread count produces bit-identical statistics, models, and wire
+//! traffic.
+
+/// A fixed-width fork-join helper for per-partition kernels.
+///
+/// This is deliberately not a work-stealing runtime: partition counts are
+/// tiny (S+1 ≤ 8 in every experiment) and the kernels are uniform, so
+/// static chunking over [`std::thread::scope`] is both sufficient and
+/// free of shared-state nondeterminism.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool running kernels on up to `threads` OS threads. `threads`
+    /// ≤ 1 means run inline on the worker's mailbox thread.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Configured width of the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f(index, item)` to every item, in parallel when the pool
+    /// has width > 1 and there is more than one item. `f` sees each item
+    /// exactly once; indices are positions in `items`.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(self.threads.min(n));
+        std::thread::scope(|s| {
+            for (ci, items) in items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    for (off, item) in items.iter_mut().enumerate() {
+                        f(ci * chunk + off, item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_to_at_least_one_thread() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+        assert_eq!(WorkerPool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn visits_every_item_with_its_index() {
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = WorkerPool::new(threads);
+            for n in [0usize, 1, 2, 5, 16, 33] {
+                let mut items: Vec<(usize, u64)> = (0..n).map(|i| (i, 0)).collect();
+                pool.for_each_mut(&mut items, |i, item| {
+                    assert_eq!(i, item.0, "index must match position");
+                    item.1 += 1 + i as u64;
+                });
+                for (i, &(_, count)) in items.iter().enumerate() {
+                    assert_eq!(count, 1 + i as u64, "item {i} at width {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_independent_of_width() {
+        let compute = |threads: usize| {
+            let mut items: Vec<f64> = (0..7).map(|i| i as f64).collect();
+            WorkerPool::new(threads).for_each_mut(&mut items, |i, x| {
+                *x = (*x + 1.0).sqrt() * (i as f64 + 0.5);
+            });
+            items
+        };
+        let serial = compute(1);
+        for threads in [2, 4, 16] {
+            assert_eq!(compute(threads), serial, "width {threads}");
+        }
+    }
+}

@@ -32,8 +32,11 @@ use columnsgd_linalg::CsrMatrix;
 use columnsgd_ml::spec::reduce_stats;
 use columnsgd_ml::{OptimizerState, ParamSet};
 
+use columnsgd_ml::UpdateScratch;
+
 use crate::config::ColumnSgdConfig;
 use crate::msg::ColMsg;
+use crate::pool::WorkerPool;
 
 /// The worker-local slice of a failure plan: which of *this* worker's
 /// compute attempts fail, and how.
@@ -83,13 +86,19 @@ impl WorkerScript {
     }
 }
 
-/// One (data partition, model partition, optimizer state) triple.
+/// One (data partition, model partition, optimizer state) triple, plus the
+/// per-partition reusable buffers of the superstep hot path: the batch CSR
+/// (storage reused across iterations via [`CsrMatrix::clear`]), the partial
+/// statistics vector, and the update kernel's [`UpdateScratch`].
 struct Partition {
     pid: usize,
     store: WorksetStore,
     params: ParamSet,
     opt: OptimizerState,
     index: Option<TwoPhaseIndex>,
+    batch: CsrMatrix,
+    stats: Vec<f64>,
+    scratch: UpdateScratch,
 }
 
 impl Partition {
@@ -105,21 +114,25 @@ impl Partition {
             params,
             opt,
             index: None,
+            batch: CsrMatrix::new(),
+            stats: Vec::new(),
+            scratch: UpdateScratch::new(),
         }
     }
 
-    /// Builds the batch CSR for this partition from sampled row addresses.
-    fn build_batch(&self, addrs: &[RowAddr]) -> CsrMatrix {
-        let mut batch = CsrMatrix::new();
+    /// Rebuilds the batch CSR for this partition from sampled row
+    /// addresses, reusing the matrix's storage.
+    fn rebuild_batch(&mut self, addrs: &[RowAddr]) {
+        self.batch.clear();
         for addr in addrs {
             let ws = self
                 .store
                 .get(addr.block)
                 .unwrap_or_else(|| panic!("partition {} missing block {}", self.pid, addr.block));
             let (idx, val) = ws.data.row(addr.offset);
-            batch.push_raw_row(ws.data.label(addr.offset), idx, val);
+            self.batch
+                .push_raw_row(ws.data.label(addr.offset), idx, val);
         }
-        batch
     }
 }
 
@@ -130,9 +143,17 @@ pub struct WorkerNode {
     part: ColumnPartitioner,
     partitions: Vec<Partition>,
     received_worksets: usize,
-    /// Batches built by the last `ComputeStats`, reused by `Update`.
-    last_batches: Vec<CsrMatrix>,
-    last_iteration: u64,
+    /// Batch-cache key: the `(iteration, batch_size)` whose batches are
+    /// currently materialized in the partitions. A re-issued task for the
+    /// same key (deadline retry, straggler re-race) reuses the cached
+    /// batches instead of re-sampling and rebuilding.
+    cached_batch: Option<(u64, usize)>,
+    /// Reusable sampled-address buffer (one per superstep, all partitions
+    /// share the same logical batch).
+    addrs: Vec<RowAddr>,
+    /// Kernel pool fanning the per-partition loops out over
+    /// `threads_per_worker` threads.
+    pool: WorkerPool,
     /// Iteration of the last applied `Update` (for idempotent re-acks
     /// when an unreliable wire duplicates the broadcast).
     applied_iteration: Option<u64>,
@@ -152,10 +173,16 @@ impl WorkerNode {
             part,
             partitions,
             received_worksets: 0,
-            last_batches: Vec::new(),
-            last_iteration: u64::MAX,
+            cached_batch: None,
+            addrs: Vec::new(),
+            pool: WorkerPool::new(cfg.threads_per_worker),
             applied_iteration: None,
         }
+    }
+
+    /// The iteration whose batch is currently materialized, if any.
+    fn batch_iteration(&self) -> Option<u64> {
+        self.cached_batch.map(|(t, _)| t)
     }
 
     fn holds(&self, pid: usize) -> Option<usize> {
@@ -231,49 +258,72 @@ impl WorkerNode {
         }
     }
 
+    /// Materializes the batch CSRs for `iteration` in every partition,
+    /// unless the batch cache already holds them (a re-issued task after a
+    /// deadline or straggler race hits the cache and pays nothing).
+    fn ensure_batch(&mut self, iteration: u64) {
+        let key = (iteration, self.cfg.batch_size);
+        if self.cached_batch == Some(key) {
+            return;
+        }
+        {
+            let index = self.partitions[0]
+                .index
+                .as_ref()
+                .expect("loading must finish before training");
+            index.sample_batch_into(iteration, self.cfg.batch_size, &mut self.addrs);
+        }
+        let addrs = &self.addrs;
+        self.pool
+            .for_each_mut(&mut self.partitions, |_, p| p.rebuild_batch(addrs));
+        self.cached_batch = Some(key);
+    }
+
     /// `computeStatistics` (Algorithm 3 lines 14-16): samples the batch via
     /// the shared two-phase index and returns the summed partial statistics
     /// of every held partition (the group aggregate under backup).
+    ///
+    /// Partition kernels run on the worker pool; the reduction folds in
+    /// fixed partition order, so the result is bit-identical at any pool
+    /// width.
     fn compute_stats(&mut self, iteration: u64) -> Vec<f64> {
-        let index = self.partitions[0]
-            .index
-            .as_ref()
-            .expect("loading must finish before training");
-        let addrs = index.sample_batch(iteration, self.cfg.batch_size);
-        self.last_batches = self
-            .partitions
-            .iter()
-            .map(|p| p.build_batch(&addrs))
-            .collect();
-        self.last_iteration = iteration;
-
-        let width = self.cfg.model.stats_width();
-        let mut agg = vec![0.0; self.cfg.batch_size * width];
-        let mut partial = Vec::new();
-        for (p, batch) in self.partitions.iter().zip(&self.last_batches) {
-            self.cfg.model.compute_stats(&p.params, batch, &mut partial);
-            reduce_stats(&mut agg, &partial);
+        self.ensure_batch(iteration);
+        let model = self.cfg.model;
+        self.pool.for_each_mut(&mut self.partitions, |_, p| {
+            model.compute_stats(&p.params, &p.batch, &mut p.stats);
+        });
+        let mut agg = vec![0.0; self.cfg.batch_size * model.stats_width()];
+        for p in &self.partitions {
+            reduce_stats(&mut agg, &p.stats);
         }
         agg
     }
 
     /// `updateModel` (Algorithm 3 lines 17-20): recovers the local gradient
     /// from the aggregated statistics and steps every held partition.
+    /// Partitions update in parallel on the worker pool — they own disjoint
+    /// model slices, and each partition's kernel is deterministic, so pool
+    /// width never changes the resulting model.
     fn update(&mut self, iteration: u64, stats: &[f64]) {
         debug_assert_eq!(
-            iteration, self.last_iteration,
+            Some(iteration),
+            self.batch_iteration(),
             "update for an iteration whose batch was never sampled"
         );
-        for (p, batch) in self.partitions.iter_mut().zip(&self.last_batches) {
-            self.cfg.model.update_from_stats(
+        let model = self.cfg.model;
+        let up = self.cfg.update;
+        let total_batch = self.cfg.batch_size;
+        self.pool.for_each_mut(&mut self.partitions, |_, p| {
+            model.update_from_stats_with(
                 &mut p.params,
                 &mut p.opt,
-                batch,
+                &p.batch,
                 stats,
-                &self.cfg.update,
-                self.cfg.batch_size,
+                &up,
+                total_batch,
+                &mut p.scratch,
             );
-        }
+        });
         self.applied_iteration = Some(iteration);
     }
 
@@ -285,10 +335,11 @@ impl WorkerNode {
             p.params.reset();
             p.opt = OptimizerState::for_params(self.cfg.optimizer, &p.params);
             p.index = None;
+            p.batch.clear();
+            p.stats.clear();
         }
         self.received_worksets = 0;
-        self.last_batches.clear();
-        self.last_iteration = u64::MAX;
+        self.cached_batch = None;
         self.applied_iteration = None;
     }
 
@@ -346,11 +397,33 @@ pub fn run_worker(
                 batch_size,
                 attempt,
             } => {
-                debug_assert_eq!(batch_size, w.cfg.batch_size);
                 if script.crashes(id, iteration, attempt) {
                     // A real panic: the guarded spawn converts it into a
                     // WorkerPanic report to the master.
                     panic!("injected worker failure at iteration {iteration} attempt {attempt}");
+                }
+                if batch_size != w.cfg.batch_size {
+                    // A malformed task: computing on a differently-sized
+                    // batch would ship statistics the master cannot reduce
+                    // (and silently train on the wrong data in release
+                    // builds). Report a task failure and let the master's
+                    // retry logic decide.
+                    eprintln!(
+                        "worker {id}: ComputeStats t={iteration} carries batch_size \
+                         {batch_size}, configured {}; refusing task",
+                        w.cfg.batch_size
+                    );
+                    let _ = ep.send(
+                        NodeId::Master,
+                        ColMsg::StatsReply {
+                            iteration,
+                            worker: id,
+                            partial: Vec::new(),
+                            compute_s: 0.0,
+                            task_failed: true,
+                        },
+                    );
+                    continue;
                 }
                 if !w.loaded() {
                     // Can't compute without data (e.g. a stale re-issue
@@ -399,7 +472,7 @@ pub fn run_worker(
                             compute_s: 0.0,
                         },
                     );
-                } else if iteration == w.last_iteration {
+                } else if Some(iteration) == w.batch_iteration() {
                     let start = Instant::now();
                     w.update(iteration, &stats);
                     let _ = ep.send(
@@ -414,8 +487,8 @@ pub fn run_worker(
                     // Stale or unsampled iteration: applying would corrupt
                     // the model. Drop; the master's deadline recovers.
                     eprintln!(
-                        "worker {id}: dropping Update t={iteration} (batch is t={})",
-                        w.last_iteration
+                        "worker {id}: dropping Update t={iteration} (batch is t={:?})",
+                        w.batch_iteration()
                     );
                 }
             }

@@ -650,6 +650,101 @@ fn chaos_fixed_seed_is_reproducible() {
     );
 }
 
+/// The worker kernel pool changes only *when* work happens: any
+/// `threads_per_worker` produces a bit-identical model, loss curve, and —
+/// crucially — identical wire traffic, byte for byte. Run with S-backup so
+/// every worker holds two partitions and the pool actually fans out.
+#[test]
+fn pool_width_never_changes_model_or_traffic() {
+    let run = |threads: usize| {
+        let ds = dataset(500, 96, 19);
+        let mut cfg = base_cfg(ModelSpec::Lr)
+            .with_iterations(25)
+            .with_backup(1)
+            .with_threads_per_worker(threads);
+        cfg.block_size = ds.len();
+        let mut engine =
+            ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+                .expect("engine");
+        engine.traffic().reset();
+        let out = engine.train().expect("train");
+        let losses: Vec<f64> = out.curve.points.iter().map(|p| p.loss).collect();
+        let total = engine.traffic().total();
+        (engine.collect_model(), losses, total.bytes, total.messages)
+    };
+    let (m1, l1, bytes1, msgs1) = run(1);
+    for threads in [2, 4] {
+        let (m, l, bytes, msgs) = run(threads);
+        assert_eq!(
+            l1, l,
+            "loss curve must be bit-identical at {threads} threads"
+        );
+        assert_eq!(
+            (bytes1, msgs1),
+            (bytes, msgs),
+            "traffic must be byte-identical at {threads} threads"
+        );
+        for (a, b) in m1.blocks.iter().zip(&m.blocks) {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "model must be bit-identical at {threads} threads"
+            );
+        }
+    }
+}
+
+/// A `ComputeStats` carrying a batch size the worker was not configured
+/// for is refused with an explicit `task_failed` reply — not silently
+/// computed on the wrong batch (the old `debug_assert_eq!` vanished in
+/// release builds).
+#[test]
+fn worker_refuses_mismatched_batch_size() {
+    use columnsgd_cluster::{Router, TrafficStats};
+    use columnsgd_core::msg::ColMsg;
+    use columnsgd_core::worker::{run_worker, WorkerScript};
+
+    let ids = vec![NodeId::Master, NodeId::Worker(0)];
+    let (_router, mut eps) = Router::new(&ids, TrafficStats::new());
+    let master = eps.remove(0);
+    let wep = eps.remove(0);
+    let cfg = ColumnSgdConfig::new(ModelSpec::Lr).with_batch_size(64);
+    let handle =
+        std::thread::spawn(move || run_worker(wep, 0, 1, 10, cfg, WorkerScript::default()));
+
+    master
+        .send(
+            NodeId::Worker(0),
+            ColMsg::ComputeStats {
+                iteration: 3,
+                batch_size: 63,
+                attempt: 0,
+            },
+        )
+        .expect("send");
+    let env = master
+        .recv_timeout(std::time::Duration::from_secs(5))
+        .expect("reply");
+    match env.payload {
+        ColMsg::StatsReply {
+            iteration,
+            worker,
+            partial,
+            task_failed,
+            ..
+        } => {
+            assert!(task_failed, "mismatch must be reported as a task failure");
+            assert!(partial.is_empty(), "no statistics may be computed");
+            assert_eq!((iteration, worker), (3, 0));
+        }
+        other => panic!("expected StatsReply, got {}", other.name()),
+    }
+    master
+        .send(NodeId::Worker(0), ColMsg::Shutdown)
+        .expect("shutdown");
+    handle.join().expect("worker exits cleanly");
+}
+
 /// A silent worker (crash scripted mid-run) is detected within the
 /// configured deadline via timeout + probe, not by waiting forever.
 #[test]

@@ -92,11 +92,20 @@ impl TwoPhaseIndex {
     /// uniformly over all rows, identical on every worker that shares the
     /// same layout and seed.
     pub fn sample_batch(&self, iteration: u64, batch: usize) -> Vec<RowAddr> {
+        let mut out = Vec::with_capacity(batch);
+        self.sample_batch_into(iteration, batch, &mut out);
+        out
+    }
+
+    /// Like [`TwoPhaseIndex::sample_batch`], but writes into a caller-owned
+    /// buffer so the per-iteration hot path can reuse one allocation across
+    /// supersteps. `out` is cleared first; the sampled addresses are
+    /// identical to `sample_batch`'s.
+    pub fn sample_batch_into(&self, iteration: u64, batch: usize, out: &mut Vec<RowAddr>) {
         assert!(self.total_rows > 0, "cannot sample from an empty index");
+        out.clear();
         let mut rng = rng::iteration_rng(self.experiment_seed, iteration);
-        (0..batch)
-            .map(|_| self.addr_of(rng.gen_range(0..self.total_rows)))
-            .collect()
+        out.extend((0..batch).map(|_| self.addr_of(rng.gen_range(0..self.total_rows))));
     }
 }
 
@@ -140,6 +149,20 @@ mod tests {
     fn same_iteration_is_stable() {
         let idx = TwoPhaseIndex::new([(0, 50), (3, 50)], 123);
         assert_eq!(idx.sample_batch(7, 16), idx.sample_batch(7, 16));
+    }
+
+    #[test]
+    fn sample_into_reused_buffer_matches_fresh_allocation() {
+        let idx = TwoPhaseIndex::new([(0, 40), (1, 60)], 17);
+        let mut buf = Vec::new();
+        for t in 0..5 {
+            idx.sample_batch_into(t, 32, &mut buf);
+            assert_eq!(buf, idx.sample_batch(t, 32), "iteration {t}");
+        }
+        // A dirty, oversized buffer is fully overwritten.
+        idx.sample_batch_into(9, 8, &mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf, idx.sample_batch(9, 8));
     }
 
     #[test]

@@ -71,6 +71,26 @@ impl CsrMatrix {
         self.labels.push(label);
     }
 
+    /// Removes all rows while keeping the allocated capacity of every
+    /// internal buffer — the batch-rebuild hot path reuses one matrix per
+    /// partition across training iterations instead of reallocating.
+    pub fn clear(&mut self) {
+        self.indptr.clear();
+        self.indptr.push(0);
+        self.indices.clear();
+        self.values.clear();
+        self.labels.clear();
+    }
+
+    /// Reserves capacity for at least `rows` additional rows carrying
+    /// `nnz` additional nonzeros in total.
+    pub fn reserve(&mut self, rows: usize, nnz: usize) {
+        self.indptr.reserve(rows);
+        self.labels.reserve(rows);
+        self.indices.reserve(nnz);
+        self.values.reserve(nnz);
+    }
+
     /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.indptr.len() - 1
@@ -247,6 +267,24 @@ mod tests {
             .map(|r| 8 + m.row_vector(r).wire_size())
             .sum();
         assert!(m.wire_size() < naive + 16 * m.nrows());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_contents() {
+        let mut m = sample();
+        let cap = (m.indices.capacity(), m.labels.capacity());
+        m.clear();
+        m.validate().unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.nnz(), 0);
+        assert!(m.indices.capacity() >= cap.0);
+        assert!(m.labels.capacity() >= cap.1);
+        // Refilling after clear produces exactly the original matrix.
+        let fresh = sample();
+        for (y, idx, val) in fresh.iter_rows() {
+            m.push_raw_row(y, idx, val);
+        }
+        assert_eq!(m, fresh);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use columnsgd_linalg::{ops, CsrMatrix};
 
 use crate::params::ParamSet;
-use crate::spec::GradAccum;
+use crate::spec::GradSink;
 
 /// Functional initializer for `V`: a deterministic hash-derived value in
 /// `[-s, s]` with `s = 0.1/√F`, keyed by the *global* feature index so a
@@ -115,7 +115,7 @@ pub fn accumulate_grad(
     params: &ParamSet,
     batch: &CsrMatrix,
     stats: &[f64],
-    accum: &mut GradAccum,
+    accum: &mut impl GradSink,
 ) {
     let width = factors + 1;
     let v = params.blocks[1].as_slice();
@@ -141,6 +141,7 @@ pub fn accumulate_grad(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::GradAccum;
     use columnsgd_linalg::SparseVector;
 
     /// Brute-force FM prediction: `<w,x> + Σ_{i<j} <v_i,v_j> x_i x_j`.

@@ -7,7 +7,7 @@
 use columnsgd_linalg::{ops, CsrMatrix};
 
 use crate::params::ParamSet;
-use crate::spec::GradAccum;
+use crate::spec::GradSink;
 
 /// Which GLM link/loss is in play.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +87,7 @@ pub fn partial_stats(params: &ParamSet, batch: &CsrMatrix, out: &mut [f64]) {
 
 /// Accumulates the (sum, not yet averaged) gradient of the batch into
 /// `accum`, given the complete dot products.
-pub fn accumulate_grad(kind: GlmKind, batch: &CsrMatrix, dots: &[f64], accum: &mut GradAccum) {
+pub fn accumulate_grad(kind: GlmKind, batch: &CsrMatrix, dots: &[f64], accum: &mut impl GradSink) {
     debug_assert_eq!(dots.len(), batch.nrows());
     for (i, (y, idx, val)) in batch.iter_rows().enumerate() {
         let c = kind.coeff(y, dots[i]);
@@ -103,6 +103,7 @@ pub fn accumulate_grad(kind: GlmKind, batch: &CsrMatrix, dots: &[f64], accum: &m
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::GradAccum;
     use columnsgd_linalg::SparseVector;
 
     fn batch() -> CsrMatrix {

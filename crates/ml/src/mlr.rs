@@ -8,7 +8,7 @@
 use columnsgd_linalg::{ops, CsrMatrix};
 
 use crate::params::ParamSet;
-use crate::spec::GradAccum;
+use crate::spec::GradSink;
 
 /// Partial statistics: `out[i*C + c] = <w_c_local, x_i_local>`.
 #[allow(clippy::needless_range_loop)]
@@ -67,12 +67,31 @@ pub fn accuracy(classes: usize, labels: &[f64], logits: &[f64]) -> f64 {
 
 /// Accumulates the batch gradient: for each class `c`,
 /// `g_c += (softmax_c - 1{y=c}) · x` (Equation 8).
-#[allow(clippy::needless_range_loop)] // `c` is a class id, not a position
-pub fn accumulate_grad(classes: usize, batch: &CsrMatrix, logits: &[f64], accum: &mut GradAccum) {
+pub fn accumulate_grad(
+    classes: usize,
+    batch: &CsrMatrix,
+    logits: &[f64],
+    accum: &mut impl GradSink,
+) {
     let mut probs = vec![0.0; classes];
+    accumulate_grad_with(classes, batch, logits, &mut probs, accum);
+}
+
+/// [`accumulate_grad`] with a caller-owned softmax buffer, so the hot path
+/// allocates nothing (`probs` is resized to `classes` and reused).
+#[allow(clippy::needless_range_loop)] // `c` is a class id, not a position
+pub fn accumulate_grad_with(
+    classes: usize,
+    batch: &CsrMatrix,
+    logits: &[f64],
+    probs: &mut Vec<f64>,
+    accum: &mut impl GradSink,
+) {
+    probs.clear();
+    probs.resize(classes, 0.0);
     for (i, (y, idx, val)) in batch.iter_rows().enumerate() {
         let row = &logits[i * classes..(i + 1) * classes];
-        ops::softmax_into(row, &mut probs);
+        ops::softmax_into(row, probs);
         let target = y as usize;
         for c in 0..classes {
             let coeff = probs[c] - f64::from(c == target);
@@ -89,6 +108,7 @@ pub fn accumulate_grad(classes: usize, batch: &CsrMatrix, logits: &[f64], accum:
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::GradAccum;
     use columnsgd_linalg::SparseVector;
 
     fn batch() -> CsrMatrix {

@@ -132,13 +132,30 @@ impl ModelSpec {
         params: &ParamSet,
         batch: &CsrMatrix,
         stats: &[f64],
-        accum: &mut GradAccum,
+        accum: &mut impl GradSink,
+    ) {
+        let mut probs = Vec::new();
+        self.accumulate_grad_into(params, batch, stats, &mut probs, accum);
+    }
+
+    /// [`ModelSpec::accumulate_grad`] with every scratch buffer supplied by
+    /// the caller (`probs` is the MLR softmax buffer; the other models
+    /// ignore it).
+    fn accumulate_grad_into(
+        &self,
+        params: &ParamSet,
+        batch: &CsrMatrix,
+        stats: &[f64],
+        probs: &mut Vec<f64>,
+        accum: &mut impl GradSink,
     ) {
         match *self {
             ModelSpec::Lr | ModelSpec::Svm | ModelSpec::LeastSquares => {
                 glm::accumulate_grad(self.glm_kind().expect("glm"), batch, stats, accum);
             }
-            ModelSpec::Mlr { classes } => mlr::accumulate_grad(classes, batch, stats, accum),
+            ModelSpec::Mlr { classes } => {
+                mlr::accumulate_grad_with(classes, batch, stats, probs, accum);
+            }
             ModelSpec::Fm { factors } => fm::accumulate_grad(factors, params, batch, stats, accum),
         }
     }
@@ -166,6 +183,40 @@ impl ModelSpec {
             let g = g_sum * inv_b + up.regularizer.subgradient(w);
             opt.apply(block, &mut params.blocks[block], coord, g, up.learning_rate);
         }
+    }
+
+    /// Allocation-free [`ModelSpec::update_from_stats`]: identical
+    /// mathematics and bit-identical results, but the gradient accumulator
+    /// and every scratch buffer live in the caller-owned
+    /// [`UpdateScratch`], so the per-iteration hot path performs no heap
+    /// allocation after the first call at a given model shape.
+    ///
+    /// Equivalence holds because both paths fold the same per-coordinate
+    /// `+=` sequence and apply each touched coordinate exactly once
+    /// through per-coordinate optimizer state; only the application
+    /// *order* differs (arrival order here, sorted order there), which
+    /// cannot change any coordinate's result. The kernel-equivalence
+    /// proptest suite pins this down for GLM, MLR, and FM.
+    #[allow(clippy::too_many_arguments)] // mirrors update_from_stats + scratch
+    pub fn update_from_stats_with(
+        &self,
+        params: &mut ParamSet,
+        opt: &mut OptimizerState,
+        batch: &CsrMatrix,
+        stats: &[f64],
+        up: &UpdateParams,
+        total_batch: usize,
+        scratch: &mut UpdateScratch,
+    ) {
+        scratch.spa.ensure(params);
+        self.accumulate_grad_into(params, batch, stats, &mut scratch.probs, &mut scratch.spa);
+        opt.begin_step();
+        let inv_b = 1.0 / total_batch.max(1) as f64;
+        scratch.spa.drain(|block, coord, g_sum| {
+            let w = params.blocks[block][coord];
+            let g = g_sum * inv_b + up.regularizer.subgradient(w);
+            opt.apply(block, &mut params.blocks[block], coord, g, up.learning_rate);
+        });
     }
 
     /// Mean loss over a batch given the complete statistics.
@@ -262,6 +313,101 @@ pub fn reduce_stats(acc: &mut [f64], partial: &[f64]) {
     assert_eq!(acc.len(), partial.len(), "statistics length mismatch");
     for (a, p) in acc.iter_mut().zip(partial) {
         *a += p;
+    }
+}
+
+/// Destination for accumulated gradient coordinates.
+///
+/// The model kernels emit `(block, coordinate, value)` triples in a
+/// deterministic order (row by row, nonzero by nonzero); a sink folds them
+/// however it likes. Two implementations exist: [`GradAccum`] (sorted,
+/// sparse — the reference, and the RowSGD message builder) and the dense
+/// sparse-accumulator inside [`UpdateScratch`] (the allocation-free hot
+/// path). Because both fold the identical `+=` sequence per coordinate,
+/// their per-coordinate sums are bit-identical.
+pub trait GradSink {
+    /// Adds `val` to coordinate `coord` of block `block`.
+    fn add(&mut self, block: usize, coord: usize, val: f64);
+}
+
+impl GradSink for GradAccum {
+    fn add(&mut self, block: usize, coord: usize, val: f64) {
+        GradAccum::add(self, block, coord, val);
+    }
+}
+
+/// Dense sparse-accumulator (SPA): per-block dense gradient buffers sized
+/// to the parameter blocks, plus a touched-coordinate list and a mark
+/// array so only touched entries are visited and cleared. Replaces the
+/// `BTreeMap`-backed [`GradAccum`] in the update hot path: accumulation is
+/// an array `+=` instead of a tree insert, and nothing allocates after the
+/// first use at a given model shape.
+#[derive(Debug, Default)]
+struct SparseAccum {
+    grad: Vec<Vec<f64>>,
+    touched: Vec<Vec<usize>>,
+    mark: Vec<Vec<bool>>,
+}
+
+impl SparseAccum {
+    /// Sizes the buffers for `params`, reallocating only on shape growth.
+    fn ensure(&mut self, params: &ParamSet) {
+        self.grad.resize_with(params.blocks.len(), Vec::new);
+        self.touched.resize_with(params.blocks.len(), Vec::new);
+        self.mark.resize_with(params.blocks.len(), Vec::new);
+        for (b, block) in params.blocks.iter().enumerate() {
+            if self.grad[b].len() < block.len() {
+                self.grad[b].resize(block.len(), 0.0);
+                self.mark[b].resize(block.len(), false);
+            }
+        }
+    }
+
+    /// Visits every touched coordinate in arrival order, skipping exact
+    /// zeros (the [`GradAccum::iter_coords`] contract), and resets the
+    /// visited entries so the accumulator is clean for the next batch.
+    fn drain(&mut self, mut f: impl FnMut(usize, usize, f64)) {
+        for (block, touched) in self.touched.iter_mut().enumerate() {
+            let grad = &mut self.grad[block];
+            let mark = &mut self.mark[block];
+            for &coord in touched.iter() {
+                let g = grad[coord];
+                grad[coord] = 0.0;
+                mark[coord] = false;
+                if g != 0.0 {
+                    f(block, coord, g);
+                }
+            }
+            touched.clear();
+        }
+    }
+}
+
+impl GradSink for SparseAccum {
+    fn add(&mut self, block: usize, coord: usize, val: f64) {
+        if !self.mark[block][coord] {
+            self.mark[block][coord] = true;
+            self.touched[block].push(coord);
+        }
+        self.grad[block][coord] += val;
+    }
+}
+
+/// Caller-owned scratch space for [`ModelSpec::update_from_stats_with`]
+/// (and any other kernel that wants reusable buffers). Holds the dense
+/// gradient sparse-accumulator and the MLR softmax buffer; after the first
+/// update at a given model shape, the kernel path performs no further heap
+/// allocation.
+#[derive(Debug, Default)]
+pub struct UpdateScratch {
+    spa: SparseAccum,
+    probs: Vec<f64>,
+}
+
+impl UpdateScratch {
+    /// A fresh, empty scratch. Buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 

@@ -1,0 +1,181 @@
+//! Property suite pinning the superstep hot path to the reference kernels.
+//!
+//! The allocation-free path (`compute_stats` into reused buffers +
+//! `update_from_stats_with` with a persistent [`UpdateScratch`]) must be
+//! **bit-identical** to the straightforward path (fresh vectors +
+//! `update_from_stats` over the `BTreeMap`-backed `GradAccum`) — for every
+//! model family, across random batches, partition counts, and optimizers,
+//! and across consecutive iterations reusing the same scratch buffers.
+//!
+//! Equivalence is exact, not approximate: both paths fold the identical
+//! per-coordinate `+=` sequence, and optimizer state is per-coordinate, so
+//! the only difference (gradient application *order*) cannot change any
+//! coordinate's value. `assert_eq!` on the raw f64 bits enforces this.
+
+use std::collections::BTreeMap;
+
+use columnsgd_data::block::Block;
+use columnsgd_data::workset::split_block;
+use columnsgd_data::{ColumnPartitioner, Workset};
+use columnsgd_linalg::SparseVector;
+use columnsgd_ml::spec::reduce_stats;
+use columnsgd_ml::{
+    ModelSpec, OptimizerKind, OptimizerState, ParamSet, UpdateParams, UpdateScratch,
+};
+use proptest::prelude::*;
+
+const SEED: u64 = 77;
+const ITERS: usize = 3;
+
+fn model_strategy() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        Just(ModelSpec::Lr),
+        Just(ModelSpec::Svm),
+        Just(ModelSpec::LeastSquares),
+        (2usize..5).prop_map(|classes| ModelSpec::Mlr { classes }),
+        (1usize..5).prop_map(|factors| ModelSpec::Fm { factors }),
+    ]
+}
+
+fn optimizer_strategy() -> impl Strategy<Value = OptimizerKind> {
+    prop_oneof![
+        Just(OptimizerKind::Sgd),
+        Just(OptimizerKind::adagrad()),
+        Just(OptimizerKind::adam()),
+    ]
+}
+
+/// One partition's state, kept twice: the reference (fresh allocations,
+/// `GradAccum`) and the tuned (reused buffers, `UpdateScratch`) copies.
+struct Lane {
+    params: ParamSet,
+    opt: OptimizerState,
+}
+
+fn lanes(
+    model: ModelSpec,
+    optimizer: OptimizerKind,
+    part: &ColumnPartitioner,
+    dim: u64,
+) -> Vec<Lane> {
+    (0..part.num_workers())
+        .map(|p| {
+            let local_dim = part.local_dim(p, dim);
+            let params = model.init_params(local_dim, SEED, |slot| part.global_index(p, slot));
+            let opt = OptimizerState::for_params(optimizer, &params);
+            Lane { params, opt }
+        })
+        .collect()
+}
+
+fn materialize_rows(
+    model: ModelSpec,
+    raw_rows: &[(u64, Vec<(u64, f64)>)],
+) -> Vec<(f64, SparseVector)> {
+    raw_rows
+        .iter()
+        .map(|(raw_label, pairs)| {
+            let dedup: BTreeMap<u64, f64> = pairs.iter().copied().collect();
+            let label = match model {
+                ModelSpec::Mlr { classes } => (raw_label % classes as u64) as f64,
+                _ => {
+                    if raw_label & 1 == 0 {
+                        -1.0
+                    } else {
+                        1.0
+                    }
+                }
+            };
+            (label, SparseVector::from_pairs(dedup.into_iter().collect()))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn scratch_path_is_bit_identical_to_reference(
+        (model, optimizer, k, dim, raw_rows) in (
+            model_strategy(),
+            optimizer_strategy(),
+            1usize..6,
+            8u64..32,
+        ).prop_flat_map(|(model, optimizer, k, dim)| {
+            let rows = prop::collection::vec(
+                (0u64..1_000, prop::collection::vec((0u64..dim, -2.0f64..2.0), 1..8)),
+                1usize..16,
+            );
+            (Just(model), Just(optimizer), Just(k), Just(dim), rows)
+        })
+    ) {
+        let rows = materialize_rows(model, &raw_rows);
+        let b = rows.len();
+        let width = model.stats_width();
+
+        let part = ColumnPartitioner::round_robin(k);
+        let block = Block::from_rows(0, &rows);
+        let worksets: Vec<Workset> = split_block(&block, &part);
+
+        let mut reference = lanes(model, optimizer, &part, dim);
+        let mut tuned = lanes(model, optimizer, &part, dim);
+        // Tuned-path buffers persist across iterations — reuse is the
+        // property under test, not a per-iteration reset.
+        let mut stats_bufs: Vec<Vec<f64>> = vec![Vec::new(); k];
+        let mut scratches: Vec<UpdateScratch> = (0..k).map(|_| UpdateScratch::new()).collect();
+        let mut agg = Vec::new();
+        let up = UpdateParams::plain(0.3);
+
+        for iter in 0..ITERS {
+            // Reference statistics: fresh vectors every time.
+            let mut ref_agg = vec![0.0; b * width];
+            for (lane, ws) in reference.iter().zip(&worksets) {
+                let mut partial = Vec::new();
+                model.compute_stats(&lane.params, &ws.data, &mut partial);
+                reduce_stats(&mut ref_agg, &partial);
+            }
+            // Tuned statistics: per-partition buffers reused across
+            // iterations, reduced in the same fixed partition order.
+            agg.clear();
+            agg.resize(b * width, 0.0);
+            for ((lane, ws), buf) in tuned.iter().zip(&worksets).zip(&mut stats_bufs) {
+                model.compute_stats(&lane.params, &ws.data, buf);
+                reduce_stats(&mut agg, buf);
+            }
+            for (i, (a, r)) in agg.iter().zip(&ref_agg).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    r.to_bits(),
+                    "iter {}: stat {} diverged: {} vs {}", iter, i, a, r
+                );
+            }
+
+            // Reference update: GradAccum (sorted apply order).
+            for (lane, ws) in reference.iter_mut().zip(&worksets) {
+                model.update_from_stats(&mut lane.params, &mut lane.opt, &ws.data, &ref_agg, &up, b);
+            }
+            // Tuned update: persistent scratch (arrival apply order).
+            for ((lane, ws), scratch) in tuned.iter_mut().zip(&worksets).zip(&mut scratches) {
+                model.update_from_stats_with(
+                    &mut lane.params,
+                    &mut lane.opt,
+                    &ws.data,
+                    &agg,
+                    &up,
+                    b,
+                    scratch,
+                );
+            }
+            for (p, (r, t)) in reference.iter().zip(&tuned).enumerate() {
+                for (bi, (rb, tb)) in r.params.blocks.iter().zip(&t.params.blocks).enumerate() {
+                    for (c, (x, y)) in rb.as_slice().iter().zip(tb.as_slice()).enumerate() {
+                        prop_assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "iter {}: partition {} block {} coord {}: {} vs {}",
+                            iter, p, bi, c, x, y
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
