@@ -4,11 +4,14 @@
 //! repro <experiment> [scale]     # one experiment (e.g. `repro table4`)
 //! repro all [scale]              # every experiment, in paper order
 //! repro list                     # available experiment ids
+//! repro trace --trace-out PATH   # traced run, JSONL trace to PATH
 //! ```
 //!
 //! `scale` is the feature-dimension scale factor for the synthetic
 //! datasets (default 0.02 → kdd12-synth has ~1.1M features). JSON results
-//! are written to `repro_results/<id>.json`.
+//! are written to `repro_results/<id>.json`; the `trace` experiment
+//! additionally writes a telemetry JSONL trace (default
+//! `repro_results/TRACE_sample.jsonl`, overridable with `--trace-out`).
 
 use std::io::Write;
 
@@ -16,7 +19,18 @@ use columnsgd_bench::datasets::DEFAULT_SCALE;
 use columnsgd_bench::experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--trace-out needs a path");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        // The trace experiment reads the override from the environment so
+        // the experiments::run signature stays uniform across ids.
+        std::env::set_var(experiments::trace::TRACE_OUT_ENV, path);
+    }
     let id = args.first().map(String::as_str).unwrap_or("list");
     let scale: f64 = args
         .get(1)

@@ -15,11 +15,12 @@ pub mod table1;
 pub mod table4;
 pub mod table5;
 pub mod tables23;
+pub mod trace;
 
 use crate::Report;
 
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "table1",
     "table2",
     "table3",
@@ -40,6 +41,7 @@ pub const ALL_IDS: [&str; 21] = [
     "ext_mlr",
     "ext_dnn",
     "ext_chaos",
+    "trace",
     "BENCH_superstep",
 ];
 
@@ -67,6 +69,7 @@ pub fn run(id: &str, scale: f64) -> Option<Vec<Report>> {
         "ext_mlr" => vec![ext::mlr(scale)],
         "ext_dnn" => vec![ext_dnn::run(scale)],
         "ext_chaos" => vec![ext_chaos::run(scale)],
+        "trace" => vec![trace::run(scale)],
         "BENCH_superstep" => vec![superstep::run(scale)],
         _ => return None,
     };

@@ -5,7 +5,7 @@
 
 use std::time::Instant;
 
-use columnsgd::cluster::{FailurePlan, NetworkModel};
+use columnsgd::cluster::{FailurePlan, NetworkModel, Recorder};
 use columnsgd::core::{ColumnSgdConfig, ColumnSgdEngine};
 use columnsgd::ml::ModelSpec;
 use serde_json::json;
@@ -55,16 +55,32 @@ pub fn run(scale: f64) -> Report {
     // Traffic identity: the optimizations change *when* work happens,
     // never *what* is sent. A serial (threads=1) and a fully fanned-out
     // (threads=K) engine run must meter identical bytes and messages.
+    // Both runs are traced, so the totals are additionally reconciled
+    // against the telemetry comm records (the engine asserts equality).
     let traffic = |threads: usize| {
         let ds = datasets::build(columnsgd::data::DatasetPreset::Avazu, scale, 2_000, 13);
         let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
             .with_batch_size(200)
             .with_iterations(10)
             .with_threads_per_worker(threads);
-        let mut e = ColumnSgdEngine::new(&ds, K, cfg, NetworkModel::CLUSTER1, FailurePlan::none())
-            .expect("engine");
+        let recorder = Recorder::new();
+        let mut e = ColumnSgdEngine::new_traced(
+            &ds,
+            K,
+            cfg,
+            NetworkModel::CLUSTER1,
+            FailurePlan::none(),
+            recorder.clone(),
+        )
+        .expect("engine");
         let _ = e.train().expect("train");
         let total = e.traffic().total();
+        let s = recorder.summary();
+        assert_eq!(
+            (s.comm_bytes, s.comm_messages),
+            (total.bytes, total.messages),
+            "telemetry comm records must reconcile with the meter"
+        );
         (total.bytes, total.messages)
     };
     let (bytes_serial, msgs_serial) = traffic(1);

@@ -1,6 +1,8 @@
-//! Aligned-table reports with a JSON side channel.
+//! Aligned-table reports with a JSON side channel, plus the
+//! telemetry-derived time-breakdown rows every paper-style table shares.
 
-use serde_json::Value;
+use columnsgd::cluster::telemetry::Summary;
+use serde_json::{json, Value};
 
 /// One experiment's output: a titled, aligned text table plus machine-
 /// readable JSON (consumed when regenerating EXPERIMENTS.md).
@@ -74,6 +76,66 @@ impl Report {
         }
         out
     }
+}
+
+/// Renders a telemetry [`Summary`]'s phase breakdown as `(phase,
+/// seconds, share)` report rows — the single source for paper-style
+/// time-breakdown tables. Everything is derived from recorded superstep
+/// spans; the bench keeps no second bookkeeping path.
+pub fn breakdown_rows(s: &Summary) -> Vec<Vec<String>> {
+    let b = &s.breakdown;
+    let total = b.total();
+    let share = |x: f64| {
+        if total > 0.0 {
+            format!("{:.1}%", 100.0 * x / total)
+        } else {
+            "-".to_string()
+        }
+    };
+    let mut rows = Vec::new();
+    if b.sample_s > 0.0 {
+        // Sample rides inside compute (same worker timer), so its share
+        // is informational and the column does not sum to 100 with it.
+        rows.push(vec![
+            "sample (within compute)".to_string(),
+            fmt_s(b.sample_s),
+            share(b.sample_s),
+        ]);
+    }
+    for (label, secs) in [
+        ("compute", b.compute_s),
+        ("gather", b.gather_s),
+        ("broadcast", b.broadcast_s),
+        ("update", b.update_s),
+        ("overhead", b.overhead_s),
+    ] {
+        rows.push(vec![label.to_string(), fmt_s(secs), share(secs)]);
+    }
+    rows.push(vec!["total".to_string(), fmt_s(total), share(total)]);
+    rows
+}
+
+/// The machine-readable form of [`breakdown_rows`] for a report's JSON
+/// side channel.
+pub fn breakdown_json(s: &Summary) -> Value {
+    let b = &s.breakdown;
+    json!({
+        "run": s.run.run_id_hex(),
+        "iterations": s.iterations,
+        "sample_s": b.sample_s,
+        "compute_s": b.compute_s,
+        "gather_s": b.gather_s,
+        "broadcast_s": b.broadcast_s,
+        "update_s": b.update_s,
+        "overhead_s": b.overhead_s,
+        "total_s": b.total(),
+        "comm_bytes": s.comm_bytes,
+        "comm_messages": s.comm_messages,
+        "straggler_imbalance": s.straggler.imbalance(),
+        "by_kind": s.by_kind.iter().map(|k| json!({
+            "kind": k.kind, "bytes": k.bytes, "messages": k.messages,
+        })).collect::<Vec<_>>(),
+    })
 }
 
 /// Formats seconds with adaptive precision.

@@ -48,6 +48,8 @@ pub mod wire;
 
 pub use chaos::{ChaosSpec, WireFault};
 pub use clock::SimClock;
+pub use columnsgd_telemetry as telemetry;
+pub use columnsgd_telemetry::Recorder;
 pub use failure::{FailureEvent, FailurePlan, StragglerSpec};
 pub use netmodel::NetworkModel;
 pub use node::NodeId;

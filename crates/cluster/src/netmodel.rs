@@ -56,6 +56,15 @@ impl NetworkModel {
         self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
     }
 
+    /// This model's per-link pricing, in telemetry's vocabulary (recorded
+    /// on traces so modeled comm times can be re-derived offline).
+    pub fn link_pricing(&self) -> columnsgd_telemetry::LinkPricing {
+        columnsgd_telemetry::LinkPricing {
+            latency_s: self.latency_s,
+            bandwidth_bytes_per_s: self.bandwidth_bytes_per_s,
+        }
+    }
+
     /// Time for a gather at a single endpoint: `per_sender_bytes` arrive
     /// from distinct senders, serialized on the receiver's link (the
     /// single-master bottleneck of Figure 1). Latencies overlap; bytes

@@ -38,6 +38,16 @@ impl NodeId {
     }
 }
 
+impl From<NodeId> for columnsgd_telemetry::NodeRef {
+    fn from(id: NodeId) -> Self {
+        match id {
+            NodeId::Master => columnsgd_telemetry::NodeRef::Master,
+            NodeId::Worker(k) => columnsgd_telemetry::NodeRef::Worker(k as u32),
+            NodeId::Server(p) => columnsgd_telemetry::NodeRef::Server(p as u32),
+        }
+    }
+}
+
 impl std::fmt::Display for NodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use columnsgd_telemetry::{CommFault, Plane, Recorder};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
@@ -98,6 +99,7 @@ pub struct Router<M> {
     senders: Arc<RwLock<HashMap<NodeId, Sender<Envelope<M>>>>>,
     traffic: TrafficStats,
     chaos: Option<Arc<ChaosState<M>>>,
+    recorder: Recorder,
 }
 
 impl<M> std::fmt::Debug for Router<M> {
@@ -116,6 +118,7 @@ impl<M> Clone for Router<M> {
             senders: Arc::clone(&self.senders),
             traffic: self.traffic.clone(),
             chaos: self.chaos.clone(),
+            recorder: self.recorder.clone(),
         }
     }
 }
@@ -149,6 +152,18 @@ impl<M: Wire> Router<M> {
         traffic: TrafficStats,
         chaos: Option<ChaosSpec>,
     ) -> (Router<M>, Vec<Endpoint<M>>) {
+        Self::with_recorder(ids, traffic, chaos, Recorder::disabled())
+    }
+
+    /// The full constructor: chaos injection plus a telemetry [`Recorder`]
+    /// that receives one `CommRecord` per metered message. With the
+    /// default [`Recorder::disabled`] the telemetry path costs one branch.
+    pub fn with_recorder(
+        ids: &[NodeId],
+        traffic: TrafficStats,
+        chaos: Option<ChaosSpec>,
+        recorder: Recorder,
+    ) -> (Router<M>, Vec<Endpoint<M>>) {
         let mut senders = HashMap::with_capacity(ids.len());
         let mut receivers = Vec::with_capacity(ids.len());
         for &id in ids {
@@ -167,6 +182,7 @@ impl<M: Wire> Router<M> {
                     held: Mutex::new(HashMap::new()),
                 })
             }),
+            recorder,
         };
         let endpoints = receivers
             .into_iter()
@@ -219,6 +235,36 @@ impl<M: Wire> Router<M> {
         }
     }
 
+    /// Mirrors one metered message into telemetry. Called exactly once per
+    /// `TrafficStats::record`, so a trace's byte totals reconcile with the
+    /// meter by construction — the engines assert this after training.
+    #[inline]
+    fn record_comm(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        kind: &str,
+        plane: Plane,
+        fault: Option<CommFault>,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let modeled_s = self.recorder.pricing().map_or(0.0, |p| {
+            p.latency_s + bytes as f64 / p.bandwidth_bytes_per_s
+        });
+        self.recorder.comm(
+            kind,
+            from.into(),
+            to.into(),
+            bytes as u64,
+            modeled_s,
+            plane,
+            fault,
+        );
+    }
+
     fn push(&self, env: Envelope<M>) -> Result<(), NetError> {
         let senders = self.senders.read();
         let sender = senders.get(&env.to).ok_or(NetError::UnknownNode(env.to))?;
@@ -262,6 +308,13 @@ impl<M: Wire> Router<M> {
         };
         if from != to {
             self.traffic.record(from, to, bytes);
+            let observed = match fault {
+                WireFault::Deliver => None,
+                WireFault::Drop => Some(CommFault::Dropped),
+                WireFault::Duplicate => Some(CommFault::Duplicated),
+                WireFault::Delay => Some(CommFault::Delayed),
+            };
+            self.record_comm(from, to, bytes, payload.kind(), Plane::Data, observed);
         }
         // Any message held back on this link is released by this send
         // (delivered behind the current message — that is the reordering).
@@ -275,6 +328,14 @@ impl<M: Wire> Router<M> {
             WireFault::Duplicate => {
                 if from != to {
                     self.traffic.record(from, to, bytes);
+                    self.record_comm(
+                        from,
+                        to,
+                        bytes,
+                        env.payload.kind(),
+                        Plane::Data,
+                        Some(CommFault::Duplicated),
+                    );
                 }
                 self.push(env.clone())?;
                 self.push(env)?;
@@ -299,6 +360,7 @@ impl<M: Wire> Router<M> {
         let bytes = payload.wire_size() + ENVELOPE_BYTES;
         if from != to {
             self.traffic.record(from, to, bytes);
+            self.record_comm(from, to, bytes, payload.kind(), Plane::Control, None);
         }
         self.push(Envelope { from, to, payload })
     }
@@ -322,6 +384,14 @@ impl<M: Wire> Router<M> {
         let bytes = payload.wire_size() + ENVELOPE_BYTES;
         if logical_from != to {
             self.traffic.record(logical_from, to, bytes);
+            self.record_comm(
+                logical_from,
+                to,
+                bytes,
+                payload.kind(),
+                Plane::Virtual,
+                None,
+            );
         }
         self.push(Envelope {
             from: physical_from,
@@ -342,14 +412,27 @@ impl<M: Wire> Router<M> {
     /// receiving logic runs in-process, e.g. a virtual server receiving a
     /// push that the driver thread handles directly).
     pub fn meter_only(&self, from: NodeId, to: NodeId, bytes: usize) {
+        self.meter_as(from, to, bytes, "meter");
+    }
+
+    /// Like [`Router::meter_only`] but with an explicit message-kind label
+    /// for telemetry (the RowSGD baselines label their virtual
+    /// parameter-server traffic: pulls, pushes, shuffles).
+    pub fn meter_as(&self, from: NodeId, to: NodeId, bytes: usize, kind: &str) {
         if from != to {
             self.traffic.record(from, to, bytes);
+            self.record_comm(from, to, bytes, kind, Plane::Virtual, None);
         }
     }
 
     /// The shared traffic meter.
     pub fn traffic(&self) -> &TrafficStats {
         &self.traffic
+    }
+
+    /// The telemetry recorder this router reports to.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// All registered node ids, sorted.
@@ -673,6 +756,42 @@ mod tests {
         assert_eq!(w0.recv().unwrap().payload, 1);
         router.send(NodeId::Master, NodeId::Worker(0), 3).unwrap();
         assert_eq!(w0.recv().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn telemetry_comm_records_reconcile_with_meter_under_chaos() {
+        // Every metered byte — including drops and double-metered
+        // duplicates — must appear as a CommRecord, on every plane.
+        let spec = ChaosSpec {
+            seed: 3,
+            drop_p: 0.3,
+            dup_p: 0.3,
+            ..ChaosSpec::default()
+        };
+        let traffic = TrafficStats::new();
+        let recorder = Recorder::new();
+        let (router, _eps) = Router::<Vec<f64>>::with_recorder(
+            &[NodeId::Master, NodeId::Worker(0)],
+            traffic.clone(),
+            Some(spec),
+            recorder.clone(),
+        );
+        router.arm_chaos();
+        for i in 0..100 {
+            router
+                .send(NodeId::Master, NodeId::Worker(0), vec![0.0; i % 7])
+                .unwrap();
+        }
+        router
+            .send_reliable(NodeId::Worker(0), NodeId::Master, vec![1.0])
+            .unwrap();
+        router.meter_as(NodeId::Worker(0), NodeId::Server(0), 640, "SparsePull");
+        let summary = recorder.summary();
+        let total = traffic.total();
+        assert_eq!(summary.comm_bytes, total.bytes);
+        assert_eq!(summary.comm_messages, total.messages);
+        assert!(summary.comm_faults > 0, "chaos faults must be recorded");
+        assert!(summary.by_kind.iter().any(|k| k.kind == "SparsePull"));
     }
 
     #[test]

@@ -11,6 +11,13 @@
 pub trait Wire {
     /// Number of payload bytes this value occupies on the wire.
     fn wire_size(&self) -> usize;
+
+    /// Stable message-kind label for telemetry (`CommRecord::kind`).
+    /// Protocol enums override this with their variant name; plain
+    /// payloads fall back to a generic tag.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
 }
 
 /// Envelope overhead charged per message (sender, receiver, tag, length).

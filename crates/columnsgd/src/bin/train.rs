@@ -12,6 +12,7 @@
 //!   --l2 LAMBDA                          L2 regularization       [0]
 //!   --seed S                             experiment seed         [42]
 //!   --model-out PATH                     write weights as text
+//!   --trace-out PATH                     write telemetry JSONL trace
 //! ```
 //!
 //! Example:
@@ -24,6 +25,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::exit;
 
+use columnsgd::cluster::Recorder;
 use columnsgd::data::libsvm;
 use columnsgd::ml::serial;
 use columnsgd::prelude::*;
@@ -39,13 +41,15 @@ struct Args {
     l2: f64,
     seed: u64,
     model_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: columnsgd-train <file.libsvm> [--model lr|svm|lsq|fm:<F>|mlr:<C>] \
          [--workers K] [--batch B] [--iters T] [--eta E] \
-         [--optimizer sgd|adagrad|adam] [--l2 LAMBDA] [--seed S] [--model-out PATH]"
+         [--optimizer sgd|adagrad|adam] [--l2 LAMBDA] [--seed S] [--model-out PATH] \
+         [--trace-out PATH]"
     );
     exit(2)
 }
@@ -79,6 +83,7 @@ fn parse_args() -> Args {
         l2: 0.0,
         seed: 42,
         model_out: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -108,6 +113,7 @@ fn parse_args() -> Args {
             "--l2" => args.l2 = value("--l2").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--model-out" => args.model_out = Some(value("--model-out")),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--help" | "-h" => usage(),
             other if args.path.is_empty() && !other.starts_with('-') => {
                 args.path = other.to_string();
@@ -160,15 +166,30 @@ fn main() {
     config.update = update;
     config.optimizer = args.optimizer;
 
-    let mut engine = ColumnSgdEngine::new(
+    let recorder = if args.trace_out.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let mut engine = ColumnSgdEngine::new_traced(
         &dataset,
         args.workers,
         config,
         NetworkModel::CLUSTER1,
         FailurePlan::none(),
+        recorder.clone(),
     )
     .expect("engine");
     let outcome = engine.train().expect("train");
+    if let Some(path) = &args.trace_out {
+        recorder
+            .write_jsonl(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write trace {path}: {e}");
+                exit(1)
+            });
+        eprintln!("trace written to {path} (run {})", outcome.run.run_id_hex());
+    }
 
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let model = engine.collect_model();

@@ -194,6 +194,14 @@ impl ColumnSgdConfig {
             PartitionScheme::Range => ColumnPartitioner::range(k, dim),
         }
     }
+
+    /// A stable FNV-1a fingerprint of the full configuration, stamped on
+    /// telemetry traces (`RunStamp::config_hash`) so repro artifacts are
+    /// self-describing. Hashes the `Debug` rendering: every field is
+    /// `Debug`, and any new field automatically perturbs the hash.
+    pub fn fingerprint(&self) -> u64 {
+        columnsgd_cluster::telemetry::fnv::hash_bytes(format!("{self:?}").as_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +255,14 @@ mod tests {
         assert_eq!(c.num_groups(4), 4);
         assert_eq!(c.partitions_of(2), vec![2]);
         assert_eq!(c.replicas_of(2), vec![2]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let a = ColumnSgdConfig::new(ModelSpec::Lr);
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        assert_ne!(a.fingerprint(), a.with_batch_size(64).fingerprint());
+        assert_ne!(a.fingerprint(), a.with_seed(9).fingerprint());
     }
 
     #[test]

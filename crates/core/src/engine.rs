@@ -25,10 +25,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use columnsgd_cluster::clock::IterationTime;
+use columnsgd_cluster::telemetry::{KernelRecord, Phase, RunStamp, SuperstepSpan};
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
 use columnsgd_cluster::{
-    spawn_guarded, Endpoint, Envelope, FailurePlan, NetError, NetworkModel, NodeId, Router,
-    SimClock, TrafficStats,
+    spawn_guarded, Endpoint, Envelope, FailurePlan, NetError, NetworkModel, NodeId, Recorder,
+    Router, SimClock, TrafficStats,
 };
 use columnsgd_data::block::Block;
 use columnsgd_data::{Dataset, TwoPhaseIndex};
@@ -69,6 +70,10 @@ pub struct TrainOutcome {
     /// Every fault the master detected and recovered from, in detection
     /// order.
     pub recovery: Vec<RecoveryEvent>,
+    /// The run's identity stamp (config hash, seeds, pool width) — the
+    /// same stamp telemetry writes on every trace line, so repro JSON
+    /// derived from this outcome is self-describing.
+    pub run: RunStamp,
 }
 
 impl TrainOutcome {
@@ -105,6 +110,7 @@ pub struct ColumnSgdEngine {
     router: Router<ColMsg>,
     handles: Vec<Option<JoinHandle<()>>>,
     traffic: TrafficStats,
+    recorder: Recorder,
     /// Messages received while waiting for something more specific
     /// (probe acks, reload acks); drained before the mailbox.
     pending: VecDeque<Envelope<ColMsg>>,
@@ -140,9 +146,30 @@ impl ColumnSgdEngine {
         plan: FailurePlan,
     ) -> Result<Self, TrainError> {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        Self::new_traced(dataset, k, cfg, net, plan, Recorder::disabled())
+    }
+
+    /// [`ColumnSgdEngine::new`] with a telemetry [`Recorder`] attached:
+    /// every router send, superstep phase, kernel launch, and fault is
+    /// recorded on `recorder` for JSONL export or in-process summary.
+    ///
+    /// # Errors
+    /// Same contract as [`ColumnSgdEngine::new`].
+    ///
+    /// # Panics
+    /// Same contract as [`ColumnSgdEngine::new`].
+    pub fn new_traced(
+        dataset: &Dataset,
+        k: usize,
+        cfg: ColumnSgdConfig,
+        net: NetworkModel,
+        plan: FailurePlan,
+        recorder: Recorder,
+    ) -> Result<Self, TrainError> {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
         let queue = dataset.into_block_queue(cfg.block_size);
         let blocks: Vec<Block> = queue.iter().cloned().collect();
-        Self::from_blocks(blocks, dataset.dimension(), k, cfg, net, plan)
+        Self::from_blocks_traced(blocks, dataset.dimension(), k, cfg, net, plan, recorder)
     }
 
     /// Builds an engine from pre-cut blocks — the streaming loading path:
@@ -162,6 +189,27 @@ impl ColumnSgdEngine {
         net: NetworkModel,
         plan: FailurePlan,
     ) -> Result<Self, TrainError> {
+        Self::from_blocks_traced(blocks, dim, k, cfg, net, plan, Recorder::disabled())
+    }
+
+    /// [`ColumnSgdEngine::from_blocks`] with a telemetry [`Recorder`]
+    /// attached (see [`ColumnSgdEngine::new_traced`]).
+    ///
+    /// # Errors
+    /// Same contract as [`ColumnSgdEngine::new`].
+    ///
+    /// # Panics
+    /// Same contract as [`ColumnSgdEngine::from_blocks`].
+    #[allow(clippy::too_many_arguments)] // the traced variant of an already-wide constructor
+    pub fn from_blocks_traced(
+        blocks: Vec<Block>,
+        dim: u64,
+        k: usize,
+        cfg: ColumnSgdConfig,
+        net: NetworkModel,
+        plan: FailurePlan,
+        recorder: Recorder,
+    ) -> Result<Self, TrainError> {
         assert!(!blocks.is_empty(), "cannot train on an empty block set");
         let mut cfg = cfg;
         if cfg.threads_per_worker == 0 {
@@ -171,11 +219,19 @@ impl ColumnSgdEngine {
         }
         let _ = cfg.num_groups(k); // validate (S+1) | K early
         plan.validate(k).map_err(TrainError::InvalidPlan)?;
+        recorder.set_pricing(net.link_pricing());
+        recorder.begin(RunStamp {
+            config_hash: cfg.fingerprint(),
+            seed: cfg.seed,
+            chaos_seed: plan.chaos.map(|c| c.seed),
+            pool_width: cfg.threads_per_worker as u64,
+            workers: k as u64,
+        });
         let traffic = TrafficStats::new();
         let mut ids = vec![NodeId::Master];
         ids.extend((0..k).map(NodeId::Worker));
         let (router, mut endpoints): (Router<ColMsg>, Vec<Endpoint<ColMsg>>) =
-            Router::with_chaos(&ids, traffic.clone(), plan.chaos);
+            Router::with_recorder(&ids, traffic.clone(), plan.chaos, recorder);
         let master = endpoints.remove(0);
         let handles = endpoints
             .into_iter()
@@ -212,6 +268,7 @@ impl ColumnSgdEngine {
             );
         }
         let index = TwoPhaseIndex::new(blocks.iter().map(|b| (b.id(), b.nrows())), cfg.seed);
+        let recorder = router.recorder().clone();
         let mut engine = Self {
             cfg,
             k,
@@ -221,6 +278,7 @@ impl ColumnSgdEngine {
             router,
             handles,
             traffic,
+            recorder,
             pending: VecDeque::new(),
             blocks,
             index,
@@ -262,6 +320,9 @@ impl ColumnSgdEngine {
     /// to their owners; then barriers on every worker's LoadAck.
     fn load(&mut self) -> Result<LoadReport, TrainError> {
         self.traffic.reset();
+        // Keep the trace reconciled with the meter: load-phase comm
+        // records describe bytes the reset just forgot.
+        self.recorder.clear_comm();
         for (i, block) in self.blocks.iter().enumerate() {
             let splitter = NodeId::Worker(i % self.k);
             self.master
@@ -395,15 +456,18 @@ impl ColumnSgdEngine {
             }
             let cost = self.respawn_worker(t, w)?;
             *charge += cost;
-            recovery.push(RecoveryEvent {
-                iteration: t,
-                worker: w,
-                fault: FaultKind::WorkerFailure,
-                detection: DetectionMethod::SendFailure,
-                detection_latency_s: issued.elapsed().as_secs_f64(),
-                recovery_cost_s: cost,
-                attempt: attempts[w],
-            });
+            self.note_recovery(
+                RecoveryEvent {
+                    iteration: t,
+                    worker: w,
+                    fault: FaultKind::WorkerFailure,
+                    detection: DetectionMethod::SendFailure,
+                    detection_latency_s: issued.elapsed().as_secs_f64(),
+                    recovery_cost_s: cost,
+                    attempt: attempts[w],
+                },
+                recovery,
+            );
             self.bump_attempts(t, w, attempts)?;
         }
     }
@@ -488,6 +552,24 @@ impl ColumnSgdEngine {
     /// when a worker cannot be brought back, and [`TrainError::Network`]
     /// if the master's own mailbox fails.
     pub fn train(&mut self) -> Result<TrainOutcome, TrainError> {
+        let out = self.train_inner();
+        if let Err(e) = &out {
+            // Terminal errors join the telemetry fault stream as
+            // `fatal: true` records — one unified vocabulary for
+            // recovered and unrecoverable faults.
+            self.recorder.fault(e.to_fault_record());
+        }
+        out
+    }
+
+    /// Logs a recovered fault on both ledgers: the outcome's recovery log
+    /// and the telemetry fault stream.
+    fn note_recovery(&self, ev: RecoveryEvent, recovery: &mut Vec<RecoveryEvent>) {
+        self.recorder.fault(ev.to_fault_record());
+        recovery.push(ev);
+    }
+
+    fn train_inner(&mut self) -> Result<TrainOutcome, TrainError> {
         let mut clock = SimClock::new();
         let mut curve = Curve::new("ColumnSGD");
         let mut recovery: Vec<RecoveryEvent> = Vec::new();
@@ -510,6 +592,9 @@ impl ColumnSgdEngine {
             // --- step 2: gather + reduce -------------------------------
             let mut partials: HashMap<usize, Vec<f64>> = HashMap::new();
             let mut compute_times = vec![0.0f64; self.k];
+            // Telemetry-only: the sampling/assembly slice of each worker's
+            // compute time. Barrier and straggler math stay on the totals.
+            let mut sample_times = vec![0.0f64; self.k];
             while partials.len() < self.k {
                 match self.recv_next(deadline) {
                     Ok(env) => match env.payload {
@@ -518,29 +603,35 @@ impl ColumnSgdEngine {
                             worker,
                             partial,
                             compute_s,
+                            sample_s,
                             task_failed,
                         } if iteration == t => {
                             let failed = fold_stats_reply(
                                 &mut partials,
                                 &mut compute_times,
+                                &mut sample_times,
                                 worker,
                                 partial,
                                 compute_s,
+                                sample_s,
                                 task_failed,
                             );
                             if failed {
                                 // §X task failure: "start a new task … no
                                 // additional work on data loading is
                                 // required."
-                                recovery.push(RecoveryEvent {
-                                    iteration: t,
-                                    worker,
-                                    fault: FaultKind::TaskFailure,
-                                    detection: DetectionMethod::ErrorReply,
-                                    detection_latency_s: issued.elapsed().as_secs_f64(),
-                                    recovery_cost_s: 0.0,
-                                    attempt: attempts[worker],
-                                });
+                                self.note_recovery(
+                                    RecoveryEvent {
+                                        iteration: t,
+                                        worker,
+                                        fault: FaultKind::TaskFailure,
+                                        detection: DetectionMethod::ErrorReply,
+                                        detection_latency_s: issued.elapsed().as_secs_f64(),
+                                        recovery_cost_s: 0.0,
+                                        attempt: attempts[worker],
+                                    },
+                                    &mut recovery,
+                                );
                                 self.bump_attempts(t, worker, &mut attempts)?;
                                 self.issue_compute(
                                     t,
@@ -557,21 +648,29 @@ impl ColumnSgdEngine {
                         ColMsg::WorkerPanic { worker, .. } => {
                             let cost = self.respawn_worker(t, worker)?;
                             charge += cost;
-                            recovery.push(RecoveryEvent {
-                                iteration: t,
-                                worker,
-                                fault: FaultKind::WorkerFailure,
-                                detection: DetectionMethod::PanicReport,
-                                detection_latency_s: issued.elapsed().as_secs_f64(),
-                                recovery_cost_s: cost,
-                                attempt: attempts[worker],
-                            });
+                            self.note_recovery(
+                                RecoveryEvent {
+                                    iteration: t,
+                                    worker,
+                                    fault: FaultKind::WorkerFailure,
+                                    detection: DetectionMethod::PanicReport,
+                                    detection_latency_s: issued.elapsed().as_secs_f64(),
+                                    recovery_cost_s: cost,
+                                    attempt: attempts[worker],
+                                },
+                                &mut recovery,
+                            );
                             self.bump_attempts(t, worker, &mut attempts)?;
                             // Its model partition was re-initialized; any
                             // pre-crash partial no longer matches it — and
                             // neither does its charged compute time (only
                             // the attempt actually counted may be billed).
-                            discard_partial(&mut partials, &mut compute_times, worker);
+                            discard_partial(
+                                &mut partials,
+                                &mut compute_times,
+                                &mut sample_times,
+                                worker,
+                            );
                             self.issue_compute(
                                 t,
                                 worker,
@@ -731,15 +830,18 @@ impl ColumnSgdEngine {
                         ColMsg::WorkerPanic { worker, .. } => {
                             let cost = self.respawn_worker(t, worker)?;
                             charge += cost;
-                            recovery.push(RecoveryEvent {
-                                iteration: t,
-                                worker,
-                                fault: FaultKind::WorkerFailure,
-                                detection: DetectionMethod::PanicReport,
-                                detection_latency_s: issued.elapsed().as_secs_f64(),
-                                recovery_cost_s: cost,
-                                attempt: attempts[worker],
-                            });
+                            self.note_recovery(
+                                RecoveryEvent {
+                                    iteration: t,
+                                    worker,
+                                    fault: FaultKind::WorkerFailure,
+                                    detection: DetectionMethod::PanicReport,
+                                    detection_latency_s: issued.elapsed().as_secs_f64(),
+                                    recovery_cost_s: cost,
+                                    attempt: attempts[worker],
+                                },
+                                &mut recovery,
+                            );
                             self.bump_attempts(t, worker, &mut attempts)?;
                             if !acked[worker] {
                                 self.resequence_update(t, worker, &agg, attempts[worker]);
@@ -807,8 +909,24 @@ impl ColumnSgdEngine {
             // pinned equal to `wire_size()` by test.
             let reply_bytes = (ColMsg::stats_reply_wire_size(stats_len) + ENVELOPE_BYTES) as u64;
             let bcast_bytes = (ColMsg::update_wire_size(agg.len()) + ENVELOPE_BYTES) as u64;
-            let comm = self.net.gather_time_uniform(reply_bytes, counted.len())
-                + self.net.broadcast_time(bcast_bytes, updaters.len());
+            let gather_s = self.net.gather_time_uniform(reply_bytes, counted.len());
+            let bcast_s = self.net.broadcast_time(bcast_bytes, updaters.len());
+            let comm = gather_s + bcast_s;
+
+            if self.recorder.is_enabled() {
+                self.emit_superstep(
+                    t,
+                    &sample_times,
+                    &compute_times,
+                    stat_phase,
+                    gather_s,
+                    bcast_s,
+                    &update_times,
+                    upd_phase,
+                    charge,
+                    counted.len(),
+                );
+            }
 
             let loss = self.cfg.model.loss_from_stats(&self.batch_labels(t), &agg);
             if charge > 0.0 {
@@ -822,11 +940,97 @@ impl ColumnSgdEngine {
             curve.push(t, clock.elapsed_s(), loss);
         }
 
+        if self.recorder.is_enabled() {
+            // Tentpole invariant: the trace's comm records must reconcile
+            // *exactly* with the router's byte meter — one `CommRecord`
+            // per metered delivery, by construction.
+            let s = self.recorder.summary();
+            let total = self.traffic.total();
+            assert_eq!(
+                (s.comm_bytes, s.comm_messages),
+                (total.bytes, total.messages),
+                "telemetry comm records diverge from router metering"
+            );
+        }
+
         Ok(TrainOutcome {
             curve,
             clock,
             recovery,
+            run: self.run_stamp(),
         })
+    }
+
+    /// The identity stamp describing this engine's run (also written on
+    /// every telemetry record when tracing is enabled).
+    pub fn run_stamp(&self) -> RunStamp {
+        RunStamp {
+            config_hash: self.cfg.fingerprint(),
+            seed: self.cfg.seed,
+            chaos_seed: self.plan.chaos.map(|c| c.seed),
+            pool_width: self.cfg.threads_per_worker as u64,
+            workers: self.k as u64,
+        }
+    }
+
+    /// The attached telemetry recorder (disabled unless the engine was
+    /// built with a `*_traced` constructor).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Emits the six per-iteration [`SuperstepSpan`]s plus the
+    /// [`KernelRecord`] for the statistics kernel. Sample is an
+    /// informational *subset* of compute (same timer); gather/broadcast
+    /// are modeled from metered bytes; overhead folds in the scheduling
+    /// constant plus this iteration's recovery charge, so the six spans
+    /// sum to exactly the clock's delta for the iteration.
+    #[allow(clippy::too_many_arguments)] // iteration-local measurements
+    fn emit_superstep(
+        &self,
+        t: u64,
+        sample_times: &[f64],
+        compute_times: &[f64],
+        stat_phase: f64,
+        gather_s: f64,
+        bcast_s: f64,
+        update_times: &[f64],
+        upd_phase: f64,
+        charge: f64,
+        counted_workers: usize,
+    ) {
+        let max = |xs: &[f64]| xs.iter().copied().fold(0.0f64, f64::max);
+        let spans = [
+            (Phase::Sample, max(sample_times), sample_times),
+            (Phase::Compute, stat_phase, compute_times),
+            (Phase::Gather, gather_s, &[] as &[f64]),
+            (Phase::Broadcast, bcast_s, &[]),
+            (Phase::Update, upd_phase, update_times),
+            (
+                Phase::Overhead,
+                self.net.scheduling_overhead_s + charge,
+                &[],
+            ),
+        ];
+        for (phase, sim_s, per_worker) in spans {
+            self.recorder.superstep(SuperstepSpan {
+                iteration: t,
+                phase,
+                sim_s,
+                measured_s: if phase.is_timer_derived() { sim_s } else { 0.0 },
+                per_worker: per_worker.to_vec(),
+            });
+        }
+        self.recorder.kernel(KernelRecord {
+            iteration: t,
+            model: self.cfg.model.label().to_string(),
+            batch_size: self.cfg.batch_size as u64,
+            pool_width: self.cfg.threads_per_worker as u64,
+            flops_proxy: self
+                .cfg
+                .model
+                .flops_proxy(self.cfg.batch_size, counted_workers),
+        });
     }
 
     /// Probe-classify-recover for one silent worker. `agg` is `Some`
@@ -857,15 +1061,18 @@ impl ColumnSgdEngine {
                 (FaultKind::WorkerFailure, cost)
             }
         };
-        recovery.push(RecoveryEvent {
-            iteration: t,
-            worker: w,
-            fault,
-            detection: DetectionMethod::Timeout,
-            detection_latency_s: issued.elapsed().as_secs_f64(),
-            recovery_cost_s: cost,
-            attempt: attempts[w],
-        });
+        self.note_recovery(
+            RecoveryEvent {
+                iteration: t,
+                worker: w,
+                fault,
+                detection: DetectionMethod::Timeout,
+                detection_latency_s: issued.elapsed().as_secs_f64(),
+                recovery_cost_s: cost,
+                attempt: attempts[w],
+            },
+            recovery,
+        );
         self.bump_attempts(t, w, attempts)?;
         match agg {
             None => self.issue_compute(t, w, attempts, issued, recovery, charge)?,
@@ -920,15 +1127,18 @@ impl ColumnSgdEngine {
         }
         let cost = self.respawn_worker(t, w)?;
         *charge += cost;
-        recovery.push(RecoveryEvent {
-            iteration: t,
-            worker: w,
-            fault: FaultKind::WorkerFailure,
-            detection: DetectionMethod::SendFailure,
-            detection_latency_s: issued.elapsed().as_secs_f64(),
-            recovery_cost_s: cost,
-            attempt: attempts[w],
-        });
+        self.note_recovery(
+            RecoveryEvent {
+                iteration: t,
+                worker: w,
+                fault: FaultKind::WorkerFailure,
+                detection: DetectionMethod::SendFailure,
+                detection_latency_s: issued.elapsed().as_secs_f64(),
+                recovery_cost_s: cost,
+                attempt: attempts[w],
+            },
+            recovery,
+        );
         self.bump_attempts(t, w, attempts)?;
         self.resequence_update(t, w, agg, attempts[w]);
         Ok(())
@@ -1106,12 +1316,15 @@ impl ColumnSgdEngine {
 /// accounts as recovery charge, and duplicate replies (chaos, redundant
 /// re-issues) carry identical statistics and must not inflate the compute
 /// phase. The old `+=` here double-billed every retried attempt.
+#[allow(clippy::too_many_arguments)] // gather-local fold state
 fn fold_stats_reply(
     partials: &mut HashMap<usize, Vec<f64>>,
     compute_times: &mut [f64],
+    sample_times: &mut [f64],
     worker: usize,
     partial: Vec<f64>,
     compute_s: f64,
+    sample_s: f64,
     task_failed: bool,
 ) -> bool {
     if task_failed {
@@ -1120,6 +1333,7 @@ fn fold_stats_reply(
     if let std::collections::hash_map::Entry::Vacant(slot) = partials.entry(worker) {
         slot.insert(partial);
         compute_times[worker] = compute_s;
+        sample_times[worker] = sample_s;
     }
     false
 }
@@ -1130,10 +1344,12 @@ fn fold_stats_reply(
 fn discard_partial(
     partials: &mut HashMap<usize, Vec<f64>>,
     compute_times: &mut [f64],
+    sample_times: &mut [f64],
     worker: usize,
 ) {
     partials.remove(&worker);
     compute_times[worker] = 0.0;
+    sample_times[worker] = 0.0;
 }
 
 /// Spawns one supervised worker thread with its slice of the failure plan.
@@ -1182,30 +1398,37 @@ mod tests {
         // worker that failed once was billed for both attempts.
         let mut partials: HashMap<usize, Vec<f64>> = HashMap::new();
         let mut times = vec![0.0f64; 2];
+        let mut samples = vec![0.0f64; 2];
 
         // Attempt 0 throws after burning 5 s: retry requested, nothing
         // billed, no partial kept.
         assert!(fold_stats_reply(
             &mut partials,
             &mut times,
+            &mut samples,
             1,
             Vec::new(),
             5.0,
+            1.0,
             true
         ));
         assert_eq!(times[1], 0.0);
+        assert_eq!(samples[1], 0.0);
         assert!(!partials.contains_key(&1));
 
         // Attempt 1 succeeds in 2 s: kept and billed exactly 2 s.
         assert!(!fold_stats_reply(
             &mut partials,
             &mut times,
+            &mut samples,
             1,
             vec![1.0],
             2.0,
+            0.5,
             false
         ));
         assert_eq!(times[1], 2.0);
+        assert_eq!(samples[1], 0.5);
         assert_eq!(partials[&1], vec![1.0]);
 
         // A duplicate reply (chaos) must change neither the partial nor
@@ -1213,12 +1436,15 @@ mod tests {
         assert!(!fold_stats_reply(
             &mut partials,
             &mut times,
+            &mut samples,
             1,
             vec![9.0],
+            9.0,
             9.0,
             false
         ));
         assert_eq!(times[1], 2.0);
+        assert_eq!(samples[1], 0.5);
         assert_eq!(partials[&1], vec![1.0]);
     }
 
@@ -1226,27 +1452,34 @@ mod tests {
     fn crash_discards_partial_and_its_bill() {
         let mut partials: HashMap<usize, Vec<f64>> = HashMap::new();
         let mut times = vec![0.0f64; 2];
+        let mut samples = vec![0.0f64; 2];
         assert!(!fold_stats_reply(
             &mut partials,
             &mut times,
+            &mut samples,
             0,
             vec![3.0],
             4.0,
+            0.25,
             false
         ));
-        discard_partial(&mut partials, &mut times, 0);
+        discard_partial(&mut partials, &mut times, &mut samples, 0);
         assert!(partials.is_empty());
         assert_eq!(times[0], 0.0);
+        assert_eq!(samples[0], 0.0);
         // The respawned incarnation's reply is then billed normally.
         assert!(!fold_stats_reply(
             &mut partials,
             &mut times,
+            &mut samples,
             0,
             vec![7.0],
             1.0,
+            0.125,
             false
         ));
         assert_eq!(times[0], 1.0);
+        assert_eq!(samples[0], 0.125);
         assert_eq!(partials[&0], vec![7.0]);
     }
 }

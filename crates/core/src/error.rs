@@ -79,6 +79,23 @@ pub struct RecoveryEvent {
     pub attempt: u64,
 }
 
+impl RecoveryEvent {
+    /// This event in telemetry's unified fault vocabulary (a recovered,
+    /// non-fatal [`columnsgd_cluster::telemetry::FaultRecord`]).
+    pub fn to_fault_record(&self) -> columnsgd_cluster::telemetry::FaultRecord {
+        columnsgd_cluster::telemetry::FaultRecord {
+            iteration: self.iteration,
+            worker: self.worker as u64,
+            fault: self.fault.to_string(),
+            detection: self.detection.to_string(),
+            detection_latency_s: self.detection_latency_s,
+            recovery_cost_s: self.recovery_cost_s,
+            attempt: self.attempt,
+            fatal: false,
+        }
+    }
+}
+
 /// A training run failed in a way recovery could not mask.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TrainError {
@@ -113,6 +130,58 @@ pub enum TrainError {
     },
     /// Loading never completed within the deadline.
     LoadFailed(String),
+}
+
+impl TrainError {
+    /// Stable class label for telemetry and reports.
+    pub fn class(&self) -> &'static str {
+        match self {
+            TrainError::InvalidPlan(_) => "invalid plan",
+            TrainError::RetriesExhausted { .. } => "retries exhausted",
+            TrainError::WorkerLost { .. } => "worker lost",
+            TrainError::Network { .. } => "network failure",
+            TrainError::LoadFailed(_) => "load failed",
+        }
+    }
+
+    /// The iteration the run died in, when the error carries one.
+    pub fn iteration(&self) -> Option<u64> {
+        match self {
+            TrainError::RetriesExhausted { iteration, .. }
+            | TrainError::WorkerLost { iteration, .. }
+            | TrainError::Network { iteration, .. } => Some(*iteration),
+            _ => None,
+        }
+    }
+
+    /// The worker involved, when the error names one.
+    pub fn worker(&self) -> Option<usize> {
+        match self {
+            TrainError::RetriesExhausted { worker, .. } | TrainError::WorkerLost { worker, .. } => {
+                Some(*worker)
+            }
+            _ => None,
+        }
+    }
+
+    /// This terminal error in telemetry's unified fault vocabulary
+    /// (`fatal: true`; a worker of 0 means "not worker-specific").
+    pub fn to_fault_record(&self) -> columnsgd_cluster::telemetry::FaultRecord {
+        let attempt = match self {
+            TrainError::RetriesExhausted { attempts, .. } => *attempts,
+            _ => 0,
+        };
+        columnsgd_cluster::telemetry::FaultRecord {
+            iteration: self.iteration().unwrap_or(0),
+            worker: self.worker().unwrap_or(0) as u64,
+            fault: self.class().to_string(),
+            detection: self.to_string(),
+            detection_latency_s: 0.0,
+            recovery_cost_s: 0.0,
+            attempt,
+            fatal: true,
+        }
+    }
 }
 
 impl std::fmt::Display for TrainError {

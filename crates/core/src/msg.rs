@@ -63,6 +63,10 @@ pub enum ColMsg {
         partial: Vec<f64>,
         /// Measured local compute seconds.
         compute_s: f64,
+        /// Measured batch sampling/assembly seconds — a telemetry-visible
+        /// *subset* of `compute_s` (the batch is drawn inside the timed
+        /// statistics task).
+        sample_s: f64,
         /// The task threw (fault-injection); statistics are absent.
         task_failed: bool,
     },
@@ -142,8 +146,9 @@ impl ColMsg {
     /// message, so the pricing path never has to construct (or clone the
     /// payload of) a throwaway reply.
     pub fn stats_reply_wire_size(stats_len: usize) -> usize {
-        // tag + iteration + worker + compute_s + task_failed + Vec<f64>.
-        1 + 8 + 8 + 8 + 1 + (8 + 8 * stats_len)
+        // tag + iteration + worker + compute_s + sample_s + task_failed
+        // + Vec<f64>.
+        1 + 8 + 8 + 8 + 8 + 1 + (8 + 8 * stats_len)
     }
 
     /// Analytic wire size of a [`ColMsg::Update`] carrying `stats_len`
@@ -187,7 +192,7 @@ impl Wire for ColMsg {
             ColMsg::LoadDone { .. } | ColMsg::ReloadDone { .. } => 1 + 8,
             ColMsg::LoadAck { layout, .. } => 1 + 8 + 8 + 16 * layout.len(),
             ColMsg::ComputeStats { .. } => 1 + 8 + 8 + 8,
-            ColMsg::StatsReply { partial, .. } => 1 + 8 + 8 + 8 + 1 + partial.wire_size(),
+            ColMsg::StatsReply { partial, .. } => 1 + 8 + 8 + 8 + 8 + 1 + partial.wire_size(),
             ColMsg::Update { stats, .. } => 1 + 8 + stats.wire_size(),
             ColMsg::UpdateAck { .. } => 1 + 8 + 8 + 8,
             ColMsg::Die | ColMsg::Shutdown | ColMsg::FetchModel => 1,
@@ -199,6 +204,10 @@ impl Wire for ColMsg {
             ColMsg::ProbeAck { .. } => 1 + 8 + 8 + 1,
             ColMsg::WorkerPanic { info, .. } => 1 + 8 + info.wire_size(),
         }
+    }
+
+    fn kind(&self) -> &'static str {
+        self.name()
     }
 }
 
@@ -214,6 +223,7 @@ mod tests {
             worker: 0,
             partial: vec![0.0; 10],
             compute_s: 0.0,
+            sample_s: 0.0,
             task_failed: false,
         };
         let big = ColMsg::StatsReply {
@@ -221,6 +231,7 @@ mod tests {
             worker: 0,
             partial: vec![0.0; 1000],
             compute_s: 0.0,
+            sample_s: 0.0,
             task_failed: false,
         };
         assert_eq!(big.wire_size() - small.wire_size(), 8 * 990);
@@ -234,6 +245,7 @@ mod tests {
                 worker: 3,
                 partial: vec![1.5; stats_len],
                 compute_s: 0.25,
+                sample_s: 0.05,
                 task_failed: false,
             };
             assert_eq!(

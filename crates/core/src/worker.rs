@@ -420,6 +420,7 @@ pub fn run_worker(
                             worker: id,
                             partial: Vec::new(),
                             compute_s: 0.0,
+                            sample_s: 0.0,
                             task_failed: true,
                         },
                     );
@@ -443,10 +444,16 @@ pub fn run_worker(
                             worker: id,
                             partial: Vec::new(),
                             compute_s: start.elapsed().as_secs_f64(),
+                            sample_s: 0.0,
                             task_failed: true,
                         },
                     );
                 } else {
+                    // Time the sampling/assembly sub-phase separately for
+                    // telemetry; `compute_stats` below hits the batch
+                    // cache, so the work is not repeated.
+                    w.ensure_batch(iteration);
+                    let sample_s = start.elapsed().as_secs_f64();
                     let partial = w.compute_stats(iteration);
                     let _ = ep.send(
                         NodeId::Master,
@@ -455,6 +462,7 @@ pub fn run_worker(
                             worker: id,
                             partial,
                             compute_s: start.elapsed().as_secs_f64(),
+                            sample_s,
                             task_failed: false,
                         },
                     );

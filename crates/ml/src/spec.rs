@@ -75,6 +75,27 @@ impl ModelSpec {
         self.widths().iter().map(|&w| dim * w as u64).sum()
     }
 
+    /// Stable lowercase label for reports and telemetry (`lr`, `svm`,
+    /// `lsq`, `mlr`, `fm`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelSpec::Lr => "lr",
+            ModelSpec::Svm => "svm",
+            ModelSpec::LeastSquares => "lsq",
+            ModelSpec::Mlr { .. } => "mlr",
+            ModelSpec::Fm { .. } => "fm",
+        }
+    }
+
+    /// Work proxy for one superstep's statistics kernels: statistics slots
+    /// produced per counted worker — `B × stats_width` — times the number
+    /// of counted workers. A unitless volume (not FLOPs), comparable
+    /// across models and batch sizes; telemetry stamps it on every
+    /// `KernelRecord`.
+    pub fn flops_proxy(&self, batch_size: usize, counted_workers: usize) -> u64 {
+        (batch_size * self.stats_width() * counted_workers) as u64
+    }
+
     fn glm_kind(&self) -> Option<GlmKind> {
         match self {
             ModelSpec::Lr => Some(GlmKind::Logistic),

@@ -106,6 +106,13 @@ impl RowSgdConfig {
         self
     }
 
+    /// A stable FNV-1a fingerprint of the full configuration — the
+    /// baseline-side analogue of `ColumnSgdConfig::fingerprint`, stamped
+    /// on telemetry traces.
+    pub fn fingerprint(&self) -> u64 {
+        columnsgd_cluster::telemetry::fnv::hash_bytes(format!("{self:?}").as_bytes())
+    }
+
     /// The number of servers resolved against the worker count.
     pub fn num_servers(&self, k: usize) -> usize {
         if self.servers == 0 {

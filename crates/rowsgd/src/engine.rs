@@ -6,8 +6,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use columnsgd_cluster::clock::IterationTime;
+use columnsgd_cluster::telemetry::{KernelRecord, Phase, RunStamp, SuperstepSpan};
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
-use columnsgd_cluster::{Endpoint, NetworkModel, NodeId, Router, SimClock, TrafficStats, Wire};
+use columnsgd_cluster::{
+    Endpoint, NetworkModel, NodeId, Recorder, Router, SimClock, TrafficStats, Wire,
+};
 use columnsgd_data::Dataset;
 use columnsgd_linalg::CsrMatrix;
 use columnsgd_ml::metrics::Curve;
@@ -33,6 +36,9 @@ pub struct TrainOutcome {
     pub curve: Curve,
     /// The simulated clock.
     pub clock: SimClock,
+    /// The run's identity stamp (same vocabulary as the ColumnSGD
+    /// engine's outcome, so baseline traces are comparable).
+    pub run: RunStamp,
 }
 
 impl TrainOutcome {
@@ -63,6 +69,7 @@ pub struct RowSgdEngine {
     master: Endpoint<RowMsg>,
     handles: Vec<JoinHandle<()>>,
     traffic: TrafficStats,
+    recorder: Recorder,
     /// The master/server-side model (absent for MLlib*, whose model lives
     /// in worker replicas). Keys are hash-sharded over the P servers
     /// ([`RowSgdEngine::server_of`]), as real parameter servers do — range
@@ -80,6 +87,20 @@ impl RowSgdEngine {
         Self::with_repartition(dataset, k, cfg, net, false)
     }
 
+    /// [`RowSgdEngine::new`] with a telemetry [`Recorder`] attached: the
+    /// baseline emits the same event vocabulary as the ColumnSGD engine
+    /// (comm records, superstep spans, kernel records), so traces from
+    /// both sides of a Figure 7 comparison line up.
+    pub fn new_traced(
+        dataset: &Dataset,
+        k: usize,
+        cfg: RowSgdConfig,
+        net: NetworkModel,
+        recorder: Recorder,
+    ) -> Self {
+        Self::traced(dataset, k, cfg, net, false, recorder)
+    }
+
     /// Like [`RowSgdEngine::new`], optionally simulating a global row
     /// repartitioning after the initial load (the "MLlib-Repartition"
     /// configuration of Figure 7).
@@ -90,12 +111,32 @@ impl RowSgdEngine {
         net: NetworkModel,
         repartition: bool,
     ) -> Self {
+        Self::traced(dataset, k, cfg, net, repartition, Recorder::disabled())
+    }
+
+    fn traced(
+        dataset: &Dataset,
+        k: usize,
+        cfg: RowSgdConfig,
+        net: NetworkModel,
+        repartition: bool,
+        recorder: Recorder,
+    ) -> Self {
         assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        recorder.set_pricing(net.link_pricing());
+        recorder.begin(RunStamp {
+            config_hash: cfg.fingerprint(),
+            seed: cfg.seed,
+            chaos_seed: None,
+            pool_width: 1,
+            workers: k as u64,
+        });
         let traffic = TrafficStats::new();
         let p = cfg.num_servers(k);
         let mut ids = vec![NodeId::Master];
         ids.extend((0..k).map(NodeId::Worker));
-        let (_router, mut endpoints) = Router::new(&ids, traffic.clone());
+        let (_router, mut endpoints) =
+            Router::with_recorder(&ids, traffic.clone(), None, recorder.clone());
         let master = endpoints.remove(0);
         let dim = dataset.dimension();
         let handles: Vec<JoinHandle<()>> = endpoints
@@ -125,6 +166,7 @@ impl RowSgdEngine {
             master,
             handles,
             traffic,
+            recorder,
             params,
             dim,
             rows_total: dataset.len(),
@@ -144,6 +186,8 @@ impl RowSgdEngine {
     #[allow(clippy::needless_range_loop)]
     fn load(&mut self, dataset: &Dataset, repartition: bool) {
         self.traffic.reset();
+        // Keep the trace reconciled with the meter across the reset.
+        self.recorder.clear_comm();
         let parts = dataset.row_partitions(self.k);
         let mut part_rows = Vec::with_capacity(self.k);
         for (w, part) in parts.iter().enumerate() {
@@ -171,10 +215,11 @@ impl RowSgdEngine {
             // worker → worker. Price it as a second pass of the data.
             for (w, &rows) in part_rows.iter().enumerate() {
                 let bytes = self.traffic.link(NodeId::Master, NodeId::Worker(w)).bytes;
-                self.master.router().meter_only(
+                self.master.router().meter_as(
                     NodeId::Worker(w),
                     NodeId::Worker((w + 1) % self.k),
                     bytes as usize,
+                    "Shuffle",
                 );
                 let _ = rows;
             }
@@ -237,10 +282,90 @@ impl RowSgdEngine {
                 RowSgdVariant::PsDense => self.iteration_ps(t, false),
                 RowSgdVariant::PsSparse => self.iteration_ps(t, true),
             };
+            if self.recorder.is_enabled() {
+                self.recorder.superstep(SuperstepSpan {
+                    iteration: t,
+                    phase: Phase::Overhead,
+                    sim_s: it.0.overhead_s,
+                    measured_s: 0.0,
+                    per_worker: Vec::new(),
+                });
+                self.recorder.kernel(KernelRecord {
+                    iteration: t,
+                    model: self.cfg.model.label().to_string(),
+                    batch_size: self.cfg.batch_size as u64,
+                    pool_width: 1,
+                    flops_proxy: self.cfg.model.flops_proxy(self.cfg.batch_size, self.k),
+                });
+            }
             clock.record(it.0);
             curve.push(t, clock.elapsed_s(), it.1);
         }
-        TrainOutcome { curve, clock }
+        if self.recorder.is_enabled() {
+            // Same invariant as the ColumnSGD engine: the trace's comm
+            // records must reconcile exactly with the router's meter.
+            let s = self.recorder.summary();
+            let total = self.traffic.total();
+            assert_eq!(
+                (s.comm_bytes, s.comm_messages),
+                (total.bytes, total.messages),
+                "telemetry comm records diverge from router metering"
+            );
+        }
+        TrainOutcome {
+            curve,
+            clock,
+            run: self.run_stamp(),
+        }
+    }
+
+    /// The identity stamp describing this engine's run.
+    pub fn run_stamp(&self) -> RunStamp {
+        RunStamp {
+            config_hash: self.cfg.fingerprint(),
+            seed: self.cfg.seed,
+            chaos_seed: None,
+            pool_width: 1,
+            workers: self.k as u64,
+        }
+    }
+
+    /// The attached telemetry recorder (disabled unless built via
+    /// [`RowSgdEngine::new_traced`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Emits the compute/gather/broadcast/update spans of one iteration
+    /// (RowSGD has no separate sampling phase; Overhead is emitted by the
+    /// main loop from the variant's scheduling constant).
+    fn emit_spans(
+        &self,
+        t: u64,
+        per_worker: &[f64],
+        compute_s: f64,
+        gather_s: f64,
+        bcast_s: f64,
+        update_s: f64,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let spans = [
+            (Phase::Compute, compute_s, per_worker),
+            (Phase::Gather, gather_s, &[] as &[f64]),
+            (Phase::Broadcast, bcast_s, &[]),
+            (Phase::Update, update_s, &[]),
+        ];
+        for (phase, sim_s, pw) in spans {
+            self.recorder.superstep(SuperstepSpan {
+                iteration: t,
+                phase,
+                sim_s,
+                measured_s: if phase.is_timer_derived() { sim_s } else { 0.0 },
+                per_worker: pw.to_vec(),
+            });
+        }
     }
 
     /// One MLlib iteration: broadcast the dense model, gather dense
@@ -307,12 +432,14 @@ impl RowSgdEngine {
         self.apply_dense(&agg);
         let master_compute = start.elapsed().as_secs_f64();
 
-        let comm = self.net.broadcast_time(model_msg_bytes, self.k)
-            + self.net.gather_time(&vec![grad_bytes; self.k]);
+        let bcast_s = self.net.broadcast_time(model_msg_bytes, self.k);
+        let gather_s = self.net.gather_time(&vec![grad_bytes; self.k]);
+        let compute_s = compute.iter().copied().fold(0.0, f64::max);
+        self.emit_spans(t, &compute, compute_s, gather_s, bcast_s, master_compute);
         (
             IterationTime {
-                compute_s: compute.iter().copied().fold(0.0, f64::max) + master_compute,
-                comm_s: comm,
+                compute_s: compute_s + master_compute,
+                comm_s: gather_s + bcast_s,
                 overhead_s: self.net.scheduling_overhead_s,
             },
             mean(&losses),
@@ -350,10 +477,15 @@ impl RowSgdEngine {
             }
         }
         let model_bytes = 8 * self.cfg.model.num_params(self.dim);
+        let compute_s = compute.iter().copied().fold(0.0, f64::max);
+        // The ring AllReduce is both reduce and distribute; file it under
+        // Gather so the breakdown's comm column carries it once.
+        let allreduce_s = self.net.allreduce_time(model_bytes, self.k);
+        self.emit_spans(t, &compute, compute_s, allreduce_s, 0.0, 0.0);
         (
             IterationTime {
-                compute_s: compute.iter().copied().fold(0.0, f64::max),
-                comm_s: self.net.allreduce_time(model_bytes, self.k),
+                compute_s,
+                comm_s: allreduce_s,
                 overhead_s: self.net.scheduling_overhead_s,
             },
             mean(&losses),
@@ -414,15 +546,17 @@ impl RowSgdEngine {
                 for p in 0..self.p {
                     let cnt = indices.iter().filter(|&&j| self.server_of(j) == p).count() as u64;
                     if cnt > 0 {
-                        router.meter_only(
+                        router.meter_as(
                             NodeId::Worker(w),
                             NodeId::Server(p),
                             (8 * cnt) as usize + ENVELOPE_BYTES,
+                            "SparsePullReq",
                         );
-                        router.meter_only(
+                        router.meter_as(
                             NodeId::Server(p),
                             NodeId::Worker(w),
                             ((8 + unit) * cnt) as usize + ENVELOPE_BYTES,
+                            "SparsePull",
                         );
                         pull_keys_per_server[p] += cnt;
                         pull_up_per_server[p].push(8 * cnt + ENVELOPE_BYTES as u64);
@@ -454,7 +588,12 @@ impl RowSgdEngine {
                 for p in 0..self.p {
                     let share =
                         self.shard_unit_dims() * unit + ENVELOPE_BYTES as u64 / self.p as u64;
-                    router.meter_only(NodeId::Server(p), NodeId::Worker(w), share as usize);
+                    router.meter_as(
+                        NodeId::Server(p),
+                        NodeId::Worker(w),
+                        share as usize,
+                        "DensePull",
+                    );
                     pull_down_per_server[p].push(share);
                 }
                 let _ = total_bytes;
@@ -499,10 +638,11 @@ impl RowSgdEngine {
                             .count() as u64;
                         if cnt > 0 {
                             let bytes = (8 + unit) * cnt + ENVELOPE_BYTES as u64;
-                            router.meter_only(
+                            router.meter_as(
                                 NodeId::Worker(worker),
                                 NodeId::Server(p),
                                 bytes as usize,
+                                "GradPush",
                             );
                             push_keys_per_server[p] += cnt;
                             push_per_server[p].push(bytes);
@@ -545,9 +685,20 @@ impl RowSgdEngine {
             0.0
         };
 
+        let compute_s = compute.iter().copied().fold(0.0, f64::max);
+        // Breakdown convention: model distribution (pull) is Broadcast,
+        // gradient collection (push + per-key server work) is Gather.
+        self.emit_spans(
+            t,
+            &compute,
+            compute_s,
+            push + per_key,
+            pull_up + pull_down,
+            server_compute,
+        );
         (
             IterationTime {
-                compute_s: compute.iter().copied().fold(0.0, f64::max) + server_compute,
+                compute_s: compute_s + server_compute,
                 comm_s: pull_up + pull_down + push + per_key,
                 overhead_s: self.cfg.ps_scheduling_s,
             },

@@ -115,7 +115,33 @@ pub enum RowMsg {
     Shutdown,
 }
 
+impl RowMsg {
+    /// Short name of the message variant (telemetry `CommRecord` kind).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RowMsg::LoadRows(..) => "LoadRows",
+            RowMsg::LoadAck { .. } => "LoadAck",
+            RowMsg::FullModelGrad { .. } => "FullModelGrad",
+            RowMsg::RequestIndices { .. } => "RequestIndices",
+            RowMsg::IndicesReply { .. } => "IndicesReply",
+            RowMsg::SparseModelGrad { .. } => "SparseModelGrad",
+            RowMsg::GradReplySparse { .. } => "GradReplySparse",
+            RowMsg::GradReplyDense { .. } => "GradReplyDense",
+            RowMsg::LocalStep { .. } => "LocalStep",
+            RowMsg::RingChunk { .. } => "RingChunk",
+            RowMsg::StepDone { .. } => "StepDone",
+            RowMsg::FetchModel => "FetchModel",
+            RowMsg::ModelReply { .. } => "ModelReply",
+            RowMsg::Shutdown => "Shutdown",
+        }
+    }
+}
+
 impl Wire for RowMsg {
+    fn kind(&self) -> &'static str {
+        self.name()
+    }
+
     fn wire_size(&self) -> usize {
         match self {
             RowMsg::LoadRows(rows) => 1 + rows.wire_size(),
