@@ -1,5 +1,6 @@
 //! One module per paper table/figure. See DESIGN.md §3 for the index.
 
+pub mod diagnose;
 pub mod ext;
 pub mod ext_chaos;
 pub mod ext_dnn;
@@ -20,7 +21,7 @@ pub mod trace;
 use crate::Report;
 
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "table1",
     "table2",
     "table3",
@@ -42,6 +43,7 @@ pub const ALL_IDS: [&str; 22] = [
     "ext_dnn",
     "ext_chaos",
     "trace",
+    "diagnose",
     "BENCH_superstep",
 ];
 
@@ -70,6 +72,7 @@ pub fn run(id: &str, scale: f64) -> Option<Vec<Report>> {
         "ext_dnn" => vec![ext_dnn::run(scale)],
         "ext_chaos" => vec![ext_chaos::run(scale)],
         "trace" => vec![trace::run(scale)],
+        "diagnose" => vec![diagnose::run(scale)],
         "BENCH_superstep" => vec![superstep::run(scale)],
         _ => return None,
     };

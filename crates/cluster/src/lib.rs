@@ -49,7 +49,9 @@ pub mod wire;
 pub use chaos::{ChaosSpec, WireFault};
 pub use clock::SimClock;
 pub use columnsgd_telemetry as telemetry;
-pub use columnsgd_telemetry::Recorder;
+pub use columnsgd_telemetry::{
+    DiagnosticEvent, DiagnosticKind, Diagnostics, Monitor, MonitorConfig, Recorder, SuperstepObs,
+};
 pub use failure::{FailureEvent, FailurePlan, StragglerSpec};
 pub use netmodel::NetworkModel;
 pub use node::NodeId;

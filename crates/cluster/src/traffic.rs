@@ -78,6 +78,23 @@ impl TrafficStats {
         }
     }
 
+    /// Per-worker cumulative sent bytes/messages for workers `0..k`, in a
+    /// single pass under one lock — the gauge the online diagnostics
+    /// monitor polls every superstep (K separate [`TrafficStats::sent_by`]
+    /// calls would take and release the lock K times per iteration).
+    pub fn per_worker_sent(&self, k: usize) -> Vec<LinkStats> {
+        let mut out = vec![LinkStats::default(); k];
+        let map = self.inner.lock();
+        for ((from, _), s) in map.iter() {
+            if let NodeId::Worker(w) = from {
+                if *w < k {
+                    out[*w] = merge(out[*w], s);
+                }
+            }
+        }
+        out
+    }
+
     /// Zeroes all counters (e.g. to meter a single iteration).
     pub fn reset(&self) {
         self.inner.lock().clear();
@@ -147,6 +164,35 @@ mod tests {
         t.record(NodeId::Worker(0), NodeId::Master, 1);
         t.reset();
         assert_eq!(t.total(), LinkStats::default());
+    }
+
+    #[test]
+    fn per_worker_sent_gauges_in_one_pass() {
+        let t = TrafficStats::new();
+        t.record(NodeId::Worker(0), NodeId::Master, 100);
+        t.record(NodeId::Worker(0), NodeId::Worker(1), 30);
+        t.record(NodeId::Worker(1), NodeId::Master, 200);
+        t.record(NodeId::Master, NodeId::Worker(0), 999); // not worker-sent
+        t.record(NodeId::Worker(5), NodeId::Master, 7); // out of range: ignored
+        let g = t.per_worker_sent(2);
+        assert_eq!(g.len(), 2);
+        assert_eq!(
+            g[0],
+            LinkStats {
+                messages: 2,
+                bytes: 130
+            }
+        );
+        assert_eq!(
+            g[1],
+            LinkStats {
+                messages: 1,
+                bytes: 200
+            }
+        );
+        // Must agree with the per-node fold.
+        assert_eq!(g[0], t.sent_by(NodeId::Worker(0)));
+        assert_eq!(g[1], t.sent_by(NodeId::Worker(1)));
     }
 
     #[test]

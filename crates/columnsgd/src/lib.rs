@@ -49,7 +49,10 @@ pub use columnsgd_rowsgd as rowsgd;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use columnsgd_cluster::{ChaosSpec, FailurePlan, NetworkModel, SimClock, TrafficStats};
+    pub use columnsgd_cluster::{
+        ChaosSpec, Diagnostics, FailurePlan, Monitor, MonitorConfig, NetworkModel, SimClock,
+        TrafficStats,
+    };
     pub use columnsgd_core::{
         ColumnSgdConfig, ColumnSgdEngine, DetectionMethod, FaultKind, RecoveryEvent, TrainError,
     };

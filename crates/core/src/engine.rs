@@ -28,8 +28,8 @@ use columnsgd_cluster::clock::IterationTime;
 use columnsgd_cluster::telemetry::{KernelRecord, Phase, RunStamp, SuperstepSpan};
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
 use columnsgd_cluster::{
-    spawn_guarded, Endpoint, Envelope, FailurePlan, NetError, NetworkModel, NodeId, Recorder,
-    Router, SimClock, TrafficStats,
+    spawn_guarded, Diagnostics, Endpoint, Envelope, FailurePlan, Monitor, NetError, NetworkModel,
+    NodeId, Recorder, Router, SimClock, SuperstepObs, TrafficStats,
 };
 use columnsgd_data::block::Block;
 use columnsgd_data::{Dataset, TwoPhaseIndex};
@@ -74,6 +74,9 @@ pub struct TrainOutcome {
     /// same stamp telemetry writes on every trace line, so repro JSON
     /// derived from this outcome is self-describing.
     pub run: RunStamp,
+    /// End-of-run diagnostics from the online [`Monitor`] (empty unless
+    /// one was attached with [`ColumnSgdEngine::attach_monitor`]).
+    pub diagnostics: Diagnostics,
 }
 
 impl TrainOutcome {
@@ -111,6 +114,7 @@ pub struct ColumnSgdEngine {
     handles: Vec<Option<JoinHandle<()>>>,
     traffic: TrafficStats,
     recorder: Recorder,
+    monitor: Monitor,
     /// Messages received while waiting for something more specific
     /// (probe acks, reload acks); drained before the mailbox.
     pending: VecDeque<Envelope<ColMsg>>,
@@ -279,6 +283,7 @@ impl ColumnSgdEngine {
             handles,
             traffic,
             recorder,
+            monitor: Monitor::disabled(),
             pending: VecDeque::new(),
             blocks,
             index,
@@ -938,6 +943,34 @@ impl ColumnSgdEngine {
                 overhead_s: self.net.scheduling_overhead_s,
             });
             curve.push(t, clock.elapsed_s(), loss);
+
+            if self.monitor.is_enabled() {
+                // The straggler detector sees the post-injection compute
+                // times (what the barrier actually paid); the comm gauge
+                // sees cumulative sent bytes and differences them itself.
+                let sent: Vec<u64> = self
+                    .traffic
+                    .per_worker_sent(self.k)
+                    .iter()
+                    .map(|s| s.bytes)
+                    .collect();
+                self.monitor.observe_superstep(SuperstepObs {
+                    iteration: t,
+                    compute: &compute_times,
+                    sent_bytes: &sent,
+                    loss,
+                    sim_elapsed_s: clock.elapsed_s(),
+                });
+                if let Some(reason) = self.monitor.should_stop() {
+                    // The loss guard tripped: surface it through the typed
+                    // error machinery so callers and telemetry see one
+                    // unified fatal-fault vocabulary.
+                    return Err(TrainError::Diverged {
+                        iteration: t,
+                        reason,
+                    });
+                }
+            }
         }
 
         if self.recorder.is_enabled() {
@@ -958,6 +991,7 @@ impl ColumnSgdEngine {
             clock,
             recovery,
             run: self.run_stamp(),
+            diagnostics: self.monitor.report(),
         })
     }
 
@@ -977,6 +1011,20 @@ impl ColumnSgdEngine {
     /// built with a `*_traced` constructor).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Attaches an online diagnostics [`Monitor`]: every superstep's
+    /// post-barrier observations (per-worker compute, cumulative sent
+    /// bytes, batch loss) are fed through its streaming detectors, and a
+    /// stop request becomes [`TrainError::Diverged`].
+    pub fn attach_monitor(&mut self, monitor: Monitor) {
+        self.monitor = monitor;
+    }
+
+    /// The attached diagnostics monitor (disabled unless
+    /// [`ColumnSgdEngine::attach_monitor`] was called).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
     }
 
     /// Emits the six per-iteration [`SuperstepSpan`]s plus the

@@ -130,6 +130,14 @@ pub enum TrainError {
     },
     /// Loading never completed within the deadline.
     LoadFailed(String),
+    /// An online diagnostic monitor requested an early stop: the batch
+    /// loss left the real line or ran away past the divergence threshold.
+    Diverged {
+        /// Iteration at which the monitor tripped.
+        iteration: u64,
+        /// The monitor's stop reason (detector and values).
+        reason: String,
+    },
 }
 
 impl TrainError {
@@ -141,6 +149,7 @@ impl TrainError {
             TrainError::WorkerLost { .. } => "worker lost",
             TrainError::Network { .. } => "network failure",
             TrainError::LoadFailed(_) => "load failed",
+            TrainError::Diverged { .. } => "diverged",
         }
     }
 
@@ -149,7 +158,8 @@ impl TrainError {
         match self {
             TrainError::RetriesExhausted { iteration, .. }
             | TrainError::WorkerLost { iteration, .. }
-            | TrainError::Network { iteration, .. } => Some(*iteration),
+            | TrainError::Network { iteration, .. }
+            | TrainError::Diverged { iteration, .. } => Some(*iteration),
             _ => None,
         }
     }
@@ -209,6 +219,9 @@ impl std::fmt::Display for TrainError {
                 write!(f, "network failure at iteration {iteration}: {source}")
             }
             TrainError::LoadFailed(msg) => write!(f, "data loading failed: {msg}"),
+            TrainError::Diverged { iteration, reason } => {
+                write!(f, "training halted at iteration {iteration}: {reason}")
+            }
         }
     }
 }

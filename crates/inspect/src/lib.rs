@@ -1,0 +1,359 @@
+//! `columnsgd-inspect` — offline analytics over ColumnSGD trace JSONL.
+//!
+//! Thin, testable command layer over [`columnsgd_telemetry::analyze`]:
+//! every subcommand is a pure function from parsed trace(s) to a rendered
+//! report (and an exit code for `diff`), so the golden-trace tests and CI
+//! exercise exactly what the binary prints.
+//!
+//! Subcommands:
+//!
+//! * `summary <trace.jsonl>` — run stamp + paper-style phase breakdown,
+//!   reproduced *exactly* from the trace (the same numbers the engine's
+//!   in-process [`Summary`] reported, byte-reconciled with the router
+//!   meter at record time),
+//! * `critical <trace.jsonl>` — per-superstep critical path: bounding
+//!   phase, bounding worker, per-worker slack,
+//! * `stragglers <trace.jsonl>` — per-worker barrier attribution,
+//!   persistent vs. transient,
+//! * `comm <trace.jsonl>` — link and message-kind hotspot rankings,
+//! * `chrome <trace.jsonl>` — Chrome `about:tracing` / Perfetto
+//!   trace-event JSON on stdout,
+//! * `diff <a.jsonl> <b.jsonl> [--threshold R]` — phase-by-phase run
+//!   diff; exits non-zero when any phase regressed by more than `R`
+//!   (default 0.10), making it a CI perf gate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use columnsgd_telemetry::analyze::{
+    chrome_trace, comm_hotspots, critical_path, diff, kind_hotspots, stragglers,
+};
+use columnsgd_telemetry::{parse_jsonl, Event, RunStamp, Summary};
+use serde_json::Value;
+use std::fmt::Write as _;
+
+/// Barrier-share above which a worker counts as a persistent straggler.
+pub const PERSISTENT_SHARE: f64 = 0.5;
+
+/// Default relative regression threshold for `diff` (10%).
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// A parsed trace: the meta line, its events, and the summary over them.
+pub struct Trace {
+    /// The `type: "run"` meta line.
+    pub meta: Value,
+    /// Every event, in ingestion order.
+    pub events: Vec<Event>,
+    /// [`Summary`] over the events, stamped from the meta line.
+    pub summary: Summary,
+}
+
+/// Loads and parses a trace file.
+pub fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses trace text (exposed for tests).
+pub fn parse_trace(text: &str) -> Result<Trace, String> {
+    let (meta, events) = parse_jsonl(text)?;
+    let stamp = stamp_from_meta(&meta);
+    let summary = Summary::from_events(&events, stamp);
+    Ok(Trace {
+        meta,
+        events,
+        summary,
+    })
+}
+
+/// Reconstructs the [`RunStamp`] recorded in a trace's meta line.
+pub fn stamp_from_meta(meta: &Value) -> RunStamp {
+    let u = |k: &str| meta.get(k).and_then(Value::as_u64).unwrap_or(0);
+    RunStamp {
+        config_hash: meta
+            .get("config_hash")
+            .and_then(Value::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .unwrap_or(0),
+        seed: u("seed"),
+        chaos_seed: meta.get("chaos_seed").and_then(Value::as_u64),
+        pool_width: u("pool_width"),
+        workers: u("workers"),
+    }
+}
+
+fn fmt_s(v: f64) -> String {
+    format!("{v:>10.4}s")
+}
+
+/// `summary` subcommand: run identity + phase breakdown + traffic totals.
+pub fn cmd_summary(t: &Trace) -> String {
+    let s = &t.summary;
+    let b = &s.breakdown;
+    let mut out = String::new();
+    let run = t.meta.get("run").and_then(Value::as_str).unwrap_or("?");
+    let _ = writeln!(out, "run       {run}");
+    let _ = writeln!(
+        out,
+        "config    seed={} chaos_seed={:?} workers={} pool_width={}",
+        s.run.seed, s.run.chaos_seed, s.run.workers, s.run.pool_width
+    );
+    let _ = writeln!(out, "iters     {}", s.iterations);
+    let _ = writeln!(out, "-- phase breakdown (simulated seconds) --");
+    for (name, v) in [
+        ("compute", b.compute_s),
+        ("  sample", b.sample_s),
+        ("gather", b.gather_s),
+        ("broadcast", b.broadcast_s),
+        ("update", b.update_s),
+        ("overhead", b.overhead_s),
+        ("total", b.total()),
+    ] {
+        let _ = writeln!(out, "{name:<12}{}", fmt_s(v));
+    }
+    let _ = writeln!(
+        out,
+        "traffic   {} B in {} messages ({} comm faults)",
+        s.comm_bytes, s.comm_messages, s.comm_faults
+    );
+    let _ = writeln!(
+        out,
+        "straggler imbalance {:.3} (mean-of-max {:.4}s / mean {:.4}s)",
+        s.straggler.imbalance(),
+        s.straggler.mean_max_s,
+        s.straggler.mean_s
+    );
+    let _ = writeln!(out, "faults    {}", s.faults);
+    out
+}
+
+/// `critical` subcommand: per-superstep bounding phase/worker and slack.
+pub fn cmd_critical(t: &Trace) -> String {
+    let crit = critical_path(&t.events);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6}{:<11}{:>10}{:>10}  {:<8}slack_s (per worker)",
+        "iter", "phase", "phase_s", "total_s", "bound"
+    );
+    for c in &crit {
+        let bound = c
+            .bounding_worker
+            .map_or("-".to_string(), |w| format!("w{w}"));
+        let slack = c
+            .slack
+            .iter()
+            .map(|s| format!("{s:.4}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "{:<6}{:<11}{:>10.4}{:>10.4}  {:<8}{}",
+            c.iteration,
+            c.phase.as_str(),
+            c.phase_s,
+            c.total_s,
+            bound,
+            slack
+        );
+    }
+    if crit.is_empty() {
+        let _ = writeln!(out, "(no superstep spans in trace)");
+    }
+    out
+}
+
+/// `stragglers` subcommand: per-worker barrier attribution.
+pub fn cmd_stragglers(t: &Trace) -> String {
+    let attr = stragglers(&t.events, PERSISTENT_SHARE);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8}{:>12}{:>8}{:>14}  class",
+        "worker", "bound_iters", "share", "mean_slack_s"
+    );
+    for a in &attr {
+        let _ = writeln!(
+            out,
+            "w{:<7}{:>12}{:>7.0}%{:>14.4}  {}",
+            a.worker,
+            a.bound_iters,
+            100.0 * a.share,
+            a.mean_slack_s,
+            if a.persistent {
+                "persistent"
+            } else if a.bound_iters > 0 {
+                "transient"
+            } else {
+                "-"
+            }
+        );
+    }
+    if attr.is_empty() {
+        let _ = writeln!(out, "(no per-worker compute spans in trace)");
+    }
+    out
+}
+
+/// `comm` subcommand: link and kind hotspot rankings. The link totals
+/// partition the run's metered bytes exactly.
+pub fn cmd_comm(t: &Trace) -> String {
+    let links = comm_hotspots(&t.events);
+    let kinds = kind_hotspots(&t.events);
+    let mut out = String::new();
+    let _ = writeln!(out, "-- links by bytes --");
+    let _ = writeln!(
+        out,
+        "{:<16}{:>12}{:>10}{:>12}",
+        "link", "bytes", "msgs", "modeled_s"
+    );
+    for l in &links {
+        let _ = writeln!(
+            out,
+            "{:<16}{:>12}{:>10}{:>12.4}",
+            format!("{} -> {}", l.src.label(), l.dst.label()),
+            l.bytes,
+            l.messages,
+            l.modeled_s
+        );
+    }
+    let link_bytes: u64 = links.iter().map(|l| l.bytes).sum();
+    let _ = writeln!(
+        out,
+        "{:<16}{:>12}  (= metered total {})",
+        "sum", link_bytes, t.summary.comm_bytes
+    );
+    let _ = writeln!(out, "-- kinds by bytes --");
+    for k in &kinds {
+        let _ = writeln!(out, "{:<16}{:>12}{:>10}", k.kind, k.bytes, k.messages);
+    }
+    out
+}
+
+/// `chrome` subcommand: the trace-event JSON document.
+pub fn cmd_chrome(t: &Trace) -> String {
+    serde_json::to_string(&chrome_trace(&t.meta, &t.events)).unwrap_or_default()
+}
+
+/// `diff` subcommand: the rendered table and the exit code (0 = clean,
+/// 1 = at least one phase regressed past `threshold`).
+pub fn cmd_diff(a: &Trace, b: &Trace, threshold: f64) -> (String, i32) {
+    let d = diff(&a.summary, &b.summary);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "baseline  run {} ({} iters)",
+        a.meta.get("run").and_then(Value::as_str).unwrap_or("?"),
+        d.iterations.0
+    );
+    let _ = writeln!(
+        out,
+        "candidate run {} ({} iters)",
+        b.meta.get("run").and_then(Value::as_str).unwrap_or("?"),
+        d.iterations.1
+    );
+    let _ = writeln!(
+        out,
+        "{:<12}{:>14}{:>14}{:>10}",
+        "row", "baseline", "candidate", "delta"
+    );
+    for delta in &d.deltas {
+        let rel = if delta.rel.is_infinite() {
+            "new".to_string()
+        } else {
+            format!("{:+.1}%", 100.0 * delta.rel)
+        };
+        let _ = writeln!(
+            out,
+            "{:<12}{:>14.6}{:>14.6}{:>10}",
+            delta.name, delta.a, delta.b, rel
+        );
+    }
+    let regs = d.regressions(threshold);
+    if regs.is_empty() {
+        let _ = writeln!(
+            out,
+            "OK: no row regressed more than {:.0}%",
+            100.0 * threshold
+        );
+        (out, 0)
+    } else {
+        for r in &regs {
+            let rel = if r.rel.is_infinite() {
+                "appeared from zero".to_string()
+            } else {
+                format!("{:+.1}%", 100.0 * r.rel)
+            };
+            let _ = writeln!(
+                out,
+                "REGRESSION: {} {} (threshold {:.0}%)",
+                r.name,
+                rel,
+                100.0 * threshold
+            );
+        }
+        (out, 1)
+    }
+}
+
+/// Usage text for the binary.
+pub const USAGE: &str = "\
+columnsgd-inspect — offline analytics over ColumnSGD trace JSONL
+
+USAGE:
+  columnsgd-inspect summary    <trace.jsonl>
+  columnsgd-inspect critical   <trace.jsonl>
+  columnsgd-inspect stragglers <trace.jsonl>
+  columnsgd-inspect comm       <trace.jsonl>
+  columnsgd-inspect chrome     <trace.jsonl>          (trace-event JSON on stdout)
+  columnsgd-inspect diff       <a.jsonl> <b.jsonl> [--threshold R]
+
+`diff` exits 1 when any phase row of the candidate regressed by more than
+R (relative; default 0.10) against the baseline — usable as a CI gate.
+";
+
+/// Runs the CLI against `argv` (without the program name); returns
+/// `(stdout, exit code)`. Errors are returned as `Err(message)` and map
+/// to exit code 2 in `main`.
+pub fn run(argv: &[String]) -> Result<(String, i32), String> {
+    let cmd = argv.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => Ok((USAGE.to_string(), 0)),
+        "summary" | "critical" | "stragglers" | "comm" | "chrome" => {
+            let path = argv
+                .get(1)
+                .ok_or_else(|| format!("usage: columnsgd-inspect {cmd} <trace.jsonl>"))?;
+            let t = load_trace(path)?;
+            let out = match cmd {
+                "summary" => cmd_summary(&t),
+                "critical" => cmd_critical(&t),
+                "stragglers" => cmd_stragglers(&t),
+                "comm" => cmd_comm(&t),
+                _ => cmd_chrome(&t),
+            };
+            Ok((out, 0))
+        }
+        "diff" => {
+            let mut paths = Vec::new();
+            let mut threshold = DEFAULT_THRESHOLD;
+            let mut it = argv[1..].iter();
+            while let Some(arg) = it.next() {
+                if arg == "--threshold" {
+                    let v = it.next().ok_or("--threshold needs a value (e.g. 0.10)")?;
+                    threshold = v.parse().map_err(|e| format!("bad --threshold {v}: {e}"))?;
+                } else {
+                    paths.push(arg.clone());
+                }
+            }
+            if paths.len() != 2 {
+                return Err(
+                    "usage: columnsgd-inspect diff <a.jsonl> <b.jsonl> [--threshold R]".to_string(),
+                );
+            }
+            let a = load_trace(&paths[0])?;
+            let b = load_trace(&paths[1])?;
+            Ok(cmd_diff(&a, &b, threshold))
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}

@@ -1,0 +1,16 @@
+//! Thin entry point; all logic lives in the library so the golden-trace
+//! tests exercise exactly what the binary prints.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match columnsgd_inspect::run(&argv) {
+        Ok((out, code)) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
+        Err(msg) => {
+            eprintln!("columnsgd-inspect: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

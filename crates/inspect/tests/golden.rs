@@ -1,0 +1,162 @@
+//! Golden-trace acceptance tests for `columnsgd-inspect`, against the
+//! checked-in `repro_results/TRACE_sample.jsonl` (regenerated with
+//! `cargo run --release -p columnsgd-bench --bin repro -- trace`).
+
+use columnsgd_inspect::{cmd_chrome, cmd_comm, cmd_critical, cmd_diff, cmd_summary, run, Trace};
+use columnsgd_telemetry::analyze::{comm_hotspots, critical_path, stragglers};
+use columnsgd_telemetry::{Event, Summary};
+use serde_json::Value;
+
+fn golden_path() -> String {
+    format!(
+        "{}/../../repro_results/TRACE_sample.jsonl",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn golden() -> Trace {
+    columnsgd_inspect::load_trace(&golden_path()).expect("golden trace loads")
+}
+
+/// The inspector reproduces the per-phase totals of `telemetry::Breakdown`
+/// exactly from the JSONL — the same numbers the engine summarized in
+/// process (and byte-reconciled against `TrafficStats` at record time).
+#[test]
+fn summary_reproduces_breakdown_exactly() {
+    let t = golden();
+    let reference = Summary::from_events(&t.events, t.summary.run);
+    assert_eq!(t.summary.breakdown, reference.breakdown);
+    assert_eq!(t.summary.comm_bytes, reference.comm_bytes);
+    assert_eq!(t.summary.comm_messages, reference.comm_messages);
+    assert!(t.summary.breakdown.total() > 0.0);
+
+    // The rendered report carries the run id and a coherent breakdown.
+    let out = cmd_summary(&t);
+    let run_hex = t.meta.get("run").and_then(Value::as_str).expect("run id");
+    assert!(out.contains(run_hex));
+    assert!(out.contains("total"));
+
+    // Link hotspots partition the metered bytes exactly.
+    let link_bytes: u64 = comm_hotspots(&t.events).iter().map(|l| l.bytes).sum();
+    assert_eq!(link_bytes, t.summary.comm_bytes);
+    let comm_out = cmd_comm(&t);
+    assert!(comm_out.contains("StatsReply"), "dominant kind is named");
+}
+
+/// Critical-path analysis covers every superstep and identifies a
+/// bounding worker wherever per-worker compute times were recorded.
+#[test]
+fn critical_path_covers_every_superstep() {
+    let t = golden();
+    let crit = critical_path(&t.events);
+    assert_eq!(crit.len() as u64, t.summary.iterations);
+    let with_workers = crit.iter().filter(|c| c.bounding_worker.is_some()).count();
+    assert!(
+        with_workers > 0,
+        "golden trace has per-worker compute spans"
+    );
+    for c in &crit {
+        assert!(c.total_s > 0.0);
+        assert!(c.phase_s <= c.total_s + 1e-12);
+        if let Some(w) = c.bounding_worker {
+            assert!(
+                c.slack[w as usize].abs() < 1e-12,
+                "bounding worker has zero slack"
+            );
+        }
+    }
+    // The per-superstep totals re-add to the breakdown total.
+    let total: f64 = crit.iter().map(|c| c.total_s).sum();
+    assert!(
+        (total - t.summary.breakdown.total()).abs() < 1e-9,
+        "critical-path totals must re-add to the breakdown: {total} vs {}",
+        t.summary.breakdown.total()
+    );
+    let out = cmd_critical(&t);
+    assert!(out.lines().count() >= crit.len());
+
+    // Straggler attribution accounts for every bound superstep.
+    let attr = stragglers(&t.events, 0.5);
+    let bound: u64 = attr.iter().map(|a| a.bound_iters).sum();
+    assert_eq!(bound as usize, with_workers);
+}
+
+/// The Chrome-trace export is valid trace-event JSON: a `traceEvents`
+/// array of `ph` events with non-negative microsecond timestamps.
+#[test]
+fn chrome_export_is_valid_trace_event_json() {
+    let t = golden();
+    let text = cmd_chrome(&t);
+    let v: Value = serde_json::from_str(&text).expect("chrome export parses as JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut complete = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph field");
+        assert!(matches!(ph, "X" | "M" | "i"), "unknown ph {ph}");
+        if ph == "X" {
+            complete += 1;
+            assert!(e.get("ts").and_then(Value::as_f64).expect("ts") >= 0.0);
+            assert!(e.get("dur").and_then(Value::as_f64).expect("dur") >= 0.0);
+        }
+    }
+    assert!(complete >= t.summary.iterations as usize);
+    // The scripted task failure at iteration 3 appears as an instant event.
+    assert!(events
+        .iter()
+        .any(|e| e.get("cat").and_then(Value::as_str) == Some("fault")));
+}
+
+/// `inspect diff` of the golden trace against itself reports zero
+/// regressions and exits 0 — the CI gate's sanity anchor.
+#[test]
+fn self_diff_is_clean() {
+    let t1 = golden();
+    let t2 = golden();
+    let (out, code) = cmd_diff(&t1, &t2, 0.0);
+    assert_eq!(code, 0, "self-diff must be clean:\n{out}");
+    assert!(out.contains("OK"));
+
+    // A doubled gather phase trips the gate through the CLI surface too.
+    let mut slowed = t1.events.clone();
+    for e in &mut slowed {
+        if let Event::Superstep(s) = e {
+            if s.phase == columnsgd_telemetry::Phase::Gather {
+                s.sim_s *= 2.0;
+            }
+        }
+    }
+    let slow = Trace {
+        meta: t1.meta.clone(),
+        summary: Summary::from_events(&slowed, t1.summary.run),
+        events: slowed,
+    };
+    let (out, code) = cmd_diff(&t1, &slow, 0.10);
+    assert_eq!(code, 1, "doubled gather must trip the 10% gate:\n{out}");
+    assert!(out.contains("REGRESSION"));
+}
+
+/// End-to-end through the CLI dispatcher, including the file I/O path.
+#[test]
+fn cli_dispatch_round_trip() {
+    let path = golden_path();
+    for cmd in ["summary", "critical", "stragglers", "comm", "chrome"] {
+        let (out, code) = run(&[cmd.to_string(), path.clone()]).expect(cmd);
+        assert_eq!(code, 0, "{cmd} exits 0");
+        assert!(!out.is_empty(), "{cmd} prints something");
+    }
+    let (out, code) = run(&[
+        "diff".to_string(),
+        path.clone(),
+        path.clone(),
+        "--threshold".to_string(),
+        "0.0".to_string(),
+    ])
+    .expect("diff");
+    assert_eq!(code, 0, "self-diff exits 0:\n{out}");
+    assert!(run(&["nope".to_string()]).is_err());
+    assert!(run(&["summary".to_string(), "/no/such/file".to_string()]).is_err());
+}

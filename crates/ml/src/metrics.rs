@@ -85,16 +85,43 @@ impl Curve {
     /// The first simulated time at which the loss drops to `target` or
     /// below — the paper's "time to reach a certain loss" comparison
     /// (the horizontal line in each Figure 8 plot). `None` if never.
+    ///
+    /// NaN-safe: a run whose loss goes non-finite has diverged, so the
+    /// scan stops at the first NaN/∞ point and returns `None` rather than
+    /// skipping past it (`NaN <= target` is `false`, so a naive scan would
+    /// silently ignore the blow-up and keep looking). Use
+    /// [`Curve::first_non_finite`] to surface *where* it diverged.
     pub fn time_to_loss(&self, target: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|p| p.loss <= target)
-            .map(|p| p.time_s)
+        for p in &self.points {
+            if !p.loss.is_finite() {
+                return None;
+            }
+            if p.loss <= target {
+                return Some(p.time_s);
+            }
+        }
+        None
     }
 
-    /// Final loss (last point), or `None` for an empty curve.
+    /// Final loss (last point), or `None` for an empty curve *or* a curve
+    /// whose last loss is non-finite — a diverged run has no meaningful
+    /// "final loss"; check [`Curve::first_non_finite`] instead.
     pub fn final_loss(&self) -> Option<f64> {
-        self.points.last().map(|p| p.loss)
+        self.points.last().map(|p| p.loss).filter(|l| l.is_finite())
+    }
+
+    /// The iteration of the first non-finite (NaN/∞) loss, if any — the
+    /// diagnostic hook for divergence reporting.
+    pub fn first_non_finite(&self) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|p| !p.loss.is_finite())
+            .map(|p| p.iteration)
+    }
+
+    /// Whether any recorded loss is non-finite.
+    pub fn has_non_finite(&self) -> bool {
+        self.first_non_finite().is_some()
     }
 
     /// A smoothed copy with a trailing moving average over `window` points
@@ -167,6 +194,32 @@ mod tests {
         assert_eq!(c.time_to_loss(0.55), Some(1.0)); // iteration 2, t=1.0
         assert_eq!(c.time_to_loss(0.1), None);
         assert_eq!(c.final_loss(), Some(0.3));
+    }
+
+    #[test]
+    fn time_to_loss_stops_at_first_nan() {
+        // The old scan skipped NaN (NaN <= t is false) and reported the
+        // post-divergence crossing at t=1.5 — a lie about a dead run.
+        let c = curve(&[1.0, 0.8, f64::NAN, 0.3]);
+        assert_eq!(c.time_to_loss(0.5), None);
+        assert_eq!(c.first_non_finite(), Some(2));
+        assert!(c.has_non_finite());
+        // A crossing *before* the blow-up still counts.
+        let d = curve(&[1.0, 0.4, f64::NAN]);
+        assert_eq!(d.time_to_loss(0.5), Some(0.5));
+        // Infinities are divergence too.
+        let e = curve(&[1.0, f64::INFINITY, 0.3]);
+        assert_eq!(e.time_to_loss(0.5), None);
+        assert_eq!(e.first_non_finite(), Some(1));
+    }
+
+    #[test]
+    fn final_loss_is_none_when_diverged() {
+        assert_eq!(curve(&[1.0, f64::NAN]).final_loss(), None);
+        assert_eq!(curve(&[f64::NAN, 0.4]).final_loss(), Some(0.4));
+        assert_eq!(Curve::new("empty").final_loss(), None);
+        assert!(!curve(&[1.0, 0.5]).has_non_finite());
+        assert_eq!(curve(&[1.0, 0.5]).first_non_finite(), None);
     }
 
     #[test]

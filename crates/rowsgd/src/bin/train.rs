@@ -1,17 +1,17 @@
-//! `columnsgd-train` — train a model on a LIBSVM file with ColumnSGD.
+//! `rowsgd-train` — train a model on a LIBSVM file with one of the RowSGD
+//! baselines (the mirror image of `columnsgd-train`, so the two sides of a
+//! comparison are driven identically).
 //!
 //! ```text
-//! columnsgd-train <file.libsvm> [options]
+//! rowsgd-train <file.libsvm> [options]
 //!
-//!   --model lr|svm|lsq|fm:<F>|mlr:<C>   model to train          [lr]
-//!   --workers K                          simulated workers       [4]
-//!   --batch B                            mini-batch size         [1000]
-//!   --iters T                            iterations              [200]
-//!   --eta E                              learning rate           [0.1]
-//!   --optimizer sgd|adagrad|adam         SGD variant             [sgd]
-//!   --l2 LAMBDA                          L2 regularization       [0]
-//!   --seed S                             experiment seed         [42]
-//!   --model-out PATH                     write weights as text
+//!   --variant mllib|mllib*|petuum|mxnet  baseline system          [mllib]
+//!   --model lr|svm|lsq|fm:<F>|mlr:<C>    model to train           [lr]
+//!   --workers K                          simulated workers        [4]
+//!   --batch B                            mini-batch size          [1000]
+//!   --iters T                            iterations               [200]
+//!   --eta E                              learning rate            [0.1]
+//!   --seed S                             experiment seed          [42]
 //!   --trace-out PATH                     write telemetry JSONL trace
 //!   --metrics-out PATH                   stream monitor snapshots (JSONL)
 //! ```
@@ -19,41 +19,50 @@
 //! Example:
 //!
 //! ```text
-//! columnsgd-train data/a9a --model svm --workers 8 --iters 500 --eta 0.5
+//! rowsgd-train data/a9a --variant mxnet --workers 8 --iters 500
 //! ```
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::BufReader;
 use std::process::exit;
 
-use columnsgd::cluster::Recorder;
-use columnsgd::data::libsvm;
-use columnsgd::ml::serial;
-use columnsgd::prelude::*;
+use columnsgd_cluster::{Monitor, MonitorConfig, Recorder};
+use columnsgd_data::libsvm;
+use columnsgd_ml::{serial, ModelSpec};
+use columnsgd_rowsgd::{RowSgdConfig, RowSgdEngine, RowSgdVariant};
+
+use columnsgd_cluster::NetworkModel;
 
 struct Args {
     path: String,
+    variant: RowSgdVariant,
     model: ModelSpec,
     workers: usize,
     batch: usize,
     iters: u64,
     eta: f64,
-    optimizer: OptimizerKind,
-    l2: f64,
     seed: u64,
-    model_out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: columnsgd-train <file.libsvm> [--model lr|svm|lsq|fm:<F>|mlr:<C>] \
-         [--workers K] [--batch B] [--iters T] [--eta E] \
-         [--optimizer sgd|adagrad|adam] [--l2 LAMBDA] [--seed S] [--model-out PATH] \
-         [--trace-out PATH] [--metrics-out PATH]"
+        "usage: rowsgd-train <file.libsvm> [--variant mllib|mllib*|petuum|mxnet] \
+         [--model lr|svm|lsq|fm:<F>|mlr:<C>] [--workers K] [--batch B] [--iters T] \
+         [--eta E] [--seed S] [--trace-out PATH] [--metrics-out PATH]"
     );
     exit(2)
+}
+
+fn parse_variant(s: &str) -> Option<RowSgdVariant> {
+    match s {
+        "mllib" => Some(RowSgdVariant::MLlib),
+        "mllib*" | "mllibstar" => Some(RowSgdVariant::MLlibStar),
+        "petuum" | "ps-dense" => Some(RowSgdVariant::PsDense),
+        "mxnet" | "ps-sparse" => Some(RowSgdVariant::PsSparse),
+        _ => None,
+    }
 }
 
 fn parse_model(s: &str) -> Option<ModelSpec> {
@@ -76,15 +85,13 @@ fn parse_model(s: &str) -> Option<ModelSpec> {
 fn parse_args() -> Args {
     let mut args = Args {
         path: String::new(),
+        variant: RowSgdVariant::MLlib,
         model: ModelSpec::Lr,
         workers: 4,
         batch: 1000,
         iters: 200,
         eta: 0.1,
-        optimizer: OptimizerKind::Sgd,
-        l2: 0.0,
         seed: 42,
-        model_out: None,
         trace_out: None,
         metrics_out: None,
     };
@@ -97,6 +104,10 @@ fn parse_args() -> Args {
             })
         };
         match arg.as_str() {
+            "--variant" => {
+                let v = value("--variant");
+                args.variant = parse_variant(&v).unwrap_or_else(|| usage());
+            }
             "--model" => {
                 let v = value("--model");
                 args.model = parse_model(&v).unwrap_or_else(|| usage());
@@ -105,17 +116,7 @@ fn parse_args() -> Args {
             "--batch" => args.batch = value("--batch").parse().unwrap_or_else(|_| usage()),
             "--iters" => args.iters = value("--iters").parse().unwrap_or_else(|_| usage()),
             "--eta" => args.eta = value("--eta").parse().unwrap_or_else(|_| usage()),
-            "--optimizer" => {
-                args.optimizer = match value("--optimizer").as_str() {
-                    "sgd" => OptimizerKind::Sgd,
-                    "adagrad" => OptimizerKind::adagrad(),
-                    "adam" => OptimizerKind::adam(),
-                    _ => usage(),
-                }
-            }
-            "--l2" => args.l2 = value("--l2").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
-            "--model-out" => args.model_out = Some(value("--model-out")),
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
             "--help" | "-h" => usage(),
@@ -159,31 +160,24 @@ fn main() {
         dataset.avg_nnz()
     );
 
-    let mut update = UpdateParams::plain(args.eta);
-    if args.l2 > 0.0 {
-        update.regularizer = Regularizer::L2(args.l2);
-    }
-    let mut config = ColumnSgdConfig::new(args.model)
+    let config = RowSgdConfig::new(args.model, args.variant)
         .with_batch_size(args.batch.min(dataset.len() * 4))
         .with_iterations(args.iters)
+        .with_learning_rate(args.eta)
         .with_seed(args.seed);
-    config.update = update;
-    config.optimizer = args.optimizer;
 
     let recorder = if args.trace_out.is_some() {
         Recorder::new()
     } else {
         Recorder::disabled()
     };
-    let mut engine = ColumnSgdEngine::new_traced(
+    let mut engine = RowSgdEngine::new_traced(
         &dataset,
         args.workers,
         config,
         NetworkModel::CLUSTER1,
-        FailurePlan::none(),
         recorder.clone(),
-    )
-    .expect("engine");
+    );
 
     let monitor = Monitor::new(MonitorConfig::default());
     if let Some(path) = &args.metrics_out {
@@ -196,13 +190,7 @@ fn main() {
     }
     engine.attach_monitor(monitor);
 
-    let outcome = engine.train().unwrap_or_else(|e| {
-        eprintln!("training failed: {e}");
-        exit(1)
-    });
-    if let Some(path) = &args.metrics_out {
-        eprintln!("metrics streamed to {path}");
-    }
+    let outcome = engine.train();
     if let Some(path) = &args.trace_out {
         recorder
             .write_jsonl(std::path::Path::new(path))
@@ -212,14 +200,18 @@ fn main() {
             });
         eprintln!("trace written to {path} (run {})", outcome.run.run_id_hex());
     }
+    if let Some(path) = &args.metrics_out {
+        eprintln!("metrics streamed to {path}");
+    }
 
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let model = engine.collect_model();
     let loss = serial::full_loss(args.model, &model, &rows);
     let acc = serial::full_accuracy(args.model, &model, &rows);
     println!(
-        "trained {:?} in {} iterations ({:.4} s/iter simulated on Cluster 1)",
+        "trained {:?} with {} in {} iterations ({:.4} s/iter simulated on Cluster 1)",
         args.model,
+        engine.label(),
         args.iters,
         outcome.mean_iteration_s(args.iters as usize)
     );
@@ -244,21 +236,5 @@ fn main() {
         }
     } else {
         println!("diagnostics: clean run, no detector firings");
-    }
-
-    if let Some(path) = args.model_out {
-        let f = File::create(&path).unwrap_or_else(|e| {
-            eprintln!("cannot create {path}: {e}");
-            exit(1)
-        });
-        let mut w = BufWriter::new(f);
-        for (b, block) in model.blocks.iter().enumerate() {
-            for (i, v) in block.as_slice().iter().enumerate() {
-                if *v != 0.0 {
-                    writeln!(w, "{b} {i} {v}").expect("write model");
-                }
-            }
-        }
-        eprintln!("model written to {path}");
     }
 }

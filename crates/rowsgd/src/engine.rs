@@ -9,7 +9,8 @@ use columnsgd_cluster::clock::IterationTime;
 use columnsgd_cluster::telemetry::{KernelRecord, Phase, RunStamp, SuperstepSpan};
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
 use columnsgd_cluster::{
-    Endpoint, NetworkModel, NodeId, Recorder, Router, SimClock, TrafficStats, Wire,
+    Diagnostics, Endpoint, Monitor, NetworkModel, NodeId, Recorder, Router, SimClock, SuperstepObs,
+    TrafficStats, Wire,
 };
 use columnsgd_data::Dataset;
 use columnsgd_linalg::CsrMatrix;
@@ -39,6 +40,9 @@ pub struct TrainOutcome {
     /// The run's identity stamp (same vocabulary as the ColumnSGD
     /// engine's outcome, so baseline traces are comparable).
     pub run: RunStamp,
+    /// End-of-run diagnostics from the online [`Monitor`] (empty unless
+    /// one was attached with [`RowSgdEngine::attach_monitor`]).
+    pub diagnostics: Diagnostics,
 }
 
 impl TrainOutcome {
@@ -70,6 +74,10 @@ pub struct RowSgdEngine {
     handles: Vec<JoinHandle<()>>,
     traffic: TrafficStats,
     recorder: Recorder,
+    monitor: Monitor,
+    /// Per-worker compute times of the iteration in flight, stashed by the
+    /// variant loops for the monitor (empty when no monitor is attached).
+    last_compute: Vec<f64>,
     /// The master/server-side model (absent for MLlib*, whose model lives
     /// in worker replicas). Keys are hash-sharded over the P servers
     /// ([`RowSgdEngine::server_of`]), as real parameter servers do — range
@@ -167,6 +175,8 @@ impl RowSgdEngine {
             handles,
             traffic,
             recorder,
+            monitor: Monitor::disabled(),
+            last_compute: Vec::new(),
             params,
             dim,
             rows_total: dataset.len(),
@@ -300,6 +310,29 @@ impl RowSgdEngine {
             }
             clock.record(it.0);
             curve.push(t, clock.elapsed_s(), it.1);
+
+            if self.monitor.is_enabled() {
+                let sent: Vec<u64> = self
+                    .traffic
+                    .per_worker_sent(self.k)
+                    .iter()
+                    .map(|s| s.bytes)
+                    .collect();
+                let compute = std::mem::take(&mut self.last_compute);
+                self.monitor.observe_superstep(SuperstepObs {
+                    iteration: t,
+                    compute: &compute,
+                    sent_bytes: &sent,
+                    loss: it.1,
+                    sim_elapsed_s: clock.elapsed_s(),
+                });
+                if self.monitor.should_stop().is_some() {
+                    // The baseline has no typed error machinery; a loss
+                    // guard trip simply ends the run early with the
+                    // diagnostics explaining why.
+                    break;
+                }
+            }
         }
         if self.recorder.is_enabled() {
             // Same invariant as the ColumnSGD engine: the trace's comm
@@ -316,6 +349,7 @@ impl RowSgdEngine {
             curve,
             clock,
             run: self.run_stamp(),
+            diagnostics: self.monitor.report(),
         }
     }
 
@@ -334,6 +368,20 @@ impl RowSgdEngine {
     /// [`RowSgdEngine::new_traced`]).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Attaches an online diagnostics [`Monitor`] (same detectors as the
+    /// ColumnSGD engine). RowSGD has no typed error machinery, so a stop
+    /// request ends the run early instead of erroring; the outcome's
+    /// diagnostics carry the reason.
+    pub fn attach_monitor(&mut self, monitor: Monitor) {
+        self.monitor = monitor;
+    }
+
+    /// The attached diagnostics monitor (disabled unless
+    /// [`RowSgdEngine::attach_monitor`] was called).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
     }
 
     /// Emits the compute/gather/broadcast/update spans of one iteration
@@ -436,6 +484,9 @@ impl RowSgdEngine {
         let gather_s = self.net.gather_time(&vec![grad_bytes; self.k]);
         let compute_s = compute.iter().copied().fold(0.0, f64::max);
         self.emit_spans(t, &compute, compute_s, gather_s, bcast_s, master_compute);
+        if self.monitor.is_enabled() {
+            self.last_compute = compute;
+        }
         (
             IterationTime {
                 compute_s: compute_s + master_compute,
@@ -482,6 +533,9 @@ impl RowSgdEngine {
         // Gather so the breakdown's comm column carries it once.
         let allreduce_s = self.net.allreduce_time(model_bytes, self.k);
         self.emit_spans(t, &compute, compute_s, allreduce_s, 0.0, 0.0);
+        if self.monitor.is_enabled() {
+            self.last_compute = compute;
+        }
         (
             IterationTime {
                 compute_s,
@@ -696,6 +750,9 @@ impl RowSgdEngine {
             pull_up + pull_down,
             server_compute,
         );
+        if self.monitor.is_enabled() {
+            self.last_compute = compute;
+        }
         (
             IterationTime {
                 compute_s: compute_s + server_compute,

@@ -1,0 +1,679 @@
+//! Offline trace analytics: the query layer behind `columnsgd-inspect`.
+//!
+//! Everything in this module is a pure function over a parsed trace
+//! ([`crate::parse_jsonl`] → `Vec<Event>`), so the same analyses run in
+//! unit tests, in the bench reports, and in the `columnsgd-inspect`
+//! binary without touching the engine:
+//!
+//! * [`critical_path`] — per superstep: which phase bounds simulated time,
+//!   which worker bounds the barrier, and each worker's slack behind it,
+//! * [`stragglers`] — per-worker attribution over the whole run
+//!   (how often each worker bound the barrier; persistent vs. transient),
+//! * [`comm_hotspots`] / [`kind_hotspots`] — link- and message-kind
+//!   traffic rankings whose byte totals partition the router's
+//!   `TrafficStats` meter exactly,
+//! * [`chrome_trace`] — Chrome `about:tracing` / Perfetto trace-event
+//!   JSON export of the simulated timeline,
+//! * [`diff`] — phase-by-phase comparison of two runs producing a
+//!   [`RunDiff`] whose [`RunDiff::regressions`] backs the
+//!   `inspect diff` CI perf gate.
+
+use serde_json::{json, Value};
+
+use crate::{Breakdown, Event, NodeRef, Phase, Summary};
+
+// ---------------------------------------------------------------------------
+// Critical path
+// ---------------------------------------------------------------------------
+
+/// The critical path of one superstep: the phase that bounds simulated
+/// time, the worker that bounds the barrier, and per-worker slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationCritical {
+    /// Superstep index.
+    pub iteration: u64,
+    /// Phase with the largest simulated time this superstep.
+    pub phase: Phase,
+    /// Simulated seconds of that bounding phase.
+    pub phase_s: f64,
+    /// Total simulated seconds across phases (sample excluded, as in
+    /// [`Breakdown::total`]).
+    pub total_s: f64,
+    /// Worker that bound the compute barrier, when per-worker times exist.
+    pub bounding_worker: Option<u64>,
+    /// Per-worker slack behind the barrier: `max − t_w` seconds.
+    pub slack: Vec<f64>,
+}
+
+/// Computes the per-superstep critical path from a trace's span events.
+/// Returns one entry per iteration, in order.
+pub fn critical_path(events: &[Event]) -> Vec<IterationCritical> {
+    let iters = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Superstep(s) => Some(s.iteration + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(iters as usize);
+    for it in 0..iters {
+        let mut phase_s = [0.0f64; Phase::ALL.len()];
+        let mut per_worker: Vec<f64> = Vec::new();
+        for e in events {
+            let Event::Superstep(s) = e else { continue };
+            if s.iteration != it {
+                continue;
+            }
+            let idx = Phase::ALL.iter().position(|p| *p == s.phase).unwrap();
+            phase_s[idx] += s.sim_s;
+            if s.phase == Phase::Compute && !s.per_worker.is_empty() {
+                per_worker = s.per_worker.clone();
+            }
+        }
+        // Sample is a subset of Compute: never the critical phase.
+        let (best_idx, &best_s) = phase_s
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Phase::ALL[*i] != Phase::Sample)
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite phase times"))
+            .expect("Phase::ALL is nonempty");
+        let total_s: f64 = phase_s
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Phase::ALL[*i] != Phase::Sample)
+            .map(|(_, &s)| s)
+            .sum();
+        let (bounding_worker, slack) = if per_worker.is_empty() {
+            (None, Vec::new())
+        } else {
+            let max = per_worker.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let argmax = per_worker
+                .iter()
+                .position(|&t| t == max)
+                .expect("max came from this vec");
+            (
+                Some(argmax as u64),
+                per_worker.iter().map(|&t| max - t).collect(),
+            )
+        };
+        out.push(IterationCritical {
+            iteration: it,
+            phase: Phase::ALL[best_idx],
+            phase_s: best_s,
+            total_s,
+            bounding_worker,
+            slack,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Straggler attribution
+// ---------------------------------------------------------------------------
+
+/// One worker's straggler record over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerAttribution {
+    /// Worker index.
+    pub worker: u64,
+    /// Supersteps where this worker bound the compute barrier.
+    pub bound_iters: u64,
+    /// Share of supersteps bound: `bound_iters / supersteps`.
+    pub share: f64,
+    /// Mean slack behind the barrier when this worker did *not* bind it.
+    pub mean_slack_s: f64,
+    /// Persistent straggler: bound the barrier in more than
+    /// `persistent_share` of supersteps (a hot partition / slow host
+    /// rather than transient noise).
+    pub persistent: bool,
+}
+
+/// Attributes barrier time to workers over the whole run. A worker is
+/// `persistent` when it bound the compute barrier in more than
+/// `persistent_share` (e.g. 0.5) of the supersteps that had per-worker
+/// times. Sorted by descending `bound_iters`, worker id breaking ties.
+pub fn stragglers(events: &[Event], persistent_share: f64) -> Vec<StragglerAttribution> {
+    let crit = critical_path(events);
+    let mut workers = 0usize;
+    let mut counted = 0u64;
+    for c in &crit {
+        if !c.slack.is_empty() {
+            workers = workers.max(c.slack.len());
+            counted += 1;
+        }
+    }
+    if workers == 0 {
+        return Vec::new();
+    }
+    let mut bound = vec![0u64; workers];
+    let mut slack_sum = vec![0.0f64; workers];
+    let mut slack_n = vec![0u64; workers];
+    for c in &crit {
+        if c.slack.is_empty() {
+            continue;
+        }
+        if let Some(w) = c.bounding_worker {
+            bound[w as usize] += 1;
+        }
+        for (w, &s) in c.slack.iter().enumerate() {
+            if Some(w as u64) != c.bounding_worker {
+                slack_sum[w] += s;
+                slack_n[w] += 1;
+            }
+        }
+    }
+    let mut out: Vec<StragglerAttribution> = (0..workers)
+        .map(|w| {
+            let share = bound[w] as f64 / counted as f64;
+            StragglerAttribution {
+                worker: w as u64,
+                bound_iters: bound[w],
+                share,
+                mean_slack_s: if slack_n[w] > 0 {
+                    slack_sum[w] / slack_n[w] as f64
+                } else {
+                    0.0
+                },
+                persistent: share > persistent_share,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.bound_iters
+            .cmp(&a.bound_iters)
+            .then(a.worker.cmp(&b.worker))
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Comm hotspots
+// ---------------------------------------------------------------------------
+
+/// One link's traffic totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkHotspot {
+    /// Sending endpoint.
+    pub src: NodeRef,
+    /// Receiving endpoint.
+    pub dst: NodeRef,
+    /// Total metered bytes on the link.
+    pub bytes: u64,
+    /// Metered messages on the link.
+    pub messages: u64,
+    /// Total modeled link seconds.
+    pub modeled_s: f64,
+}
+
+/// Ranks links by metered bytes, descending (ties broken by label so the
+/// ranking is stable). The byte totals partition the router meter exactly:
+/// `Σ bytes == Summary::comm_bytes == TrafficStats::total().bytes`.
+pub fn comm_hotspots(events: &[Event]) -> Vec<LinkHotspot> {
+    let mut links: Vec<LinkHotspot> = Vec::new();
+    for e in events {
+        let Event::Comm(c) = e else { continue };
+        match links.iter_mut().find(|l| l.src == c.src && l.dst == c.dst) {
+            Some(l) => {
+                l.bytes += c.wire_bytes;
+                l.messages += 1;
+                l.modeled_s += c.modeled_s;
+            }
+            None => links.push(LinkHotspot {
+                src: c.src,
+                dst: c.dst,
+                bytes: c.wire_bytes,
+                messages: 1,
+                modeled_s: c.modeled_s,
+            }),
+        }
+    }
+    links.sort_by(|a, b| {
+        b.bytes
+            .cmp(&a.bytes)
+            .then_with(|| a.src.label().cmp(&b.src.label()))
+            .then_with(|| a.dst.label().cmp(&b.dst.label()))
+    });
+    links
+}
+
+/// Ranks message kinds by metered bytes (the [`Summary::by_kind`] view,
+/// recomputed here so the inspect binary works from raw events alone).
+pub fn kind_hotspots(events: &[Event]) -> Vec<crate::KindTotal> {
+    Summary::from_events(events, crate::RunStamp::default()).by_kind
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+/// Converts a trace into Chrome `about:tracing` / Perfetto trace-event
+/// JSON: `{"traceEvents": [...]}` with `ph:"X"` complete events whose
+/// `ts`/`dur` are the *simulated* timeline in microseconds.
+///
+/// Lanes: `tid 0` is the barrier lane (each superstep's phases laid end to
+/// end in BSP order), `tid 100+w` are per-worker compute lanes showing the
+/// slack each worker leaves at the barrier. Faults appear as instant
+/// events; run metadata (`meta`, usually the parsed JSONL meta line)
+/// becomes `ph:"M"` process-name records.
+pub fn chrome_trace(meta: &Value, events: &[Event]) -> Value {
+    const US: f64 = 1e6;
+    let pid = 1;
+    let run = meta
+        .get("run")
+        .and_then(Value::as_str)
+        .unwrap_or("unstamped");
+    let mut out = vec![
+        json!({
+            "ph": "M", "pid": pid, "name": "process_name",
+            "args": {"name": format!("columnsgd run {run}")},
+        }),
+        json!({
+            "ph": "M", "pid": pid, "tid": 0, "name": "thread_name",
+            "args": {"name": "barrier (BSP phases)"},
+        }),
+    ];
+    let mut named_workers = 0usize;
+
+    let crit = critical_path(events);
+    let mut cursor_s = 0.0f64;
+    for c in &crit {
+        // Phase boxes in BSP order on the barrier lane.
+        let mut phase_cursor = cursor_s;
+        for phase in Phase::ALL {
+            if phase == Phase::Sample {
+                continue; // inside compute; would double-draw
+            }
+            let sim: f64 = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Superstep(s) if s.iteration == c.iteration && s.phase == phase => {
+                        Some(s.sim_s)
+                    }
+                    _ => None,
+                })
+                .sum();
+            if sim <= 0.0 {
+                continue;
+            }
+            out.push(json!({
+                "ph": "X", "pid": pid, "tid": 0,
+                "name": phase.as_str(),
+                "cat": "phase",
+                "ts": phase_cursor * US,
+                "dur": sim * US,
+                "args": {"iter": c.iteration},
+            }));
+            phase_cursor += sim;
+        }
+        // Per-worker compute lanes, aligned with this superstep's compute
+        // box, so barrier slack is visible as the gap to the right edge.
+        if !c.slack.is_empty() {
+            let max = c.slack.len();
+            for (w, &slack) in c.slack.iter().enumerate() {
+                // Reconstruct this worker's compute time from
+                // slack = max − t; the bounding worker has slack 0.
+                let t = (c.slack.iter().cloned().fold(0.0, f64::max) - slack).max(0.0);
+                out.push(json!({
+                    "ph": "X", "pid": pid, "tid": 100 + w,
+                    "name": "compute",
+                    "cat": "worker",
+                    "ts": cursor_s * US,
+                    "dur": t * US,
+                    "args": {"iter": c.iteration, "slack_s": slack},
+                }));
+            }
+            named_workers = named_workers.max(max);
+        }
+        cursor_s += c.total_s;
+    }
+    for w in 0..named_workers {
+        out.push(json!({
+            "ph": "M", "pid": pid, "tid": 100 + w, "name": "thread_name",
+            "args": {"name": format!("w{w} compute")},
+        }));
+    }
+    // Faults as instant events on the barrier lane, placed at the start of
+    // their superstep.
+    let mut starts = Vec::with_capacity(crit.len());
+    let mut acc = 0.0;
+    for c in &crit {
+        starts.push(acc);
+        acc += c.total_s;
+    }
+    for e in events {
+        let Event::Fault(f) = e else { continue };
+        let ts = starts.get(f.iteration as usize).copied().unwrap_or(acc);
+        out.push(json!({
+            "ph": "i", "pid": pid, "tid": 0, "s": "p",
+            "name": format!("fault: {} (w{})", f.fault, f.worker),
+            "cat": "fault",
+            "ts": ts * US,
+            "args": {
+                "detection": f.detection,
+                "attempt": f.attempt,
+                "fatal": f.fatal,
+            },
+        }));
+    }
+    json!({
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Run diff
+// ---------------------------------------------------------------------------
+
+/// One phase's delta between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    /// Phase name (a [`Phase`] label, or `total` / `comm_bytes`).
+    pub name: String,
+    /// Baseline seconds (or bytes for `comm_bytes`).
+    pub a: f64,
+    /// Candidate seconds (or bytes).
+    pub b: f64,
+    /// Relative change `(b − a) / a`; 0 when both sides are ~zero.
+    pub rel: f64,
+}
+
+impl PhaseDelta {
+    fn new(name: &str, a: f64, b: f64) -> PhaseDelta {
+        let rel = if a.abs() > 0.0 {
+            (b - a) / a
+        } else if b.abs() > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        PhaseDelta {
+            name: name.to_string(),
+            a,
+            b,
+            rel,
+        }
+    }
+}
+
+/// Phase-by-phase comparison of two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDiff {
+    /// Per-phase deltas plus `total` and `comm_bytes` rows.
+    pub deltas: Vec<PhaseDelta>,
+    /// Iteration counts (baseline, candidate).
+    pub iterations: (u64, u64),
+    /// True when the two traces carry the same run id (self-diff).
+    pub same_run: bool,
+}
+
+/// A delta that crossed the regression threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which row regressed.
+    pub name: String,
+    /// Relative slowdown, e.g. 0.25 = 25% slower.
+    pub rel: f64,
+}
+
+impl RunDiff {
+    /// Rows whose relative increase exceeds `threshold` (e.g. 0.1 = 10%).
+    /// Timer-noise floor: rows where both sides are below `1e-6` (seconds
+    /// or bytes) never count, so a self-diff reports zero regressions.
+    pub fn regressions(&self, threshold: f64) -> Vec<Regression> {
+        self.deltas
+            .iter()
+            .filter(|d| d.a.abs().max(d.b.abs()) > 1e-6)
+            .filter(|d| d.rel > threshold)
+            .map(|d| Regression {
+                name: d.name.clone(),
+                rel: d.rel,
+            })
+            .collect()
+    }
+}
+
+/// Compares two summarized runs phase by phase. The `total` row uses
+/// [`Breakdown::total`]; `comm_bytes` compares metered traffic.
+pub fn diff(a: &Summary, b: &Summary) -> RunDiff {
+    let pick = |br: &Breakdown, p: Phase| match p {
+        Phase::Sample => br.sample_s,
+        Phase::Compute => br.compute_s,
+        Phase::Gather => br.gather_s,
+        Phase::Update => br.update_s,
+        Phase::Broadcast => br.broadcast_s,
+        Phase::Overhead => br.overhead_s,
+    };
+    let mut deltas: Vec<PhaseDelta> = Phase::ALL
+        .iter()
+        .map(|&p| PhaseDelta::new(p.as_str(), pick(&a.breakdown, p), pick(&b.breakdown, p)))
+        .collect();
+    deltas.push(PhaseDelta::new(
+        "total",
+        a.breakdown.total(),
+        b.breakdown.total(),
+    ));
+    deltas.push(PhaseDelta::new(
+        "comm_bytes",
+        a.comm_bytes as f64,
+        b.comm_bytes as f64,
+    ));
+    RunDiff {
+        deltas,
+        iterations: (a.iterations, b.iterations),
+        same_run: a.run == b.run && a.run != crate::RunStamp::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommRecord, FaultRecord, Plane, RunStamp, SuperstepSpan};
+
+    fn span(iteration: u64, phase: Phase, sim_s: f64, per_worker: Vec<f64>) -> Event {
+        Event::Superstep(SuperstepSpan {
+            iteration,
+            phase,
+            sim_s,
+            measured_s: 0.0,
+            per_worker,
+        })
+    }
+
+    fn comm(src: NodeRef, dst: NodeRef, bytes: u64, modeled_s: f64) -> Event {
+        Event::Comm(CommRecord {
+            kind: "StatsReply".to_string(),
+            src,
+            dst,
+            wire_bytes: bytes,
+            modeled_s,
+            plane: Plane::Data,
+            fault: None,
+        })
+    }
+
+    fn two_iter_events() -> Vec<Event> {
+        vec![
+            span(0, Phase::Compute, 0.4, vec![0.2, 0.4, 0.1]),
+            span(0, Phase::Gather, 0.1, vec![]),
+            span(0, Phase::Update, 0.05, vec![]),
+            span(1, Phase::Compute, 0.3, vec![0.3, 0.1, 0.2]),
+            span(1, Phase::Gather, 0.6, vec![]),
+            comm(NodeRef::Worker(1), NodeRef::Master, 1000, 0.002),
+            comm(NodeRef::Worker(1), NodeRef::Master, 500, 0.001),
+            comm(NodeRef::Master, NodeRef::Worker(0), 200, 0.001),
+        ]
+    }
+
+    #[test]
+    fn critical_path_finds_bounding_phase_and_worker() {
+        let crit = critical_path(&two_iter_events());
+        assert_eq!(crit.len(), 2);
+        assert_eq!(crit[0].phase, Phase::Compute);
+        assert_eq!(crit[0].bounding_worker, Some(1));
+        assert!((crit[0].total_s - 0.55).abs() < 1e-12);
+        let slack = &crit[0].slack;
+        assert!((slack[0] - 0.2).abs() < 1e-12);
+        assert!((slack[1] - 0.0).abs() < 1e-12);
+        assert!((slack[2] - 0.3).abs() < 1e-12);
+        // Iteration 1 is bound by the gather phase, worker 0 by compute.
+        assert_eq!(crit[1].phase, Phase::Gather);
+        assert_eq!(crit[1].bounding_worker, Some(0));
+    }
+
+    #[test]
+    fn critical_path_empty_trace_is_empty() {
+        assert!(critical_path(&[]).is_empty());
+    }
+
+    #[test]
+    fn straggler_attribution_counts_bound_iters() {
+        let attr = stragglers(&two_iter_events(), 0.5);
+        assert_eq!(attr.len(), 3);
+        // Workers 0 and 1 each bound one superstep; worker 2 none.
+        assert_eq!(attr[0].bound_iters, 1);
+        assert_eq!(attr[1].bound_iters, 1);
+        // Worker 2 slacks: 0.3 behind the barrier at iter 0, 0.1 at iter 1.
+        assert_eq!(
+            attr[2],
+            StragglerAttribution {
+                worker: 2,
+                bound_iters: 0,
+                share: 0.0,
+                mean_slack_s: 0.2,
+                persistent: false,
+            }
+        );
+        // 50% share is not > 0.5: nobody is persistent here.
+        assert!(attr.iter().all(|a| !a.persistent));
+
+        // A worker that always binds the barrier is persistent.
+        let evs = vec![
+            span(0, Phase::Compute, 0.9, vec![0.9, 0.1]),
+            span(1, Phase::Compute, 0.8, vec![0.8, 0.2]),
+            span(2, Phase::Compute, 0.7, vec![0.7, 0.1]),
+        ];
+        let attr = stragglers(&evs, 0.5);
+        assert_eq!(attr[0].worker, 0);
+        assert_eq!(attr[0].bound_iters, 3);
+        assert!(attr[0].persistent);
+        assert!(!attr[1].persistent);
+    }
+
+    #[test]
+    fn comm_hotspots_rank_links_and_partition_bytes() {
+        let evs = two_iter_events();
+        let links = comm_hotspots(&evs);
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].src, NodeRef::Worker(1));
+        assert_eq!(links[0].bytes, 1500);
+        assert_eq!(links[0].messages, 2);
+        assert_eq!(links[1].bytes, 200);
+        let total: u64 = links.iter().map(|l| l.bytes).sum();
+        let s = Summary::from_events(&evs, RunStamp::default());
+        assert_eq!(total, s.comm_bytes, "links must partition the meter");
+    }
+
+    #[test]
+    fn chrome_trace_emits_valid_complete_events() {
+        let mut evs = two_iter_events();
+        evs.push(Event::Fault(FaultRecord {
+            iteration: 1,
+            worker: 1,
+            fault: "task failure".to_string(),
+            detection: "error reply".to_string(),
+            detection_latency_s: 0.01,
+            recovery_cost_s: 0.2,
+            attempt: 1,
+            fatal: false,
+        }));
+        let meta = json!({"run": "abc", "schema": 1});
+        let v = chrome_trace(&meta, &evs);
+        let arr = v
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert!(!arr.is_empty());
+        let mut complete = 0;
+        for e in arr {
+            let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+            assert!(matches!(ph, "X" | "M" | "i"), "unexpected ph {ph}");
+            if ph == "X" {
+                complete += 1;
+                assert!(e.get("ts").and_then(Value::as_f64).expect("ts") >= 0.0);
+                assert!(e.get("dur").and_then(Value::as_f64).expect("dur") >= 0.0);
+                e.get("name").and_then(Value::as_str).expect("name");
+            }
+        }
+        assert!(complete > 0, "must emit complete events");
+        assert!(arr
+            .iter()
+            .any(|e| { e.get("cat").and_then(Value::as_str) == Some("fault") }));
+        // Phase boxes on the barrier lane must not overlap: sorted by ts,
+        // each starts at or after the previous end.
+        let mut barrier: Vec<(f64, f64)> = arr
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("X")
+                    && e.get("tid").and_then(Value::as_u64) == Some(0)
+            })
+            .map(|e| {
+                (
+                    e.get("ts").and_then(Value::as_f64).unwrap(),
+                    e.get("dur").and_then(Value::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        barrier.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in barrier.windows(2) {
+            assert!(
+                w[1].0 >= w[0].0 + w[0].1 - 1e-6,
+                "barrier-lane boxes overlap: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_diff_has_zero_regressions_and_detects_slowdowns() {
+        let evs = two_iter_events();
+        let s = Summary::from_events(&evs, RunStamp::default());
+        let d = diff(&s, &s);
+        assert!(d.regressions(0.0).is_empty(), "self-diff must be clean");
+
+        // Candidate with 2x gather time: gather, total regress at 10%.
+        let mut slow = evs.clone();
+        for e in &mut slow {
+            if let Event::Superstep(s) = e {
+                if s.phase == Phase::Gather {
+                    s.sim_s *= 2.0;
+                }
+            }
+        }
+        let s2 = Summary::from_events(&slow, RunStamp::default());
+        let d = diff(&s, &s2);
+        let regs = d.regressions(0.1);
+        let names: Vec<&str> = regs.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"gather"), "gather doubled: {names:?}");
+        assert!(names.contains(&"total"));
+        assert!(!names.contains(&"compute"));
+        // An improvement is not a regression.
+        let d = diff(&s2, &s);
+        assert!(d.regressions(0.1).is_empty());
+    }
+
+    #[test]
+    fn diff_handles_zero_baseline_rows() {
+        let a = Summary::default();
+        let evs = two_iter_events();
+        let b = Summary::from_events(&evs, RunStamp::default());
+        let d = diff(&a, &b);
+        // Appearing from zero is an infinite relative change — flagged.
+        assert!(!d.regressions(0.1).is_empty());
+        // And both empty: clean.
+        let d = diff(&a, &a);
+        assert!(d.regressions(0.0).is_empty());
+    }
+}

@@ -39,6 +39,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
+pub mod monitor;
+
+pub use monitor::{
+    DiagnosticEvent, DiagnosticKind, Diagnostics, Monitor, MonitorConfig, SuperstepObs,
+};
+
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -859,7 +866,13 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(|(idx, &c)| {
                 let lo = if idx == 0 { 0 } else { 1u64 << (idx - 1) };
-                let hi = (1u64 << idx) - 1;
+                // idx 64 holds values in [2^63, u64::MAX]; `1u64 << 64`
+                // would overflow, so saturate the top bucket's bound.
+                let hi = if idx >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << idx) - 1
+                };
                 (lo, hi, c)
             })
             .collect()
@@ -1213,6 +1226,70 @@ mod tests {
         assert_eq!(
             h.buckets(),
             vec![(0, 0, 1), (1, 1, 2), (2, 3, 2), (4, 7, 1), (1024, 2047, 1)]
+        );
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        // Empty histogram: no buckets, zero count.
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert!(h.buckets().is_empty());
+
+        // Single sample.
+        let mut h = Histogram::default();
+        h.record(5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.buckets(), vec![(4, 7, 1)]);
+
+        // All-equal samples collapse into one bucket.
+        let mut h = Histogram::default();
+        for _ in 0..10 {
+            h.record(100);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.buckets(), vec![(64, 127, 10)]);
+
+        // Saturating values: u64::MAX lands in the top bucket whose upper
+        // bound saturates instead of overflowing `1 << 64`.
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets(), vec![(1u64 << 63, u64::MAX, 2)]);
+    }
+
+    #[test]
+    fn imbalance_edge_cases() {
+        // Empty / zero-mean stats: defined as 1.0 (no straggling).
+        assert_eq!(StragglerStats::default().imbalance(), 1.0);
+        assert_eq!(
+            StragglerStats {
+                mean_s: 0.0,
+                mean_max_s: 5.0
+            }
+            .imbalance(),
+            1.0
+        );
+        // Perfectly balanced workers: exactly 1.0.
+        assert_eq!(
+            StragglerStats {
+                mean_s: 0.25,
+                mean_max_s: 0.25
+            }
+            .imbalance(),
+            1.0
+        );
+        // One straggler doubling the barrier.
+        assert!(
+            (StragglerStats {
+                mean_s: 0.5,
+                mean_max_s: 1.0
+            }
+            .imbalance()
+                - 2.0)
+                .abs()
+                < 1e-12
         );
     }
 
