@@ -30,9 +30,9 @@ fn bench_columnsgd_iteration(c: &mut Criterion) {
             let cfg = RowSgdConfig::new(ModelSpec::Lr, RowSgdVariant::PsSparse)
                 .with_batch_size(1000)
                 .with_iterations(iters);
-            let mut e = RowSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT);
+            let mut e = RowSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT).expect("engine");
             let start = std::time::Instant::now();
-            black_box(e.train());
+            black_box(e.train().expect("train"));
             start.elapsed()
         })
     });

@@ -59,7 +59,7 @@ pub fn stale(scale: f64) -> Report {
             let mut e =
                 ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::CLUSTER1, plan).expect("engine");
             let o = e.train().expect("train");
-            let model = e.collect_model();
+            let model = e.collect_model().expect("collect model");
             let loss = columnsgd::ml::serial::full_loss(ModelSpec::Lr, &model, &rows_ref);
             r.row(vec![
                 label.to_string(),
@@ -224,7 +224,7 @@ pub fn optimizers(scale: f64) -> Report {
         let mut e = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, FailurePlan::none())
             .expect("engine");
         let o = e.train().expect("train");
-        let model = e.collect_model();
+        let model = e.collect_model().expect("collect model");
         let loss = columnsgd::ml::serial::full_loss(ModelSpec::Lr, &model, &rows_ref);
         let acc = columnsgd::ml::serial::full_accuracy(ModelSpec::Lr, &model, &rows_ref);
         r.row(vec![
@@ -265,7 +265,7 @@ pub fn mlr(scale: f64) -> Report {
         e.traffic().reset();
         let o = e.train().expect("train");
         let mb = e.traffic().total().bytes as f64 / 1e6 / 150.0;
-        let model = e.collect_model();
+        let model = e.collect_model().expect("collect model");
         let acc = columnsgd::ml::serial::full_accuracy(spec, &model, &rows_ref);
         r.row(vec![
             k.to_string(),

@@ -64,8 +64,12 @@ pub fn run(scale: f64) -> Report {
         // MLlib / MLlib-Repartition: row-partition loading on the RowSGD
         // engine (row-by-row pipeline pricing inside).
         let row_cfg = RowSgdConfig::new(ModelSpec::Lr, RowSgdVariant::MLlib);
-        let mllib = RowSgdEngine::new(&ds, k, row_cfg, net).load_report();
-        let repart = RowSgdEngine::with_repartition(&ds, k, row_cfg, net, true).load_report();
+        let mllib = RowSgdEngine::new(&ds, k, row_cfg, net)
+            .expect("engine")
+            .load_report();
+        let repart = RowSgdEngine::with_repartition(&ds, k, row_cfg, net, true)
+            .expect("engine")
+            .load_report();
 
         r.row(vec![
             preset.meta().name,

@@ -70,8 +70,8 @@ pub fn run(scale: f64) -> Report {
                     .with_iterations(iters)
                     .with_learning_rate(eta)
                     .with_seed(3);
-                let mut engine = RowSgdEngine::new(&ds, k, cfg, net);
-                curves.push(engine.train().curve);
+                let mut engine = RowSgdEngine::new(&ds, k, cfg, net).expect("engine");
+                curves.push(engine.train().expect("train").curve);
             }
 
             // Target: the loss ColumnSGD reaches at 70% of its run (the

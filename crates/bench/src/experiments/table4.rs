@@ -41,8 +41,8 @@ pub fn run(scale: f64) -> Report {
             let cfg = RowSgdConfig::new(ModelSpec::Lr, variant)
                 .with_batch_size(b)
                 .with_iterations(iters);
-            let mut e = RowSgdEngine::new(&ds, k, cfg, net);
-            times.push(e.train().mean_iteration_s(iters as usize));
+            let mut e = RowSgdEngine::new(&ds, k, cfg, net).expect("engine");
+            times.push(e.train().expect("train").mean_iteration_s(iters as usize));
         }
         let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
             .with_batch_size(b)

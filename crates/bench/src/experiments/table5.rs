@@ -47,8 +47,8 @@ pub fn run(scale: f64) -> Report {
             let cfg = RowSgdConfig::new(spec, RowSgdVariant::PsSparse)
                 .with_batch_size(b)
                 .with_iterations(iters);
-            let mut e = RowSgdEngine::new(&ds, k, cfg, net);
-            Some(e.train().mean_iteration_s(iters as usize))
+            let mut e = RowSgdEngine::new(&ds, k, cfg, net).expect("engine");
+            Some(e.train().expect("train").mean_iteration_s(iters as usize))
         };
         let cfg = ColumnSgdConfig::new(spec)
             .with_batch_size(b)

@@ -1,6 +1,6 @@
 //! Per-link traffic accounting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -22,9 +22,12 @@ pub struct LinkStats {
 /// All sends in the runtime are recorded here; experiments read the
 /// aggregate (or per-link) totals to report communication volumes, and the
 /// cost-model tests cross-check them against Table I.
+/// Links are keyed in a `BTreeMap` so iteration (snapshots, folds, and
+/// anything exported downstream) is order-stable by construction — the
+/// `determinism-iteration` lint rule keeps it that way.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficStats {
-    inner: Arc<Mutex<HashMap<(NodeId, NodeId), LinkStats>>>,
+    inner: Arc<Mutex<BTreeMap<(NodeId, NodeId), LinkStats>>>,
 }
 
 impl TrafficStats {
@@ -100,11 +103,10 @@ impl TrafficStats {
         self.inner.lock().clear();
     }
 
-    /// Snapshot of every link, sorted for stable output.
+    /// Snapshot of every link, in key order (the map is ordered, so no
+    /// post-hoc sort is needed).
     pub fn snapshot(&self) -> Vec<((NodeId, NodeId), LinkStats)> {
-        let mut v: Vec<_> = self.inner.lock().iter().map(|(k, v)| (*k, *v)).collect();
-        v.sort_by_key(|&(k, _)| k);
-        v
+        self.inner.lock().iter().map(|(k, v)| (*k, *v)).collect()
     }
 
     fn fold<F>(&self, f: F) -> LinkStats

@@ -214,7 +214,10 @@ fn main() {
     }
 
     let rows: Vec<_> = dataset.iter().cloned().collect();
-    let model = engine.collect_model();
+    let model = engine.collect_model().unwrap_or_else(|e| {
+        eprintln!("model collection failed: {e}");
+        exit(1)
+    });
     let loss = serial::full_loss(args.model, &model, &rows);
     let acc = serial::full_accuracy(args.model, &model, &rows);
     println!(

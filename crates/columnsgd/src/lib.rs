@@ -33,7 +33,7 @@
 //!
 //! // Communication was statistics-only: 2·K·B·8 payload bytes/iteration,
 //! // independent of the 2000-dimensional model.
-//! let model = engine.collect_model();
+//! let model = engine.collect_model().expect("collect model");
 //! assert_eq!(model.dim(), 2_000);
 //! ```
 

@@ -757,12 +757,10 @@ impl ColumnSgdEngine {
                 let fastest = members
                     .iter()
                     .copied()
-                    .min_by(|&a, &b| {
-                        compute_times[a]
-                            .partial_cmp(&compute_times[b])
-                            .expect("finite times")
-                    })
-                    .expect("nonempty group");
+                    .min_by(|&a, &b| compute_times[a].total_cmp(&compute_times[b]))
+                    .ok_or_else(|| {
+                        TrainError::Internal(format!("backup group {g} has no members"))
+                    })?;
                 stat_phase = stat_phase.max(compute_times[fastest]);
                 // Everyone who is not a killed straggler transmits.
                 for &m in &members {
@@ -782,7 +780,11 @@ impl ColumnSgdEngine {
                         continue;
                     }
                 }
-                let partial = partials.get(&rep).expect("group representative replied");
+                let partial = partials.get(&rep).ok_or_else(|| {
+                    TrainError::Internal(format!(
+                        "group {g} representative {rep} has no partial at iteration {t}"
+                    ))
+                })?;
                 reduce_stats(&mut agg, partial);
             }
             if let Some((crate::config::StaleStats::DropRescaled, _)) = stale_victim {
@@ -1193,17 +1195,15 @@ impl ColumnSgdEngine {
     }
 
     /// Deterministic group representative: the fastest member (ties break
-    /// to the lowest id).
+    /// to the lowest id). `total_cmp` keeps the ordering total even if a
+    /// simulated time were NaN, so no panic path exists here; the empty
+    /// range cannot occur (`backup_s + 1 >= 1`) but falls back to the
+    /// group's first slot rather than unwrapping.
     fn group_representative(&self, g: usize, times: &[f64]) -> usize {
         let r = self.cfg.backup_s + 1;
         (g * r..(g + 1) * r)
-            .min_by(|&a, &b| {
-                times[a]
-                    .partial_cmp(&times[b])
-                    .expect("finite times")
-                    .then(a.cmp(&b))
-            })
-            .expect("nonempty group")
+            .min_by(|&a, &b| times[a].total_cmp(&times[b]).then(a.cmp(&b)))
+            .unwrap_or(g * r)
     }
 
     /// Brings a dead worker back: replaces its mailbox, joins the dead
@@ -1306,14 +1306,17 @@ impl ColumnSgdEngine {
     /// training protocol (ColumnSGD never materializes the full model).
     /// Runs on the reliable plane so chaos cannot wedge it.
     ///
-    /// # Panics
-    /// Panics if a worker cannot answer within the bulk deadline — after a
-    /// successful `train()` every worker is alive.
-    pub fn collect_model(&mut self) -> ParamSet {
+    /// # Errors
+    /// Returns [`TrainError::Network`] when a worker cannot answer within
+    /// the bulk deadline — after a successful `train()` every worker is
+    /// alive, so this only fires when the cluster is already broken.
+    pub fn collect_model(&mut self) -> Result<ParamSet, TrainError> {
+        let iteration = self.cfg.iterations;
+        let net_err = |source| TrainError::Network { iteration, source };
         for w in 0..self.k {
             self.master
                 .send_reliable(NodeId::Worker(w), ColMsg::FetchModel)
-                .expect("fetch model");
+                .map_err(net_err)?;
         }
         let deadline = self.bulk_deadline();
         let dim = self.dim() as usize;
@@ -1324,7 +1327,7 @@ impl ColumnSgdEngine {
         let mut seen = std::collections::HashSet::new();
         let mut replied = std::collections::HashSet::new();
         while replied.len() < self.k {
-            let env = self.recv_next(deadline).expect("model reply");
+            let env = self.recv_next(deadline).map_err(net_err)?;
             let ColMsg::ModelReply { worker, parts } = env.payload else {
                 // Leftover training traffic (stale acks, late replies).
                 continue;
@@ -1347,7 +1350,7 @@ impl ColumnSgdEngine {
                 }
             }
         }
-        full
+        Ok(full)
     }
 
     /// The model dimension m.

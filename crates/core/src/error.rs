@@ -138,6 +138,11 @@ pub enum TrainError {
         /// The monitor's stop reason (detector and values).
         reason: String,
     },
+    /// A runtime invariant was violated (a reply the protocol guarantees
+    /// is missing, a partition table entry absent). These were panics
+    /// before the panic-hygiene pass; surfacing them as typed errors keeps
+    /// fault detection working even when the bug is ours.
+    Internal(String),
 }
 
 impl TrainError {
@@ -150,6 +155,7 @@ impl TrainError {
             TrainError::Network { .. } => "network failure",
             TrainError::LoadFailed(_) => "load failed",
             TrainError::Diverged { .. } => "diverged",
+            TrainError::Internal(_) => "internal invariant",
         }
     }
 
@@ -221,6 +227,9 @@ impl std::fmt::Display for TrainError {
             TrainError::LoadFailed(msg) => write!(f, "data loading failed: {msg}"),
             TrainError::Diverged { iteration, reason } => {
                 write!(f, "training halted at iteration {iteration}: {reason}")
+            }
+            TrainError::Internal(msg) => {
+                write!(f, "internal invariant violated: {msg}")
             }
         }
     }

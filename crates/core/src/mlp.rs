@@ -193,9 +193,11 @@ impl DistributedMlp {
                 acts.push(a);
             }
 
+            // lint: allow(panic-hygiene) zs gets one push per layer in the forward loop above and MlpSpec validates depth >= 1, so last() cannot be empty
             let loss = mlp::output_loss(zs.last().expect("output layer"), &labels);
 
             // ---- backward -----------------------------------------------
+            // lint: allow(panic-hygiene) same invariant: the forward pass above pushed at least one layer output
             let mut delta = mlp::output_delta(zs.last().expect("output layer"), &labels);
             for li in (1..outputs.len()).rev() {
                 let n_prev = outputs[li - 1];

@@ -99,6 +99,10 @@ struct Partition {
     batch: CsrMatrix,
     stats: Vec<f64>,
     scratch: UpdateScratch,
+    /// Set when the last `rebuild_batch` hit a missing block (kernels run
+    /// on the pool, so the error is parked here and collected by
+    /// `ensure_batch` instead of panicking on a pool thread).
+    batch_error: Option<String>,
 }
 
 impl Partition {
@@ -117,18 +121,25 @@ impl Partition {
             batch: CsrMatrix::new(),
             stats: Vec::new(),
             scratch: UpdateScratch::new(),
+            batch_error: None,
         }
     }
 
     /// Rebuilds the batch CSR for this partition from sampled row
-    /// addresses, reusing the matrix's storage.
+    /// addresses, reusing the matrix's storage. A missing block (a sample
+    /// raced a partial reload) parks the error in `batch_error` for
+    /// `ensure_batch` to surface as a task failure.
     fn rebuild_batch(&mut self, addrs: &[RowAddr]) {
         self.batch.clear();
+        self.batch_error = None;
         for addr in addrs {
-            let ws = self
-                .store
-                .get(addr.block)
-                .unwrap_or_else(|| panic!("partition {} missing block {}", self.pid, addr.block));
+            let Some(ws) = self.store.get(addr.block) else {
+                self.batch_error = Some(format!(
+                    "partition {} missing block {}",
+                    self.pid, addr.block
+                ));
+                return;
+            };
             let (idx, val) = ws.data.row(addr.offset);
             self.batch
                 .push_raw_row(ws.data.label(addr.offset), idx, val);
@@ -191,7 +202,7 @@ impl WorkerNode {
 
     /// Whether loading finished and the worker can compute.
     fn loaded(&self) -> bool {
-        self.partitions[0].index.is_some()
+        self.partitions.first().is_some_and(|p| p.index.is_some())
     }
 
     /// Splits a block and dispatches each workset to the replicas of its
@@ -202,15 +213,21 @@ impl WorkerNode {
             for replica in self.cfg.replicas_of(pid) {
                 if replica == self.id {
                     self.accept_workset(pid, ws.clone());
-                } else {
-                    ep.send(
-                        NodeId::Worker(replica),
-                        ColMsg::Workset {
-                            pid,
-                            ws: ws.clone(),
-                        },
-                    )
-                    .expect("workset delivery");
+                } else if let Err(e) = ep.send(
+                    NodeId::Worker(replica),
+                    ColMsg::Workset {
+                        pid,
+                        ws: ws.clone(),
+                    },
+                ) {
+                    // Undeliverable workset: the replica's master-side load
+                    // deadline will see the gap; dying here would turn one
+                    // lost peer into a second worker failure.
+                    eprintln!(
+                        "worker {}: workset for partition {pid} undeliverable to \
+                         worker {replica}: {e}",
+                        self.id
+                    );
                 }
             }
         }
@@ -261,22 +278,29 @@ impl WorkerNode {
     /// Materializes the batch CSRs for `iteration` in every partition,
     /// unless the batch cache already holds them (a re-issued task after a
     /// deadline or straggler race hits the cache and pays nothing).
-    fn ensure_batch(&mut self, iteration: u64) {
+    fn ensure_batch(&mut self, iteration: u64) -> Result<(), String> {
         let key = (iteration, self.cfg.batch_size);
         if self.cached_batch == Some(key) {
-            return;
+            return Ok(());
         }
         {
-            let index = self.partitions[0]
-                .index
-                .as_ref()
-                .expect("loading must finish before training");
+            let index = self
+                .partitions
+                .first()
+                .and_then(|p| p.index.as_ref())
+                .ok_or_else(|| "batch requested before loading finished".to_string())?;
             index.sample_batch_into(iteration, self.cfg.batch_size, &mut self.addrs);
         }
         let addrs = &self.addrs;
         self.pool
             .for_each_mut(&mut self.partitions, |_, p| p.rebuild_batch(addrs));
+        for p in &mut self.partitions {
+            if let Some(e) = p.batch_error.take() {
+                return Err(e);
+            }
+        }
         self.cached_batch = Some(key);
+        Ok(())
     }
 
     /// `computeStatistics` (Algorithm 3 lines 14-16): samples the batch via
@@ -286,8 +310,8 @@ impl WorkerNode {
     /// Partition kernels run on the worker pool; the reduction folds in
     /// fixed partition order, so the result is bit-identical at any pool
     /// width.
-    fn compute_stats(&mut self, iteration: u64) -> Vec<f64> {
-        self.ensure_batch(iteration);
+    fn compute_stats(&mut self, iteration: u64) -> Result<Vec<f64>, String> {
+        self.ensure_batch(iteration)?;
         let model = self.cfg.model;
         self.pool.for_each_mut(&mut self.partitions, |_, p| {
             model.compute_stats(&p.params, &p.batch, &mut p.stats);
@@ -296,7 +320,7 @@ impl WorkerNode {
         for p in &self.partitions {
             reduce_stats(&mut agg, &p.stats);
         }
-        agg
+        Ok(agg)
     }
 
     /// `updateModel` (Algorithm 3 lines 17-20): recovers the local gradient
@@ -398,8 +422,7 @@ pub fn run_worker(
                 attempt,
             } => {
                 if script.crashes(id, iteration, attempt) {
-                    // A real panic: the guarded spawn converts it into a
-                    // WorkerPanic report to the master.
+                    // lint: allow(panic-hygiene) injected fault: the guarded spawn converts this panic into a WorkerPanic report, which is the detection path under test
                     panic!("injected worker failure at iteration {iteration} attempt {attempt}");
                 }
                 if batch_size != w.cfg.batch_size {
@@ -451,21 +474,44 @@ pub fn run_worker(
                 } else {
                     // Time the sampling/assembly sub-phase separately for
                     // telemetry; `compute_stats` below hits the batch
-                    // cache, so the work is not repeated.
-                    w.ensure_batch(iteration);
+                    // cache, so the work is not repeated. A batch that
+                    // cannot be assembled (block lost in a reload race) is
+                    // a task failure, not a worker death: report it and
+                    // let the master's retry logic decide.
+                    let sampled = w.ensure_batch(iteration);
                     let sample_s = start.elapsed().as_secs_f64();
-                    let partial = w.compute_stats(iteration);
-                    let _ = ep.send(
-                        NodeId::Master,
-                        ColMsg::StatsReply {
-                            iteration,
-                            worker: id,
-                            partial,
-                            compute_s: start.elapsed().as_secs_f64(),
-                            sample_s,
-                            task_failed: false,
-                        },
-                    );
+                    match sampled.and_then(|()| w.compute_stats(iteration)) {
+                        Ok(partial) => {
+                            let _ = ep.send(
+                                NodeId::Master,
+                                ColMsg::StatsReply {
+                                    iteration,
+                                    worker: id,
+                                    partial,
+                                    compute_s: start.elapsed().as_secs_f64(),
+                                    sample_s,
+                                    task_failed: false,
+                                },
+                            );
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "worker {id}: ComputeStats t={iteration} failed: {e}; \
+                                 reporting task failure"
+                            );
+                            let _ = ep.send(
+                                NodeId::Master,
+                                ColMsg::StatsReply {
+                                    iteration,
+                                    worker: id,
+                                    partial: Vec::new(),
+                                    compute_s: start.elapsed().as_secs_f64(),
+                                    sample_s,
+                                    task_failed: true,
+                                },
+                            );
+                        }
+                    }
                 }
             }
             ColMsg::Update { iteration, stats } => {
@@ -550,14 +596,19 @@ pub fn run_worker(
         if let Some(total) = load_done_total {
             if w.received_worksets == total * held && !w.loaded() {
                 w.finalize_load();
-                ep.send_reliable(
-                    NodeId::Master,
-                    ColMsg::LoadAck {
-                        worker: id,
-                        layout: w.layout(),
-                    },
-                )
-                .expect("load ack");
+                if ep
+                    .send_reliable(
+                        NodeId::Master,
+                        ColMsg::LoadAck {
+                            worker: id,
+                            layout: w.layout(),
+                        },
+                    )
+                    .is_err()
+                {
+                    // Master gone mid-load: nothing left to serve.
+                    return;
+                }
                 load_done_total = None;
             }
         }

@@ -61,7 +61,7 @@ fn distributed_matches_serial_exactly_with_adam() {
     let mut engine = ColumnSgdEngine::new(&ds, 3, cfg, NetworkModel::INSTANT, FailurePlan::none())
         .expect("engine");
     let _ = engine.train().expect("train");
-    let distributed = engine.collect_model();
+    let distributed = engine.collect_model().expect("collect model");
 
     let rows: Vec<_> = ds.iter().cloned().collect();
     let serial_run = serial::train(
@@ -98,7 +98,7 @@ fn distributed_matches_serial(model: ModelSpec, k: usize, scheme: PartitionSchem
     let mut engine = ColumnSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT, FailurePlan::none())
         .expect("engine");
     let outcome = engine.train().expect("train");
-    let distributed = engine.collect_model();
+    let distributed = engine.collect_model().expect("collect model");
 
     let rows: Vec<_> = ds.iter().cloned().collect();
     let serial_run = serial::train(
@@ -155,7 +155,7 @@ fn multi_block_training_converges() {
     let last = outcome.curve.final_loss().unwrap();
     assert!(last < first * 0.75, "no convergence: {first} -> {last}");
 
-    let model = engine.collect_model();
+    let model = engine.collect_model().expect("collect model");
     let rows: Vec<_> = ds.iter().cloned().collect();
     let acc = serial::full_accuracy(ModelSpec::Lr, &model, &rows);
     assert!(acc > 0.75, "accuracy {acc}");
@@ -237,7 +237,7 @@ fn backup_computation_matches_pure_model() {
         ColumnSgdEngine::new(&ds, 4, cfg_pure, NetworkModel::INSTANT, FailurePlan::none())
             .expect("engine");
     let _ = pure.train().expect("train");
-    let m_pure = pure.collect_model();
+    let m_pure = pure.collect_model().expect("collect model");
 
     let mut backup = ColumnSgdEngine::new(
         &ds,
@@ -248,7 +248,7 @@ fn backup_computation_matches_pure_model() {
     )
     .expect("engine");
     let _ = backup.train().expect("train");
-    let m_backup = backup.collect_model();
+    let m_backup = backup.collect_model().expect("collect model");
 
     for (a, b) in m_pure.blocks.iter().zip(&m_backup.blocks) {
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
@@ -311,12 +311,12 @@ fn task_failure_is_transparent() {
     let mut with_failure =
         ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, plan).expect("engine");
     let out_f = with_failure.train().expect("train");
-    let m_f = with_failure.collect_model();
+    let m_f = with_failure.collect_model().expect("collect model");
 
     let mut clean = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
         .expect("engine");
     let _ = clean.train().expect("train");
-    let m_c = clean.collect_model();
+    let m_c = clean.collect_model().expect("collect model");
 
     // Task failure must not change the learned model at all.
     for (a, b) in m_f.blocks.iter().zip(&m_c.blocks) {
@@ -371,7 +371,7 @@ fn worker_failure_reloads_and_reconverges() {
     assert!(ev.recovery_cost_s > 0.0, "reload must cost simulated time");
 
     // Still converges after losing a third of the model.
-    let model = engine.collect_model();
+    let model = engine.collect_model().expect("collect model");
     let rows: Vec<_> = ds.iter().cloned().collect();
     let acc = columnsgd_ml::serial::full_accuracy(ModelSpec::Lr, &model, &rows);
     assert!(acc > 0.7, "post-failure accuracy {acc}");
@@ -430,7 +430,7 @@ fn mlr_trains_distributed() {
     let mut engine = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
         .expect("engine");
     let _ = engine.train().expect("train");
-    let model = engine.collect_model();
+    let model = engine.collect_model().expect("collect model");
     let rows: Vec<_> = ds.iter().cloned().collect();
     let acc = serial::full_accuracy(spec, &model, &rows);
     assert!(acc > 0.5, "MLR accuracy {acc} (chance 0.33)");
@@ -458,7 +458,7 @@ fn stale_statistics_absorb_stragglers_and_still_converge() {
         let mut e =
             ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::CLUSTER1, plan).expect("engine");
         let out = e.train().expect("train");
-        let model = e.collect_model();
+        let model = e.collect_model().expect("collect model");
         let rows: Vec<_> = ds.iter().cloned().collect();
         let acc = serial::full_accuracy(ModelSpec::Lr, &model, &rows);
         (out.clock.elapsed_s(), acc)
@@ -520,7 +520,7 @@ fn engine_trains_from_streamed_blocks() {
         out.curve.final_loss()
     );
     // The separable structure is learned.
-    let model = engine.collect_model();
+    let model = engine.collect_model().expect("collect model");
     assert!(model.blocks[0][1] > 0.0 && model.blocks[0][2] < 0.0);
 }
 
@@ -670,7 +670,12 @@ fn pool_width_never_changes_model_or_traffic() {
         let out = engine.train().expect("train");
         let losses: Vec<f64> = out.curve.points.iter().map(|p| p.loss).collect();
         let total = engine.traffic().total();
-        (engine.collect_model(), losses, total.bytes, total.messages)
+        (
+            engine.collect_model().expect("collect model"),
+            losses,
+            total.bytes,
+            total.messages,
+        )
     };
     let (m1, l1, bytes1, msgs1) = run(1);
     for threads in [2, 4] {

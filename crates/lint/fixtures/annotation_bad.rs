@@ -1,0 +1,8 @@
+// Known-bad fixture: a reason-less allow (malformed) and an allow naming
+// a rule that does not exist.
+fn f() {
+    // lint: allow(panic-hygiene)
+    x.unwrap();
+    // lint: allow(no-such-rule) looks fine but the rule id is unknown
+    let _ = 1;
+}

@@ -1,0 +1,8 @@
+// Known-good fixture: ordered container, order-stable by construction.
+use std::collections::BTreeMap;
+
+fn emit(lines: &BTreeMap<String, u64>) {
+    for (k, v) in lines {
+        println!("{k}={v}");
+    }
+}

@@ -1,0 +1,9 @@
+// Known-bad fixture: wall-clock and ambient entropy in non-metering code.
+use std::time::{Instant, SystemTime};
+
+fn seed_from_wallclock() -> u64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    let r = rand::thread_rng();
+    t.elapsed().as_nanos() as u64 ^ r.next_u64()
+}

@@ -1,0 +1,9 @@
+// Known-good fixture: seeded generator, no wall-clock reads. The words
+// Instant::now and thread_rng in this comment (and the string below) must
+// not fire — comments and literals are stripped.
+use rand_chacha::ChaCha8Rng;
+
+fn seeded(seed: u64) -> ChaCha8Rng {
+    let _doc = "never call Instant::now() or thread_rng() here";
+    ChaCha8Rng::seed_from_u64(seed)
+}

@@ -1,0 +1,9 @@
+// Known-bad fixture: raw channel machinery outside `cluster`.
+use crossbeam::channel::unbounded;
+use std::sync::mpsc;
+
+fn side_channel() {
+    let (tx, _rx) = unbounded::<Vec<u8>>();
+    let _ = tx;
+    let (_tx2, _rx2) = mpsc::channel::<Vec<u8>>();
+}

@@ -1,0 +1,7 @@
+// Known-good fixture: all traffic flows through the metered Router.
+use columnsgd_cluster::{Network, NodeId};
+
+fn send_metered(net: &Network<Vec<u8>>, payload: Vec<u8>) {
+    let ep = net.endpoint(NodeId::Worker(0));
+    let _ = ep.send(NodeId::Master, payload);
+}

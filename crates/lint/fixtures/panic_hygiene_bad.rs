@@ -1,0 +1,13 @@
+// Known-bad fixture: panics and unwraps in a message loop.
+fn mailbox_loop(rx: Receiver<Msg>) {
+    loop {
+        let msg = rx.recv().unwrap();
+        let part = partitions.get(&msg.block).expect("partition present");
+        match msg.kind {
+            Kind::Work => part.run(),
+            Kind::Stop => break,
+            other => panic!("unexpected message: {other:?}"),
+        }
+    }
+    unreachable!("loop only exits via Stop");
+}

@@ -1,0 +1,16 @@
+// Known-good fixture: typed errors, defensive fallbacks, and non-firing
+// lookalikes (`unwrap_or`, `expected`, strings).
+fn mailbox_loop(rx: Receiver<Msg>) -> Result<(), TrainError> {
+    loop {
+        let msg = rx
+            .recv()
+            .map_err(|_| TrainError::Internal("mailbox closed".into()))?;
+        let expected = msg.len.unwrap_or(0).max(msg.hint.unwrap_or_default());
+        let note = "do not panic! here";
+        match msg.kind {
+            Kind::Work => run(expected, note),
+            Kind::Stop => return Ok(()),
+            other => log_and_drop(other),
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! `columnsgd-lint` — workspace invariant checker.
+//!
+//! Walks the workspace's `.rs` files (excluding `third_party`, tests,
+//! benches, examples, and fixtures) and enforces the repo-specific rules
+//! described in [`rules`]: determinism, metering completeness, and panic
+//! hygiene. Configuration lives in the checked-in `lint.toml`; see
+//! DESIGN.md §10 for the rationale behind each rule.
+
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+pub use config::{Config, Severity};
+pub use rules::{Finding, UsedAllow, ANNOTATION_RULE, RULE_IDS};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The result of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every `lint: allow` annotation seen, sorted by (path, line).
+    pub allows: Vec<UsedAllow>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings with `deny` severity — these fail the run.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Findings with `warn` severity.
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the run should exit non-zero.
+    pub fn failed(&self) -> bool {
+        self.deny_count() > 0
+    }
+
+    /// Renders the human-readable report (deterministic: inputs are
+    /// sorted, so two runs over the same tree produce identical text).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let sev = match f.severity {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+                Severity::Off => "off",
+            };
+            out.push_str(&format!(
+                "{sev}[{rule}] {path}:{line}: {msg}\n",
+                rule = f.rule,
+                path = f.path,
+                line = f.line,
+                msg = f.message
+            ));
+        }
+        if !self.allows.is_empty() {
+            out.push_str("\nsuppressions in effect:\n");
+            for ua in &self.allows {
+                out.push_str(&format!(
+                    "  {path}:{line} allow({rule}) — {reason}\n",
+                    path = ua.path,
+                    line = ua.allow.line,
+                    rule = ua.allow.rule,
+                    reason = ua.allow.reason
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\n{files} files scanned: {deny} deny, {warn} warn, {allows} suppression(s)\n",
+            files = self.files_scanned,
+            deny = self.deny_count(),
+            warn = self.warn_count(),
+            allows = self.allows.len()
+        ));
+        out
+    }
+}
+
+/// Loads `lint.toml` from `root`, falling back to defaults when absent.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    if !path.exists() {
+        return Ok(Config::default());
+    }
+    let text = fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Runs the lint over every matching `.rs` file under `root`.
+pub fn run_lint(root: &Path, config: &Config) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for inc in &config.files.include {
+        let base = root.join(inc);
+        if base.exists() {
+            collect_rs_files(root, &base, config, &mut files)?;
+        }
+    }
+    // Sorted walk keeps the report byte-identical across filesystems.
+    files.sort();
+
+    let mut report = Report::default();
+    for file in &files {
+        let text =
+            fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let rel = relative_path(root, file);
+        let scanned = scan::scan(&text);
+        let (findings, used) = rules::check_file(&rel, &scanned, config);
+        report.findings.extend(findings);
+        report.allows.extend(used);
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    report
+        .allows
+        .sort_by(|a, b| (&a.path, a.allow.line).cmp(&(&b.path, b.allow.line)));
+    Ok(report)
+}
+
+/// `/`-separated path of `file` relative to `root`.
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let rel = relative_path(root, dir);
+    if config
+        .files
+        .exclude_prefixes
+        .iter()
+        .any(|p| rel.starts_with(p.as_str()))
+    {
+        return Ok(());
+    }
+    if dir.is_file() {
+        if dir.extension().is_some_and(|e| e == "rs") {
+            out.push(dir.to_path_buf());
+        }
+        return Ok(());
+    }
+    let name = dir.file_name().map(|n| n.to_string_lossy().to_string());
+    if let Some(name) = &name {
+        if !rel.is_empty()
+            && config.files.exclude_dirs.iter().any(|d| d == name)
+            // Never skip an `include` root itself even if its name matches.
+            && !config.files.include.iter().any(|i| i == &rel)
+        {
+            return Ok(());
+        }
+    }
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+        collect_rs_files(root, &entry.path(), config, out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_render_is_stable_and_counts() {
+        let mut report = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        report.findings.push(Finding {
+            rule: "panic-hygiene".into(),
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "boom".into(),
+            severity: Severity::Deny,
+        });
+        report.findings.push(Finding {
+            rule: "metering".into(),
+            path: "crates/x/src/lib.rs".into(),
+            line: 9,
+            message: "raw channel".into(),
+            severity: Severity::Warn,
+        });
+        assert_eq!(report.deny_count(), 1);
+        assert_eq!(report.warn_count(), 1);
+        assert!(report.failed());
+        let text = report.render();
+        assert!(text.contains("deny[panic-hygiene] crates/x/src/lib.rs:3: boom"));
+        assert!(text.contains("warn[metering]"));
+        assert!(text.contains("1 deny, 1 warn"));
+    }
+
+    #[test]
+    fn clean_report_passes() {
+        let report = Report::default();
+        assert!(!report.failed());
+    }
+}

@@ -1,0 +1,75 @@
+//! `columnsgd-lint` CLI.
+//!
+//! ```text
+//! columnsgd-lint [--root <path>] [--config <path>]
+//! ```
+//!
+//! Exits 0 when the tree is clean (warnings allowed), 1 on any `deny`
+//! finding, 2 on usage/configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a path"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: columnsgd-lint [--root <path>] [--config <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let config = match config_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("reading {}: {e}", path.display())),
+            };
+            match lint::Config::parse(&text) {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("{}: {e}", path.display())),
+            }
+        }
+        None => match lint::load_config(&root) {
+            Ok(c) => c,
+            Err(e) => return fail(&e),
+        },
+    };
+
+    match lint::run_lint(&root, &config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.failed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("columnsgd-lint: {msg}");
+    eprintln!("usage: columnsgd-lint [--root <path>] [--config <path>]");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("columnsgd-lint: {msg}");
+    ExitCode::from(2)
+}

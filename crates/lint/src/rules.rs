@@ -1,0 +1,335 @@
+//! The invariant rules and their token-level matchers.
+//!
+//! Each rule protects a claim the reproduction makes:
+//!
+//! * `determinism-time` — same-seed runs must be bit-deterministic, so
+//!   ambient entropy (`thread_rng`) and wall-clock reads
+//!   (`Instant::now`, `SystemTime::now`) are confined to the allowlisted
+//!   metering sites where they only feed *measurements*, never training
+//!   state.
+//! * `determinism-iteration` — modules that emit canonical telemetry or
+//!   JSONL lines must not iterate `HashMap`/`HashSet` (randomized order
+//!   would make golden files flaky); they use `BTreeMap` or sort first.
+//! * `metering` — every cross-worker byte must flow through the metered
+//!   `Network`, so raw channel machinery (`crossbeam`, `mpsc`) is only
+//!   constructed inside `cluster`.
+//! * `panic-hygiene` — worker/master message loops and recovery paths
+//!   must surface failures as typed `TrainError`s, not panics, or fault
+//!   detection degrades to a hang.
+//! * `annotation` — `// lint: allow(rule) reason` escapes must be
+//!   well-formed (named rule, non-empty reason) so the suppression
+//!   summary stays auditable.
+
+use crate::config::{Config, Severity};
+use crate::scan::{Allow, Scanned};
+
+/// Stable list of enforced rule ids (excluding the `annotation` meta-rule,
+/// which is always on).
+pub const RULE_IDS: [&str; 4] = [
+    "determinism-time",
+    "determinism-iteration",
+    "metering",
+    "panic-hygiene",
+];
+
+/// Meta-rule id for malformed/unknown `lint: allow` annotations.
+pub const ANNOTATION_RULE: &str = "annotation";
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id that fired.
+    pub rule: String,
+    /// Workspace-relative path (`/`-separated).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the match.
+    pub message: String,
+    /// Effective severity from `lint.toml`.
+    pub severity: Severity,
+}
+
+/// An allow annotation together with the file it appeared in.
+#[derive(Debug, Clone)]
+pub struct UsedAllow {
+    /// Workspace-relative path.
+    pub path: String,
+    /// The annotation itself.
+    pub allow: Allow,
+}
+
+/// A raw (pre-suppression) match produced by a matcher.
+struct RawMatch {
+    line: u32,
+    message: String,
+}
+
+/// Runs every configured rule over one scanned file.
+pub fn check_file(
+    path: &str,
+    scanned: &Scanned,
+    config: &Config,
+) -> (Vec<Finding>, Vec<UsedAllow>) {
+    let mut findings = Vec::new();
+
+    for rule in RULE_IDS {
+        let rc = config.rule(rule);
+        if !rc.applies_to(path) {
+            continue;
+        }
+        for m in match_rule(rule, scanned) {
+            if scanned.is_allowed(rule, m.line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                line: m.line,
+                message: m.message,
+                severity: rc.severity,
+            });
+        }
+    }
+
+    // The annotation meta-rule is always on: malformed annotations and
+    // annotations naming an unknown rule are findings themselves.
+    let ann = config.rule(ANNOTATION_RULE);
+    if ann.severity != Severity::Off {
+        for &line in &scanned.malformed_allows {
+            findings.push(Finding {
+                rule: ANNOTATION_RULE.to_string(),
+                path: path.to_string(),
+                line,
+                message: "malformed `lint: allow` — expected `// lint: allow(<rule>) <reason>` \
+                          with a non-empty reason"
+                    .to_string(),
+                severity: ann.severity,
+            });
+        }
+        for a in &scanned.allows {
+            if !RULE_IDS.contains(&a.rule.as_str()) {
+                findings.push(Finding {
+                    rule: ANNOTATION_RULE.to_string(),
+                    path: path.to_string(),
+                    line: a.line,
+                    message: format!("`lint: allow({})` names an unknown rule", a.rule),
+                    severity: ann.severity,
+                });
+            }
+        }
+    }
+
+    let used = scanned
+        .allows
+        .iter()
+        .map(|a| UsedAllow {
+            path: path.to_string(),
+            allow: a.clone(),
+        })
+        .collect();
+    (findings, used)
+}
+
+fn match_rule(rule: &str, scanned: &Scanned) -> Vec<RawMatch> {
+    match rule {
+        "determinism-time" => determinism_time(scanned),
+        "determinism-iteration" => determinism_iteration(scanned),
+        "metering" => metering(scanned),
+        "panic-hygiene" => panic_hygiene(scanned),
+        other => unreachable!("unknown rule id {other}"),
+    }
+}
+
+/// Positions where the token texts `pat` appear consecutively.
+fn find_seq(scanned: &Scanned, pat: &[&str]) -> Vec<u32> {
+    let toks = &scanned.tokens;
+    let mut out = Vec::new();
+    if pat.is_empty() || toks.len() < pat.len() {
+        return out;
+    }
+    for i in 0..=(toks.len() - pat.len()) {
+        if pat.iter().enumerate().all(|(j, p)| toks[i + j].text == *p) {
+            out.push(toks[i].line);
+        }
+    }
+    out
+}
+
+fn determinism_time(scanned: &Scanned) -> Vec<RawMatch> {
+    let mut out = Vec::new();
+    for line in find_seq(scanned, &["thread_rng"]) {
+        out.push(RawMatch {
+            line,
+            message: "`thread_rng` introduces nondeterminism; seed a `ChaCha` generator from \
+                      the run config instead"
+                .to_string(),
+        });
+    }
+    for (pat, name) in [
+        (
+            ["Instant", ":", ":", "now"],
+            "`Instant::now()` outside an allowlisted metering site",
+        ),
+        (
+            ["SystemTime", ":", ":", "now"],
+            "`SystemTime::now()` outside an allowlisted metering site",
+        ),
+    ] {
+        for line in find_seq(scanned, &pat) {
+            out.push(RawMatch {
+                line,
+                message: format!("{name}; timing belongs in the metering layer"),
+            });
+        }
+    }
+    out
+}
+
+fn determinism_iteration(scanned: &Scanned) -> Vec<RawMatch> {
+    let mut out = Vec::new();
+    for ty in ["HashMap", "HashSet"] {
+        for line in find_seq(scanned, &[ty]) {
+            out.push(RawMatch {
+                line,
+                message: format!(
+                    "`{ty}` in a canonical-output module; use `BTreeMap`/`BTreeSet` or an \
+                     explicitly sorted iteration so emitted lines are order-stable"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn metering(scanned: &Scanned) -> Vec<RawMatch> {
+    let mut out = Vec::new();
+    for ident in ["crossbeam", "crossbeam_channel", "mpsc"] {
+        for line in find_seq(scanned, &[ident]) {
+            out.push(RawMatch {
+                line,
+                message: format!(
+                    "raw channel machinery (`{ident}`) outside `cluster`; cross-worker traffic \
+                     must flow through the metered `Network`/`Router`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn panic_hygiene(scanned: &Scanned) -> Vec<RawMatch> {
+    let mut out = Vec::new();
+    for (pat, what) in [
+        (&[".", "unwrap", "("][..], "`.unwrap()`"),
+        (&[".", "expect", "("][..], "`.expect()`"),
+        (&["panic", "!"][..], "`panic!`"),
+        (&["unreachable", "!"][..], "`unreachable!`"),
+        (&["todo", "!"][..], "`todo!`"),
+        (&["unimplemented", "!"][..], "`unimplemented!`"),
+    ] {
+        for line in find_seq(scanned, pat) {
+            out.push(RawMatch {
+                line,
+                message: format!(
+                    "{what} in a master/worker or recovery path; return a typed `TrainError` \
+                     (or annotate with `// lint: allow(panic-hygiene) <reason>`)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn bare_config() -> Config {
+        Config::parse("").expect("empty config")
+    }
+
+    fn rules_fired(src: &str) -> Vec<(String, u32)> {
+        let s = scan(src);
+        let (findings, _) = check_file("crates/x/src/lib.rs", &s, &bare_config());
+        findings.into_iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn detects_time_sources() {
+        let fired = rules_fired("let t = Instant::now();\nlet r = thread_rng();");
+        assert!(fired.contains(&("determinism-time".into(), 1)));
+        assert!(fired.contains(&("determinism-time".into(), 2)));
+    }
+
+    #[test]
+    fn detects_hash_iteration_types() {
+        let fired = rules_fired("use std::collections::HashMap;\nlet s: HashSet<u32>;");
+        assert!(fired.contains(&("determinism-iteration".into(), 1)));
+        assert!(fired.contains(&("determinism-iteration".into(), 2)));
+    }
+
+    #[test]
+    fn detects_raw_channels() {
+        let fired = rules_fired("use crossbeam::channel::unbounded;\nuse std::sync::mpsc;");
+        assert!(fired.contains(&("metering".into(), 1)));
+        assert!(fired.contains(&("metering".into(), 2)));
+    }
+
+    #[test]
+    fn detects_panics_and_unwraps() {
+        let fired = rules_fired("x.unwrap();\ny.expect(\"m\");\npanic!(\"boom\");\nunreachable!()");
+        let rules: Vec<u32> = fired
+            .iter()
+            .filter(|(r, _)| r == "panic-hygiene")
+            .map(|(_, l)| *l)
+            .collect();
+        assert_eq!(rules, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unwrap_or_does_not_fire() {
+        let fired = rules_fired("let v = x.unwrap_or(0).max(y.unwrap_or_default());");
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_summarized() {
+        let s = scan("// lint: allow(panic-hygiene) invariant: queue drained above\nx.unwrap();");
+        let (findings, used) = check_file("crates/x/src/lib.rs", &s, &bare_config());
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(used.len(), 1);
+        assert_eq!(used[0].allow.rule, "panic-hygiene");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_finding() {
+        let fired = rules_fired("// lint: allow(no-such-rule) some reason\nlet x = 1;");
+        assert_eq!(fired, vec![("annotation".into(), 1)]);
+    }
+
+    #[test]
+    fn malformed_allow_is_a_finding() {
+        let fired = rules_fired("// lint: allow(panic-hygiene)\nx.unwrap();");
+        // Malformed annotation fires, and it does NOT suppress the unwrap.
+        assert!(fired.contains(&("annotation".into(), 1)));
+        assert!(fired.contains(&("panic-hygiene".into(), 2)));
+    }
+
+    #[test]
+    fn scope_and_allow_paths_gate_rules() {
+        let cfg = Config::parse(
+            "[rules.panic-hygiene]\nseverity = \"deny\"\nscope = [\"crates/core/src\"]\n\
+             allow_paths = [\"crates/core/src/testkit.rs\"]",
+        )
+        .expect("config");
+        let s = scan("x.unwrap();");
+        let (in_scope, _) = check_file("crates/core/src/engine.rs", &s, &cfg);
+        assert_eq!(in_scope.len(), 1);
+        let (out_of_scope, _) = check_file("crates/bench/src/lib.rs", &s, &cfg);
+        assert!(out_of_scope.is_empty());
+        let (allowed, _) = check_file("crates/core/src/testkit.rs", &s, &cfg);
+        assert!(allowed.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Fixture-file suite for `columnsgd-lint`, plus the live-workspace gate:
+//! every rule must fire on its known-bad fixture, stay silent on its
+//! known-good fixture, and the workspace at HEAD must be lint-clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lint::{load_config, run_lint, scan, Config, Severity};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Rules fired by `check_file` on a fixture, under a config where every
+/// rule applies everywhere (the default for unknown rules).
+fn fired(name: &str) -> Vec<String> {
+    let scanned = scan::scan(&fixture(name));
+    let cfg = Config::parse("").expect("empty config");
+    let (findings, _) = lint::rules::check_file("crates/fixture/src/lib.rs", &scanned, &cfg);
+    findings.into_iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn determinism_time_fires_on_bad_not_good() {
+    let bad = fired("determinism_time_bad.rs");
+    assert!(
+        bad.iter().filter(|r| *r == "determinism-time").count() >= 3,
+        "Instant::now, SystemTime::now, and thread_rng must all fire: {bad:?}"
+    );
+    assert!(
+        !fired("determinism_time_good.rs").contains(&"determinism-time".to_string()),
+        "comments/strings mentioning timers must not fire"
+    );
+}
+
+#[test]
+fn determinism_iteration_fires_on_bad_not_good() {
+    let bad = fired("determinism_iteration_bad.rs");
+    assert!(
+        bad.iter().filter(|r| *r == "determinism-iteration").count() >= 2,
+        "HashMap and HashSet must both fire: {bad:?}"
+    );
+    assert!(!fired("determinism_iteration_good.rs").contains(&"determinism-iteration".to_string()));
+}
+
+#[test]
+fn metering_fires_on_bad_not_good() {
+    let bad = fired("metering_bad.rs");
+    assert!(
+        bad.iter().filter(|r| *r == "metering").count() >= 2,
+        "crossbeam and mpsc must both fire: {bad:?}"
+    );
+    assert!(!fired("metering_good.rs").contains(&"metering".to_string()));
+}
+
+#[test]
+fn panic_hygiene_fires_on_bad_not_good() {
+    let bad = fired("panic_hygiene_bad.rs");
+    assert!(
+        bad.iter().filter(|r| *r == "panic-hygiene").count() >= 4,
+        "unwrap, expect, panic!, unreachable! must all fire: {bad:?}"
+    );
+    let good = fired("panic_hygiene_good.rs");
+    assert!(
+        good.is_empty(),
+        "unwrap_or / `expected` ident / strings must not fire: {good:?}"
+    );
+}
+
+#[test]
+fn annotation_rule_fires_on_bad_and_suppresses_on_good() {
+    let bad = fired("annotation_bad.rs");
+    // Malformed (reason-less) allow + unknown rule id are findings, and the
+    // malformed allow does NOT suppress the unwrap under it.
+    assert!(
+        bad.iter().filter(|r| *r == "annotation").count() >= 2,
+        "{bad:?}"
+    );
+    assert!(bad.contains(&"panic-hygiene".to_string()), "{bad:?}");
+
+    let scanned = scan::scan(&fixture("annotation_good.rs"));
+    let cfg = Config::parse("").expect("empty config");
+    let (findings, used) = lint::rules::check_file("crates/fixture/src/lib.rs", &scanned, &cfg);
+    assert!(
+        findings.is_empty(),
+        "well-formed allows suppress: {findings:?}"
+    );
+    assert_eq!(used.len(), 2, "both allow forms land in the summary");
+}
+
+/// Injecting any bad fixture into a scanned tree makes the run fail; the
+/// good fixtures alone keep it passing. This exercises the full
+/// walk → scan → check → report path, not just `check_file`.
+#[test]
+fn bad_fixture_injection_fails_the_run() {
+    let base = std::env::temp_dir().join(format!("columnsgd-lint-inject-{}", std::process::id()));
+    let src = base.join("crates/injected/src");
+    fs::create_dir_all(&src).expect("mkdir");
+    let cfg = Config::parse("[files]\ninclude = [\"crates\"]").expect("config");
+
+    // Good fixtures only: clean run.
+    for good in [
+        "determinism_time_good.rs",
+        "determinism_iteration_good.rs",
+        "metering_good.rs",
+        "panic_hygiene_good.rs",
+        "annotation_good.rs",
+    ] {
+        fs::write(src.join(good), fixture(good)).expect("write good fixture");
+    }
+    let report = run_lint(&base, &cfg).expect("run");
+    assert!(
+        !report.failed(),
+        "good fixtures must pass: {}",
+        report.render()
+    );
+    assert_eq!(report.files_scanned, 5);
+    assert_eq!(
+        report.allows.len(),
+        2,
+        "annotation_good's allows summarized"
+    );
+
+    // Inject one bad fixture: the run must fail.
+    fs::write(src.join("injected_bad.rs"), fixture("panic_hygiene_bad.rs"))
+        .expect("write bad fixture");
+    let report = run_lint(&base, &cfg).expect("run");
+    assert!(report.failed(), "injected bad fixture must fail the run");
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.path == "crates/injected/src/injected_bad.rs"));
+
+    fs::remove_dir_all(&base).ok();
+}
+
+/// The merge gate: the workspace at HEAD, under the checked-in lint.toml,
+/// is clean. Any new violation fails this test before CI even runs the
+/// standalone binary.
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = workspace_root();
+    assert!(root.join("lint.toml").exists(), "lint.toml is checked in");
+    let cfg = load_config(&root).expect("lint.toml parses");
+    let report = run_lint(&root, &cfg).expect("lint run");
+    assert!(
+        report.files_scanned > 50,
+        "walk found the workspace ({} files)",
+        report.files_scanned
+    );
+    let denies: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        denies.join("\n")
+    );
+}

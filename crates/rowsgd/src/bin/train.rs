@@ -177,7 +177,11 @@ fn main() {
         config,
         NetworkModel::CLUSTER1,
         recorder.clone(),
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("engine setup failed: {e}");
+        exit(1)
+    });
 
     let monitor = Monitor::new(MonitorConfig::default());
     if let Some(path) = &args.metrics_out {
@@ -190,7 +194,10 @@ fn main() {
     }
     engine.attach_monitor(monitor);
 
-    let outcome = engine.train();
+    let outcome = engine.train().unwrap_or_else(|e| {
+        eprintln!("training failed: {e}");
+        exit(1)
+    });
     if let Some(path) = &args.trace_out {
         recorder
             .write_jsonl(std::path::Path::new(path))
@@ -205,7 +212,10 @@ fn main() {
     }
 
     let rows: Vec<_> = dataset.iter().cloned().collect();
-    let model = engine.collect_model();
+    let model = engine.collect_model().unwrap_or_else(|e| {
+        eprintln!("model collection failed: {e}");
+        exit(1)
+    });
     let loss = serial::full_loss(args.model, &model, &rows);
     let acc = serial::full_accuracy(args.model, &model, &rows);
     println!(

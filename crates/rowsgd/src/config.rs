@@ -62,6 +62,11 @@ pub struct RowSgdConfig {
     /// component*, in seconds — models the KVStore per-key overhead that
     /// dominates MXNet's sparse pull on high-dimensional models.
     pub ps_per_key_s: f64,
+    /// Master receive deadline in wall-clock milliseconds. RowSGD is the
+    /// baseline, not the subject of the fault-tolerance study, so it does
+    /// not recover — but a silent worker must surface as a typed
+    /// `TrainError` within this bound, never as a hang.
+    pub deadline_ms: u64,
 }
 
 impl RowSgdConfig {
@@ -79,7 +84,14 @@ impl RowSgdConfig {
             servers: 0, // 0 = "same as workers", resolved by the engine
             ps_scheduling_s: 0.005,
             ps_per_key_s: 50e-6,
+            deadline_ms: 30_000,
         }
+    }
+
+    /// Builder-style master receive deadline (milliseconds).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = ms;
+        self
     }
 
     /// Builder-style batch size.

@@ -12,6 +12,7 @@ use columnsgd_cluster::{
     Diagnostics, Endpoint, Monitor, NetworkModel, NodeId, Recorder, Router, SimClock, SuperstepObs,
     TrafficStats, Wire,
 };
+use columnsgd_core::TrainError;
 use columnsgd_data::Dataset;
 use columnsgd_linalg::CsrMatrix;
 use columnsgd_ml::metrics::Curve;
@@ -25,10 +26,10 @@ use crate::worker::run_row_worker;
 /// ColumnSGD engine, so Figure 7 comparisons are apples to apples).
 pub const PER_OBJECT_S: f64 = 20e-6;
 
-/// Master receive deadline. RowSGD is the baseline, not the subject of
-/// the fault-tolerance study, so it does not recover — but a dead worker
-/// must surface as a loud, attributable panic, never a silent hang.
-const MASTER_DEADLINE: Duration = Duration::from_secs(30);
+// The master receive deadline comes from `RowSgdConfig::deadline_ms`:
+// RowSGD is the baseline, not the subject of the fault-tolerance study, so
+// it does not recover — but a dead worker must surface as a typed
+// `TrainError` within that bound, never as a panic or a silent hang.
 
 /// Result of a RowSGD training run.
 #[derive(Debug, Clone)]
@@ -91,7 +92,17 @@ pub struct RowSgdEngine {
 impl RowSgdEngine {
     /// Spawns K workers, ships them their row partitions, and initializes
     /// the master/server-side model.
-    pub fn new(dataset: &Dataset, k: usize, cfg: RowSgdConfig, net: NetworkModel) -> Self {
+    ///
+    /// # Errors
+    /// [`TrainError::InvalidPlan`] on an empty dataset or `k == 0`;
+    /// [`TrainError::WorkerLost`]/[`TrainError::Network`] when loading
+    /// cannot complete.
+    pub fn new(
+        dataset: &Dataset,
+        k: usize,
+        cfg: RowSgdConfig,
+        net: NetworkModel,
+    ) -> Result<Self, TrainError> {
         Self::with_repartition(dataset, k, cfg, net, false)
     }
 
@@ -105,7 +116,7 @@ impl RowSgdEngine {
         cfg: RowSgdConfig,
         net: NetworkModel,
         recorder: Recorder,
-    ) -> Self {
+    ) -> Result<Self, TrainError> {
         Self::traced(dataset, k, cfg, net, false, recorder)
     }
 
@@ -118,7 +129,7 @@ impl RowSgdEngine {
         cfg: RowSgdConfig,
         net: NetworkModel,
         repartition: bool,
-    ) -> Self {
+    ) -> Result<Self, TrainError> {
         Self::traced(dataset, k, cfg, net, repartition, Recorder::disabled())
     }
 
@@ -129,8 +140,17 @@ impl RowSgdEngine {
         net: NetworkModel,
         repartition: bool,
         recorder: Recorder,
-    ) -> Self {
-        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+    ) -> Result<Self, TrainError> {
+        if dataset.is_empty() {
+            return Err(TrainError::InvalidPlan(
+                "cannot train on an empty dataset".to_string(),
+            ));
+        }
+        if k == 0 {
+            return Err(TrainError::InvalidPlan(
+                "need at least one worker".to_string(),
+            ));
+        }
         recorder.set_pricing(net.link_pricing());
         recorder.begin(RunStamp {
             config_hash: cfg.fingerprint(),
@@ -147,16 +167,18 @@ impl RowSgdEngine {
             Router::with_recorder(&ids, traffic.clone(), None, recorder.clone());
         let master = endpoints.remove(0);
         let dim = dataset.dimension();
-        let handles: Vec<JoinHandle<()>> = endpoints
-            .into_iter()
-            .enumerate()
-            .map(|(w, ep)| {
-                std::thread::Builder::new()
-                    .name(format!("rowsgd-worker{w}"))
-                    .spawn(move || run_row_worker(ep, w, k, dim, cfg))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(k);
+        for (w, ep) in endpoints.into_iter().enumerate() {
+            let handle = std::thread::Builder::new()
+                .name(format!("rowsgd-worker{w}"))
+                .spawn(move || run_row_worker(ep, w, k, dim, cfg))
+                .map_err(|e| TrainError::WorkerLost {
+                    worker: w,
+                    iteration: 0,
+                    detail: format!("could not spawn worker thread: {e}"),
+                })?;
+            handles.push(handle);
+        }
 
         let params = if cfg.variant == RowSgdVariant::MLlibStar {
             None
@@ -186,15 +208,37 @@ impl RowSgdEngine {
                 sim_time_s: 0.0,
             },
         };
-        engine.load(dataset, repartition);
-        engine
+        engine.load(dataset, repartition)?;
+        Ok(engine)
+    }
+
+    /// The configured master receive deadline.
+    fn deadline(&self) -> Duration {
+        Duration::from_millis(self.cfg.deadline_ms)
+    }
+
+    /// Waits for the next message, converting a silent cluster into a
+    /// typed error attributed to `iteration`.
+    fn recv_deadline(&mut self, iteration: u64) -> Result<RowMsg, TrainError> {
+        self.master
+            .recv_timeout(self.deadline())
+            .map(|env| env.payload)
+            .map_err(|source| TrainError::Network { iteration, source })
+    }
+
+    /// Test hook: makes worker `w` exit its mailbox loop, so the next
+    /// gather waits out the deadline and surfaces a typed error — the
+    /// poisoned-mailbox regression path.
+    #[doc(hidden)]
+    pub fn kill_worker(&mut self, w: usize) {
+        let _ = self.master.send(NodeId::Worker(w), RowMsg::Shutdown);
     }
 
     /// Ships each worker its horizontal partition and prices the load:
     /// rows move row-by-row through Spark's pipeline (one object per data
     /// point), optionally followed by a global shuffle.
     #[allow(clippy::needless_range_loop)]
-    fn load(&mut self, dataset: &Dataset, repartition: bool) {
+    fn load(&mut self, dataset: &Dataset, repartition: bool) -> Result<(), TrainError> {
         self.traffic.reset();
         // Keep the trace reconciled with the meter across the reset.
         self.recorder.clear_comm();
@@ -206,18 +250,20 @@ impl RowSgdEngine {
             let csr = CsrMatrix::from_rows(&rows);
             self.master
                 .send(NodeId::Worker(w), RowMsg::LoadRows(csr))
-                .expect("load rows");
+                .map_err(|e| TrainError::WorkerLost {
+                    worker: w,
+                    iteration: 0,
+                    detail: format!("row partition undeliverable: {e}"),
+                })?;
         }
         let mut acks = 0;
         while acks < self.k {
             match self
-                .master
-                .recv_timeout(MASTER_DEADLINE)
-                .expect("load ack (worker silent past deadline)")
-                .payload
+                .recv_deadline(0)
+                .map_err(|e| TrainError::LoadFailed(e.to_string()))?
             {
                 RowMsg::LoadAck { .. } => acks += 1,
-                other => panic!("unexpected message during load: {other:?}"),
+                other => log_unexpected("load", &other),
             }
         }
         if repartition {
@@ -251,6 +297,7 @@ impl RowSgdEngine {
             bytes: total.bytes,
             sim_time_s: worst + self.net.latency_s,
         };
+        Ok(())
     }
 
     /// The loading cost report.
@@ -282,15 +329,22 @@ impl RowSgdEngine {
     }
 
     /// Runs the training loop and returns the outcome.
-    pub fn train(&mut self) -> TrainOutcome {
+    ///
+    /// # Errors
+    /// RowSGD is the baseline: it detects faults (typed, within the
+    /// configured deadline) but does not recover from them. A dead or
+    /// silent worker surfaces as [`TrainError::Network`] or
+    /// [`TrainError::WorkerLost`]; protocol invariant violations surface
+    /// as [`TrainError::Internal`].
+    pub fn train(&mut self) -> Result<TrainOutcome, TrainError> {
         let mut clock = SimClock::new();
         let mut curve = Curve::new(self.cfg.variant.label());
         for t in 0..self.cfg.iterations {
             let it = match self.cfg.variant {
-                RowSgdVariant::MLlib => self.iteration_mllib(t),
-                RowSgdVariant::MLlibStar => self.iteration_mllib_star(t),
-                RowSgdVariant::PsDense => self.iteration_ps(t, false),
-                RowSgdVariant::PsSparse => self.iteration_ps(t, true),
+                RowSgdVariant::MLlib => self.iteration_mllib(t)?,
+                RowSgdVariant::MLlibStar => self.iteration_mllib_star(t)?,
+                RowSgdVariant::PsDense => self.iteration_ps(t, false)?,
+                RowSgdVariant::PsSparse => self.iteration_ps(t, true)?,
             };
             if self.recorder.is_enabled() {
                 self.recorder.superstep(SuperstepSpan {
@@ -327,9 +381,10 @@ impl RowSgdEngine {
                     sim_elapsed_s: clock.elapsed_s(),
                 });
                 if self.monitor.should_stop().is_some() {
-                    // The baseline has no typed error machinery; a loss
-                    // guard trip simply ends the run early with the
-                    // diagnostics explaining why.
+                    // The baseline does not recover; a loss guard trip
+                    // simply ends the run early with the diagnostics
+                    // explaining why (not an error: the partial curve is
+                    // the experiment's result).
                     break;
                 }
             }
@@ -345,12 +400,12 @@ impl RowSgdEngine {
                 "telemetry comm records diverge from router metering"
             );
         }
-        TrainOutcome {
+        Ok(TrainOutcome {
             curve,
             clock,
             run: self.run_stamp(),
             diagnostics: self.monitor.report(),
-        }
+        })
     }
 
     /// The identity stamp describing this engine's run.
@@ -371,9 +426,9 @@ impl RowSgdEngine {
     }
 
     /// Attaches an online diagnostics [`Monitor`] (same detectors as the
-    /// ColumnSGD engine). RowSGD has no typed error machinery, so a stop
-    /// request ends the run early instead of erroring; the outcome's
-    /// diagnostics carry the reason.
+    /// ColumnSGD engine). A monitor stop request ends the baseline run
+    /// early rather than erroring — the partial curve is the result — and
+    /// the outcome's diagnostics carry the reason.
     pub fn attach_monitor(&mut self, monitor: Monitor) {
         self.monitor = monitor;
     }
@@ -418,10 +473,13 @@ impl RowSgdEngine {
 
     /// One MLlib iteration: broadcast the dense model, gather dense
     /// gradients, update at the master (Algorithm 2).
-    fn iteration_mllib(&mut self, t: u64) -> (IterationTime, f64) {
+    fn iteration_mllib(&mut self, t: u64) -> Result<(IterationTime, f64), TrainError> {
         let model_msg_bytes;
         {
-            let (params, _) = self.params.as_ref().expect("master model");
+            let (params, _) = self
+                .params
+                .as_ref()
+                .ok_or_else(|| TrainError::Internal("MLlib master has no model".to_string()))?;
             model_msg_bytes = (RowMsg::FullModelGrad {
                 iteration: t,
                 params: params.clone(),
@@ -437,7 +495,11 @@ impl RowSgdEngine {
                             params: params.clone(),
                         },
                     )
-                    .expect("model broadcast");
+                    .map_err(|e| TrainError::WorkerLost {
+                        worker: w,
+                        iteration: t,
+                        detail: format!("model broadcast undeliverable: {e}"),
+                    })?;
             }
         }
         let mut agg: Option<ParamSet> = None;
@@ -446,12 +508,7 @@ impl RowSgdEngine {
         let mut compute = vec![0.0; self.k];
         let mut got = 0;
         while got < self.k {
-            match self
-                .master
-                .recv_timeout(MASTER_DEADLINE)
-                .expect("grad reply (worker silent past deadline)")
-                .payload
-            {
+            match self.recv_deadline(t)? {
                 RowMsg::GradReplyDense {
                     worker,
                     grad,
@@ -472,12 +529,14 @@ impl RowSgdEngine {
                     compute[worker] = compute_s;
                     got += 1;
                 }
-                other => panic!("unexpected message: {other:?}"),
+                other => log_unexpected("MLlib gather", &other),
             }
         }
-        let agg = agg.expect("at least one gradient");
+        let agg = agg.ok_or_else(|| {
+            TrainError::Internal(format!("iteration {t} gathered zero gradients"))
+        })?;
         let start = Instant::now();
-        self.apply_dense(&agg);
+        self.apply_dense(&agg)?;
         let master_compute = start.elapsed().as_secs_f64();
 
         let bcast_s = self.net.broadcast_time(model_msg_bytes, self.k);
@@ -487,33 +546,32 @@ impl RowSgdEngine {
         if self.monitor.is_enabled() {
             self.last_compute = compute;
         }
-        (
+        Ok((
             IterationTime {
                 compute_s: compute_s + master_compute,
                 comm_s: gather_s + bcast_s,
                 overhead_s: self.net.scheduling_overhead_s,
             },
             mean(&losses),
-        )
+        ))
     }
 
     /// One MLlib* iteration: local steps + ring AllReduce model averaging.
-    fn iteration_mllib_star(&mut self, t: u64) -> (IterationTime, f64) {
+    fn iteration_mllib_star(&mut self, t: u64) -> Result<(IterationTime, f64), TrainError> {
         for w in 0..self.k {
             self.master
                 .send(NodeId::Worker(w), RowMsg::LocalStep { iteration: t })
-                .expect("local step");
+                .map_err(|e| TrainError::WorkerLost {
+                    worker: w,
+                    iteration: t,
+                    detail: format!("local-step dispatch undeliverable: {e}"),
+                })?;
         }
         let mut losses = Vec::with_capacity(self.k);
         let mut compute = vec![0.0; self.k];
         let mut got = 0;
         while got < self.k {
-            match self
-                .master
-                .recv_timeout(MASTER_DEADLINE)
-                .expect("step done (worker silent past deadline)")
-                .payload
-            {
+            match self.recv_deadline(t)? {
                 RowMsg::StepDone {
                     worker,
                     loss,
@@ -524,7 +582,7 @@ impl RowSgdEngine {
                     compute[worker] = compute_s;
                     got += 1;
                 }
-                other => panic!("unexpected message: {other:?}"),
+                other => log_unexpected("MLlib* gather", &other),
             }
         }
         let model_bytes = 8 * self.cfg.model.num_params(self.dim);
@@ -536,20 +594,24 @@ impl RowSgdEngine {
         if self.monitor.is_enabled() {
             self.last_compute = compute;
         }
-        (
+        Ok((
             IterationTime {
                 compute_s,
                 comm_s: allreduce_s,
                 overhead_s: self.net.scheduling_overhead_s,
             },
             mean(&losses),
-        )
+        ))
     }
 
     /// One parameter-server iteration (dense or sparse pull).
     // Indexed loops: `p`/`w` are node ids of the simulated server plane.
     #[allow(clippy::needless_range_loop)]
-    fn iteration_ps(&mut self, t: u64, sparse_pull: bool) -> (IterationTime, f64) {
+    fn iteration_ps(
+        &mut self,
+        t: u64,
+        sparse_pull: bool,
+    ) -> Result<(IterationTime, f64), TrainError> {
         let router = self.master.router().clone();
         let unit = 8 * self.cfg.model.widths().iter().sum::<usize>() as u64;
         let mut pull_keys_per_server = vec![0u64; self.p];
@@ -568,17 +630,16 @@ impl RowSgdEngine {
                         NodeId::Worker(w),
                         RowMsg::RequestIndices { iteration: t },
                     )
-                    .expect("request indices");
+                    .map_err(|e| TrainError::WorkerLost {
+                        worker: w,
+                        iteration: t,
+                        detail: format!("index request undeliverable: {e}"),
+                    })?;
             }
             let mut requests: Vec<Option<Vec<u64>>> = vec![None; self.k];
             let mut got = 0;
             while got < self.k {
-                match self
-                    .master
-                    .recv_timeout(MASTER_DEADLINE)
-                    .expect("indices reply (worker silent past deadline)")
-                    .payload
-                {
+                match self.recv_deadline(t)? {
                     RowMsg::IndicesReply {
                         worker,
                         indices,
@@ -589,13 +650,19 @@ impl RowSgdEngine {
                         requests[worker] = Some(indices);
                         got += 1;
                     }
-                    other => panic!("unexpected message: {other:?}"),
+                    other => log_unexpected("sparse-pull index round", &other),
                 }
             }
             // Round 2: virtual servers answer each worker's pull.
-            let (params, _) = self.params.as_ref().expect("server model");
+            let (params, _) = self.params.as_ref().ok_or_else(|| {
+                TrainError::Internal("parameter-server plane has no model".to_string())
+            })?;
             for (w, indices) in requests.into_iter().enumerate() {
-                let indices = indices.expect("reply per worker");
+                let indices = indices.ok_or_else(|| {
+                    TrainError::Internal(format!(
+                        "worker {w} counted as replied at iteration {t} but left no indices"
+                    ))
+                })?;
                 // Meter the request + reply on each logical server link.
                 for p in 0..self.p {
                     let cnt = indices.iter().filter(|&&j| self.server_of(j) == p).count() as u64;
@@ -627,12 +694,18 @@ impl RowSgdEngine {
                             values,
                         },
                     )
-                    .expect("pull reply");
+                    .map_err(|e| TrainError::WorkerLost {
+                        worker: w,
+                        iteration: t,
+                        detail: format!("sparse pull reply undeliverable: {e}"),
+                    })?;
             }
         } else {
             // Dense pull: every worker receives the full model; each
             // server's shard crosses its own logical link.
-            let (params, _) = self.params.as_ref().expect("server model");
+            let (params, _) = self.params.as_ref().ok_or_else(|| {
+                TrainError::Internal("parameter-server plane has no model".to_string())
+            })?;
             let msg = RowMsg::FullModelGrad {
                 iteration: t,
                 params: params.clone(),
@@ -660,7 +733,11 @@ impl RowSgdEngine {
                             params: params.clone(),
                         },
                     )
-                    .expect("dense pull");
+                    .map_err(|e| TrainError::WorkerLost {
+                        worker: w,
+                        iteration: t,
+                        detail: format!("dense pull undeliverable: {e}"),
+                    })?;
             }
         }
 
@@ -671,12 +748,7 @@ impl RowSgdEngine {
         let mut losses = Vec::with_capacity(self.k);
         let mut got = 0;
         while got < self.k {
-            match self
-                .master
-                .recv_timeout(MASTER_DEADLINE)
-                .expect("grad reply (worker silent past deadline)")
-                .payload
-            {
+            match self.recv_deadline(t)? {
                 RowMsg::GradReplySparse {
                     worker,
                     grad,
@@ -707,13 +779,15 @@ impl RowSgdEngine {
                     compute[worker] += compute_s;
                     got += 1;
                 }
-                other => panic!("unexpected message: {other:?}"),
+                other => log_unexpected("gradient push", &other),
             }
         }
         let start = Instant::now();
         {
             let cfg = self.cfg;
-            let (params, opt) = self.params.as_mut().expect("server model");
+            let (params, opt) = self.params.as_mut().ok_or_else(|| {
+                TrainError::Internal("parameter-server plane has no model".to_string())
+            })?;
             cfg.model
                 .apply_gradient(params, opt, &merged, &cfg.update, cfg.batch_size);
         }
@@ -753,20 +827,23 @@ impl RowSgdEngine {
         if self.monitor.is_enabled() {
             self.last_compute = compute;
         }
-        (
+        Ok((
             IterationTime {
                 compute_s: compute_s + server_compute,
                 comm_s: pull_up + pull_down + push + per_key,
                 overhead_s: self.cfg.ps_scheduling_s,
             },
             mean(&losses),
-        )
+        ))
     }
 
     /// Applies a dense aggregated gradient at the master (MLlib path).
-    fn apply_dense(&mut self, agg: &ParamSet) {
+    fn apply_dense(&mut self, agg: &ParamSet) -> Result<(), TrainError> {
         let cfg = self.cfg;
-        let (params, opt) = self.params.as_mut().expect("master model");
+        let (params, opt) = self
+            .params
+            .as_mut()
+            .ok_or_else(|| TrainError::Internal("MLlib master has no model".to_string()))?;
         opt.begin_step();
         let inv_b = 1.0 / cfg.batch_size.max(1) as f64;
         for (b, gb) in agg.blocks.iter().enumerate() {
@@ -779,25 +856,32 @@ impl RowSgdEngine {
                 opt.apply(b, &mut params.blocks[b], coord, g, cfg.update.learning_rate);
             }
         }
+        Ok(())
     }
 
     /// The current full model (master copy, or worker 0's replica for
     /// MLlib*).
-    pub fn collect_model(&mut self) -> ParamSet {
+    ///
+    /// # Errors
+    /// For MLlib* the model lives in worker replicas; fetching it fails
+    /// with a typed error when worker 0 is gone or silent.
+    pub fn collect_model(&mut self) -> Result<ParamSet, TrainError> {
+        let iteration = self.cfg.iterations;
         match &self.params {
-            Some((p, _)) => p.clone(),
+            Some((p, _)) => Ok(p.clone()),
             None => {
                 self.master
                     .send(NodeId::Worker(0), RowMsg::FetchModel)
-                    .expect("fetch model");
-                match self
-                    .master
-                    .recv_timeout(MASTER_DEADLINE)
-                    .expect("model reply (worker silent past deadline)")
-                    .payload
-                {
-                    RowMsg::ModelReply { params, .. } => params,
-                    other => panic!("unexpected message: {other:?}"),
+                    .map_err(|e| TrainError::WorkerLost {
+                        worker: 0,
+                        iteration,
+                        detail: format!("model fetch undeliverable: {e}"),
+                    })?;
+                loop {
+                    match self.recv_deadline(iteration)? {
+                        RowMsg::ModelReply { params, .. } => return Ok(params),
+                        other => log_unexpected("model collection", &other),
+                    }
                 }
             }
         }
@@ -844,6 +928,13 @@ fn per_server_max(per_server: &[Vec<u64>], net: &NetworkModel) -> f64 {
         .iter()
         .map(|lanes| net.gather_time(lanes))
         .fold(0.0, f64::max)
+}
+
+/// A message the current protocol phase does not expect is logged and
+/// dropped rather than panicking the master: the receive deadline bounds
+/// the wait, so a confused worker surfaces as a typed timeout instead.
+fn log_unexpected(phase: &str, msg: &RowMsg) {
+    eprintln!("rowsgd master: dropping unexpected message during {phase}: {msg:?}");
 }
 
 fn mean(xs: &[f64]) -> f64 {

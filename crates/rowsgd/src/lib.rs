@@ -42,3 +42,6 @@ pub mod worker;
 pub use config::{RowSgdConfig, RowSgdVariant};
 pub use engine::RowSgdEngine;
 pub use memory::MemoryEstimate;
+// The baseline speaks the same typed-error vocabulary as the ColumnSGD
+// engine, so callers match on one error type across both paradigms.
+pub use columnsgd_core::TrainError;

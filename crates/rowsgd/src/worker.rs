@@ -88,12 +88,23 @@ impl RowWorker {
     /// PsSparse round 2: gradient from the pulled values, computed in a
     /// *compacted* index space so no dense m-sized buffer is ever built
     /// (this is what lets sparse-pull engines scale to huge m).
-    fn sparse_model_grad(&mut self, t: u64, pulled: &SparseGrad) -> (SparseGrad, f64) {
+    ///
+    /// Errors mean the two-round protocol was violated; the caller exits
+    /// the worker thread and the master's deadline surfaces a typed error.
+    fn sparse_model_grad(
+        &mut self,
+        t: u64,
+        pulled: &SparseGrad,
+    ) -> Result<(SparseGrad, f64), String> {
         let (bt, batch) = self
             .pending_batch
             .take()
-            .expect("SparseModelGrad without a preceding RequestIndices");
-        assert_eq!(bt, t, "pull reply for a different iteration");
+            .ok_or("SparseModelGrad without a preceding RequestIndices")?;
+        if bt != t {
+            return Err(format!(
+                "pull reply for iteration {t} but the pending batch is for {bt}"
+            ));
+        }
 
         // Compact params: slot i ↔ global index pulled.indices[i].
         let widths = self.cfg.model.widths();
@@ -115,7 +126,7 @@ impl RowWorker {
                 let slot = pulled
                     .indices
                     .binary_search(&j)
-                    .expect("pull covers every batch index");
+                    .map_err(|_| format!("pull reply is missing batch index {j}"))?;
                 slots.push(slot as u64);
                 vals.push(x);
             }
@@ -132,22 +143,25 @@ impl RowWorker {
             blocks: grad_c.blocks,
             widths: grad_c.widths,
         };
-        (grad, loss)
+        Ok((grad, loss))
     }
 
     /// MLlib*: one local mini-batch step on the replica, returning the
     /// pre-update batch loss.
-    fn local_step(&mut self, t: u64) -> f64 {
+    fn local_step(&mut self, t: u64) -> Result<f64, String> {
         let batch = self.sample_batch(t);
         let share = batch.nrows();
-        let (params, opt) = self.replica.as_mut().expect("MLlib* replica initialized");
+        let (params, opt) = self
+            .replica
+            .as_mut()
+            .ok_or("LocalStep on a worker without a model replica")?;
         let mut stats = Vec::new();
         self.cfg.model.compute_stats(params, &batch, &mut stats);
         let loss = self.cfg.model.loss_from_stats(batch.labels(), &stats);
         self.cfg
             .model
             .update_from_stats(params, opt, &batch, &stats, &self.cfg.update, share);
-        loss
+        Ok(loss)
     }
 
     /// MLlib*: ring AllReduce over the flattened replica, then divide by K
@@ -161,12 +175,16 @@ impl RowWorker {
         &mut self,
         ep: &Endpoint<RowMsg>,
         early: &mut std::collections::VecDeque<(u8, u32, Vec<f64>)>,
-    ) {
+    ) -> Result<(), String> {
         let k = self.k;
         if k == 1 {
-            return;
+            return Ok(());
         }
-        let (params, _) = self.replica.as_mut().expect("replica");
+        let deadline = Duration::from_millis(self.cfg.deadline_ms);
+        let (params, _) = self
+            .replica
+            .as_mut()
+            .ok_or("ring AllReduce on a worker without a model replica")?;
         // Flatten all blocks into one buffer.
         let mut flat: Vec<f64> = params
             .blocks
@@ -176,28 +194,38 @@ impl RowWorker {
         let bounds = chunk_bounds(flat.len(), k);
         let next = NodeId::Worker((self.id + 1) % k);
 
-        let mut recv_chunk = |expect_phase: u8, expect_step: u32| -> Vec<f64> {
+        let mut recv_chunk = |expect_phase: u8, expect_step: u32| -> Result<Vec<f64>, String> {
             if let Some((phase, step, data)) = early.pop_front() {
-                assert_eq!(
-                    (phase, step),
-                    (expect_phase, expect_step),
-                    "buffered ring chunk out of order"
-                );
-                return data;
-            }
-            let env = ep
-                .recv_timeout(Duration::from_secs(30))
-                .expect("ring recv (peer silent past deadline)");
-            match env.payload {
-                RowMsg::RingChunk { phase, step, data } => {
-                    assert_eq!(
-                        (phase, step),
-                        (expect_phase, expect_step),
-                        "ring protocol out of order"
-                    );
-                    data
+                if (phase, step) != (expect_phase, expect_step) {
+                    return Err(format!(
+                        "buffered ring chunk out of order: got phase {phase} step {step}, \
+                         expected phase {expect_phase} step {expect_step}"
+                    ));
                 }
-                other => panic!("unexpected message during ring: {other:?}"),
+                return Ok(data);
+            }
+            loop {
+                let env = ep
+                    .recv_timeout(deadline)
+                    .map_err(|e| format!("ring recv (peer silent past deadline): {e}"))?;
+                match env.payload {
+                    RowMsg::RingChunk { phase, step, data } => {
+                        if (phase, step) != (expect_phase, expect_step) {
+                            return Err(format!(
+                                "ring protocol out of order: got phase {phase} step {step}, \
+                                 expected phase {expect_phase} step {expect_step}"
+                            ));
+                        }
+                        return Ok(data);
+                    }
+                    other => {
+                        // A non-ring message mid-ring is protocol noise;
+                        // drop it and keep waiting (the deadline bounds us).
+                        eprintln!(
+                            "rowsgd worker: dropping non-ring message during ring: {other:?}"
+                        );
+                    }
+                }
             }
         };
 
@@ -213,8 +241,8 @@ impl RowWorker {
                     data: flat[lo..hi].to_vec(),
                 },
             )
-            .expect("ring send");
-            let incoming = recv_chunk(0, step as u32);
+            .map_err(|e| format!("ring send to {next:?} failed: {e}"))?;
+            let incoming = recv_chunk(0, step as u32)?;
             let recv_id = (self.id + k - step - 1) % k;
             let (lo, hi) = bounds[recv_id];
             for (dst, src) in flat[lo..hi].iter_mut().zip(&incoming) {
@@ -233,8 +261,8 @@ impl RowWorker {
                     data: flat[lo..hi].to_vec(),
                 },
             )
-            .expect("ring send");
-            let incoming = recv_chunk(1, step as u32);
+            .map_err(|e| format!("ring send to {next:?} failed: {e}"))?;
+            let incoming = recv_chunk(1, step as u32)?;
             let recv_id = (self.id + k - step) % k;
             let (lo, hi) = bounds[recv_id];
             flat[lo..hi].copy_from_slice(&incoming);
@@ -249,10 +277,16 @@ impl RowWorker {
                 off += 1;
             }
         }
+        Ok(())
     }
 }
 
 /// The RowSGD worker mailbox loop.
+///
+/// The worker never panics on protocol or transport trouble: a failed
+/// send means the master is gone (exit quietly), and a protocol
+/// violation logs the reason and exits the thread — the master's receive
+/// deadline then converts the silence into a typed `TrainError`.
 pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: RowSgdConfig) {
     let replica = if cfg.variant == RowSgdVariant::MLlibStar {
         let params = cfg.model.init_params(dim as usize, cfg.seed, |s| s as u64);
@@ -288,8 +322,12 @@ pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: 
                 w.rows = (0..csr.nrows())
                     .map(|r| (csr.label(r), csr.row_vector(r)))
                     .collect();
-                ep.send(NodeId::Master, RowMsg::LoadAck { worker: id })
-                    .expect("load ack");
+                if ep
+                    .send(NodeId::Master, RowMsg::LoadAck { worker: id })
+                    .is_err()
+                {
+                    return;
+                }
             }
             RowMsg::FullModelGrad { iteration, params } => {
                 let start = Instant::now();
@@ -317,58 +355,76 @@ pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: 
                         compute_s,
                     },
                 };
-                if is_ps {
+                let sent = if is_ps {
                     // PS push: bytes are metered per server link by the
                     // engine; the physical hop to the driver is a courier.
-                    ep.router()
-                        .send_unmetered(ep.id(), NodeId::Master, reply)
-                        .expect("grad reply");
+                    ep.router().send_unmetered(ep.id(), NodeId::Master, reply)
                 } else {
-                    ep.send(NodeId::Master, reply).expect("grad reply");
+                    ep.send(NodeId::Master, reply)
+                };
+                if sent.is_err() {
+                    return;
                 }
             }
             RowMsg::RequestIndices { iteration } => {
                 let start = Instant::now();
                 let indices = w.batch_indices(iteration);
-                ep.router()
-                    .send_unmetered(
-                        ep.id(),
-                        NodeId::Master,
-                        RowMsg::IndicesReply {
-                            iteration,
-                            worker: id,
-                            indices,
-                            compute_s: start.elapsed().as_secs_f64(),
-                        },
-                    )
-                    .expect("indices reply");
+                let sent = ep.router().send_unmetered(
+                    ep.id(),
+                    NodeId::Master,
+                    RowMsg::IndicesReply {
+                        iteration,
+                        worker: id,
+                        indices,
+                        compute_s: start.elapsed().as_secs_f64(),
+                    },
+                );
+                if sent.is_err() {
+                    return;
+                }
             }
             RowMsg::SparseModelGrad { iteration, values } => {
                 let start = Instant::now();
-                let (grad, loss) = w.sparse_model_grad(iteration, &values);
-                ep.router()
-                    .send_unmetered(
-                        ep.id(),
-                        NodeId::Master,
-                        RowMsg::GradReplySparse {
-                            iteration,
-                            worker: id,
-                            grad,
-                            loss,
-                            compute_s: start.elapsed().as_secs_f64(),
-                        },
-                    )
-                    .expect("grad reply");
+                let (grad, loss) = match w.sparse_model_grad(iteration, &values) {
+                    Ok(res) => res,
+                    Err(e) => {
+                        eprintln!("rowsgd worker {id}: exiting on protocol violation: {e}");
+                        return;
+                    }
+                };
+                let sent = ep.router().send_unmetered(
+                    ep.id(),
+                    NodeId::Master,
+                    RowMsg::GradReplySparse {
+                        iteration,
+                        worker: id,
+                        grad,
+                        loss,
+                        compute_s: start.elapsed().as_secs_f64(),
+                    },
+                );
+                if sent.is_err() {
+                    return;
+                }
             }
             RowMsg::LocalStep { iteration } => {
                 // Measure only local compute; the ring's communication is
                 // priced analytically by the engine (waiting on chunks is
                 // not compute).
                 let start = Instant::now();
-                let loss = w.local_step(iteration);
+                let loss = match w.local_step(iteration) {
+                    Ok(loss) => loss,
+                    Err(e) => {
+                        eprintln!("rowsgd worker {id}: exiting on protocol violation: {e}");
+                        return;
+                    }
+                };
                 let compute_s = start.elapsed().as_secs_f64();
-                w.ring_average(&ep, &mut early_chunks);
-                ep.send(
+                if let Err(e) = w.ring_average(&ep, &mut early_chunks) {
+                    eprintln!("rowsgd worker {id}: exiting on broken ring: {e}");
+                    return;
+                }
+                let sent = ep.send(
                     NodeId::Master,
                     RowMsg::StepDone {
                         iteration,
@@ -376,8 +432,10 @@ pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: 
                         loss,
                         compute_s,
                     },
-                )
-                .expect("step done");
+                );
+                if sent.is_err() {
+                    return;
+                }
             }
             RowMsg::FetchModel => {
                 let params = w
@@ -385,8 +443,12 @@ pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: 
                     .as_ref()
                     .map(|(p, _)| p.clone())
                     .unwrap_or_default();
-                ep.send(NodeId::Master, RowMsg::ModelReply { worker: id, params })
-                    .expect("model reply");
+                if ep
+                    .send(NodeId::Master, RowMsg::ModelReply { worker: id, params })
+                    .is_err()
+                {
+                    return;
+                }
             }
             RowMsg::Shutdown => return,
             // A predecessor's ring chunk can arrive before this worker's
@@ -394,7 +456,11 @@ pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: 
             RowMsg::RingChunk { phase, step, data } => {
                 early_chunks.push_back((phase, step, data));
             }
-            other => panic!("worker {id} received unexpected message {other:?}"),
+            // Anything else is protocol noise (e.g. a message for a phase
+            // this worker already left); drop it rather than dying.
+            other => {
+                eprintln!("rowsgd worker {id}: dropping unexpected message {other:?}");
+            }
         }
     }
 }

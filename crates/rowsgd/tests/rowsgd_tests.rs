@@ -6,7 +6,7 @@ use columnsgd_cluster::{NetworkModel, NodeId};
 use columnsgd_data::synth;
 use columnsgd_ml::serial;
 use columnsgd_ml::ModelSpec;
-use columnsgd_rowsgd::{RowSgdConfig, RowSgdEngine, RowSgdVariant};
+use columnsgd_rowsgd::{RowSgdConfig, RowSgdEngine, RowSgdVariant, TrainError};
 
 const ALL: [RowSgdVariant; 4] = [
     RowSgdVariant::MLlib,
@@ -28,8 +28,9 @@ fn every_variant_converges_on_lr() {
     let ds = synth::small_test_dataset(1_500, 150, 4);
     let rows: Vec<_> = ds.iter().cloned().collect();
     for variant in ALL {
-        let mut engine = RowSgdEngine::new(&ds, 4, cfg(variant), NetworkModel::INSTANT);
-        let out = engine.train();
+        let mut engine =
+            RowSgdEngine::new(&ds, 4, cfg(variant), NetworkModel::INSTANT).expect("engine");
+        let out = engine.train().expect("train");
         let first = out.curve.points[..5].iter().map(|p| p.loss).sum::<f64>() / 5.0;
         let last = out.curve.points[out.curve.points.len() - 5..]
             .iter()
@@ -40,7 +41,7 @@ fn every_variant_converges_on_lr() {
             last < first * 0.8,
             "{variant:?} did not converge: {first} -> {last}"
         );
-        let model = engine.collect_model();
+        let model = engine.collect_model().expect("collect model");
         let acc = serial::full_accuracy(ModelSpec::Lr, &model, &rows);
         assert!(acc > 0.75, "{variant:?} accuracy {acc}");
     }
@@ -58,9 +59,10 @@ fn mllib_and_ps_variants_share_the_trajectory() {
             4,
             cfg(RowSgdVariant::MLlib).with_iterations(25),
             NetworkModel::INSTANT,
-        );
-        let _ = e.train();
-        e.collect_model()
+        )
+        .expect("engine");
+        let _ = e.train().expect("train");
+        e.collect_model().expect("collect model")
     };
     for variant in [RowSgdVariant::PsDense, RowSgdVariant::PsSparse] {
         let mut e = RowSgdEngine::new(
@@ -68,9 +70,10 @@ fn mllib_and_ps_variants_share_the_trajectory() {
             4,
             cfg(variant).with_iterations(25),
             NetworkModel::INSTANT,
-        );
-        let _ = e.train();
-        let model = e.collect_model();
+        )
+        .expect("engine");
+        let _ = e.train().expect("train");
+        let model = e.collect_model().expect("collect model");
         for (a, b) in reference.blocks.iter().zip(&model.blocks) {
             for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
                 assert!((x - y).abs() < 1e-9, "{variant:?} diverged: {x} vs {y}");
@@ -90,9 +93,10 @@ fn dense_traffic_scales_with_m_sparse_does_not() {
             4,
             cfg(variant).with_iterations(5),
             NetworkModel::INSTANT,
-        );
+        )
+        .expect("engine");
         e.traffic().reset();
-        let _ = e.train();
+        let _ = e.train().expect("train");
         e.traffic().total().bytes
     };
     let mllib_small = measure(RowSgdVariant::MLlib, 200);
@@ -121,9 +125,10 @@ fn ps_redistributes_traffic_across_servers() {
         4,
         cfg(RowSgdVariant::PsDense).with_iterations(3),
         NetworkModel::INSTANT,
-    );
+    )
+    .expect("engine");
     e.traffic().reset();
-    let _ = e.train();
+    let _ = e.train().expect("train");
     // All four server links carry (roughly) equal shares and the master
     // link carries nothing.
     let master = e.traffic().touching(NodeId::Master);
@@ -162,8 +167,9 @@ fn per_iteration_time_ordering_matches_table4() {
             8,
             cfg(variant).with_batch_size(1000).with_iterations(2),
             NetworkModel::CLUSTER1,
-        );
-        let out = e.train();
+        )
+        .expect("engine");
+        let out = e.train().expect("train");
         out.clock.trace().iter().map(|it| it.comm_s).sum::<f64>() / 2.0
     };
     let mllib = comm_of(RowSgdVariant::MLlib);
@@ -191,8 +197,9 @@ fn mllib_star_cheaper_comm_than_mllib() {
             4,
             cfg(variant).with_iterations(3),
             NetworkModel::CLUSTER1,
-        );
-        let out = e.train();
+        )
+        .expect("engine");
+        let out = e.train().expect("train");
         out.clock.trace().iter().map(|it| it.comm_s).sum::<f64>()
     };
     let star = time_of(RowSgdVariant::MLlibStar);
@@ -210,8 +217,8 @@ fn fm_trains_on_ps_variants() {
             .with_iterations(100)
             .with_learning_rate(0.2);
         config.seed = 5;
-        let mut e = RowSgdEngine::new(&ds, 4, config, NetworkModel::INSTANT);
-        let out = e.train();
+        let mut e = RowSgdEngine::new(&ds, 4, config, NetworkModel::INSTANT).expect("engine");
+        let out = e.train().expect("train");
         let first = out.curve.points[..5].iter().map(|p| p.loss).sum::<f64>() / 5.0;
         let last = out.curve.points[out.curve.points.len() - 5..]
             .iter()
@@ -230,16 +237,45 @@ fn fm_trains_on_ps_variants() {
 #[test]
 fn repartition_load_costs_more() {
     let ds = synth::small_test_dataset(5_000, 500, 18);
-    let plain = RowSgdEngine::new(&ds, 4, cfg(RowSgdVariant::MLlib), NetworkModel::CLUSTER1);
+    let plain = RowSgdEngine::new(&ds, 4, cfg(RowSgdVariant::MLlib), NetworkModel::CLUSTER1)
+        .expect("engine");
     let repart = RowSgdEngine::with_repartition(
         &ds,
         4,
         cfg(RowSgdVariant::MLlib),
         NetworkModel::CLUSTER1,
         true,
-    );
+    )
+    .expect("engine");
     assert!(repart.load_report().sim_time_s > plain.load_report().sim_time_s);
     assert!(repart.load_report().objects > plain.load_report().objects);
+}
+
+/// A worker whose mailbox loop has exited must surface as a *typed*
+/// `TrainError` within the configured deadline — never a panic and never
+/// a hang. This is the poisoned-mailbox regression the panic-hygiene lint
+/// rule guards: the master's gather loops may not `expect()` their way
+/// through a silent cluster.
+#[test]
+fn poisoned_mailbox_yields_typed_error_not_panic() {
+    let ds = synth::small_test_dataset(300, 50, 21);
+    for variant in ALL {
+        let mut e = RowSgdEngine::new(
+            &ds,
+            3,
+            cfg(variant).with_iterations(50).with_deadline_ms(250),
+            NetworkModel::INSTANT,
+        )
+        .expect("engine");
+        e.kill_worker(1);
+        let err = e
+            .train()
+            .expect_err("a dead worker must fail the run with a typed error");
+        match err {
+            TrainError::Network { .. } | TrainError::WorkerLost { .. } => {}
+            other => panic!("wrong error class for a dead worker: {other}"),
+        }
+    }
 }
 
 /// Ring AllReduce averaging is exact: after one MLlib* iteration every
@@ -252,13 +288,14 @@ fn mllib_star_replicas_stay_in_sync() {
         3,
         cfg(RowSgdVariant::MLlibStar).with_iterations(7),
         NetworkModel::INSTANT,
-    );
-    let _ = e.train();
+    )
+    .expect("engine");
+    let _ = e.train().expect("train");
     // collect_model fetches worker 0's replica; fetch the others through
     // the same path by re-collecting after zero additional iterations and
     // comparing across two engines is not possible here, so instead verify
     // convergence monotonicity as a sync proxy plus the unit-tested ring.
-    let model = e.collect_model();
+    let model = e.collect_model().expect("collect model");
     assert!(model.num_params() > 0);
     let rows: Vec<_> = ds.iter().cloned().collect();
     let acc = serial::full_accuracy(ModelSpec::Lr, &model, &rows);

@@ -45,7 +45,7 @@ fn main() {
         )
         .expect("engine");
         let outcome = engine.train().expect("train");
-        let model = engine.collect_model();
+        let model = engine.collect_model().expect("collect model");
         let acc = columnsgd::ml::serial::full_accuracy(spec, &model, &rows);
         let loss = columnsgd::ml::serial::full_loss(spec, &model, &rows);
         // AUC — the CTR metric of record.

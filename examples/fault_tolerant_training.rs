@@ -83,7 +83,7 @@ fn main() {
     }
     println!("no checkpoint was ever taken");
 
-    let model = engine.collect_model();
+    let model = engine.collect_model().expect("collect model");
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let acc = columnsgd::ml::serial::full_accuracy(ModelSpec::Lr, &model, &rows);
     println!("final accuracy after recovery: {:.1}%", acc * 100.0);

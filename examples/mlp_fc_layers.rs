@@ -67,7 +67,7 @@ fn main() {
     )
     .expect("engine");
     let _ = lr.train().expect("train");
-    let model = lr.collect_model();
+    let model = lr.collect_model().expect("collect model");
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let lr_acc = columnsgd::ml::serial::full_accuracy(ModelSpec::Lr, &model, &rows);
     println!(

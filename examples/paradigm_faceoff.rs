@@ -40,9 +40,10 @@ fn main() {
             .with_batch_size(1000)
             .with_iterations(iters)
             .with_learning_rate(0.5);
-        let mut engine = RowSgdEngine::new(&dataset, k, cfg, NetworkModel::CLUSTER1);
+        let mut engine =
+            RowSgdEngine::new(&dataset, k, cfg, NetworkModel::CLUSTER1).expect("engine");
         engine.traffic().reset();
-        let outcome = engine.train();
+        let outcome = engine.train().expect("train");
         let mb = engine.traffic().total().bytes as f64 / 1e6 / iters as f64;
         let moves = match variant {
             RowSgdVariant::MLlib => "full dense model + dense gradients",

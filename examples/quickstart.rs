@@ -71,7 +71,7 @@ fn main() {
     );
 
     // 5. Inspect the result: reassemble the distributed model and score it.
-    let model = engine.collect_model();
+    let model = engine.collect_model().expect("collect model");
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let accuracy = columnsgd::ml::serial::full_accuracy(ModelSpec::Lr, &model, &rows);
     println!("train accuracy: {:.1}%", accuracy * 100.0);

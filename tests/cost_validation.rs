@@ -59,9 +59,9 @@ fn mllib_traffic_matches_dense_pull_analytic() {
     let cfg = RowSgdConfig::new(ModelSpec::Lr, RowSgdVariant::MLlib)
         .with_batch_size(b)
         .with_iterations(ITERS);
-    let mut e = RowSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT);
+    let mut e = RowSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT).expect("engine");
     e.traffic().reset();
-    let _ = e.train();
+    let _ = e.train().expect("train");
     let master = e.traffic().touching(NodeId::Master).bytes as f64 / ITERS as f64;
     assert!(
         master >= expect_master && master < 1.2 * expect_master,
@@ -82,9 +82,9 @@ fn ps_sparse_traffic_bounded_by_table1() {
     let cfg = RowSgdConfig::new(ModelSpec::Lr, RowSgdVariant::PsSparse)
         .with_batch_size(b)
         .with_iterations(ITERS);
-    let mut e = RowSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT);
+    let mut e = RowSgdEngine::new(&ds, k, cfg, NetworkModel::INSTANT).expect("engine");
     e.traffic().reset();
-    let _ = e.train();
+    let _ = e.train().expect("train");
 
     // Sum over all server links touching worker 0.
     let w0 = e.traffic().touching(NodeId::Worker(0)).bytes as f64 / ITERS as f64;
@@ -118,9 +118,9 @@ fn measured_scaling_contrast() {
             let cfg = RowSgdConfig::new(ModelSpec::Lr, RowSgdVariant::MLlib)
                 .with_batch_size(100)
                 .with_iterations(4);
-            let mut e = RowSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT);
+            let mut e = RowSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT).expect("engine");
             e.traffic().reset();
-            let _ = e.train();
+            let _ = e.train().expect("train");
             e.traffic().total().bytes
         }
     };

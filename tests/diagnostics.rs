@@ -114,10 +114,10 @@ fn rowsgd_monitor_smoke() {
             .with_batch_size(64)
             .with_iterations(6)
             .with_seed(seed);
-        let mut e = RowSgdEngine::new(&ds, 3, cfg, NetworkModel::CLUSTER1);
+        let mut e = RowSgdEngine::new(&ds, 3, cfg, NetworkModel::CLUSTER1).expect("engine");
         e.attach_monitor(Monitor::new(MonitorConfig::default()));
         assert!(e.monitor().is_enabled());
-        let out = e.train();
+        let out = e.train().expect("train");
         assert_eq!(out.curve.points.len(), 6, "no guard should trip here");
         assert!(out.diagnostics.halted.is_none());
         out.diagnostics

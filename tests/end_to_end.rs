@@ -45,7 +45,7 @@ fn libsvm_to_trained_model() {
     let outcome = engine.train().expect("train");
     assert!(outcome.curve.final_loss().unwrap() < 0.3);
 
-    let model = engine.collect_model();
+    let model = engine.collect_model().expect("collect model");
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let acc = serial::full_accuracy(ModelSpec::Lr, &model, &rows);
     assert!(acc > 0.95, "separable problem must be solved, got {acc}");
@@ -84,7 +84,11 @@ fn row_and_column_paradigms_agree_on_the_problem() {
     )
     .expect("engine");
     let _ = col.train().expect("train");
-    let col_acc = serial::full_accuracy(ModelSpec::Svm, &col.collect_model(), &rows);
+    let col_acc = serial::full_accuracy(
+        ModelSpec::Svm,
+        &col.collect_model().expect("collect model"),
+        &rows,
+    );
 
     let mut row = RowSgdEngine::new(
         &dataset,
@@ -94,9 +98,14 @@ fn row_and_column_paradigms_agree_on_the_problem() {
             .with_iterations(200)
             .with_learning_rate(0.5),
         NetworkModel::INSTANT,
+    )
+    .expect("engine");
+    let _ = row.train().expect("train");
+    let row_acc = serial::full_accuracy(
+        ModelSpec::Svm,
+        &row.collect_model().expect("collect model"),
+        &rows,
     );
-    let _ = row.train();
-    let row_acc = serial::full_accuracy(ModelSpec::Svm, &row.collect_model(), &rows);
 
     assert!(col_acc > 0.95, "ColumnSGD accuracy {col_acc}");
     assert!(row_acc > 0.95, "RowSGD accuracy {row_acc}");
