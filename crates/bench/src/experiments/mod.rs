@@ -4,6 +4,7 @@ pub mod diagnose;
 pub mod ext;
 pub mod ext_chaos;
 pub mod ext_dnn;
+pub mod ext_elastic;
 pub mod fig10;
 pub mod fig11;
 pub mod fig13;
@@ -21,7 +22,7 @@ pub mod trace;
 use crate::Report;
 
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 24] = [
     "table1",
     "table2",
     "table3",
@@ -42,6 +43,7 @@ pub const ALL_IDS: [&str; 23] = [
     "ext_mlr",
     "ext_dnn",
     "ext_chaos",
+    "ext_elastic",
     "trace",
     "diagnose",
     "BENCH_superstep",
@@ -71,6 +73,7 @@ pub fn run(id: &str, scale: f64) -> Option<Vec<Report>> {
         "ext_mlr" => vec![ext::mlr(scale)],
         "ext_dnn" => vec![ext_dnn::run(scale)],
         "ext_chaos" => vec![ext_chaos::run(scale)],
+        "ext_elastic" => vec![ext_elastic::sweep(scale)],
         "trace" => vec![trace::run(scale)],
         "diagnose" => vec![diagnose::run(scale)],
         "BENCH_superstep" => vec![superstep::run(scale)],

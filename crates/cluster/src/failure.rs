@@ -24,11 +24,37 @@ pub struct StragglerSpec {
     pub level: f64,
     /// Seed for the per-iteration straggler choice.
     pub seed: u64,
+    /// Pin the straggler to one worker for the whole run instead of the
+    /// paper's random per-iteration pick. Sliding-window detectors (the
+    /// telemetry monitor's straggler alarm) need a *persistent* victim to
+    /// converge on; the elastic engine's speculative execution uses this.
+    pub pinned: Option<usize>,
 }
 
 impl StragglerSpec {
+    /// A random-victim spec (the paper's §V-C methodology).
+    pub fn new(level: f64, seed: u64) -> Self {
+        Self {
+            level,
+            seed,
+            pinned: None,
+        }
+    }
+
+    /// A spec whose victim is always `worker`.
+    pub fn pinned(level: f64, worker: usize) -> Self {
+        Self {
+            level,
+            seed: 0,
+            pinned: Some(worker),
+        }
+    }
+
     /// Picks the straggling worker for `iteration` out of `k` workers.
     pub fn pick(&self, iteration: u64, k: usize) -> usize {
+        if let Some(w) = self.pinned {
+            return w.min(k.saturating_sub(1));
+        }
         let mut r: DetRng = rng::iteration_rng(self.seed ^ 0x5757_5757, iteration);
         r.gen_range(0..k)
     }
@@ -88,7 +114,15 @@ impl FailurePlan {
     /// A plan with only straggler injection.
     pub fn with_straggler(level: f64, seed: u64) -> Self {
         Self {
-            straggler: Some(StragglerSpec { level, seed }),
+            straggler: Some(StragglerSpec::new(level, seed)),
+            ..Self::default()
+        }
+    }
+
+    /// A plan whose straggler is pinned to one worker for the whole run.
+    pub fn with_pinned_straggler(level: f64, worker: usize) -> Self {
+        Self {
+            straggler: Some(StragglerSpec::pinned(level, worker)),
             ..Self::default()
         }
     }
@@ -171,10 +205,7 @@ mod tests {
 
     #[test]
     fn straggler_pick_is_deterministic_and_in_range() {
-        let s = StragglerSpec {
-            level: 1.0,
-            seed: 9,
-        };
+        let s = StragglerSpec::new(1.0, 9);
         for it in 0..50 {
             let a = s.pick(it, 8);
             let b = s.pick(it, 8);
@@ -185,10 +216,7 @@ mod tests {
 
     #[test]
     fn straggler_moves_around() {
-        let s = StragglerSpec {
-            level: 5.0,
-            seed: 3,
-        };
+        let s = StragglerSpec::new(5.0, 3);
         let picks: Vec<usize> = (0..20).map(|it| s.pick(it, 8)).collect();
         let first = picks[0];
         assert!(
@@ -199,10 +227,7 @@ mod tests {
 
     #[test]
     fn inflate_scales_exactly_one_worker() {
-        let s = StragglerSpec {
-            level: 1.0,
-            seed: 1,
-        };
+        let s = StragglerSpec::new(1.0, 1);
         let mut times = vec![1.0; 4];
         let victim = s.inflate(7, &mut times);
         assert_eq!(times[victim], 2.0);
@@ -266,10 +291,18 @@ mod tests {
 
     #[test]
     fn level5_means_six_times_slower() {
-        let s = StragglerSpec {
-            level: 5.0,
-            seed: 0,
-        };
+        let s = StragglerSpec::new(5.0, 0);
         assert_eq!(s.factor(), 6.0);
+    }
+
+    #[test]
+    fn pinned_straggler_never_moves() {
+        let s = StragglerSpec::pinned(5.0, 2);
+        for it in 0..50 {
+            assert_eq!(s.pick(it, 8), 2);
+        }
+        // Out-of-range pins clamp instead of indexing past the cluster.
+        let s = StragglerSpec::pinned(5.0, 9);
+        assert_eq!(s.pick(0, 4), 3);
     }
 }

@@ -40,6 +40,7 @@ pub mod allreduce;
 pub mod chaos;
 pub mod clock;
 pub mod failure;
+pub mod membership;
 pub mod netmodel;
 pub mod node;
 pub mod router;
@@ -53,6 +54,10 @@ pub use columnsgd_telemetry::{
     DiagnosticEvent, DiagnosticKind, Diagnostics, Monitor, MonitorConfig, Recorder, SuperstepObs,
 };
 pub use failure::{FailureEvent, FailurePlan, StragglerSpec};
+pub use membership::{
+    Membership, MembershipError, MembershipEvent, RebalancePlan, ShardDrop, ShardMove, ShardRole,
+    WorkerState,
+};
 pub use netmodel::NetworkModel;
 pub use node::NodeId;
 pub use router::{panic_message, spawn_guarded, Endpoint, Envelope, NetError, Router};

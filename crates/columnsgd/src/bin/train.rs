@@ -14,6 +14,18 @@
 //!   --model-out PATH                     write weights as text
 //!   --trace-out PATH                     write telemetry JSONL trace
 //!   --metrics-out PATH                   stream monitor snapshots (JSONL)
+//!
+//! Elastic mode (dynamic membership on the elastic engine):
+//!
+//!   --elastic                            run on the elastic engine
+//!   --elastic-initial N                  start with N of K slots    [K]
+//!   --join T:W / --leave T:W / --crash T:W
+//!                                        schedule worker W to join /
+//!                                        gracefully leave / crash at
+//!                                        iteration T (repeatable)
+//!   --replicate                          keep one warm backup per shard
+//!   --speculate                          duplicate a straggling task on
+//!                                        its backup (implies --replicate)
 //! ```
 //!
 //! Example:
@@ -44,6 +56,11 @@ struct Args {
     model_out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    elastic: bool,
+    elastic_initial: Option<usize>,
+    schedule: Vec<ElasticEvent>,
+    replicate: bool,
+    speculate: bool,
 }
 
 fn usage() -> ! {
@@ -51,9 +68,21 @@ fn usage() -> ! {
         "usage: columnsgd-train <file.libsvm> [--model lr|svm|lsq|fm:<F>|mlr:<C>] \
          [--workers K] [--batch B] [--iters T] [--eta E] \
          [--optimizer sgd|adagrad|adam] [--l2 LAMBDA] [--seed S] [--model-out PATH] \
-         [--trace-out PATH] [--metrics-out PATH]"
+         [--trace-out PATH] [--metrics-out PATH] \
+         [--elastic] [--elastic-initial N] [--join T:W] [--leave T:W] [--crash T:W] \
+         [--replicate] [--speculate]"
     );
     exit(2)
+}
+
+/// Parses an `iteration:worker` schedule entry such as `--join 10:3`.
+fn parse_event(s: &str, action: ElasticAction) -> Option<ElasticEvent> {
+    let (t, w) = s.split_once(':')?;
+    Some(ElasticEvent {
+        iteration: t.parse().ok()?,
+        worker: w.parse().ok()?,
+        action,
+    })
 }
 
 fn parse_model(s: &str) -> Option<ModelSpec> {
@@ -87,6 +116,11 @@ fn parse_args() -> Args {
         model_out: None,
         trace_out: None,
         metrics_out: None,
+        elastic: false,
+        elastic_initial: None,
+        schedule: Vec::new(),
+        replicate: false,
+        speculate: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -118,6 +152,31 @@ fn parse_args() -> Args {
             "--model-out" => args.model_out = Some(value("--model-out")),
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
+            "--elastic" => args.elastic = true,
+            "--elastic-initial" => {
+                args.elastic_initial = Some(
+                    value("--elastic-initial")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
+            "--join" => {
+                let ev =
+                    parse_event(&value("--join"), ElasticAction::Join).unwrap_or_else(|| usage());
+                args.schedule.push(ev);
+            }
+            "--leave" => {
+                let ev =
+                    parse_event(&value("--leave"), ElasticAction::Leave).unwrap_or_else(|| usage());
+                args.schedule.push(ev);
+            }
+            "--crash" => {
+                let ev =
+                    parse_event(&value("--crash"), ElasticAction::Crash).unwrap_or_else(|| usage());
+                args.schedule.push(ev);
+            }
+            "--replicate" => args.replicate = true,
+            "--speculate" => args.speculate = true,
             "--help" | "-h" => usage(),
             other if args.path.is_empty() && !other.starts_with('-') => {
                 args.path = other.to_string();
@@ -175,16 +234,6 @@ fn main() {
     } else {
         Recorder::disabled()
     };
-    let mut engine = ColumnSgdEngine::new_traced(
-        &dataset,
-        args.workers,
-        config,
-        NetworkModel::CLUSTER1,
-        FailurePlan::none(),
-        recorder.clone(),
-    )
-    .expect("engine");
-
     let monitor = Monitor::new(MonitorConfig::default());
     if let Some(path) = &args.metrics_out {
         monitor
@@ -194,12 +243,102 @@ fn main() {
                 exit(1)
             });
     }
-    engine.attach_monitor(monitor);
 
-    let outcome = engine.train().unwrap_or_else(|e| {
-        eprintln!("training failed: {e}");
-        exit(1)
-    });
+    // Any elastic option implies elastic mode.
+    let elastic = args.elastic
+        || args.elastic_initial.is_some()
+        || !args.schedule.is_empty()
+        || args.replicate
+        || args.speculate;
+    let (model, mean_s, run_hex, diagnostics) = if elastic {
+        let initial = args.elastic_initial.unwrap_or(args.workers);
+        let mut ecfg = ElasticConfig::new(config, args.workers, initial);
+        if args.replicate {
+            ecfg = ecfg.with_replication();
+        }
+        if args.speculate {
+            ecfg = ecfg.with_speculation();
+        }
+        if !args.schedule.is_empty() {
+            ecfg = ecfg.with_schedule(args.schedule.clone());
+        }
+        let mut engine = ElasticEngine::new_traced(
+            &dataset,
+            ecfg,
+            NetworkModel::CLUSTER1,
+            FailurePlan::none(),
+            recorder.clone(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("engine setup failed: {e}");
+            eprintln!("hint: {}", e.advice());
+            exit(e.exit_code())
+        });
+        engine.attach_monitor(monitor);
+        let outcome = engine.train().unwrap_or_else(|e| {
+            eprintln!("training failed: {e}");
+            eprintln!("hint: {}", e.advice());
+            exit(e.exit_code())
+        });
+        println!(
+            "membership: {} events, {} shard migrations ({:.1} KiB over the wire), \
+             speculation {} wins / {} losses",
+            outcome.membership_log.len(),
+            outcome.migrations,
+            outcome.migration_bytes as f64 / 1024.0,
+            outcome.speculative_wins,
+            outcome.speculative_losses
+        );
+        for ev in &outcome.membership_log {
+            println!(
+                "  epoch {} worker {} {} ({} moves)",
+                ev.epoch, ev.worker, ev.action, ev.moves
+            );
+        }
+        let model = engine.collect_model().unwrap_or_else(|e| {
+            eprintln!("model collection failed: {e}");
+            eprintln!("hint: {}", e.advice());
+            exit(e.exit_code())
+        });
+        (
+            model,
+            outcome.mean_iteration_s(args.iters as usize),
+            outcome.run.run_id_hex(),
+            outcome.diagnostics,
+        )
+    } else {
+        let mut engine = ColumnSgdEngine::new_traced(
+            &dataset,
+            args.workers,
+            config,
+            NetworkModel::CLUSTER1,
+            FailurePlan::none(),
+            recorder.clone(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("engine setup failed: {e}");
+            eprintln!("hint: {}", e.advice());
+            exit(e.exit_code())
+        });
+        engine.attach_monitor(monitor);
+        let outcome = engine.train().unwrap_or_else(|e| {
+            eprintln!("training failed: {e}");
+            eprintln!("hint: {}", e.advice());
+            exit(e.exit_code())
+        });
+        let model = engine.collect_model().unwrap_or_else(|e| {
+            eprintln!("model collection failed: {e}");
+            eprintln!("hint: {}", e.advice());
+            exit(e.exit_code())
+        });
+        (
+            model,
+            outcome.mean_iteration_s(args.iters as usize),
+            outcome.run.run_id_hex(),
+            outcome.diagnostics,
+        )
+    };
+
     if let Some(path) = &args.metrics_out {
         eprintln!("metrics streamed to {path}");
     }
@@ -210,25 +349,19 @@ fn main() {
                 eprintln!("cannot write trace {path}: {e}");
                 exit(1)
             });
-        eprintln!("trace written to {path} (run {})", outcome.run.run_id_hex());
+        eprintln!("trace written to {path} (run {run_hex})");
     }
 
     let rows: Vec<_> = dataset.iter().cloned().collect();
-    let model = engine.collect_model().unwrap_or_else(|e| {
-        eprintln!("model collection failed: {e}");
-        exit(1)
-    });
     let loss = serial::full_loss(args.model, &model, &rows);
     let acc = serial::full_accuracy(args.model, &model, &rows);
     println!(
         "trained {:?} in {} iterations ({:.4} s/iter simulated on Cluster 1)",
-        args.model,
-        args.iters,
-        outcome.mean_iteration_s(args.iters as usize)
+        args.model, args.iters, mean_s
     );
     println!("train loss {loss:.6} | train accuracy {:.2}%", acc * 100.0);
 
-    let diag = &outcome.diagnostics;
+    let diag = &diagnostics;
     if diag.total() > 0 || diag.halted.is_some() {
         println!(
             "diagnostics: {} alarms (straggler {}, divergence {}, nan {}, comm {}, skew {})",

@@ -54,7 +54,8 @@ pub mod prelude {
         TrafficStats,
     };
     pub use columnsgd_core::{
-        ColumnSgdConfig, ColumnSgdEngine, DetectionMethod, FaultKind, RecoveryEvent, TrainError,
+        ColumnSgdConfig, ColumnSgdEngine, DetectionMethod, ElasticAction, ElasticConfig,
+        ElasticEngine, ElasticEvent, FaultKind, RecoveryEvent, ScalePolicy, TrainError,
     };
     pub use columnsgd_data::{ColumnPartitioner, Dataset, DatasetPreset, SynthConfig};
     pub use columnsgd_linalg::{CsrMatrix, DenseVector, SparseVector};

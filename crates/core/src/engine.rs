@@ -600,7 +600,14 @@ impl ColumnSgdEngine {
             // Telemetry-only: the sampling/assembly slice of each worker's
             // compute time. Barrier and straggler math stay on the totals.
             let mut sample_times = vec![0.0f64; self.k];
-            while partials.len() < self.k {
+            // S-backup lets the master *excuse* a crashed group member from
+            // the gather barrier: a surviving replica's reply covers the
+            // whole group (§IV-B), so the superstep completes without
+            // waiting for the respawned worker's redundant answer — and
+            // without ever reaching the deadline path.
+            let backed_up = self.cfg.backup_s > 0;
+            let mut excused = vec![false; self.k];
+            while (0..self.k).any(|w| !excused[w] && !partials.contains_key(&w)) {
                 match self.recv_next(deadline) {
                     Ok(env) => match env.payload {
                         ColMsg::StatsReply {
@@ -676,6 +683,16 @@ impl ColumnSgdEngine {
                                 &mut sample_times,
                                 worker,
                             );
+                            let r = self.cfg.backup_s + 1;
+                            let g = worker / r;
+                            if backed_up && (g * r..(g + 1) * r).any(|m| m != worker && !excused[m])
+                            {
+                                // A surviving replica answers for the group;
+                                // don't hold the barrier for the respawn.
+                                // The fresh task below still runs so the
+                                // worker can apply this iteration's update.
+                                excused[worker] = true;
+                            }
                             self.issue_compute(
                                 t,
                                 worker,
@@ -694,8 +711,9 @@ impl ColumnSgdEngine {
                     Err(NetError::Timeout) => {
                         // Detection: deadline expired with replies missing.
                         charge += deadline.as_secs_f64();
-                        let missing: Vec<usize> =
-                            (0..self.k).filter(|w| !partials.contains_key(w)).collect();
+                        let missing: Vec<usize> = (0..self.k)
+                            .filter(|&w| !excused[w] && !partials.contains_key(&w))
+                            .collect();
                         for w in missing {
                             if self.pending_has_evidence(t, w) {
                                 continue;
@@ -736,7 +754,6 @@ impl ColumnSgdEngine {
             // Effective statistics-phase time under S-backup: the master
             // can proceed once the *fastest replica of every group* has
             // answered; slower replicas (stragglers) are killed (§IV-B).
-            let backed_up = self.cfg.backup_s > 0;
             // Extension: without backup, stale-statistics mode lets the
             // master abandon the straggler's partial entirely.
             let stale_victim = match (self.cfg.staleness, straggler) {
@@ -757,13 +774,18 @@ impl ColumnSgdEngine {
                 let fastest = members
                     .iter()
                     .copied()
+                    .filter(|m| partials.contains_key(m))
                     .min_by(|&a, &b| compute_times[a].total_cmp(&compute_times[b]))
                     .ok_or_else(|| {
-                        TrainError::Internal(format!("backup group {g} has no members"))
+                        TrainError::Internal(format!("backup group {g} has no surviving partial"))
                     })?;
                 stat_phase = stat_phase.max(compute_times[fastest]);
-                // Everyone who is not a killed straggler transmits.
+                // Everyone who is not a killed straggler transmits; an
+                // excused crash never answered, so it transmits nothing.
                 for &m in &members {
+                    if !partials.contains_key(&m) {
+                        continue;
+                    }
                     if backed_up && straggler == Some(m) && m != fastest {
                         continue; // killed before transmitting
                     }
@@ -774,7 +796,7 @@ impl ColumnSgdEngine {
             // Aggregate: one replica per group (they are bit-identical).
             let mut agg = vec![0.0; stats_len];
             for g in 0..groups {
-                let rep = self.group_representative(g, &compute_times);
+                let rep = self.group_representative(g, &compute_times, &partials);
                 if let Some((_, v)) = stale_victim {
                     if rep == v {
                         continue;
@@ -1101,7 +1123,7 @@ impl ColumnSgdEngine {
             Probed::Deferred => return Ok(()),
             Probed::Alive { loaded: true } => (FaultKind::TaskFailure, 0.0),
             Probed::Alive { loaded: false } => {
-                let cost = self.reload_worker(t, w)?;
+                let cost = self.reload_worker(t, w)? + self.restore_params(t, w)?;
                 *charge += cost;
                 (FaultKind::WorkerFailure, cost)
             }
@@ -1194,14 +1216,22 @@ impl ColumnSgdEngine {
         Ok(())
     }
 
-    /// Deterministic group representative: the fastest member (ties break
-    /// to the lowest id). `total_cmp` keeps the ordering total even if a
-    /// simulated time were NaN, so no panic path exists here; the empty
-    /// range cannot occur (`backup_s + 1 >= 1`) but falls back to the
-    /// group's first slot rather than unwrapping.
-    fn group_representative(&self, g: usize, times: &[f64]) -> usize {
+    /// Deterministic group representative: the fastest member *that
+    /// answered* (ties break to the lowest id) — an excused crash has no
+    /// partial and can never represent its group. `total_cmp` keeps the
+    /// ordering total even if a simulated time were NaN, so no panic path
+    /// exists here; the empty set cannot occur (the gather barrier
+    /// guarantees a partial per group) but falls back to the group's first
+    /// slot rather than unwrapping.
+    fn group_representative(
+        &self,
+        g: usize,
+        times: &[f64],
+        partials: &HashMap<usize, Vec<f64>>,
+    ) -> usize {
         let r = self.cfg.backup_s + 1;
         (g * r..(g + 1) * r)
+            .filter(|m| partials.contains_key(m))
             .min_by(|&a, &b| times[a].total_cmp(&times[b]).then(a.cmp(&b)))
             .unwrap_or(g * r)
     }
@@ -1232,7 +1262,84 @@ impl ColumnSgdEngine {
         self.pending.extend(kept);
 
         self.handles[w] = Some(spawn_worker(ep, w, self.k, self.dim, self.cfg, &self.plan));
-        self.reload_worker(t, w)
+        let reload = self.reload_worker(t, w)?;
+        let restore = self.restore_params(t, w)?;
+        Ok(reload + restore)
+    }
+
+    /// After a crash reload, the worker's data is back but its model
+    /// partitions are re-initialized (§X: the reload rebuilds data, not
+    /// parameters). Under S-backup a surviving replica of the group holds
+    /// the *current* parameters for the same partitions — fetch them and
+    /// install them on the respawned worker, so it rejoins at the group's
+    /// trained state instead of drifting from init. Without backup there is
+    /// no surviving copy and the paper's restart-from-reset semantics
+    /// stand. Returns the priced restore time (0 when no donor exists).
+    fn restore_params(&mut self, t: u64, w: usize) -> Result<f64, TrainError> {
+        if self.cfg.backup_s == 0 {
+            return Ok(0.0);
+        }
+        let r = self.cfg.backup_s + 1;
+        let g = w / r;
+        for donor in (g * r..(g + 1) * r).filter(|&m| m != w) {
+            if self
+                .master
+                .send_reliable(NodeId::Worker(donor), ColMsg::FetchModel)
+                .is_err()
+            {
+                continue;
+            }
+            let wait = self.bulk_deadline();
+            let start = Instant::now();
+            let parts = loop {
+                let left = wait.saturating_sub(start.elapsed());
+                if left.is_zero() {
+                    break None;
+                }
+                match self.master.recv_timeout(left) {
+                    Ok(env) => match env.payload {
+                        ColMsg::ModelReply { worker, parts } if worker == donor => {
+                            break Some(parts)
+                        }
+                        // In-flight training traffic; keep for the caller.
+                        _ => self.pending.push_back(env),
+                    },
+                    Err(NetError::Timeout) => break None,
+                    Err(e) => {
+                        return Err(TrainError::Network {
+                            iteration: t,
+                            source: e,
+                        })
+                    }
+                }
+            };
+            let Some(parts) = parts else {
+                continue; // this donor is wedged; try the next replica
+            };
+            // Priced analytically from the protocol's wire sizes: the
+            // fetch request, the donor's reply, and the install push.
+            let parts_bytes: usize = parts.iter().map(|(_, p)| 8 + p.wire_size()).sum();
+            let bytes = (1 + ENVELOPE_BYTES) // FetchModel is a bare tag
+                + (1 + 8 + 8 + parts_bytes + ENVELOPE_BYTES)
+                + (1 + 8 + parts_bytes + ENVELOPE_BYTES);
+            self.master
+                .send_reliable(NodeId::Worker(w), ColMsg::InstallParams { parts })
+                .map_err(|e| TrainError::WorkerLost {
+                    worker: w,
+                    iteration: t,
+                    detail: format!("parameter restore failed: {e}"),
+                })?;
+            return Ok(bytes as f64 / self.net.bandwidth_bytes_per_s
+                + 3.0 * PER_OBJECT_S
+                + 2.0 * self.net.latency_s);
+        }
+        // Every replica of the group is unreachable: keep the reset
+        // parameters (the no-backup semantics) rather than failing the run.
+        eprintln!(
+            "master: no replica of group {g} answered FetchModel; \
+             worker {w} rejoins with reset parameters"
+        );
+        Ok(0.0)
     }
 
     /// Worker-failure recovery (§X): wipe the worker, stream every block

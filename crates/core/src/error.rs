@@ -180,6 +180,50 @@ impl TrainError {
         }
     }
 
+    /// Distinct process exit code for each error class, used by the train
+    /// CLIs so scripts can branch on *why* a run died without parsing
+    /// stderr. Codes start at 10 to stay clear of the conventional 0
+    /// (success), 1 (generic failure), and 2 (usage error).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            TrainError::InvalidPlan(_) => 10,
+            TrainError::RetriesExhausted { .. } => 11,
+            TrainError::WorkerLost { .. } => 12,
+            TrainError::Network { .. } => 13,
+            TrainError::LoadFailed(_) => 14,
+            TrainError::Diverged { .. } => 15,
+            TrainError::Internal(_) => 16,
+        }
+    }
+
+    /// One actionable line for the operator, printed by the train CLIs
+    /// alongside the error itself.
+    pub fn advice(&self) -> &'static str {
+        match self {
+            TrainError::InvalidPlan(_) => {
+                "check the failure/chaos plan against --workers (worker ids and probabilities)"
+            }
+            TrainError::RetriesExhausted { .. } => {
+                "raise --deadline-ms or the retry budget, or reduce injected fault rates"
+            }
+            TrainError::WorkerLost { .. } => {
+                "a worker could not be respawned or reloaded; inspect the trace for the fatal fault record"
+            }
+            TrainError::Network { .. } => {
+                "the master's own transport failed; this is a harness bug, not a worker fault — file it"
+            }
+            TrainError::LoadFailed(_) => {
+                "verify the dataset parses and the block stream completed (see stderr above)"
+            }
+            TrainError::Diverged { .. } => {
+                "lower --eta or the batch size; the online monitor halted a runaway loss"
+            }
+            TrainError::Internal(_) => {
+                "a protocol invariant broke; re-run with --trace-out and file the trace"
+            }
+        }
+    }
+
     /// This terminal error in telemetry's unified fault vocabulary
     /// (`fatal: true`; a worker of 0 means "not worker-specific").
     pub fn to_fault_record(&self) -> columnsgd_cluster::telemetry::FaultRecord {
@@ -257,6 +301,46 @@ mod tests {
             source: NetError::Timeout,
         };
         assert!(e.to_string().contains("iteration 3"));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_reserved_range() {
+        let errors = vec![
+            TrainError::InvalidPlan("x".into()),
+            TrainError::RetriesExhausted {
+                iteration: 1,
+                worker: 0,
+                attempts: 4,
+            },
+            TrainError::WorkerLost {
+                worker: 0,
+                iteration: 1,
+                detail: "x".into(),
+            },
+            TrainError::Network {
+                iteration: 1,
+                source: NetError::Timeout,
+            },
+            TrainError::LoadFailed("x".into()),
+            TrainError::Diverged {
+                iteration: 1,
+                reason: "x".into(),
+            },
+            TrainError::Internal("x".into()),
+        ];
+        let mut codes: Vec<i32> = errors.iter().map(|e| e.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errors.len(), "exit codes must be distinct");
+        for e in &errors {
+            let c = e.exit_code();
+            assert!(
+                (10..=16).contains(&c),
+                "{}: code {c} outside the reserved 10..=16 range",
+                e.class()
+            );
+            assert!(!e.advice().is_empty(), "{} needs advice", e.class());
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod elastic;
 pub mod engine;
 pub mod error;
 pub mod mlp;
@@ -39,6 +40,9 @@ pub mod pool;
 pub mod worker;
 
 pub use config::{ColumnSgdConfig, PartitionScheme};
+pub use elastic::{
+    ElasticAction, ElasticConfig, ElasticEngine, ElasticEvent, ElasticOutcome, ScalePolicy,
+};
 pub use engine::{ColumnSgdEngine, LoadReport, TrainOutcome, PER_OBJECT_S};
 pub use error::{DetectionMethod, FaultKind, RecoveryEvent, TrainError};
 pub use pool::WorkerPool;

@@ -138,6 +138,84 @@ pub enum ColMsg {
     },
     /// Master → worker: shut down the mailbox loop.
     Shutdown,
+    /// Master → worker (reliable): overwrite the parameters of the listed
+    /// held partitions. Used after a crash respawn to restore the current
+    /// model from a surviving replica, so the respawned worker does not
+    /// rejoin with stale init-time parameters.
+    InstallParams {
+        /// `(partition id, parameters)` to install.
+        parts: Vec<(usize, ParamSet)>,
+    },
+    /// Master → worker: run `computeStatistics` over an explicit partition
+    /// subset (elastic engine). The primary request names the worker's own
+    /// primaries; a speculative duplicate names a straggler's primaries
+    /// that this worker holds as backups.
+    ComputeStatsFor {
+        /// Iteration number (shared sampling seed input).
+        iteration: u64,
+        /// Global batch size B.
+        batch_size: usize,
+        /// Attempt number (0 = original, >0 = re-issue or speculation).
+        attempt: u64,
+        /// Partitions to compute; intersected with what the worker holds.
+        pids: Vec<usize>,
+    },
+    /// Worker → master: partial statistics for an explicit partition set
+    /// (elastic engine; mirrors [`ColMsg::StatsReply`]).
+    StatsReplyFor {
+        /// Iteration these statistics belong to.
+        iteration: u64,
+        /// Reporting worker.
+        worker: usize,
+        /// Partitions actually covered (requested ∩ held, in pid order).
+        pids: Vec<usize>,
+        /// Partial statistics summed over `pids`.
+        partial: Vec<f64>,
+        /// Measured local compute seconds.
+        compute_s: f64,
+        /// Measured batch sampling/assembly seconds.
+        sample_s: f64,
+        /// The task threw (fault-injection); statistics are absent.
+        task_failed: bool,
+    },
+    /// Master → worker: stream your copy of shard `pid` (worksets + current
+    /// parameters) to worker `to` over the data plane (shard migration).
+    ShardRequest {
+        /// Partition to migrate.
+        pid: usize,
+        /// Membership epoch stamping the migration.
+        epoch: u64,
+        /// Destination worker.
+        to: usize,
+    },
+    /// Worker → worker (or master → worker on rebuild): one full column
+    /// shard — the migration payload, priced like any other data traffic.
+    ShardData {
+        /// Partition being installed.
+        pid: usize,
+        /// Membership epoch stamping the migration.
+        epoch: u64,
+        /// The shard's worksets, sorted by block id.
+        worksets: Vec<Workset>,
+        /// Current parameters of the shard's model partition.
+        params: ParamSet,
+    },
+    /// Worker → master (reliable): shard installed and trainable.
+    ShardInstalled {
+        /// Partition installed.
+        pid: usize,
+        /// Echoed membership epoch.
+        epoch: u64,
+        /// Reporting worker.
+        worker: usize,
+    },
+    /// Master → worker: drop shard `pid` (it moved elsewhere).
+    DropShard {
+        /// Partition to drop.
+        pid: usize,
+        /// Membership epoch of the drop decision.
+        epoch: u64,
+    },
 }
 
 impl ColMsg {
@@ -149,6 +227,15 @@ impl ColMsg {
         // tag + iteration + worker + compute_s + sample_s + task_failed
         // + Vec<f64>.
         1 + 8 + 8 + 8 + 8 + 1 + (8 + 8 * stats_len)
+    }
+
+    /// Analytic wire size of a [`ColMsg::StatsReplyFor`] naming `npids`
+    /// partitions and carrying `stats_len` statistics scalars — equal to
+    /// `wire_size()` of the materialized message (elastic pricing path).
+    pub fn stats_reply_for_wire_size(npids: usize, stats_len: usize) -> usize {
+        // tag + iteration + worker + compute_s + sample_s + task_failed
+        // + Vec<usize> pids + Vec<f64>.
+        1 + 8 + 8 + 8 + 8 + 1 + (8 + 8 * npids) + (8 + 8 * stats_len)
     }
 
     /// Analytic wire size of a [`ColMsg::Update`] carrying `stats_len`
@@ -180,6 +267,13 @@ impl ColMsg {
             ColMsg::ProbeAck { .. } => "ProbeAck",
             ColMsg::WorkerPanic { .. } => "WorkerPanic",
             ColMsg::Shutdown => "Shutdown",
+            ColMsg::InstallParams { .. } => "InstallParams",
+            ColMsg::ComputeStatsFor { .. } => "ComputeStatsFor",
+            ColMsg::StatsReplyFor { .. } => "StatsReplyFor",
+            ColMsg::ShardRequest { .. } => "ShardRequest",
+            ColMsg::ShardData { .. } => "ShardData",
+            ColMsg::ShardInstalled { .. } => "ShardInstalled",
+            ColMsg::DropShard { .. } => "DropShard",
         }
     }
 }
@@ -203,6 +297,24 @@ impl Wire for ColMsg {
             ColMsg::Probe { .. } => 1 + 8,
             ColMsg::ProbeAck { .. } => 1 + 8 + 8 + 1,
             ColMsg::WorkerPanic { info, .. } => 1 + 8 + info.wire_size(),
+            ColMsg::InstallParams { parts } => {
+                1 + 8 + parts.iter().map(|(_, p)| 8 + p.wire_size()).sum::<usize>()
+            }
+            ColMsg::ComputeStatsFor { pids, .. } => 1 + 8 + 8 + 8 + (8 + 8 * pids.len()),
+            ColMsg::StatsReplyFor { pids, partial, .. } => {
+                1 + 8 + 8 + 8 + 8 + 1 + (8 + 8 * pids.len()) + partial.wire_size()
+            }
+            ColMsg::ShardRequest { .. } => 1 + 8 + 8 + 8,
+            ColMsg::ShardData {
+                worksets, params, ..
+            } => {
+                1 + 8
+                    + 8
+                    + (8 + worksets.iter().map(|ws| ws.wire_size()).sum::<usize>())
+                    + params.wire_size()
+            }
+            ColMsg::ShardInstalled { .. } => 1 + 8 + 8 + 8,
+            ColMsg::DropShard { .. } => 1 + 8 + 8,
         }
     }
 
@@ -266,6 +378,26 @@ mod tests {
     }
 
     #[test]
+    fn analytic_elastic_reply_size_matches_serialized_size() {
+        for (npids, stats_len) in [(1usize, 0usize), (1, 1_000), (7, 10), (16, 123_457)] {
+            let reply = ColMsg::StatsReplyFor {
+                iteration: 7,
+                worker: 3,
+                pids: vec![2; npids],
+                partial: vec![1.5; stats_len],
+                compute_s: 0.25,
+                sample_s: 0.05,
+                task_failed: false,
+            };
+            assert_eq!(
+                ColMsg::stats_reply_for_wire_size(npids, stats_len),
+                reply.wire_size(),
+                "StatsReplyFor, npids={npids}, stats_len={stats_len}"
+            );
+        }
+    }
+
+    #[test]
     fn control_messages_are_tiny() {
         assert!(ColMsg::Shutdown.wire_size() < 8);
         assert!(ColMsg::Die.wire_size() < 8);
@@ -301,6 +433,51 @@ mod tests {
             .name(),
             "WorkerPanic"
         );
+    }
+
+    #[test]
+    fn elastic_messages_follow_wire_conventions() {
+        let m = ColMsg::ComputeStatsFor {
+            iteration: 3,
+            batch_size: 64,
+            attempt: 0,
+            pids: vec![1, 5],
+        };
+        assert_eq!(m.wire_size(), 1 + 8 + 8 + 8 + 8 + 16);
+        assert_eq!(
+            ColMsg::ShardRequest {
+                pid: 1,
+                epoch: 2,
+                to: 3
+            }
+            .wire_size(),
+            25
+        );
+        assert_eq!(ColMsg::DropShard { pid: 1, epoch: 2 }.wire_size(), 17);
+        // ShardData's size = headers + worksets + params, so migration bytes
+        // scale with the shard payload like any other data traffic.
+        let rows: Vec<(f64, SparseVector)> = (0..20)
+            .map(|i| (1.0, SparseVector::from_pairs(vec![(i, 1.0)])))
+            .collect();
+        let block = Block::from_rows(0, &rows);
+        let parts = columnsgd_data::workset::split_block(
+            &block,
+            &columnsgd_data::ColumnPartitioner::round_robin(2),
+        );
+        let params = ParamSet::zeros(4, &[1]);
+        let small = ColMsg::ShardData {
+            pid: 0,
+            epoch: 1,
+            worksets: vec![],
+            params: params.clone(),
+        };
+        let full = ColMsg::ShardData {
+            pid: 0,
+            epoch: 1,
+            worksets: vec![parts[0].clone()],
+            params,
+        };
+        assert_eq!(full.wire_size() - small.wire_size(), parts[0].wire_size());
     }
 
     #[test]

@@ -99,6 +99,10 @@ struct Partition {
     batch: CsrMatrix,
     stats: Vec<f64>,
     scratch: UpdateScratch,
+    /// Membership epoch of the install that produced this partition copy
+    /// (always 0 in the static engine). A migration stamped with an older
+    /// epoch can never overwrite a newer copy.
+    epoch: u64,
     /// Set when the last `rebuild_batch` hit a missing block (kernels run
     /// on the pool, so the error is parked here and collected by
     /// `ensure_batch` instead of panicking on a pool thread).
@@ -121,6 +125,7 @@ impl Partition {
             batch: CsrMatrix::new(),
             stats: Vec::new(),
             scratch: UpdateScratch::new(),
+            epoch: 0,
             batch_error: None,
         }
     }
@@ -152,6 +157,7 @@ pub struct WorkerNode {
     id: usize,
     cfg: ColumnSgdConfig,
     part: ColumnPartitioner,
+    dim: u64,
     partitions: Vec<Partition>,
     received_worksets: usize,
     /// Batch-cache key: the `(iteration, batch_size)` whose batches are
@@ -182,7 +188,26 @@ impl WorkerNode {
             id,
             cfg,
             part,
+            dim,
             partitions,
+            received_worksets: 0,
+            cached_batch: None,
+            addrs: Vec::new(),
+            pool: WorkerPool::new(cfg.threads_per_worker),
+            applied_iteration: None,
+        }
+    }
+
+    /// An elastic worker: partitioned over `parts_total` logical partitions
+    /// but holding nothing until shards arrive as [`ColMsg::ShardData`].
+    fn new_dynamic(id: usize, parts_total: usize, dim: u64, cfg: ColumnSgdConfig) -> Self {
+        let part = cfg.partitioner(parts_total, dim);
+        Self {
+            id,
+            cfg,
+            part,
+            dim,
+            partitions: Vec::new(),
             received_worksets: 0,
             cached_batch: None,
             addrs: Vec::new(),
@@ -365,6 +390,116 @@ impl WorkerNode {
         self.received_worksets = 0;
         self.cached_batch = None;
         self.applied_iteration = None;
+    }
+
+    /// Installs a migrated shard: a fresh [`Partition`] built from the
+    /// shipped worksets and parameters, stamped with the migration epoch.
+    /// Returns `true` when the caller should acknowledge (fresh install or
+    /// an idempotent duplicate of the same epoch), `false` for a stale
+    /// epoch that must be dropped unacknowledged.
+    fn install_shard(
+        &mut self,
+        pid: usize,
+        epoch: u64,
+        worksets: Vec<Workset>,
+        params: ParamSet,
+    ) -> bool {
+        if let Some(slot) = self.holds(pid) {
+            if self.partitions[slot].epoch >= epoch {
+                // Same epoch: a duplicated ShardData (chaos); the install
+                // already happened, re-ack. Older epoch: a delayed
+                // migration from a superseded plan; never overwrite.
+                return self.partitions[slot].epoch == epoch;
+            }
+            self.partitions.remove(slot);
+        }
+        let mut p = Partition::new(pid, &self.cfg, &self.part, self.dim);
+        p.epoch = epoch;
+        p.opt = OptimizerState::for_params(self.cfg.optimizer, &params);
+        p.params = params;
+        for ws in worksets {
+            p.store.insert(ws);
+        }
+        let layout: Vec<(u64, usize)> = p
+            .store
+            .cumulative_rows()
+            .iter()
+            .scan(0usize, |prev, &(bid, cum)| {
+                let rows = cum - *prev;
+                *prev = cum;
+                Some((bid, rows))
+            })
+            .collect();
+        p.index = Some(TwoPhaseIndex::new(layout, self.cfg.seed));
+        self.partitions.push(p);
+        self.partitions.sort_unstable_by_key(|p| p.pid);
+        // The held set changed: cached batches no longer cover it.
+        self.cached_batch = None;
+        true
+    }
+
+    /// Drops a shard that migrated elsewhere. A newer-epoch copy survives a
+    /// stale drop order.
+    fn drop_shard(&mut self, pid: usize, epoch: u64) {
+        if let Some(slot) = self.holds(pid) {
+            if self.partitions[slot].epoch <= epoch {
+                self.partitions.remove(slot);
+                self.cached_batch = None;
+            }
+        }
+    }
+
+    /// Overwrites the parameters of held partitions (crash recovery: the
+    /// master restores the current model from a surviving replica).
+    fn install_params(&mut self, parts: Vec<(usize, ParamSet)>) {
+        for (pid, params) in parts {
+            if let Some(slot) = self.holds(pid) {
+                let p = &mut self.partitions[slot];
+                p.opt = OptimizerState::for_params(self.cfg.optimizer, &params);
+                p.params = params;
+            }
+        }
+    }
+
+    /// `computeStatistics` over an explicit partition subset (elastic
+    /// engine). The batch is materialized for *every* held partition — so a
+    /// backup that computed only the straggler's partitions can still apply
+    /// the broadcast update to all its shards — but kernels run only for
+    /// the requested pids. Returns `(covered pids, partial)`.
+    fn compute_stats_for(
+        &mut self,
+        iteration: u64,
+        pids: &[usize],
+    ) -> Result<(Vec<usize>, Vec<f64>), String> {
+        self.ensure_batch(iteration)?;
+        let model = self.cfg.model;
+        let wanted = |pid: usize| pids.contains(&pid);
+        self.pool.for_each_mut(&mut self.partitions, |_, p| {
+            if wanted(p.pid) {
+                model.compute_stats(&p.params, &p.batch, &mut p.stats);
+            } else {
+                p.stats.clear();
+            }
+        });
+        let mut agg = vec![0.0; self.cfg.batch_size * model.stats_width()];
+        let mut covered = Vec::new();
+        for p in &self.partitions {
+            if wanted(p.pid) {
+                reduce_stats(&mut agg, &p.stats);
+                covered.push(p.pid);
+            }
+        }
+        Ok((covered, agg))
+    }
+
+    /// The worksets of shard `pid` in block-id order plus its current
+    /// parameters — the migration payload.
+    fn shard_payload(&self, pid: usize) -> Option<(Vec<Workset>, ParamSet)> {
+        let slot = self.holds(pid)?;
+        let p = &self.partitions[slot];
+        let mut worksets: Vec<Workset> = p.store.iter().map(|(_, ws)| ws.clone()).collect();
+        worksets.sort_unstable_by_key(|ws| ws.block_id);
+        Some((worksets, p.params.clone()))
     }
 
     /// The first partition's `(block, rows)` layout for the LoadAck, in
@@ -579,6 +714,9 @@ pub fn run_worker(
                 // Reliable: the inspection path must work even under chaos.
                 let _ = ep.send_reliable(NodeId::Master, ColMsg::ModelReply { worker: id, parts });
             }
+            // Crash recovery under S-backup: the master restores the
+            // group-current parameters fetched from a surviving replica.
+            ColMsg::InstallParams { parts } => w.install_params(parts),
             ColMsg::Shutdown => return,
             other => {
                 // Unexpected (master-bound or malformed) traffic: a
@@ -610,6 +748,193 @@ pub fn run_worker(
                     return;
                 }
                 load_done_total = None;
+            }
+        }
+    }
+}
+
+/// The elastic worker mailbox loop. Unlike [`run_worker`] there is no bulk
+/// load phase: shards arrive individually as [`ColMsg::ShardData`] (from
+/// the master at startup, from a peer during migration), compute requests
+/// name explicit partition subsets, and the held set changes over the
+/// worker's lifetime.
+pub fn run_worker_dynamic(
+    ep: Endpoint<ColMsg>,
+    id: usize,
+    parts_total: usize,
+    dim: u64,
+    cfg: ColumnSgdConfig,
+    script: WorkerScript,
+) {
+    let mut w = WorkerNode::new_dynamic(id, parts_total, dim, cfg);
+
+    loop {
+        let env = match ep.recv() {
+            Ok(env) => env,
+            Err(_) => return,
+        };
+        match env.payload {
+            ColMsg::ShardData {
+                pid,
+                epoch,
+                worksets,
+                params,
+            } => {
+                if w.install_shard(pid, epoch, worksets, params) {
+                    let _ = ep.send_reliable(
+                        NodeId::Master,
+                        ColMsg::ShardInstalled {
+                            pid,
+                            epoch,
+                            worker: id,
+                        },
+                    );
+                } else {
+                    eprintln!(
+                        "worker {id}: dropping stale ShardData for partition {pid} \
+                         (epoch {epoch})"
+                    );
+                }
+            }
+            ColMsg::ShardRequest { pid, epoch, to } => {
+                match w.shard_payload(pid) {
+                    // The shard travels the *data* plane so chaos can hit
+                    // it and the meter prices it like any other payload.
+                    Some((worksets, params)) => {
+                        if let Err(e) = ep.send(
+                            NodeId::Worker(to),
+                            ColMsg::ShardData {
+                                pid,
+                                epoch,
+                                worksets,
+                                params,
+                            },
+                        ) {
+                            eprintln!("worker {id}: shard {pid} undeliverable to worker {to}: {e}");
+                        }
+                    }
+                    None => eprintln!(
+                        "worker {id}: ShardRequest for partition {pid} not held; dropping"
+                    ),
+                }
+            }
+            ColMsg::DropShard { pid, epoch } => w.drop_shard(pid, epoch),
+            ColMsg::InstallParams { parts } => w.install_params(parts),
+            ColMsg::ComputeStatsFor {
+                iteration,
+                batch_size,
+                attempt,
+                pids,
+            } => {
+                if script.crashes(id, iteration, attempt) {
+                    // lint: allow(panic-hygiene) injected fault: the guarded spawn converts this panic into a WorkerPanic report, which is the detection path under test
+                    panic!("injected worker failure at iteration {iteration} attempt {attempt}");
+                }
+                let fail = |reason: &str, compute_s: f64, sample_s: f64| {
+                    eprintln!("worker {id}: ComputeStatsFor t={iteration}: {reason}");
+                    ColMsg::StatsReplyFor {
+                        iteration,
+                        worker: id,
+                        pids: Vec::new(),
+                        partial: Vec::new(),
+                        compute_s,
+                        sample_s,
+                        task_failed: true,
+                    }
+                };
+                if batch_size != w.cfg.batch_size {
+                    let _ = ep.send(NodeId::Master, fail("batch size mismatch", 0.0, 0.0));
+                    continue;
+                }
+                if !w.loaded() || pids.iter().all(|&pid| w.holds(pid).is_none()) {
+                    // No requested shard installed here (a request raced a
+                    // migration): report failure so the master re-plans.
+                    let _ = ep.send(NodeId::Master, fail("no requested shard held", 0.0, 0.0));
+                    continue;
+                }
+                let start = Instant::now();
+                if script.task_fails(iteration, attempt) {
+                    let elapsed = start.elapsed().as_secs_f64();
+                    let _ = ep.send(NodeId::Master, fail("injected task failure", elapsed, 0.0));
+                    continue;
+                }
+                let sampled = w.ensure_batch(iteration);
+                let sample_s = start.elapsed().as_secs_f64();
+                match sampled.and_then(|()| w.compute_stats_for(iteration, &pids)) {
+                    Ok((covered, partial)) => {
+                        let _ = ep.send(
+                            NodeId::Master,
+                            ColMsg::StatsReplyFor {
+                                iteration,
+                                worker: id,
+                                pids: covered,
+                                partial,
+                                compute_s: start.elapsed().as_secs_f64(),
+                                sample_s,
+                                task_failed: false,
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        let elapsed = start.elapsed().as_secs_f64();
+                        let _ = ep.send(NodeId::Master, fail(&e, elapsed, sample_s));
+                    }
+                }
+            }
+            ColMsg::Update { iteration, stats } => {
+                if w.applied_iteration == Some(iteration) {
+                    let _ = ep.send(
+                        NodeId::Master,
+                        ColMsg::UpdateAck {
+                            iteration,
+                            worker: id,
+                            compute_s: 0.0,
+                        },
+                    );
+                } else if Some(iteration) == w.batch_iteration() {
+                    let start = Instant::now();
+                    w.update(iteration, &stats);
+                    let _ = ep.send(
+                        NodeId::Master,
+                        ColMsg::UpdateAck {
+                            iteration,
+                            worker: id,
+                            compute_s: start.elapsed().as_secs_f64(),
+                        },
+                    );
+                } else {
+                    eprintln!(
+                        "worker {id}: dropping Update t={iteration} (batch is t={:?})",
+                        w.batch_iteration()
+                    );
+                }
+            }
+            ColMsg::Probe { iteration } => {
+                let _ = ep.send_reliable(
+                    NodeId::Master,
+                    ColMsg::ProbeAck {
+                        worker: id,
+                        iteration,
+                        loaded: w.loaded(),
+                    },
+                );
+            }
+            ColMsg::FetchModel => {
+                let parts = w
+                    .partitions
+                    .iter()
+                    .map(|p| (p.pid, p.params.clone()))
+                    .collect();
+                let _ = ep.send_reliable(NodeId::Master, ColMsg::ModelReply { worker: id, parts });
+            }
+            ColMsg::Die => w.die(),
+            ColMsg::Shutdown => return,
+            other => {
+                eprintln!(
+                    "worker {id}: dropping unexpected {} from {}",
+                    other.name(),
+                    env.from
+                );
             }
         }
     }

@@ -1,0 +1,429 @@
+//! Integration tests for the elastic membership layer: static
+//! equivalence, crash promotion with bit-identical losses, live join/leave
+//! migration, speculative backup execution, gauge-driven scale policy, and
+//! seeded chaos determinism.
+
+use columnsgd_cluster::{
+    ChaosSpec, FailurePlan, Monitor, MonitorConfig, NetworkModel, Recorder, WorkerState,
+};
+use columnsgd_core::{
+    ColumnSgdConfig, ColumnSgdEngine, ElasticAction, ElasticConfig, ElasticEngine, ElasticEvent,
+    ElasticOutcome, ScalePolicy, TrainError,
+};
+use columnsgd_data::{synth, Dataset};
+use columnsgd_ml::ModelSpec;
+
+fn dataset(rows: usize, dim: u64, seed: u64) -> Dataset {
+    synth::small_test_dataset(rows, dim, seed)
+}
+
+fn base_cfg(model: ModelSpec) -> ColumnSgdConfig {
+    ColumnSgdConfig::new(model)
+        .with_batch_size(64)
+        .with_iterations(30)
+        .with_learning_rate(0.5)
+        .with_seed(11)
+}
+
+fn losses(out: &ElasticOutcome) -> Vec<f64> {
+    out.curve.points.iter().map(|p| p.loss).collect()
+}
+
+fn run_elastic(ds: &Dataset, cfg: ElasticConfig, plan: FailurePlan) -> ElasticOutcome {
+    let mut engine =
+        ElasticEngine::new(ds, cfg, NetworkModel::INSTANT, plan).expect("elastic engine");
+    engine.train().expect("elastic train")
+}
+
+/// With every slot active from the start and no membership events, the
+/// elastic engine is the static engine: same canonical aggregation order,
+/// same batches, same shard layouts — the loss trajectories and the final
+/// models must be *bit-identical*.
+#[test]
+fn full_cluster_matches_static_engine_exactly() {
+    let ds = dataset(400, 80, 7);
+    let cfg = base_cfg(ModelSpec::Lr);
+
+    let mut stat = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+        .expect("static engine");
+    let stat_out = stat.train().expect("static train");
+    let stat_model = stat.collect_model().expect("static model");
+
+    let mut elast = ElasticEngine::new(
+        &ds,
+        ElasticConfig::new(cfg, 4, 4),
+        NetworkModel::INSTANT,
+        FailurePlan::none(),
+    )
+    .expect("elastic engine");
+    let elast_out = elast.train().expect("elastic train");
+    let elast_model = elast.collect_model().expect("elastic model");
+
+    let a: Vec<f64> = stat_out.curve.points.iter().map(|p| p.loss).collect();
+    let b = losses(&elast_out);
+    assert_eq!(a, b, "loss trajectories must be bit-identical");
+    assert_eq!(
+        stat_model.blocks, elast_model.blocks,
+        "final models must be bit-identical"
+    );
+}
+
+/// A replicated crash is *invisible to the trained bits*: the surviving
+/// backup is promoted in place (its replica applied every update), the
+/// orphaned partition is re-issued to it, and the loss curve stays
+/// bit-identical to the failure-free run.
+#[test]
+fn crash_with_replication_is_bit_identical_to_failure_free() {
+    let ds = dataset(400, 80, 7);
+    let cfg = base_cfg(ModelSpec::Lr).with_deadline_ms(500);
+
+    let clean = run_elastic(
+        &ds,
+        ElasticConfig::new(cfg, 4, 4).with_replication(),
+        FailurePlan::none(),
+    );
+    let crashed = run_elastic(
+        &ds,
+        ElasticConfig::new(cfg, 4, 4)
+            .with_replication()
+            .with_schedule(vec![ElasticEvent {
+                iteration: 5,
+                worker: 1,
+                action: ElasticAction::Crash,
+            }]),
+        FailurePlan::none(),
+    );
+
+    assert_eq!(
+        losses(&clean),
+        losses(&crashed),
+        "promotion from a warm replica must not change a single bit"
+    );
+    assert_eq!(crashed.recovery.len(), 1, "one detected worker failure");
+    assert!(
+        crashed
+            .membership_log
+            .iter()
+            .any(|ev| ev.action == "dead" && ev.worker == 1),
+        "the death must be in the membership log"
+    );
+    // The replication repair re-established a backup for the promoted
+    // partitions as metered migration traffic.
+    assert!(crashed.migrations >= 1, "repair migrations expected");
+    assert!(crashed.migration_bytes > 0, "migrations are metered bytes");
+}
+
+/// A scale-up join mid-run migrates shards to the new worker over the
+/// wire and the run tracks the static full cluster bit-for-bit: per-
+/// partition tasks keep the aggregation fold independent of ownership.
+#[test]
+fn late_join_levels_load_and_converges() {
+    let ds = dataset(400, 80, 7);
+    let cfg = base_cfg(ModelSpec::Lr);
+
+    let recorder = Recorder::new();
+    let mut engine = ElasticEngine::new_traced(
+        &ds,
+        ElasticConfig::new(cfg, 4, 3).with_schedule(vec![ElasticEvent {
+            iteration: 5,
+            worker: 3,
+            action: ElasticAction::Join,
+        }]),
+        NetworkModel::CLUSTER1,
+        FailurePlan::none(),
+        recorder.clone(),
+    )
+    .expect("elastic engine");
+    let out = engine.train().expect("elastic train");
+
+    assert_eq!(engine.membership().state(3), Some(WorkerState::Active));
+    assert_eq!(
+        engine.membership().primaries_of(3).len(),
+        1,
+        "the joiner takes over exactly one donated partition"
+    );
+    assert!(out.migrations >= 1);
+    assert!(out.migration_bytes > 0);
+    assert!(
+        out.membership_log
+            .iter()
+            .any(|ev| ev.action == "join" && ev.worker == 3 && ev.moves > 0),
+        "the join and its migration plan must be in the membership log"
+    );
+    // Migration traffic is in the telemetry trace AND the router meter,
+    // reconciling exactly (the engine asserts this too; double-check from
+    // the outside).
+    let s = recorder.summary();
+    let total = engine.traffic().total();
+    assert_eq!(
+        (s.comm_bytes, s.comm_messages),
+        (total.bytes, total.messages),
+        "trace comm records must reconcile with the router meter"
+    );
+    assert!(
+        s.by_kind.iter().any(|k| k.kind == "ShardData"),
+        "shard migration must appear per-kind in the trace"
+    );
+
+    // Bit-identical to the static 4-worker run: tasks are one-per-
+    // partition, so the master's fold is the per-pid sorted sum no matter
+    // which worker holds which partitions — ownership shape is invisible
+    // to the trained bits.
+    let mut stat = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, FailurePlan::none())
+        .expect("static engine");
+    let stat_out = stat.train().expect("static train");
+    let a: Vec<f64> = stat_out.curve.points.iter().map(|p| p.loss).collect();
+    assert_eq!(
+        a,
+        losses(&out),
+        "late-join run must track the static trajectory bit-for-bit"
+    );
+}
+
+/// A graceful leave migrates the leaver's shards away first; the run
+/// completes and the leaver is marked `Left`, not `Dead`.
+#[test]
+fn graceful_leave_migrates_and_completes() {
+    let ds = dataset(400, 80, 7);
+    let cfg = base_cfg(ModelSpec::Lr);
+
+    let out = run_elastic(
+        &ds,
+        ElasticConfig::new(cfg, 4, 4).with_schedule(vec![ElasticEvent {
+            iteration: 5,
+            worker: 2,
+            action: ElasticAction::Leave,
+        }]),
+        FailurePlan::none(),
+    );
+
+    assert!(out.migrations >= 1, "the leaver's shard must migrate away");
+    assert!(
+        out.membership_log
+            .iter()
+            .any(|ev| ev.action == "leave" && ev.worker == 2),
+        "the leave must be in the membership log"
+    );
+    assert!(out.recovery.is_empty(), "a graceful leave is not a fault");
+    let first = out.curve.points.first().expect("first point").loss;
+    let last = out.curve.final_loss().expect("final loss");
+    assert!(
+        last < first,
+        "training must still converge: {first} -> {last}"
+    );
+}
+
+/// Speculative backup execution: under a pinned heavy straggler, the
+/// armed duplicate on the warm replica wins the race and the per-iteration
+/// simulated time collapses back toward the straggler-free cost — while
+/// the loss bits stay exactly those of the canonical (primary) cover.
+#[test]
+fn speculation_caps_straggler_penalty() {
+    let ds = dataset(400, 80, 7);
+    let cfg = base_cfg(ModelSpec::Lr).with_batch_size(256);
+    let sl5 = || FailurePlan::with_pinned_straggler(5.0, 1);
+    let sensitive = MonitorConfig {
+        straggler_window: 4,
+        straggler_min_s: 1e-9,
+        ..MonitorConfig::default()
+    };
+
+    // Straggling primary, no speculation: the barrier eats the full SL5
+    // inflation every iteration.
+    let slow = run_elastic(&ds, ElasticConfig::new(cfg, 4, 4).with_replication(), sl5());
+
+    // Same straggler, speculation armed by the monitor's alarm.
+    let mut engine = ElasticEngine::new(
+        &ds,
+        ElasticConfig::new(cfg, 4, 4).with_speculation(),
+        NetworkModel::INSTANT,
+        sl5(),
+    )
+    .expect("elastic engine");
+    engine.attach_monitor(Monitor::new(sensitive));
+    let spec = engine.train().expect("elastic train");
+
+    assert!(
+        spec.speculative_wins >= 10,
+        "the replica must win most races, got {}",
+        spec.speculative_wins
+    );
+    let slow_s = slow.mean_iteration_s(20);
+    let spec_s = spec.mean_iteration_s(20);
+    assert!(
+        slow_s >= 2.5 * spec_s,
+        "speculation must collapse the straggler penalty: {slow_s}s vs {spec_s}s"
+    );
+
+    // Canonical cover: arming changed timing only — the bits match the
+    // non-speculative straggler run exactly.
+    assert_eq!(
+        losses(&slow),
+        losses(&spec),
+        "speculation must never change the trained bits"
+    );
+}
+
+/// The scale policy consumes the monitor's straggler gauge: after enough
+/// alarms against one worker it admits a spare and drains the flagged
+/// worker (rolling replacement), logged as a typed policy fault record.
+#[test]
+fn scale_policy_replaces_flagged_straggler() {
+    let ds = dataset(400, 80, 7);
+    let cfg = base_cfg(ModelSpec::Lr);
+    let mut ecfg = ElasticConfig::new(cfg, 4, 3);
+    ecfg.policy = ScalePolicy {
+        replace_flagged_after: Some(3),
+    };
+
+    let recorder = Recorder::new();
+    let mut engine = ElasticEngine::new_traced(
+        &ds,
+        ecfg,
+        NetworkModel::INSTANT,
+        FailurePlan::with_pinned_straggler(5.0, 1),
+        recorder.clone(),
+    )
+    .expect("elastic engine");
+    engine.attach_monitor(Monitor::new(MonitorConfig {
+        straggler_window: 4,
+        straggler_min_s: 1e-9,
+        ..MonitorConfig::default()
+    }));
+    let out = engine.train().expect("elastic train");
+
+    assert_eq!(
+        engine.membership().state(1),
+        Some(WorkerState::Left),
+        "the flagged straggler must be drained"
+    );
+    assert_eq!(
+        engine.membership().state(3),
+        Some(WorkerState::Active),
+        "the spare must be admitted in its place"
+    );
+    assert!(
+        out.membership_log.iter().any(|ev| ev.action == "join"),
+        "scale-up must be logged"
+    );
+    let s = recorder.summary();
+    assert!(s.faults >= 1, "the policy action must emit a fault record");
+    assert!(out.curve.final_loss().is_some(), "run must still converge");
+}
+
+/// Seeded chaos soak: crash during the replication-repair window plus a
+/// late join under wire faults (drops + duplicates). Two identical runs
+/// must produce bit-identical loss curves and identical membership logs —
+/// recovery and migration are deterministic functions of the seeds.
+#[test]
+fn chaos_crash_and_join_is_deterministic_across_runs() {
+    let ds = dataset(400, 80, 7);
+    let cfg = base_cfg(ModelSpec::Lr).with_deadline_ms(400);
+    let chaos = ChaosSpec {
+        seed: 99,
+        drop_p: 0.01,
+        dup_p: 0.02,
+        delay_p: 0.02,
+        crash_p: 0.0,
+    };
+    let plan = || FailurePlan {
+        chaos: Some(chaos),
+        ..FailurePlan::default()
+    };
+    let ecfg = |c: ColumnSgdConfig| {
+        ElasticConfig::new(c, 4, 3)
+            .with_replication()
+            .with_schedule(vec![
+                ElasticEvent {
+                    iteration: 4,
+                    worker: 1,
+                    action: ElasticAction::Crash,
+                },
+                ElasticEvent {
+                    iteration: 8,
+                    worker: 3,
+                    action: ElasticAction::Join,
+                },
+            ])
+    };
+
+    let a = run_elastic(&ds, ecfg(cfg), plan());
+    let b = run_elastic(&ds, ecfg(cfg), plan());
+
+    assert_eq!(losses(&a), losses(&b), "same seeds, same bits");
+    let log = |o: &ElasticOutcome| {
+        o.membership_log
+            .iter()
+            .map(|ev| (ev.epoch, ev.worker, ev.action))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(log(&a), log(&b), "same seeds, same membership history");
+    assert!(a.migrations >= 1, "join + repair must migrate shards");
+    assert!(a.curve.final_loss().is_some(), "chaos run must stay finite");
+}
+
+/// Crashing the last active worker is unrecoverable and surfaces as the
+/// typed `WorkerLost` error (exit code 12), not a hang or a panic.
+#[test]
+fn last_worker_crash_surfaces_worker_lost() {
+    let ds = dataset(200, 40, 7);
+    let cfg = base_cfg(ModelSpec::Lr)
+        .with_iterations(10)
+        .with_deadline_ms(300);
+    let mut engine = ElasticEngine::new(
+        &ds,
+        ElasticConfig::new(cfg, 2, 1).with_schedule(vec![ElasticEvent {
+            iteration: 2,
+            worker: 0,
+            action: ElasticAction::Crash,
+        }]),
+        NetworkModel::INSTANT,
+        FailurePlan::none(),
+    )
+    .expect("elastic engine");
+    let err = engine.train().expect_err("must fail");
+    assert!(
+        matches!(err, TrainError::WorkerLost { worker: 0, .. }),
+        "got {err:?}"
+    );
+    assert_eq!(err.exit_code(), 12);
+}
+
+/// Elastic shapes that cannot work are rejected at construction with a
+/// typed plan error: backup groups (elastic owns replication), zero
+/// workers, speculation without a replica to race.
+#[test]
+fn impossible_elastic_shapes_are_rejected() {
+    let ds = dataset(200, 40, 7);
+    let cfg = base_cfg(ModelSpec::Lr);
+
+    let grouped = ElasticConfig::new(cfg.with_backup(1), 4, 4);
+    assert!(matches!(
+        ElasticEngine::new(&ds, grouped, NetworkModel::INSTANT, FailurePlan::none()),
+        Err(TrainError::InvalidPlan(_))
+    ));
+
+    let replicated_solo = ElasticConfig::new(cfg, 4, 1).with_replication();
+    assert!(matches!(
+        ElasticEngine::new(
+            &ds,
+            replicated_solo,
+            NetworkModel::INSTANT,
+            FailurePlan::none()
+        ),
+        Err(TrainError::InvalidPlan(_))
+    ));
+
+    let mut solo_spec = ElasticConfig::new(cfg, 4, 4);
+    solo_spec.speculate = true; // bypass the builder's implied replication
+    assert!(matches!(
+        ElasticEngine::new(&ds, solo_spec, NetworkModel::INSTANT, FailurePlan::none()),
+        Err(TrainError::InvalidPlan(_))
+    ));
+
+    let overfull = ElasticConfig::new(cfg, 2, 3);
+    assert!(matches!(
+        ElasticEngine::new(&ds, overfull, NetworkModel::INSTANT, FailurePlan::none()),
+        Err(TrainError::InvalidPlan(_))
+    ));
+}

@@ -750,6 +750,94 @@ fn worker_refuses_mismatched_batch_size() {
     handle.join().expect("worker exits cleanly");
 }
 
+/// S-backup turns a mid-gather crash into a non-event: the surviving
+/// replica's reply covers the group, the superstep completes without ever
+/// reaching the deadline path, and the respawned worker rejoins with the
+/// group-current parameters — so the trajectory is bit-identical to the
+/// failure-free run.
+#[test]
+fn backup_crash_mid_gather_completes_from_surviving_replica() {
+    let ds = dataset(600, 80, 13);
+    let run = |plan: FailurePlan| {
+        let cfg = base_cfg(ModelSpec::Lr).with_iterations(20).with_backup(1);
+        let mut e = ColumnSgdEngine::new(&ds, 4, cfg, NetworkModel::INSTANT, plan).expect("engine");
+        let out = e.train().expect("train");
+        let losses: Vec<f64> = out.curve.points.iter().map(|p| p.loss).collect();
+        let model = e.collect_model().expect("collect model");
+        (out, losses, model)
+    };
+    let plan = FailurePlan {
+        events: vec![FailureEvent::WorkerFailure {
+            iteration: 9,
+            worker: 2,
+        }],
+        ..FailurePlan::default()
+    };
+    let (out, losses, model) = run(plan);
+    let (clean_out, clean_losses, clean_model) = run(FailurePlan::none());
+
+    // Detected via the panic report; the deadline path never fired.
+    assert_eq!(out.recovery.len(), 1);
+    let ev = out.recovery[0];
+    assert_eq!((ev.iteration, ev.worker), (9, 2));
+    assert_eq!(ev.fault, FaultKind::WorkerFailure);
+    assert_eq!(
+        ev.detection,
+        DetectionMethod::PanicReport,
+        "backup must complete the superstep before any deadline trips"
+    );
+
+    // Parameter restore from the surviving replica erases the crash from
+    // the trajectory entirely: losses and final model are bit-identical.
+    assert!(clean_out.recovery.is_empty());
+    assert_eq!(losses, clean_losses, "loss curve must be bit-identical");
+    for (a, b) in model.blocks.iter().zip(&clean_model.blocks) {
+        assert_eq!(a.as_slice(), b.as_slice(), "model must be bit-identical");
+    }
+}
+
+/// Reactive recovery (worker reload) flows through the metered reliable
+/// plane and lands on the telemetry fault stream, so trace comm totals
+/// still reconcile with `TrafficStats` exactly when recovery traffic flows.
+#[test]
+fn recovery_reload_is_traced_and_reconciles_with_meter() {
+    use columnsgd_cluster::Recorder;
+    let ds = dataset(600, 80, 23);
+    let cfg = base_cfg(ModelSpec::Lr).with_iterations(20);
+    let plan = FailurePlan {
+        events: vec![FailureEvent::WorkerFailure {
+            iteration: 8,
+            worker: 1,
+        }],
+        ..FailurePlan::default()
+    };
+    let recorder = Recorder::new();
+    let mut engine =
+        ColumnSgdEngine::new_traced(&ds, 3, cfg, NetworkModel::CLUSTER1, plan, recorder.clone())
+            .expect("engine");
+    let out = engine.train().expect("train");
+    let total = engine.traffic().total();
+    let s = recorder.summary();
+
+    // The recovery happened and was priced.
+    assert_eq!(out.recovery.len(), 1);
+    assert!(out.recovery[0].recovery_cost_s > 0.0);
+    // It is on the fault stream …
+    assert!(s.faults >= 1, "reload must be recorded as a FaultRecord");
+    assert!(!s.faults_by_detection.is_empty());
+    // … and the reload's Die/ReloadBlock/ReloadAck bytes are in both
+    // ledgers: trace comm records reconcile with the router meter exactly.
+    assert_eq!(
+        (s.comm_bytes, s.comm_messages),
+        (total.bytes, total.messages)
+    );
+    // The reload stream is visible as ReloadBlock traffic in the trace.
+    assert!(
+        s.by_kind.iter().any(|k| k.kind == "ReloadBlock"),
+        "reload traffic must appear per-kind in the trace"
+    );
+}
+
 /// A silent worker (crash scripted mid-run) is detected within the
 /// configured deadline via timeout + probe, not by waiting forever.
 #[test]

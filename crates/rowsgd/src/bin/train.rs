@@ -180,7 +180,8 @@ fn main() {
     )
     .unwrap_or_else(|e| {
         eprintln!("engine setup failed: {e}");
-        exit(1)
+        eprintln!("hint: {}", e.advice());
+        exit(e.exit_code())
     });
 
     let monitor = Monitor::new(MonitorConfig::default());
@@ -196,7 +197,8 @@ fn main() {
 
     let outcome = engine.train().unwrap_or_else(|e| {
         eprintln!("training failed: {e}");
-        exit(1)
+        eprintln!("hint: {}", e.advice());
+        exit(e.exit_code())
     });
     if let Some(path) = &args.trace_out {
         recorder
@@ -214,7 +216,8 @@ fn main() {
     let rows: Vec<_> = dataset.iter().cloned().collect();
     let model = engine.collect_model().unwrap_or_else(|e| {
         eprintln!("model collection failed: {e}");
-        exit(1)
+        eprintln!("hint: {}", e.advice());
+        exit(e.exit_code())
     });
     let loss = serial::full_loss(args.model, &model, &rows);
     let acc = serial::full_accuracy(args.model, &model, &rows);
