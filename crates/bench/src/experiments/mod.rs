@@ -18,11 +18,12 @@ pub mod table4;
 pub mod table5;
 pub mod tables23;
 pub mod trace;
+pub mod transport_xval;
 
 use crate::Report;
 
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 24] = [
+pub const ALL_IDS: [&str; 25] = [
     "table1",
     "table2",
     "table3",
@@ -45,6 +46,7 @@ pub const ALL_IDS: [&str; 24] = [
     "ext_chaos",
     "ext_elastic",
     "trace",
+    "transport_xval",
     "diagnose",
     "BENCH_superstep",
 ];
@@ -75,6 +77,7 @@ pub fn run(id: &str, scale: f64) -> Option<Vec<Report>> {
         "ext_chaos" => vec![ext_chaos::run(scale)],
         "ext_elastic" => vec![ext_elastic::sweep(scale)],
         "trace" => vec![trace::run(scale)],
+        "transport_xval" => vec![transport_xval::run(scale)],
         "diagnose" => vec![diagnose::run(scale)],
         "BENCH_superstep" => vec![superstep::run(scale)],
         _ => return None,

@@ -1,0 +1,796 @@
+//! A real byte serializer whose frame sizes equal the analytic model.
+//!
+//! Every protocol payload in this workspace already carries an *analytic*
+//! wire footprint via [`Wire::wire_size`]; the in-process backend meters
+//! those numbers without ever materializing bytes. The TCP backend sends
+//! real frames, and the whole substitution argument (DESIGN.md §1/§12)
+//! rests on one invariant:
+//!
+//! > the serialized body of a message is **exactly**
+//! > `payload.wire_size() + ENVELOPE_BYTES` bytes long.
+//!
+//! [`encode_envelope`] asserts this at encode time and
+//! [`decode_envelope_header`] re-checks it at ingress, so a formula drift
+//! between `wire_size()` and a codec impl is an immediate error, not a
+//! silent meter skew.
+//!
+//! # Encoding rules (mirroring the `Wire` accounting)
+//!
+//! * `u64` / `f64`: 8 bytes little-endian.
+//! * `usize`: **pinned to `u64`** — 8 bytes little-endian on every host.
+//!   `usize` is platform-width; encoding it natively would make 32-bit
+//!   and 64-bit hosts disagree on frame sizes (and `Wire` charges 8).
+//! * `bool` and enum tags: 1 byte.
+//! * `String`: 8-byte length + UTF-8 bytes.
+//! * `Vec<T>`: 8-byte element count + elements.
+//! * `Option<T>`: 1-byte tag + payload if `Some`.
+//! * Tuples/structs: fields concatenated, no padding.
+//!
+//! # Envelope header (the metered `ENVELOPE_BYTES`)
+//!
+//! The 32 envelope bytes the meter charges per message are a real header
+//! here: `from: u64 | to: u64 | flags: u64 | body_len: u64`. `flags` low
+//! byte is the delivery plane (data/control/unmetered), byte 1
+//! distinguishes protocol messages from the connection hello. The 4-byte
+//! physical length prefix used on the stream (see [`write_frame`]) is
+//! *transport* framing — the analogue of link-layer overhead the paper's
+//! byte accounting also ignores — and is not metered.
+
+use std::io::{self, Read, Write};
+
+use columnsgd_linalg::{CsrMatrix, DenseVector, SparseVector};
+
+use crate::node::NodeId;
+use crate::telemetry::Plane;
+use crate::wire::{Wire, ENVELOPE_BYTES};
+
+/// Errors surfaced while encoding or decoding frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// The bytes decoded but violate a protocol invariant.
+    Malformed(String),
+    /// The value cannot be represented within its analytic wire footprint
+    /// (e.g. a parameter-block layout outside the model taxonomy).
+    Unsupported(String),
+    /// The encoded body length disagrees with `wire_size()`.
+    SizeMismatch {
+        /// `wire_size() + ENVELOPE_BYTES`.
+        expected: usize,
+        /// Actual encoded length.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { what } => write!(f, "frame truncated while decoding {what}"),
+            CodecError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            CodecError::Unsupported(m) => write!(f, "unencodable value: {m}"),
+            CodecError::SizeMismatch { expected, actual } => write!(
+                f,
+                "frame length {actual} disagrees with wire_size + envelope = {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+/// Appends a `u64` (8 bytes LE).
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends a `usize` pinned to the `u64` wire encoding (8 bytes LE on
+/// every host — the `Wire` accounting charges 8 regardless of
+/// `size_of::<usize>()`).
+#[inline]
+pub fn put_usize(out: &mut Vec<u8>, x: usize) {
+    put_u64(out, x as u64);
+}
+
+/// Appends an `f64` (8 bytes LE, bit pattern preserved — NaNs included).
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends a `u32` (4 bytes LE).
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends one byte.
+#[inline]
+pub fn put_u8(out: &mut Vec<u8>, x: u8) {
+    out.push(x);
+}
+
+/// Appends a `bool` as one byte (0/1).
+#[inline]
+pub fn put_bool(out: &mut Vec<u8>, x: bool) {
+    out.push(u8::from(x));
+}
+
+/// Appends a string: 8-byte length + UTF-8 bytes.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_usize(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends an `f64` slice: 8-byte count + values.
+pub fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    put_usize(out, xs.len());
+    for &x in xs {
+        put_f64(out, x);
+    }
+}
+
+/// Appends a `u64` slice: 8-byte count + values.
+pub fn put_u64s(out: &mut Vec<u8>, xs: &[u64]) {
+    put_usize(out, xs.len());
+    for &x in xs {
+        put_u64(out, x);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A cursor over a received frame body.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a `usize` from its pinned 8-byte `u64` encoding.
+    pub fn usize(&mut self, what: &'static str) -> Result<usize, CodecError> {
+        let x = self.u64(what)?;
+        usize::try_from(x)
+            .map_err(|_| CodecError::Malformed(format!("{what}: {x} overflows usize")))
+    }
+
+    /// Reads an `f64` (bit pattern preserved).
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, CodecError> {
+        let b = self.take(8, what)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a `bool` (rejecting anything but 0/1).
+    pub fn bool(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::Malformed(format!("{what}: bad bool byte {b}"))),
+        }
+    }
+
+    /// Reads a string (8-byte length + UTF-8).
+    pub fn str(&mut self, what: &'static str) -> Result<String, CodecError> {
+        let len = self.usize(what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::Malformed(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Reads an `f64` vector (8-byte count + values).
+    pub fn f64s(&mut self, what: &'static str) -> Result<Vec<f64>, CodecError> {
+        let len = self.usize(what)?;
+        self.f64s_exact(len, what)
+    }
+
+    /// Reads exactly `len` `f64` values (no count header).
+    pub fn f64s_exact(&mut self, len: usize, what: &'static str) -> Result<Vec<f64>, CodecError> {
+        let raw = self.take(
+            len.checked_mul(8).ok_or(CodecError::Truncated { what })?,
+            what,
+        )?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    /// Reads a `u64` vector (8-byte count + values).
+    pub fn u64s(&mut self, what: &'static str) -> Result<Vec<u64>, CodecError> {
+        let len = self.usize(what)?;
+        self.u64s_exact(len, what)
+    }
+
+    /// Reads exactly `len` `u64` values (no count header).
+    pub fn u64s_exact(&mut self, len: usize, what: &'static str) -> Result<Vec<u64>, CodecError> {
+        let raw = self.take(
+            len.checked_mul(8).ok_or(CodecError::Truncated { what })?,
+            what,
+        )?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    /// Fails unless every byte was consumed — a decoded message shorter
+    /// than its frame means the codec and `wire_size()` disagree.
+    pub fn finish(self, what: &'static str) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::Malformed(format!(
+                "{what}: {} trailing bytes after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The codec trait
+// ---------------------------------------------------------------------------
+
+/// Byte serialization matching the [`Wire`] accounting exactly.
+///
+/// Implementations must uphold: `encode_body` appends exactly
+/// `self.wire_size()` bytes, and `decode_body(encode_body(x)) == x`
+/// (bit-for-bit on floats).
+pub trait WireCodec: Wire + Sized {
+    /// Appends this value's wire encoding to `out`.
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError>;
+
+    /// Decodes one value from the reader.
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError>;
+}
+
+impl WireCodec for u64 {
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        put_u64(out, *self);
+        Ok(())
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        r.u64("u64")
+    }
+}
+
+impl WireCodec for f64 {
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        put_f64(out, *self);
+        Ok(())
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        r.f64("f64")
+    }
+}
+
+// `usize` travels as `u64` — the regression target of the platform-width
+// wire bug: `Wire` charges 8 bytes, so the encoding must be 8 bytes even
+// where `size_of::<usize>() == 4`.
+impl WireCodec for usize {
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        put_usize(out, *self);
+        Ok(())
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        r.usize("usize")
+    }
+}
+
+impl WireCodec for String {
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        put_str(out, self);
+        Ok(())
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        r.str("String")
+    }
+}
+
+impl<T: WireCodec> WireCodec for Vec<T>
+where
+    Vec<T>: Wire,
+{
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        put_usize(out, self.len());
+        for x in self {
+            x.encode_body(out)?;
+        }
+        Ok(())
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let len = r.usize("Vec length")?;
+        let mut v = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            v.push(T::decode_body(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T>
+where
+    Option<T>: Wire,
+{
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        match self {
+            None => put_u8(out, 0),
+            Some(x) => {
+                put_u8(out, 1);
+                x.encode_body(out)?;
+            }
+        }
+        Ok(())
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        match r.u8("Option tag")? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_body(r)?)),
+            b => Err(CodecError::Malformed(format!("bad Option tag {b}"))),
+        }
+    }
+}
+
+impl<A: WireCodec, B: WireCodec> WireCodec for (A, B)
+where
+    (A, B): Wire,
+{
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        self.0.encode_body(out)?;
+        self.1.encode_body(out)
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode_body(r)?, B::decode_body(r)?))
+    }
+}
+
+impl WireCodec for SparseVector {
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        // 8-byte nnz header + indices + values = 8 + 16·nnz.
+        put_usize(out, self.nnz());
+        for &i in self.indices() {
+            put_u64(out, i);
+        }
+        for &v in self.values() {
+            put_f64(out, v);
+        }
+        Ok(())
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let nnz = r.usize("SparseVector nnz")?;
+        let indices = r.u64s_exact(nnz, "SparseVector indices")?;
+        let values = r.f64s_exact(nnz, "SparseVector values")?;
+        if !indices.windows(2).all(|w| w[0] < w[1]) {
+            return Err(CodecError::Malformed(
+                "SparseVector indices not strictly sorted".into(),
+            ));
+        }
+        Ok(SparseVector::from_sorted(indices, values))
+    }
+}
+
+impl WireCodec for DenseVector {
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        put_f64s(out, self.as_slice());
+        Ok(())
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(DenseVector::from_vec(r.f64s("DenseVector")?))
+    }
+}
+
+impl WireCodec for CsrMatrix {
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        // Matches CsrMatrix::wire_size(): 16-byte header (nrows, nnz) +
+        // labels + the full indptr (nrows+1 offsets, charged by the
+        // analytic model even though the last one is derivable) +
+        // indices + values.
+        let nrows = self.nrows();
+        put_usize(out, nrows);
+        put_usize(out, self.nnz());
+        for r in 0..nrows {
+            put_f64(out, self.label(r));
+        }
+        let mut offset = 0usize;
+        put_usize(out, 0);
+        for r in 0..nrows {
+            offset += self.row(r).0.len();
+            put_usize(out, offset);
+        }
+        for r in 0..nrows {
+            for &i in self.row(r).0 {
+                put_u64(out, i);
+            }
+        }
+        for r in 0..nrows {
+            for &v in self.row(r).1 {
+                put_f64(out, v);
+            }
+        }
+        Ok(())
+    }
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let nrows = r.usize("Csr nrows")?;
+        let nnz = r.usize("Csr nnz")?;
+        let labels = r.f64s_exact(nrows, "Csr labels")?;
+        let indptr = r.u64s_exact(nrows + 1, "Csr indptr")?;
+        let indices = r.u64s_exact(nnz, "Csr indices")?;
+        let values = r.f64s_exact(nnz, "Csr values")?;
+        if indptr.first() != Some(&0) || indptr.last() != Some(&(nnz as u64)) {
+            return Err(CodecError::Malformed("Csr indptr bounds".into()));
+        }
+        let mut m = CsrMatrix::new();
+        m.reserve(nrows, nnz);
+        for row in 0..nrows {
+            let (lo, hi) = (indptr[row] as usize, indptr[row + 1] as usize);
+            if lo > hi || hi > nnz {
+                return Err(CodecError::Malformed("Csr indptr not monotone".into()));
+            }
+            if !indices[lo..hi].windows(2).all(|w| w[0] < w[1]) {
+                return Err(CodecError::Malformed(
+                    "Csr row indices not strictly sorted".into(),
+                ));
+            }
+            m.push_raw_row(labels[row], &indices[lo..hi], &values[lo..hi]);
+        }
+        Ok(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node ids and the envelope header
+// ---------------------------------------------------------------------------
+
+/// Stable `u64` encoding of a node id (shared with the chaos link hash:
+/// master = 0, workers tagged 1, servers tagged 2).
+pub fn encode_node(n: NodeId) -> u64 {
+    match n {
+        NodeId::Master => 0,
+        NodeId::Worker(k) => {
+            debug_assert!((k as u64) < (1 << 32), "worker index overflows encoding");
+            1 << 32 | k as u64
+        }
+        NodeId::Server(p) => {
+            debug_assert!((p as u64) < (1 << 32), "server index overflows encoding");
+            2 << 32 | p as u64
+        }
+    }
+}
+
+/// Inverse of [`encode_node`].
+pub fn decode_node(x: u64) -> Result<NodeId, CodecError> {
+    let idx = (x & 0xFFFF_FFFF) as usize;
+    match x >> 32 {
+        0 if idx == 0 => Ok(NodeId::Master),
+        1 => Ok(NodeId::Worker(idx)),
+        2 => Ok(NodeId::Server(idx)),
+        _ => Err(CodecError::Malformed(format!("bad node encoding {x:#x}"))),
+    }
+}
+
+/// What a frame carries, from its header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A protocol message on the given delivery plane.
+    Message(Plane),
+    /// The connection hello a worker process sends after dialing in.
+    Hello,
+}
+
+/// Decoded 32-byte envelope header.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvelopeHeader {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Message vs. hello, and the plane.
+    pub kind: FrameKind,
+    /// Payload length in bytes (`wire_size()` of the payload).
+    pub body_len: usize,
+}
+
+fn plane_byte(p: Plane) -> u8 {
+    match p {
+        Plane::Data => 0,
+        Plane::Control => 1,
+        // `Virtual` never crosses a socket (it is master-side logical
+        // metering), so byte 2 is reused for the unmetered bootstrap path.
+        Plane::Virtual => 2,
+    }
+}
+
+fn plane_from_byte(b: u8) -> Result<Plane, CodecError> {
+    match b {
+        0 => Ok(Plane::Data),
+        1 => Ok(Plane::Control),
+        2 => Ok(Plane::Virtual),
+        _ => Err(CodecError::Malformed(format!("bad plane byte {b}"))),
+    }
+}
+
+/// Encodes a full envelope (32-byte header + body) for `payload`,
+/// asserting the invariant the TCP meter depends on: the result is
+/// exactly `payload.wire_size() + ENVELOPE_BYTES` bytes.
+pub fn encode_envelope<M: WireCodec>(
+    from: NodeId,
+    to: NodeId,
+    payload: &M,
+    plane: Plane,
+) -> Result<Vec<u8>, CodecError> {
+    let body_len = payload.wire_size();
+    let expected = body_len + ENVELOPE_BYTES;
+    let mut out = Vec::with_capacity(expected);
+    put_u64(&mut out, encode_node(from));
+    put_u64(&mut out, encode_node(to));
+    put_u64(&mut out, u64::from(plane_byte(plane)));
+    put_u64(&mut out, body_len as u64);
+    payload.encode_body(&mut out)?;
+    if out.len() != expected {
+        return Err(CodecError::SizeMismatch {
+            expected,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes the hello frame a worker process sends right after connecting
+/// (header-only; `ENVELOPE_BYTES` long, unmetered control handshake).
+pub fn encode_hello(worker: NodeId) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_BYTES);
+    put_u64(&mut out, encode_node(worker));
+    put_u64(&mut out, encode_node(NodeId::Master));
+    put_u64(&mut out, 1 << 8); // flags byte 1: hello
+    put_u64(&mut out, 0);
+    out
+}
+
+/// Decodes the 32-byte envelope header off the front of `frame` and
+/// verifies the frame length invariant (`frame.len() == body_len +
+/// ENVELOPE_BYTES`).
+pub fn decode_envelope_header(frame: &[u8]) -> Result<EnvelopeHeader, CodecError> {
+    let mut r = WireReader::new(frame);
+    let from = decode_node(r.u64("header.from")?)?;
+    let to = decode_node(r.u64("header.to")?)?;
+    let flags = r.u64("header.flags")?;
+    let body_len = r.usize("header.body_len")?;
+    if frame.len() != body_len + ENVELOPE_BYTES {
+        return Err(CodecError::SizeMismatch {
+            expected: body_len + ENVELOPE_BYTES,
+            actual: frame.len(),
+        });
+    }
+    let kind = if (flags >> 8) & 0xFF == 1 {
+        FrameKind::Hello
+    } else {
+        FrameKind::Message(plane_from_byte((flags & 0xFF) as u8)?)
+    };
+    Ok(EnvelopeHeader {
+        from,
+        to,
+        kind,
+        body_len,
+    })
+}
+
+/// Decodes the body of a message frame (everything after the header),
+/// checking the decoded payload re-reports the same `wire_size`.
+pub fn decode_body_checked<M: WireCodec>(frame: &[u8]) -> Result<M, CodecError> {
+    let mut r = WireReader::new(&frame[ENVELOPE_BYTES..]);
+    let payload = M::decode_body(&mut r)?;
+    r.finish(payload.kind())?;
+    let expected = payload.wire_size() + ENVELOPE_BYTES;
+    if frame.len() != expected {
+        return Err(CodecError::SizeMismatch {
+            expected,
+            actual: frame.len(),
+        });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Physical stream framing
+// ---------------------------------------------------------------------------
+
+/// Maximum accepted frame (1 GiB) — a corrupt length prefix must not
+/// trigger an unbounded allocation.
+const MAX_FRAME: usize = 1 << 30;
+
+/// Writes one frame: 4-byte LE physical length prefix + frame bytes.
+pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(frame.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame exceeds u32 length"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` means clean EOF at a frame boundary (the
+/// peer closed its socket).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if !(ENVELOPE_BYTES..=MAX_FRAME).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame)?;
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<M: WireCodec + PartialEq + std::fmt::Debug>(x: M) {
+        let frame = encode_envelope(NodeId::Master, NodeId::Worker(3), &x, Plane::Data).unwrap();
+        assert_eq!(
+            frame.len(),
+            x.wire_size() + ENVELOPE_BYTES,
+            "frame length must equal the analytic footprint"
+        );
+        let h = decode_envelope_header(&frame).unwrap();
+        assert_eq!(h.from, NodeId::Master);
+        assert_eq!(h.to, NodeId::Worker(3));
+        assert_eq!(h.kind, FrameKind::Message(Plane::Data));
+        let y: M = decode_body_checked(&frame).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn primitives_roundtrip_at_wire_size() {
+        roundtrip(42u64);
+        roundtrip(-1.5f64);
+        roundtrip(7usize);
+        roundtrip("hello".to_string());
+        roundtrip(vec![1.0f64, -2.0, f64::INFINITY]);
+        roundtrip(Some(9u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip((3u64, 4u64));
+        roundtrip(vec![(1u64, 2usize), (3, 4)]);
+    }
+
+    #[test]
+    fn usize_is_pinned_to_eight_bytes() {
+        // The platform-width regression: a usize body must be 8 bytes on
+        // every host, matching the `Wire` charge of 8 — not
+        // `size_of::<usize>()`.
+        let mut out = Vec::new();
+        7usize.encode_body(&mut out).unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(out, 7u64.to_le_bytes());
+        assert_eq!(7usize.wire_size(), 8);
+        let mut r = WireReader::new(&out);
+        assert_eq!(usize::decode_body(&mut r).unwrap(), 7);
+        r.finish("usize").unwrap();
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut out = Vec::new();
+        weird.encode_body(&mut out).unwrap();
+        let mut r = WireReader::new(&out);
+        let back = f64::decode_body(&mut r).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn linalg_types_roundtrip_at_wire_size() {
+        let sv = SparseVector::from_sorted(vec![2, 7, 9], vec![1.0, -2.0, 0.5]);
+        roundtrip(sv);
+        roundtrip(DenseVector::from_vec(vec![0.25; 5]));
+        let m = CsrMatrix::from_rows(&[
+            (1.0, SparseVector::from_sorted(vec![0, 3], vec![1.0, 2.0])),
+            (-1.0, SparseVector::new()),
+            (1.0, SparseVector::from_sorted(vec![5], vec![-0.5])),
+        ]);
+        roundtrip(m);
+    }
+
+    #[test]
+    fn empty_csr_roundtrips() {
+        roundtrip(CsrMatrix::new());
+    }
+
+    #[test]
+    fn node_encoding_roundtrips() {
+        for n in [
+            NodeId::Master,
+            NodeId::Worker(0),
+            NodeId::Worker(31),
+            NodeId::Server(2),
+        ] {
+            assert_eq!(decode_node(encode_node(n)).unwrap(), n);
+        }
+        assert!(decode_node(9 << 32).is_err());
+    }
+
+    #[test]
+    fn hello_frame_shape() {
+        let h = encode_hello(NodeId::Worker(4));
+        assert_eq!(h.len(), ENVELOPE_BYTES);
+        let parsed = decode_envelope_header(&h).unwrap();
+        assert_eq!(parsed.kind, FrameKind::Hello);
+        assert_eq!(parsed.from, NodeId::Worker(4));
+    }
+
+    #[test]
+    fn stream_framing_roundtrips_and_reports_eof() {
+        let frame =
+            encode_envelope(NodeId::Worker(1), NodeId::Master, &5u64, Plane::Control).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        assert_eq!(buf.len(), 4 + frame.len());
+        let mut cursor = std::io::Cursor::new(buf);
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, frame);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_malformed_frames_are_errors() {
+        let frame = encode_envelope(NodeId::Master, NodeId::Worker(0), &7u64, Plane::Data).unwrap();
+        assert!(decode_envelope_header(&frame[..frame.len() - 1]).is_err());
+        let mut r = WireReader::new(&[1, 2]);
+        assert!(r.u64("x").is_err());
+        let mut r = WireReader::new(&[7]);
+        assert!(r.bool("b").is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Cluster-level runtime configuration: which transport backend carries
+//! the protocol, and where to find the worker binary for the
+//! multi-process backend.
+//!
+//! This is deliberately separate from the per-run training configs
+//! (`ColumnSgdConfig`/`RowSgdConfig`): those are `Copy` values hashed
+//! into the run fingerprint, while transport selection is a *deployment*
+//! concern — the same seeded run must produce bit-identical results on
+//! every backend, so the backend must not perturb the fingerprint.
+
+use std::path::PathBuf;
+
+/// Which transport backend carries the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels; workers are threads, time is priced
+    /// by the analytic `NetworkModel`. The default, and the only backend
+    /// where simulated time is meaningful.
+    #[default]
+    InProc,
+    /// One OS process per worker, connected to the master over loopback
+    /// TCP with real length-prefixed frames. Byte metering is identical
+    /// by construction; wall-clock gather/broadcast time becomes real.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Stable CLI/report label (`inproc` / `tcp`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parses a CLI value (`inproc` / `tcp`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "inproc" => Ok(TransportKind::InProc),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!(
+                "unknown transport {other:?} (expected inproc or tcp)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Deployment configuration threaded through the engines.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterConfig {
+    /// The transport backend.
+    pub transport: TransportKind,
+    /// Explicit path to the worker binary (`columnsgd-worker` /
+    /// `rowsgd-worker`) for the TCP backend. When `None`, the host
+    /// resolves a sibling of the current executable — which covers both
+    /// `cargo run` binaries and integration tests (via
+    /// `CARGO_BIN_EXE_*`-style explicit paths).
+    pub worker_bin: Option<PathBuf>,
+}
+
+impl ClusterConfig {
+    /// The in-process default.
+    pub fn in_proc() -> Self {
+        Self::default()
+    }
+
+    /// The multi-process TCP backend with sibling binary resolution.
+    pub fn tcp() -> Self {
+        Self {
+            transport: TransportKind::Tcp,
+            worker_bin: None,
+        }
+    }
+
+    /// Builder-style worker binary override.
+    pub fn with_worker_bin(mut self, bin: PathBuf) -> Self {
+        self.worker_bin = Some(bin);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_label_roundtrip() {
+        for kind in [TransportKind::InProc, TransportKind::Tcp] {
+            assert_eq!(TransportKind::parse(kind.label()), Ok(kind));
+        }
+        assert!(TransportKind::parse("carrier-pigeon").is_err());
+    }
+
+    #[test]
+    fn default_is_in_process() {
+        assert_eq!(ClusterConfig::default().transport, TransportKind::InProc);
+        assert_eq!(ClusterConfig::tcp().transport, TransportKind::Tcp);
+    }
+}

@@ -39,20 +39,26 @@
 pub mod allreduce;
 pub mod chaos;
 pub mod clock;
+pub mod codec;
+pub mod config;
 pub mod failure;
 pub mod membership;
 pub mod netmodel;
 pub mod node;
 pub mod router;
+pub mod tcp;
 pub mod traffic;
+pub mod transport;
 pub mod wire;
 
 pub use chaos::{ChaosSpec, WireFault};
 pub use clock::SimClock;
+pub use codec::{CodecError, WireCodec, WireReader};
 pub use columnsgd_telemetry as telemetry;
 pub use columnsgd_telemetry::{
     DiagnosticEvent, DiagnosticKind, Diagnostics, Monitor, MonitorConfig, Recorder, SuperstepObs,
 };
+pub use config::{ClusterConfig, TransportKind};
 pub use failure::{FailureEvent, FailurePlan, StragglerSpec};
 pub use membership::{
     Membership, MembershipError, MembershipEvent, RebalancePlan, ShardDrop, ShardMove, ShardRole,
@@ -61,5 +67,7 @@ pub use membership::{
 pub use netmodel::NetworkModel;
 pub use node::NodeId;
 pub use router::{panic_message, spawn_guarded, Endpoint, Envelope, NetError, Router};
+pub use tcp::{TcpClient, TcpHub};
 pub use traffic::TrafficStats;
+pub use transport::{ChannelTransport, Reregistered, Transport};
 pub use wire::Wire;

@@ -32,13 +32,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use columnsgd_telemetry::{CommFault, Plane, Recorder};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use columnsgd_telemetry::{CommFault, FaultRecord, Plane, Recorder};
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
 
 use crate::chaos::{ChaosSpec, WireFault};
 use crate::node::NodeId;
 use crate::traffic::TrafficStats;
+use crate::transport::{ChannelTransport, Transport};
 use crate::wire::{Wire, ENVELOPE_BYTES};
 
 /// A routed message: payload plus its source and destination.
@@ -94,9 +95,10 @@ struct ChaosState<M> {
     held: Mutex<HashMap<(NodeId, NodeId), Envelope<M>>>,
 }
 
-/// The shared sender table + traffic meter.
+/// The metering/chaos/telemetry layer over a pluggable [`Transport`].
 pub struct Router<M> {
-    senders: Arc<RwLock<HashMap<NodeId, Sender<Envelope<M>>>>>,
+    transport: Arc<dyn Transport<M>>,
+    ids: Arc<Vec<NodeId>>,
     traffic: TrafficStats,
     chaos: Option<Arc<ChaosState<M>>>,
     recorder: Recorder,
@@ -105,7 +107,8 @@ pub struct Router<M> {
 impl<M> std::fmt::Debug for Router<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Router")
-            .field("nodes", &self.senders.read().len())
+            .field("transport", &self.transport.label())
+            .field("nodes", &self.ids.len())
             .field("chaos", &self.chaos.as_ref().map(|c| c.spec))
             .finish()
     }
@@ -115,7 +118,8 @@ impl<M> std::fmt::Debug for Router<M> {
 impl<M> Clone for Router<M> {
     fn clone(&self) -> Self {
         Self {
-            senders: Arc::clone(&self.senders),
+            transport: Arc::clone(&self.transport),
+            ids: Arc::clone(&self.ids),
             traffic: self.traffic.clone(),
             chaos: self.chaos.clone(),
             recorder: self.recorder.clone(),
@@ -141,7 +145,10 @@ impl<M: Wire> Router<M> {
     ///
     /// # Panics
     /// Panics if `ids` contains duplicates.
-    pub fn new(ids: &[NodeId], traffic: TrafficStats) -> (Router<M>, Vec<Endpoint<M>>) {
+    pub fn new(ids: &[NodeId], traffic: TrafficStats) -> (Router<M>, Vec<Endpoint<M>>)
+    where
+        M: Send + 'static,
+    {
         Self::with_chaos(ids, traffic, None)
     }
 
@@ -151,7 +158,10 @@ impl<M: Wire> Router<M> {
         ids: &[NodeId],
         traffic: TrafficStats,
         chaos: Option<ChaosSpec>,
-    ) -> (Router<M>, Vec<Endpoint<M>>) {
+    ) -> (Router<M>, Vec<Endpoint<M>>)
+    where
+        M: Send + 'static,
+    {
         Self::with_recorder(ids, traffic, chaos, Recorder::disabled())
     }
 
@@ -163,16 +173,37 @@ impl<M: Wire> Router<M> {
         traffic: TrafficStats,
         chaos: Option<ChaosSpec>,
         recorder: Recorder,
-    ) -> (Router<M>, Vec<Endpoint<M>>) {
-        let mut senders = HashMap::with_capacity(ids.len());
-        let mut receivers = Vec::with_capacity(ids.len());
-        for &id in ids {
-            let (tx, rx) = unbounded();
-            assert!(senders.insert(id, tx).is_none(), "duplicate node id {id}");
-            receivers.push((id, rx));
-        }
-        let router = Router {
-            senders: Arc::new(RwLock::new(senders)),
+    ) -> (Router<M>, Vec<Endpoint<M>>)
+    where
+        M: Send + 'static,
+    {
+        let (transport, receivers) = ChannelTransport::new(ids);
+        let router = Router::with_transport(Arc::new(transport), ids, traffic, chaos, recorder);
+        let endpoints = receivers
+            .into_iter()
+            .map(|(id, rx, generation)| Endpoint {
+                id,
+                rx,
+                generation,
+                router: router.clone(),
+            })
+            .collect();
+        (router, endpoints)
+    }
+
+    /// Assembles a router over an externally built [`Transport`] — the
+    /// entry point for the TCP backend, where mailboxes live in other
+    /// processes and endpoints are created per-process.
+    pub fn with_transport(
+        transport: Arc<dyn Transport<M>>,
+        ids: &[NodeId],
+        traffic: TrafficStats,
+        chaos: Option<ChaosSpec>,
+        recorder: Recorder,
+    ) -> Router<M> {
+        Router {
+            transport,
+            ids: Arc::new(ids.to_vec()),
             traffic,
             chaos: chaos.map(|spec| {
                 Arc::new(ChaosState {
@@ -183,16 +214,24 @@ impl<M: Wire> Router<M> {
                 })
             }),
             recorder,
-        };
-        let endpoints = receivers
-            .into_iter()
-            .map(|(id, rx)| Endpoint {
-                id,
-                rx,
-                router: router.clone(),
-            })
-            .collect();
-        (router, endpoints)
+        }
+    }
+
+    /// Wraps a locally hosted mailbox receiver into an [`Endpoint`] on
+    /// this router (TCP assembly: the hub hosts the master's mailbox, a
+    /// worker process hosts its own).
+    pub fn endpoint_from_parts(
+        &self,
+        id: NodeId,
+        rx: Receiver<Envelope<M>>,
+        generation: u64,
+    ) -> Endpoint<M> {
+        Endpoint {
+            id,
+            rx,
+            generation,
+            router: self.clone(),
+        }
     }
 
     /// Arms chaos injection (no-op for a router without a [`ChaosSpec`]).
@@ -209,30 +248,60 @@ impl<M: Wire> Router<M> {
         self.chaos.as_ref().map(|c| c.spec)
     }
 
-    /// Replaces `id`'s mailbox with a fresh channel and returns the new
-    /// [`Endpoint`] — the respawn path for a dead worker. Messages queued
-    /// in the old mailbox are lost, exactly like a process restart.
+    /// Replaces `id`'s mailbox for a respawn and returns the new
+    /// [`Endpoint`] — `Some` when this router's transport hosts the
+    /// mailbox locally (in-process workers), `None` when the mailbox
+    /// lived in a remote process (TCP workers; the host respawns the
+    /// process, whose fresh hello re-registers the connection).
+    ///
+    /// Messages still queued in the dead mailbox are lost, exactly like a
+    /// process restart — but not *silently*: each one is recorded in the
+    /// [`TrafficStats`] dead-letter ledger and as a telemetry
+    /// `FaultRecord` (they were metered at send time, so the send-side
+    /// meter and trace totals remain reconciled; the ledger says which of
+    /// those bytes died undelivered). `iteration` stamps the fault
+    /// records with the recovery's training iteration.
     ///
     /// # Panics
     /// Panics if `id` was never registered.
-    pub fn reregister(&self, id: NodeId) -> Endpoint<M> {
-        let (tx, rx) = unbounded();
-        let mut senders = self.senders.write();
-        assert!(
-            senders.insert(id, tx).is_some(),
-            "cannot reregister unknown node {id}"
-        );
-        drop(senders);
+    pub fn reregister(&self, id: NodeId, iteration: u64) -> Option<Endpoint<M>> {
+        let re = self.transport.reregister(id);
+        let mut dead_letters = re.dead_letters;
         // A message held back mid-delay for the dead node belongs to the
-        // lost mailbox; discard it along with everything queued there.
+        // lost mailbox too; drain it along with everything queued there.
         if let Some(c) = &self.chaos {
-            c.held.lock().retain(|&(_, to), _| to != id);
+            let mut held = c.held.lock();
+            let stuck: Vec<(NodeId, NodeId)> =
+                held.keys().filter(|&&(_, to)| to == id).copied().collect();
+            for key in stuck {
+                if let Some(env) = held.remove(&key) {
+                    dead_letters.push(env);
+                }
+            }
         }
-        Endpoint {
+        for env in &dead_letters {
+            let bytes = env.payload.wire_size() + ENVELOPE_BYTES;
+            self.traffic.record_dropped(env.from, env.to, bytes);
+            self.recorder.fault(FaultRecord {
+                iteration,
+                worker: match id {
+                    NodeId::Worker(w) => w as u64,
+                    _ => u64::MAX,
+                },
+                fault: format!("dead-letter:{}", env.payload.kind()),
+                detection: "mailbox drain on reregister".to_string(),
+                detection_latency_s: 0.0,
+                recovery_cost_s: 0.0,
+                attempt: 0,
+                fatal: false,
+            });
+        }
+        re.rx.map(|rx| Endpoint {
             id,
             rx,
+            generation: re.generation,
             router: self.clone(),
-        }
+        })
     }
 
     /// Mirrors one metered message into telemetry. Called exactly once per
@@ -265,11 +334,39 @@ impl<M: Wire> Router<M> {
         );
     }
 
-    fn push(&self, env: Envelope<M>) -> Result<(), NetError> {
-        let senders = self.senders.read();
-        let sender = senders.get(&env.to).ok_or(NetError::UnknownNode(env.to))?;
-        let to = env.to;
-        sender.send(env).map_err(|_| NetError::NodeDown(to))
+    fn push(&self, env: Envelope<M>, plane: Plane) -> Result<(), NetError> {
+        self.transport.deliver(env, plane)
+    }
+
+    /// Admits a frame received off a socket into the metering layer — the
+    /// hub-side entry point for worker-originated traffic on the TCP
+    /// backend. The frame's physical length is asserted against the
+    /// analytic footprint *at the metering site*, so `TrafficStats` and
+    /// telemetry `CommRecord`s reconcile with real bytes by construction,
+    /// then the message is dispatched through the exact same
+    /// send/send_reliable/send_unmetered paths in-process traffic takes
+    /// (metering, chaos, and telemetry included).
+    ///
+    /// # Panics
+    /// Panics if `frame_len` disagrees with
+    /// `payload.wire_size() + ENVELOPE_BYTES` — a codec/model drift that
+    /// would silently skew the paper's byte accounting.
+    pub fn ingress(&self, env: Envelope<M>, frame_len: usize, plane: Plane) -> Result<(), NetError>
+    where
+        M: Clone,
+    {
+        let expected = env.payload.wire_size() + ENVELOPE_BYTES;
+        assert_eq!(
+            frame_len,
+            expected,
+            "frame length {frame_len} != wire_size + envelope = {expected} for {}",
+            env.payload.kind()
+        );
+        match plane {
+            Plane::Data => self.send(env.from, env.to, env.payload),
+            Plane::Control => self.send_reliable(env.from, env.to, env.payload),
+            Plane::Virtual => self.send_unmetered(env.from, env.to, env.payload),
+        }
     }
 
     /// Sends `payload` from `from` to `to`, metering its wire footprint.
@@ -321,7 +418,7 @@ impl<M: Wire> Router<M> {
         let released = chaos.and_then(|c| c.held.lock().remove(&(from, to)));
         let env = Envelope { from, to, payload };
         match fault {
-            WireFault::Deliver => self.push(env)?,
+            WireFault::Deliver => self.push(env, Plane::Data)?,
             WireFault::Drop => {
                 // Metered, never enqueued. The sender cannot tell.
             }
@@ -337,8 +434,8 @@ impl<M: Wire> Router<M> {
                         Some(CommFault::Duplicated),
                     );
                 }
-                self.push(env.clone())?;
-                self.push(env)?;
+                self.push(env.clone(), Plane::Data)?;
+                self.push(env, Plane::Data)?;
             }
             WireFault::Delay => {
                 if let Some(c) = chaos {
@@ -347,7 +444,7 @@ impl<M: Wire> Router<M> {
             }
         }
         if let Some(held) = released {
-            self.push(held)?;
+            self.push(held, Plane::Data)?;
         }
         Ok(())
     }
@@ -362,7 +459,7 @@ impl<M: Wire> Router<M> {
             self.traffic.record(from, to, bytes);
             self.record_comm(from, to, bytes, payload.kind(), Plane::Control, None);
         }
-        self.push(Envelope { from, to, payload })
+        self.push(Envelope { from, to, payload }, Plane::Control)
     }
 
     /// Delivers `payload` physically but records its bytes on a different
@@ -393,11 +490,14 @@ impl<M: Wire> Router<M> {
                 None,
             );
         }
-        self.push(Envelope {
-            from: physical_from,
-            to,
-            payload,
-        })
+        self.push(
+            Envelope {
+                from: physical_from,
+                to,
+                payload,
+            },
+            Plane::Data,
+        )
     }
 
     /// Delivers `payload` without recording any traffic. Only for payloads
@@ -405,7 +505,7 @@ impl<M: Wire> Router<M> {
     /// logical links (e.g. a model pull that logically arrives from P
     /// parameter servers but is physically one message from the driver).
     pub fn send_unmetered(&self, from: NodeId, to: NodeId, payload: M) -> Result<(), NetError> {
-        self.push(Envelope { from, to, payload })
+        self.push(Envelope { from, to, payload }, Plane::Virtual)
     }
 
     /// Records traffic on a logical link without a physical delivery (the
@@ -437,18 +537,37 @@ impl<M: Wire> Router<M> {
 
     /// All registered node ids, sorted.
     pub fn nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.senders.read().keys().copied().collect();
+        let mut v: Vec<NodeId> = self.ids.as_ref().clone();
         v.sort();
         v
+    }
+
+    /// The backend label of the underlying transport (`"inproc"`,
+    /// `"tcp-hub"`, `"tcp-client"`).
+    pub fn transport_label(&self) -> &'static str {
+        self.transport.label()
     }
 }
 
 /// One node's mailbox plus send capability.
+///
+/// Dropping an endpoint marks its node dead on the transport (the node's
+/// mailbox owner is gone — the thread exited or the process died), so
+/// later sends fail with [`NetError::NodeDown`]. The mark is
+/// generation-guarded: an endpoint of a since-reregistered node cannot
+/// kill its successor's mailbox.
 #[derive(Debug)]
 pub struct Endpoint<M> {
     id: NodeId,
     rx: Receiver<Envelope<M>>,
+    generation: u64,
     router: Router<M>,
+}
+
+impl<M> Drop for Endpoint<M> {
+    fn drop(&mut self) {
+        self.router.transport.mark_dead(self.id, self.generation);
+    }
 }
 
 impl<M: Wire> Endpoint<M> {
@@ -805,7 +924,7 @@ mod tests {
             router.send(NodeId::Master, NodeId::Worker(0), 1),
             Err(NetError::NodeDown(NodeId::Worker(0)))
         );
-        let w0b = router.reregister(NodeId::Worker(0));
+        let w0b = router.reregister(NodeId::Worker(0), 0).unwrap();
         router.send(NodeId::Master, NodeId::Worker(0), 2).unwrap();
         assert_eq!(w0b.recv().unwrap().payload, 2);
     }
@@ -814,7 +933,49 @@ mod tests {
     #[should_panic(expected = "cannot reregister unknown node")]
     fn reregister_unknown_node_rejected() {
         let (router, _eps) = Router::<u64>::new(&[NodeId::Master], TrafficStats::new());
-        let _ = router.reregister(NodeId::Worker(3));
+        let _ = router.reregister(NodeId::Worker(3), 0);
+    }
+
+    #[test]
+    fn reregister_records_drained_mailbox_as_dead_letters() {
+        // Regression: messages queued to a worker that dies before
+        // consuming them used to vanish silently on reregister. They must
+        // be drained and surfaced — in the TrafficStats dead-letter
+        // ledger and as FaultRecords — so trace-vs-meter reconciliation
+        // still explains every byte after a crash.
+        let traffic = TrafficStats::new();
+        let recorder = Recorder::new();
+        let (router, mut eps) = Router::<u64>::with_recorder(
+            &[NodeId::Master, NodeId::Worker(0)],
+            traffic.clone(),
+            None,
+            recorder.clone(),
+        );
+        let w0 = eps.pop().unwrap();
+        let _master = eps.pop().unwrap();
+        for i in 0..3 {
+            router.send(NodeId::Master, NodeId::Worker(0), i).unwrap();
+        }
+        drop(w0); // dies with 3 messages queued
+        let sent = traffic.total();
+        let w0b = router.reregister(NodeId::Worker(0), 7).unwrap();
+        // Send-side meter unchanged (those bytes did cross the wire)…
+        assert_eq!(traffic.total(), sent);
+        // …but the dead-letter ledger explains what never arrived.
+        let dropped = traffic.dropped_total();
+        assert_eq!(dropped.messages, 3);
+        assert_eq!(dropped.bytes as usize, 3 * (8 + ENVELOPE_BYTES));
+        let faults = columnsgd_telemetry::Summary::fault_records(&recorder.events());
+        let dead: Vec<_> = faults
+            .iter()
+            .filter(|f| f.fault.starts_with("dead-letter:"))
+            .collect();
+        assert_eq!(dead.len(), 3);
+        assert!(dead.iter().all(|f| f.iteration == 7 && f.worker == 0));
+        // The fresh mailbox starts empty and works.
+        assert_eq!(w0b.pending(), 0);
+        router.send(NodeId::Master, NodeId::Worker(0), 9).unwrap();
+        assert_eq!(w0b.recv().unwrap().payload, 9);
     }
 
     #[test]

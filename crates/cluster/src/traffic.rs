@@ -28,6 +28,13 @@ pub struct LinkStats {
 #[derive(Debug, Clone, Default)]
 pub struct TrafficStats {
     inner: Arc<Mutex<BTreeMap<(NodeId, NodeId), LinkStats>>>,
+    /// Dead letters: messages that were metered at send time but provably
+    /// never delivered — drained from a dead node's mailbox when it is
+    /// reregistered. Kept separate from `inner` (those bytes *did* cross
+    /// the wire, so the send-side meter and telemetry stay reconciled);
+    /// this ledger answers "of the metered bytes, which died in a lost
+    /// mailbox?".
+    dropped: Arc<Mutex<BTreeMap<(NodeId, NodeId), LinkStats>>>,
 }
 
 impl TrafficStats {
@@ -98,9 +105,34 @@ impl TrafficStats {
         out
     }
 
+    /// Records one dead-lettered message: metered at send time, drained
+    /// undelivered from a dead node's mailbox on reregistration.
+    pub fn record_dropped(&self, from: NodeId, to: NodeId, bytes: usize) {
+        let mut map = self.dropped.lock();
+        let entry = map.entry((from, to)).or_default();
+        entry.messages += 1;
+        entry.bytes += bytes as u64;
+    }
+
+    /// Grand totals over the dead-letter ledger.
+    pub fn dropped_total(&self) -> LinkStats {
+        let map = self.dropped.lock();
+        let mut acc = LinkStats::default();
+        for s in map.values() {
+            acc = merge(acc, s);
+        }
+        acc
+    }
+
+    /// Snapshot of the dead-letter ledger, in key order.
+    pub fn dropped_snapshot(&self) -> Vec<((NodeId, NodeId), LinkStats)> {
+        self.dropped.lock().iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
     /// Zeroes all counters (e.g. to meter a single iteration).
     pub fn reset(&self) {
         self.inner.lock().clear();
+        self.dropped.lock().clear();
     }
 
     /// Snapshot of every link, in key order (the map is ordered, so no
@@ -195,6 +227,21 @@ mod tests {
         // Must agree with the per-node fold.
         assert_eq!(g[0], t.sent_by(NodeId::Worker(0)));
         assert_eq!(g[1], t.sent_by(NodeId::Worker(1)));
+    }
+
+    #[test]
+    fn dead_letters_are_a_separate_ledger() {
+        let t = TrafficStats::new();
+        t.record(NodeId::Master, NodeId::Worker(0), 100);
+        t.record_dropped(NodeId::Master, NodeId::Worker(0), 100);
+        // The send-side meter is untouched by dead-lettering…
+        assert_eq!(t.total().bytes, 100);
+        // …and the ledger accounts the undelivered share.
+        assert_eq!(t.dropped_total().messages, 1);
+        assert_eq!(t.dropped_total().bytes, 100);
+        assert_eq!(t.dropped_snapshot().len(), 1);
+        t.reset();
+        assert_eq!(t.dropped_total(), LinkStats::default());
     }
 
     #[test]

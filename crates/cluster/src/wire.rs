@@ -41,6 +41,11 @@ impl Wire for f64 {
     }
 }
 
+// `usize` is *pinned to the `u64` wire encoding*: 8 bytes on every host.
+// The type is platform-width, so charging (and encoding, in
+// `codec::WireCodec`) `size_of::<usize>()` would make a 32-bit host meter
+// different byte totals than a 64-bit one for the same run — the metered
+// sizes must be a property of the protocol, not of the machine.
 impl Wire for usize {
     fn wire_size(&self) -> usize {
         8
@@ -112,6 +117,15 @@ mod tests {
         assert_eq!(7u64.wire_size(), 8);
         assert_eq!(true.wire_size(), 1);
         assert_eq!(().wire_size(), 0);
+    }
+
+    #[test]
+    fn usize_is_protocol_width_not_platform_width() {
+        // Regression: the wire charge for `usize` is the pinned u64
+        // encoding (8 bytes), independent of `size_of::<usize>()`.
+        assert_eq!(7usize.wire_size(), 8);
+        assert_eq!(usize::MAX.wire_size(), 8);
+        assert_eq!(vec![1usize, 2, 3].wire_size(), 8 + 24);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   --optimizer sgd|adagrad|adam         SGD variant             [sgd]
 //!   --l2 LAMBDA                          L2 regularization       [0]
 //!   --seed S                             experiment seed         [42]
+//!   --transport inproc|tcp               transport backend       [inproc]
+//!   --worker-bin PATH                    columnsgd-worker binary (tcp)
 //!   --model-out PATH                     write weights as text
 //!   --trace-out PATH                     write telemetry JSONL trace
 //!   --metrics-out PATH                   stream monitor snapshots (JSONL)
@@ -53,6 +55,7 @@ struct Args {
     optimizer: OptimizerKind,
     l2: f64,
     seed: u64,
+    cluster: ClusterConfig,
     model_out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -67,7 +70,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: columnsgd-train <file.libsvm> [--model lr|svm|lsq|fm:<F>|mlr:<C>] \
          [--workers K] [--batch B] [--iters T] [--eta E] \
-         [--optimizer sgd|adagrad|adam] [--l2 LAMBDA] [--seed S] [--model-out PATH] \
+         [--optimizer sgd|adagrad|adam] [--l2 LAMBDA] [--seed S] \
+         [--transport inproc|tcp] [--worker-bin PATH] [--model-out PATH] \
          [--trace-out PATH] [--metrics-out PATH] \
          [--elastic] [--elastic-initial N] [--join T:W] [--leave T:W] [--crash T:W] \
          [--replicate] [--speculate]"
@@ -113,6 +117,7 @@ fn parse_args() -> Args {
         optimizer: OptimizerKind::Sgd,
         l2: 0.0,
         seed: 42,
+        cluster: ClusterConfig::in_proc(),
         model_out: None,
         trace_out: None,
         metrics_out: None,
@@ -149,6 +154,16 @@ fn parse_args() -> Args {
             }
             "--l2" => args.l2 = value("--l2").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--transport" => {
+                args.cluster.transport = TransportKind::parse(&value("--transport"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage()
+                    });
+            }
+            "--worker-bin" => {
+                args.cluster.worker_bin = Some(value("--worker-bin").into());
+            }
             "--model-out" => args.model_out = Some(value("--model-out")),
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
@@ -262,12 +277,13 @@ fn main() {
         if !args.schedule.is_empty() {
             ecfg = ecfg.with_schedule(args.schedule.clone());
         }
-        let mut engine = ElasticEngine::new_traced(
+        let mut engine = ElasticEngine::new_clustered(
             &dataset,
             ecfg,
             NetworkModel::CLUSTER1,
             FailurePlan::none(),
             recorder.clone(),
+            &args.cluster,
         )
         .unwrap_or_else(|e| {
             eprintln!("engine setup failed: {e}");
@@ -307,13 +323,17 @@ fn main() {
             outcome.diagnostics,
         )
     } else {
-        let mut engine = ColumnSgdEngine::new_traced(
+        if args.cluster.transport == TransportKind::Tcp {
+            eprintln!("transport: loopback tcp, one worker process per worker");
+        }
+        let mut engine = ColumnSgdEngine::new_clustered(
             &dataset,
             args.workers,
             config,
             NetworkModel::CLUSTER1,
             FailurePlan::none(),
             recorder.clone(),
+            &args.cluster,
         )
         .unwrap_or_else(|e| {
             eprintln!("engine setup failed: {e}");

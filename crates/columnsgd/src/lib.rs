@@ -50,8 +50,8 @@ pub use columnsgd_rowsgd as rowsgd;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use columnsgd_cluster::{
-        ChaosSpec, Diagnostics, FailurePlan, Monitor, MonitorConfig, NetworkModel, SimClock,
-        TrafficStats,
+        ChaosSpec, ClusterConfig, Diagnostics, FailurePlan, Monitor, MonitorConfig, NetworkModel,
+        SimClock, TrafficStats, TransportKind,
     };
     pub use columnsgd_core::{
         ColumnSgdConfig, ColumnSgdEngine, DetectionMethod, ElasticAction, ElasticConfig,

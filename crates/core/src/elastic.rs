@@ -287,6 +287,70 @@ impl ElasticEngine {
         Self::from_blocks_traced(blocks, dataset.dimension(), cfg, net, plan, recorder)
     }
 
+    /// [`ElasticEngine::new_traced`] with an explicit transport backend
+    /// (see [`ElasticEngine::from_blocks_clustered`] for why only the
+    /// in-process backend is accepted).
+    ///
+    /// # Errors
+    /// Same contract as [`ElasticEngine::from_blocks_clustered`].
+    ///
+    /// # Panics
+    /// Same contract as [`ElasticEngine::new`].
+    pub fn new_clustered(
+        dataset: &Dataset,
+        cfg: ElasticConfig,
+        net: NetworkModel,
+        plan: FailurePlan,
+        recorder: Recorder,
+        cluster: &columnsgd_cluster::ClusterConfig,
+    ) -> Result<Self, TrainError> {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let queue = dataset.into_block_queue(cfg.base.block_size);
+        let blocks: Vec<Block> = queue.iter().cloned().collect();
+        Self::from_blocks_clustered(
+            blocks,
+            dataset.dimension(),
+            cfg,
+            net,
+            plan,
+            recorder,
+            cluster,
+        )
+    }
+
+    /// [`ElasticEngine::from_blocks_traced`] with an explicit transport
+    /// backend selection.
+    ///
+    /// The elastic runtime is in-process only for now: live migration
+    /// hands a spare worker's pre-created mailbox across scale events and
+    /// speculation races replica endpoints — both assume every mailbox is
+    /// locally hosted, which the multi-process TCP backend cannot provide
+    /// (a remote mailbox lives in another process). Rejected loudly here
+    /// rather than failing deep inside a scale event.
+    ///
+    /// # Errors
+    /// [`TrainError::InvalidPlan`] when `cluster` selects the TCP
+    /// backend; otherwise the [`ElasticEngine::new`] contract.
+    pub fn from_blocks_clustered(
+        blocks: Vec<Block>,
+        dim: u64,
+        cfg: ElasticConfig,
+        net: NetworkModel,
+        plan: FailurePlan,
+        recorder: Recorder,
+        cluster: &columnsgd_cluster::ClusterConfig,
+    ) -> Result<Self, TrainError> {
+        if cluster.transport != columnsgd_cluster::TransportKind::InProc {
+            return Err(TrainError::InvalidPlan(format!(
+                "the elastic engine requires the in-process transport \
+                 (got `{}`): dynamic membership hands locally hosted \
+                 mailboxes across scale events",
+                cluster.transport
+            )));
+        }
+        Self::from_blocks_traced(blocks, dim, cfg, net, plan, recorder)
+    }
+
     /// Builds the elastic engine from pre-cut blocks.
     ///
     /// # Errors

@@ -21,15 +21,15 @@
 //! observed events rather than from the injection script.
 
 use std::collections::{HashMap, VecDeque};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use columnsgd_cluster::clock::IterationTime;
 use columnsgd_cluster::telemetry::{KernelRecord, Phase, RunStamp, SuperstepSpan};
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
 use columnsgd_cluster::{
-    spawn_guarded, Diagnostics, Endpoint, Envelope, FailurePlan, Monitor, NetError, NetworkModel,
-    NodeId, Recorder, Router, SimClock, SuperstepObs, TrafficStats,
+    ClusterConfig, Diagnostics, Endpoint, Envelope, FailurePlan, Monitor, NetError, NetworkModel,
+    NodeId, Recorder, Router, SimClock, SuperstepObs, TcpHub, TrafficStats, TransportKind,
 };
 use columnsgd_data::block::Block;
 use columnsgd_data::{Dataset, TwoPhaseIndex};
@@ -39,8 +39,9 @@ use columnsgd_ml::ParamSet;
 
 use crate::config::ColumnSgdConfig;
 use crate::error::{DetectionMethod, FaultKind, RecoveryEvent, TrainError};
+use crate::host::{spawn_worker_process, spawn_worker_thread, BootSpec, WorkerHost};
 use crate::msg::ColMsg;
-use crate::worker::{run_worker, WorkerScript};
+use crate::worker::WorkerScript;
 
 /// Serialization cost charged per shipped object when pricing data loading
 /// (the Figure 7 effect: many small objects are expensive even when their
@@ -102,8 +103,9 @@ enum Probed {
     Deferred,
 }
 
-/// The ColumnSGD driver: one master endpoint plus K supervised worker
-/// threads.
+/// The ColumnSGD driver: one master endpoint plus K supervised workers —
+/// guarded threads (in-process transport) or child processes (TCP
+/// transport), chosen by [`ClusterConfig`].
 pub struct ColumnSgdEngine {
     cfg: ColumnSgdConfig,
     k: usize,
@@ -111,7 +113,7 @@ pub struct ColumnSgdEngine {
     plan: FailurePlan,
     master: Endpoint<ColMsg>,
     router: Router<ColMsg>,
-    handles: Vec<Option<JoinHandle<()>>>,
+    host: WorkerHost,
     traffic: TrafficStats,
     recorder: Recorder,
     monitor: Monitor,
@@ -176,6 +178,39 @@ impl ColumnSgdEngine {
         Self::from_blocks_traced(blocks, dataset.dimension(), k, cfg, net, plan, recorder)
     }
 
+    /// [`ColumnSgdEngine::new_traced`] with an explicit transport backend
+    /// (see [`ColumnSgdEngine::from_blocks_clustered`]).
+    ///
+    /// # Errors
+    /// Same contract as [`ColumnSgdEngine::from_blocks_clustered`].
+    ///
+    /// # Panics
+    /// Same contract as [`ColumnSgdEngine::new`].
+    #[allow(clippy::too_many_arguments)] // one backend knob on a wide constructor
+    pub fn new_clustered(
+        dataset: &Dataset,
+        k: usize,
+        cfg: ColumnSgdConfig,
+        net: NetworkModel,
+        plan: FailurePlan,
+        recorder: Recorder,
+        cluster: &ClusterConfig,
+    ) -> Result<Self, TrainError> {
+        assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+        let queue = dataset.into_block_queue(cfg.block_size);
+        let blocks: Vec<Block> = queue.iter().cloned().collect();
+        Self::from_blocks_clustered(
+            blocks,
+            dataset.dimension(),
+            k,
+            cfg,
+            net,
+            plan,
+            recorder,
+            cluster,
+        )
+    }
+
     /// Builds an engine from pre-cut blocks — the streaming loading path:
     /// feed blocks from `columnsgd_data::libsvm::BlockReader` without ever
     /// materializing a [`Dataset`].
@@ -214,6 +249,41 @@ impl ColumnSgdEngine {
         plan: FailurePlan,
         recorder: Recorder,
     ) -> Result<Self, TrainError> {
+        Self::from_blocks_clustered(
+            blocks,
+            dim,
+            k,
+            cfg,
+            net,
+            plan,
+            recorder,
+            &ClusterConfig::in_proc(),
+        )
+    }
+
+    /// [`ColumnSgdEngine::from_blocks_traced`] with an explicit transport
+    /// backend: in-process channels (threads) or loopback TCP (one child
+    /// process per worker, spawned from the `columnsgd-worker` binary).
+    ///
+    /// Both backends run the identical protocol with identical seeding, so
+    /// the loss curve, final model, and `TrafficStats` byte totals are
+    /// bit-identical across them; only wall-clock behaviour differs.
+    ///
+    /// # Errors
+    /// Same contract as [`ColumnSgdEngine::new`], plus
+    /// [`TrainError::LoadFailed`] when the TCP backend cannot spawn or
+    /// connect its worker processes.
+    #[allow(clippy::too_many_arguments)] // one backend knob on a wide constructor
+    pub fn from_blocks_clustered(
+        blocks: Vec<Block>,
+        dim: u64,
+        k: usize,
+        cfg: ColumnSgdConfig,
+        net: NetworkModel,
+        plan: FailurePlan,
+        recorder: Recorder,
+        cluster: &ClusterConfig,
+    ) -> Result<Self, TrainError> {
         assert!(!blocks.is_empty(), "cannot train on an empty block set");
         let mut cfg = cfg;
         if cfg.threads_per_worker == 0 {
@@ -234,16 +304,66 @@ impl ColumnSgdEngine {
         let traffic = TrafficStats::new();
         let mut ids = vec![NodeId::Master];
         ids.extend((0..k).map(NodeId::Worker));
-        let (router, mut endpoints): (Router<ColMsg>, Vec<Endpoint<ColMsg>>) =
-            Router::with_recorder(&ids, traffic.clone(), plan.chaos, recorder);
-        let master = endpoints.remove(0);
-        let handles = endpoints
-            .into_iter()
-            .enumerate()
-            .map(|(w, ep)| Some(spawn_worker(ep, w, k, dim, cfg, &plan)))
-            .collect();
+        let (master, router, host) = match cluster.transport {
+            TransportKind::InProc => {
+                let (router, mut endpoints): (Router<ColMsg>, Vec<Endpoint<ColMsg>>) =
+                    Router::with_recorder(&ids, traffic.clone(), plan.chaos, recorder);
+                let master = endpoints.remove(0);
+                let handles = endpoints
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, ep)| Some(spawn_worker_thread(ep, w, k, dim, cfg, &plan)))
+                    .collect();
+                (master, router, WorkerHost::Threads { handles })
+            }
+            TransportKind::Tcp => {
+                let workers: Vec<NodeId> = (0..k).map(NodeId::Worker).collect();
+                let hub = TcpHub::<ColMsg>::bind(&[NodeId::Master], &workers)
+                    .map_err(|e| TrainError::LoadFailed(format!("hub bind: {e}")))?;
+                let router = Router::with_transport(
+                    Arc::new(hub.clone()),
+                    &ids,
+                    traffic.clone(),
+                    plan.chaos,
+                    recorder,
+                );
+                let master = hub.local_endpoint(NodeId::Master, &router);
+                hub.start(router.clone());
+                let worker_bin = cluster
+                    .worker_bin
+                    .clone()
+                    .map_or_else(default_worker_bin, Ok)
+                    .map_err(TrainError::LoadFailed)?;
+                let mut children = Vec::with_capacity(k);
+                for w in 0..k {
+                    let boot = BootSpec {
+                        addr: hub.addr().to_string(),
+                        worker: w,
+                        k,
+                        dim,
+                        cfg,
+                        script: WorkerScript::from_plan(&plan, w),
+                    };
+                    let child = spawn_worker_process(&worker_bin, &boot)
+                        .map_err(|e| TrainError::LoadFailed(format!("worker {w}: {e}")))?;
+                    children.push(Some(child));
+                }
+                let connect_wait = Duration::from_millis(cfg.deadline_ms.saturating_mul(10));
+                hub.await_workers(&workers, connect_wait)
+                    .map_err(TrainError::LoadFailed)?;
+                (
+                    master,
+                    router,
+                    WorkerHost::Processes {
+                        hub,
+                        children,
+                        worker_bin,
+                    },
+                )
+            }
+        };
         Self::spawned(
-            cfg, k, net, plan, master, router, handles, traffic, blocks, dim,
+            cfg, k, net, plan, master, router, host, traffic, blocks, dim,
         )
     }
 
@@ -255,7 +375,7 @@ impl ColumnSgdEngine {
         plan: FailurePlan,
         master: Endpoint<ColMsg>,
         router: Router<ColMsg>,
-        handles: Vec<Option<JoinHandle<()>>>,
+        host: WorkerHost,
         traffic: TrafficStats,
         blocks: Vec<Block>,
         dim: u64,
@@ -280,7 +400,7 @@ impl ColumnSgdEngine {
             plan,
             master,
             router,
-            handles,
+            host,
             traffic,
             recorder,
             monitor: Monitor::disabled(),
@@ -312,12 +432,25 @@ impl ColumnSgdEngine {
         Duration::from_millis(self.cfg.deadline_ms.saturating_mul(10))
     }
 
-    /// Pops a buffered message, or waits up to `deadline` on the mailbox.
-    fn recv_next(&mut self, deadline: Duration) -> Result<Envelope<ColMsg>, NetError> {
+    /// Pops a buffered message, or waits on the mailbox until the
+    /// *absolute* deadline.
+    ///
+    /// The deadline is an [`Instant`], not a per-call budget: callers set
+    /// it once when they start (or make progress on) a barrier and pass
+    /// the same value back on every retry. The old per-call `Duration`
+    /// form restarted the full detection window on every received
+    /// message, so a trickle of stray traffic (chaos duplicates, late
+    /// replies from earlier iterations) could postpone fault detection
+    /// indefinitely.
+    fn recv_next(&mut self, deadline: Instant) -> Result<Envelope<ColMsg>, NetError> {
         if let Some(env) = self.pending.pop_front() {
             return Ok(env);
         }
-        self.master.recv_timeout(deadline)
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(NetError::Timeout);
+        }
+        self.master.recv_timeout(left)
     }
 
     /// Runs the block-based dispatch: every block goes to a splitting
@@ -344,7 +477,9 @@ impl ColumnSgdEngine {
                 )
                 .map_err(|e| TrainError::LoadFailed(format!("load-done marker: {e}")))?;
         }
-        let deadline = self.bulk_deadline();
+        // Absolute deadline, refreshed on every acknowledged worker:
+        // progress resets the clock, stray messages do not.
+        let mut deadline = Instant::now() + self.bulk_deadline();
         let mut acks = 0;
         let mut reference_layout: Option<Vec<(u64, usize)>> = None;
         while acks < self.k {
@@ -368,6 +503,7 @@ impl ColumnSgdEngine {
                         }
                     }
                     acks += 1;
+                    deadline = Instant::now() + self.bulk_deadline();
                 }
                 other => {
                     eprintln!("master: dropping unexpected {} during load", other.name());
@@ -580,7 +716,7 @@ impl ColumnSgdEngine {
         let mut recovery: Vec<RecoveryEvent> = Vec::new();
         let width = self.cfg.model.stats_width();
         let stats_len = self.cfg.batch_size * width;
-        let deadline = self.deadline();
+        let detect = self.deadline();
 
         for t in 0..self.cfg.iterations {
             let issued = Instant::now();
@@ -607,8 +743,14 @@ impl ColumnSgdEngine {
             // without ever reaching the deadline path.
             let backed_up = self.cfg.backup_s > 0;
             let mut excused = vec![false; self.k];
+            // Absolute detection deadline: reset on progress (a folded
+            // reply, a handled panic, a completed recovery), never on
+            // stray traffic. Wall-clock across the whole barrier is kept
+            // as the *measured* gather time for transport cross-checks.
+            let gather_started = Instant::now();
+            let mut wait_until = gather_started + detect;
             while (0..self.k).any(|w| !excused[w] && !partials.contains_key(&w)) {
-                match self.recv_next(deadline) {
+                match self.recv_next(wait_until) {
                     Ok(env) => match env.payload {
                         ColMsg::StatsReply {
                             iteration,
@@ -618,6 +760,7 @@ impl ColumnSgdEngine {
                             sample_s,
                             task_failed,
                         } if iteration == t => {
+                            wait_until = Instant::now() + detect;
                             let failed = fold_stats_reply(
                                 &mut partials,
                                 &mut compute_times,
@@ -658,6 +801,7 @@ impl ColumnSgdEngine {
                         // A late reply from an earlier iteration: drop.
                         ColMsg::StatsReply { .. } => {}
                         ColMsg::WorkerPanic { worker, .. } => {
+                            wait_until = Instant::now() + detect;
                             let cost = self.respawn_worker(t, worker)?;
                             charge += cost;
                             self.note_recovery(
@@ -710,7 +854,7 @@ impl ColumnSgdEngine {
                     },
                     Err(NetError::Timeout) => {
                         // Detection: deadline expired with replies missing.
-                        charge += deadline.as_secs_f64();
+                        charge += detect.as_secs_f64();
                         let missing: Vec<usize> = (0..self.k)
                             .filter(|&w| !excused[w] && !partials.contains_key(&w))
                             .collect();
@@ -728,6 +872,7 @@ impl ColumnSgdEngine {
                                 None,
                             )?;
                         }
+                        wait_until = Instant::now() + detect;
                     }
                     Err(e) => {
                         return Err(TrainError::Network {
@@ -737,6 +882,8 @@ impl ColumnSgdEngine {
                     }
                 }
             }
+
+            let gather_wall = gather_started.elapsed().as_secs_f64();
 
             // Straggler injection (§V-C methodology). StragglerLevel is
             // "the ratio between the extra time a straggler needs to
@@ -838,8 +985,10 @@ impl ColumnSgdEngine {
             let mut update_times = vec![0.0f64; self.k];
             let mut acked = vec![false; self.k];
             let mut acks = 0;
+            let bcast_started = Instant::now();
+            let mut wait_until = bcast_started + detect;
             while acks < updaters.len() {
-                match self.recv_next(deadline) {
+                match self.recv_next(wait_until) {
                     Ok(env) => match env.payload {
                         ColMsg::UpdateAck {
                             iteration,
@@ -850,6 +999,7 @@ impl ColumnSgdEngine {
                                 acked[worker] = true;
                                 update_times[worker] = compute_s;
                                 acks += 1;
+                                wait_until = Instant::now() + detect;
                             }
                         }
                         // Stale acks, rebuild replies, stray probe answers.
@@ -857,6 +1007,7 @@ impl ColumnSgdEngine {
                         | ColMsg::StatsReply { .. }
                         | ColMsg::ProbeAck { .. } => {}
                         ColMsg::WorkerPanic { worker, .. } => {
+                            wait_until = Instant::now() + detect;
                             let cost = self.respawn_worker(t, worker)?;
                             charge += cost;
                             self.note_recovery(
@@ -884,7 +1035,7 @@ impl ColumnSgdEngine {
                         }
                     },
                     Err(NetError::Timeout) => {
-                        charge += deadline.as_secs_f64();
+                        charge += detect.as_secs_f64();
                         let silent: Vec<usize> =
                             updaters.iter().copied().filter(|&w| !acked[w]).collect();
                         for w in silent {
@@ -901,6 +1052,7 @@ impl ColumnSgdEngine {
                                 Some(&agg),
                             )?;
                         }
+                        wait_until = Instant::now() + detect;
                     }
                     Err(e) => {
                         return Err(TrainError::Network {
@@ -910,6 +1062,7 @@ impl ColumnSgdEngine {
                     }
                 }
             }
+            let bcast_wall = bcast_started.elapsed().as_secs_f64();
             if let (Some(victim), Some(s)) = (straggler, self.plan.straggler) {
                 if !backed_up {
                     update_times[victim] *= s.factor();
@@ -948,8 +1101,8 @@ impl ColumnSgdEngine {
                     &sample_times,
                     &compute_times,
                     stat_phase,
-                    gather_s,
-                    bcast_s,
+                    (gather_s, gather_wall),
+                    (bcast_s, bcast_wall),
                     &update_times,
                     upd_phase,
                     charge,
@@ -1054,9 +1207,12 @@ impl ColumnSgdEngine {
     /// Emits the six per-iteration [`SuperstepSpan`]s plus the
     /// [`KernelRecord`] for the statistics kernel. Sample is an
     /// informational *subset* of compute (same timer); gather/broadcast
-    /// are modeled from metered bytes; overhead folds in the scheduling
-    /// constant plus this iteration's recovery charge, so the six spans
-    /// sum to exactly the clock's delta for the iteration.
+    /// carry both the modeled time (from metered bytes) and the measured
+    /// wall-clock the master actually spent on the barrier — the
+    /// `transport_xval` experiment compares the two across backends;
+    /// overhead folds in the scheduling constant plus this iteration's
+    /// recovery charge, so the six spans sum to exactly the clock's delta
+    /// for the iteration.
     #[allow(clippy::too_many_arguments)] // iteration-local measurements
     fn emit_superstep(
         &self,
@@ -1064,8 +1220,8 @@ impl ColumnSgdEngine {
         sample_times: &[f64],
         compute_times: &[f64],
         stat_phase: f64,
-        gather_s: f64,
-        bcast_s: f64,
+        gather: (f64, f64),
+        bcast: (f64, f64),
         update_times: &[f64],
         upd_phase: f64,
         charge: f64,
@@ -1073,23 +1229,28 @@ impl ColumnSgdEngine {
     ) {
         let max = |xs: &[f64]| xs.iter().copied().fold(0.0f64, f64::max);
         let spans = [
-            (Phase::Sample, max(sample_times), sample_times),
-            (Phase::Compute, stat_phase, compute_times),
-            (Phase::Gather, gather_s, &[] as &[f64]),
-            (Phase::Broadcast, bcast_s, &[]),
-            (Phase::Update, upd_phase, update_times),
+            (Phase::Sample, max(sample_times), 0.0, sample_times),
+            (Phase::Compute, stat_phase, 0.0, compute_times),
+            (Phase::Gather, gather.0, gather.1, &[] as &[f64]),
+            (Phase::Broadcast, bcast.0, bcast.1, &[]),
+            (Phase::Update, upd_phase, 0.0, update_times),
             (
                 Phase::Overhead,
                 self.net.scheduling_overhead_s + charge,
+                0.0,
                 &[],
             ),
         ];
-        for (phase, sim_s, per_worker) in spans {
+        for (phase, sim_s, wall_s, per_worker) in spans {
             self.recorder.superstep(SuperstepSpan {
                 iteration: t,
                 phase,
                 sim_s,
-                measured_s: if phase.is_timer_derived() { sim_s } else { 0.0 },
+                measured_s: if phase.is_timer_derived() {
+                    sim_s
+                } else {
+                    wall_s
+                },
                 per_worker: per_worker.to_vec(),
             });
         }
@@ -1236,21 +1397,27 @@ impl ColumnSgdEngine {
             .unwrap_or(g * r)
     }
 
-    /// Brings a dead worker back: replaces its mailbox, joins the dead
-    /// thread, discards its stale panic notice, spawns a fresh supervised
-    /// incarnation, and streams the partition reload. Returns the priced
-    /// reload time.
+    /// Brings a dead worker back: replaces its mailbox (draining any
+    /// abandoned queued messages into the drop ledger), reaps the dead
+    /// thread or child process, discards its stale panic notice, spawns a
+    /// fresh supervised incarnation, and streams the partition reload.
+    /// Returns the priced reload time.
     fn respawn_worker(&mut self, t: u64, w: usize) -> Result<f64, TrainError> {
-        // Reregistering first drops the old sender: a live-but-wedged old
-        // incarnation sees its mailbox disconnect and exits, so the join
-        // below cannot hang.
-        let ep = self.router.reregister(NodeId::Worker(w));
-        if let Some(h) = self.handles[w].take() {
-            let _ = h.join();
-        }
-        // The dead thread exited before join returned, so any panic notice
-        // it sent is already queued — drop it, it describes the old
-        // incarnation.
+        let respawn_wait = self.bulk_deadline();
+        self.host.respawn(
+            &self.router,
+            t,
+            w,
+            self.k,
+            self.dim,
+            &self.cfg,
+            &self.plan,
+            respawn_wait,
+        )?;
+        // The dead incarnation exited before respawn returned, so any
+        // panic notice it sent is already queued — drop it, it describes
+        // the old incarnation. The fresh one cannot have panicked yet (it
+        // has not been handed a compute task).
         let stale = |env: &Envelope<ColMsg>| matches!(&env.payload, ColMsg::WorkerPanic { worker, .. } if *worker == w);
         self.pending.retain(|env| !stale(env));
         let mut kept = Vec::new();
@@ -1261,7 +1428,6 @@ impl ColumnSgdEngine {
         }
         self.pending.extend(kept);
 
-        self.handles[w] = Some(spawn_worker(ep, w, self.k, self.dim, self.cfg, &self.plan));
         let reload = self.reload_worker(t, w)?;
         let restore = self.restore_params(t, w)?;
         Ok(reload + restore)
@@ -1425,7 +1591,7 @@ impl ColumnSgdEngine {
                 .send_reliable(NodeId::Worker(w), ColMsg::FetchModel)
                 .map_err(net_err)?;
         }
-        let deadline = self.bulk_deadline();
+        let mut deadline = Instant::now() + self.bulk_deadline();
         let dim = self.dim() as usize;
         let part = self.cfg.partitioner(self.k, self.dim());
         let mut full = self.cfg.model.init_params(dim, self.cfg.seed, |s| s as u64);
@@ -1442,6 +1608,8 @@ impl ColumnSgdEngine {
             if !replied.insert(worker) {
                 continue;
             }
+            // Progress: a fresh worker answered; restart the clock.
+            deadline = Instant::now() + self.bulk_deadline();
             for (pid, local) in parts {
                 if !seen.insert(pid) {
                     continue; // replicas carry identical copies
@@ -1510,22 +1678,11 @@ fn discard_partial(
     sample_times[worker] = 0.0;
 }
 
-/// Spawns one supervised worker thread with its slice of the failure plan.
-fn spawn_worker(
-    ep: Endpoint<ColMsg>,
-    w: usize,
-    k: usize,
-    dim: u64,
-    cfg: ColumnSgdConfig,
-    plan: &FailurePlan,
-) -> JoinHandle<()> {
-    let script = WorkerScript::from_plan(plan, w);
-    spawn_guarded(
-        format!("colsgd-worker{w}"),
-        ep,
-        move |ep| run_worker(ep, w, k, dim, cfg, script),
-        move |info| ColMsg::WorkerPanic { worker: w, info },
-    )
+/// Default path of the `columnsgd-worker` binary: a sibling of the
+/// currently running executable (Cargo places all workspace binaries in
+/// the same `target/<profile>/` directory).
+fn default_worker_bin() -> Result<std::path::PathBuf, String> {
+    crate::host::locate_worker_bin("columnsgd-worker")
 }
 
 impl Drop for ColumnSgdEngine {
@@ -1537,11 +1694,7 @@ impl Drop for ColumnSgdEngine {
                 .master
                 .send_reliable(NodeId::Worker(w), ColMsg::Shutdown);
         }
-        for h in self.handles.iter_mut() {
-            if let Some(h) = h.take() {
-                let _ = h.join();
-            }
-        }
+        self.host.shutdown();
     }
 }
 

@@ -30,10 +30,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod config;
 pub mod elastic;
 pub mod engine;
 pub mod error;
+pub mod host;
 pub mod mlp;
 pub mod msg;
 pub mod pool;

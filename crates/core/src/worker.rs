@@ -39,8 +39,10 @@ use crate::msg::ColMsg;
 use crate::pool::WorkerPool;
 
 /// The worker-local slice of a failure plan: which of *this* worker's
-/// compute attempts fail, and how.
-#[derive(Debug, Clone, Default)]
+/// compute attempts fail, and how. Serializable because the
+/// multi-process backend ships it to worker processes in the stdin
+/// bootstrap line.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct WorkerScript {
     /// Iterations whose first attempt throws a task exception.
     pub task_failures: Vec<u64>,

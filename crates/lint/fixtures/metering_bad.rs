@@ -7,3 +7,8 @@ fn side_channel() {
     let _ = tx;
     let (_tx2, _rx2) = mpsc::channel::<Vec<u8>>();
 }
+
+fn side_socket() {
+    let _listener = std::net::TcpListener::bind("127.0.0.1:0");
+    let _conn = std::net::TcpStream::connect("127.0.0.1:1");
+}

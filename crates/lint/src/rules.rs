@@ -11,8 +11,10 @@
 //!   JSONL lines must not iterate `HashMap`/`HashSet` (randomized order
 //!   would make golden files flaky); they use `BTreeMap` or sort first.
 //! * `metering` — every cross-worker byte must flow through the metered
-//!   `Network`, so raw channel machinery (`crossbeam`, `mpsc`) is only
-//!   constructed inside `cluster`.
+//!   `Network`, so raw channel machinery (`crossbeam`, `mpsc`) and raw
+//!   socket machinery (`TcpStream`, `TcpListener`, `UdpSocket` — the
+//!   multi-process transport's substrate) are only constructed inside
+//!   `cluster`.
 //! * `panic-hygiene` — worker/master message loops and recovery paths
 //!   must surface failures as typed `TrainError`s, not panics, or fault
 //!   detection degrades to a hang.
@@ -211,6 +213,20 @@ fn metering(scanned: &Scanned) -> Vec<RawMatch> {
                 message: format!(
                     "raw channel machinery (`{ident}`) outside `cluster`; cross-worker traffic \
                      must flow through the metered `Network`/`Router`"
+                ),
+            });
+        }
+    }
+    // The multi-process transport moves bytes over real sockets; the same
+    // bypass argument applies — a raw socket outside `cluster` would
+    // carry unmetered cross-worker traffic.
+    for ident in ["TcpStream", "TcpListener", "UdpSocket"] {
+        for line in find_seq(scanned, &[ident]) {
+            out.push(RawMatch {
+                line,
+                message: format!(
+                    "raw socket machinery (`{ident}`) outside `cluster`; cross-worker traffic \
+                     must flow through the metered transport behind `Router`"
                 ),
             });
         }

@@ -12,6 +12,8 @@
 //!   --iters T                            iterations               [200]
 //!   --eta E                              learning rate            [0.1]
 //!   --seed S                             experiment seed          [42]
+//!   --transport inproc|tcp               transport backend        [inproc]
+//!   --worker-bin PATH                    rowsgd-worker binary (tcp)
 //!   --trace-out PATH                     write telemetry JSONL trace
 //!   --metrics-out PATH                   stream monitor snapshots (JSONL)
 //! ```
@@ -26,7 +28,7 @@ use std::fs::File;
 use std::io::BufReader;
 use std::process::exit;
 
-use columnsgd_cluster::{Monitor, MonitorConfig, Recorder};
+use columnsgd_cluster::{ClusterConfig, Monitor, MonitorConfig, Recorder, TransportKind};
 use columnsgd_data::libsvm;
 use columnsgd_ml::{serial, ModelSpec};
 use columnsgd_rowsgd::{RowSgdConfig, RowSgdEngine, RowSgdVariant};
@@ -42,6 +44,7 @@ struct Args {
     iters: u64,
     eta: f64,
     seed: u64,
+    cluster: ClusterConfig,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
@@ -50,7 +53,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rowsgd-train <file.libsvm> [--variant mllib|mllib*|petuum|mxnet] \
          [--model lr|svm|lsq|fm:<F>|mlr:<C>] [--workers K] [--batch B] [--iters T] \
-         [--eta E] [--seed S] [--trace-out PATH] [--metrics-out PATH]"
+         [--eta E] [--seed S] [--transport inproc|tcp] [--worker-bin PATH] \
+         [--trace-out PATH] [--metrics-out PATH]"
     );
     exit(2)
 }
@@ -92,6 +96,7 @@ fn parse_args() -> Args {
         iters: 200,
         eta: 0.1,
         seed: 42,
+        cluster: ClusterConfig::in_proc(),
         trace_out: None,
         metrics_out: None,
     };
@@ -117,6 +122,16 @@ fn parse_args() -> Args {
             "--iters" => args.iters = value("--iters").parse().unwrap_or_else(|_| usage()),
             "--eta" => args.eta = value("--eta").parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--transport" => {
+                args.cluster.transport = TransportKind::parse(&value("--transport"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage()
+                    });
+            }
+            "--worker-bin" => {
+                args.cluster.worker_bin = Some(value("--worker-bin").into());
+            }
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
             "--help" | "-h" => usage(),
@@ -171,12 +186,16 @@ fn main() {
     } else {
         Recorder::disabled()
     };
-    let mut engine = RowSgdEngine::new_traced(
+    if args.cluster.transport == TransportKind::Tcp {
+        eprintln!("transport: loopback tcp, one worker process per worker");
+    }
+    let mut engine = RowSgdEngine::new_clustered(
         &dataset,
         args.workers,
         config,
         NetworkModel::CLUSTER1,
         recorder.clone(),
+        &args.cluster,
     )
     .unwrap_or_else(|e| {
         eprintln!("engine setup failed: {e}");

@@ -2,6 +2,7 @@
 //! loop, and prices every iteration with the same network model used for
 //! ColumnSGD.
 
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -9,8 +10,8 @@ use columnsgd_cluster::clock::IterationTime;
 use columnsgd_cluster::telemetry::{KernelRecord, Phase, RunStamp, SuperstepSpan};
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
 use columnsgd_cluster::{
-    Diagnostics, Endpoint, Monitor, NetworkModel, NodeId, Recorder, Router, SimClock, SuperstepObs,
-    TrafficStats, Wire,
+    ClusterConfig, Diagnostics, Endpoint, Monitor, NetError, NetworkModel, NodeId, Recorder,
+    Router, SimClock, SuperstepObs, TcpHub, TrafficStats, TransportKind, Wire,
 };
 use columnsgd_core::TrainError;
 use columnsgd_data::Dataset;
@@ -19,6 +20,7 @@ use columnsgd_ml::metrics::Curve;
 use columnsgd_ml::{OptimizerState, ParamSet, SparseGrad};
 
 use crate::config::{RowSgdConfig, RowSgdVariant};
+use crate::host::{default_worker_bin, spawn_boot_process, RowBootSpec, RowHost};
 use crate::msg::RowMsg;
 use crate::worker::run_row_worker;
 
@@ -72,7 +74,7 @@ pub struct RowSgdEngine {
     p: usize,
     net: NetworkModel,
     master: Endpoint<RowMsg>,
-    handles: Vec<JoinHandle<()>>,
+    host: RowHost,
     traffic: TrafficStats,
     recorder: Recorder,
     monitor: Monitor,
@@ -133,6 +135,21 @@ impl RowSgdEngine {
         Self::traced(dataset, k, cfg, net, repartition, Recorder::disabled())
     }
 
+    /// [`RowSgdEngine::new_traced`] with an explicit transport: the
+    /// baseline runs over the same [`ClusterConfig`] backends as the
+    /// ColumnSGD engine (in-process channels, or one `rowsgd-worker` OS
+    /// process per worker over loopback TCP).
+    pub fn new_clustered(
+        dataset: &Dataset,
+        k: usize,
+        cfg: RowSgdConfig,
+        net: NetworkModel,
+        recorder: Recorder,
+        cluster: &ClusterConfig,
+    ) -> Result<Self, TrainError> {
+        Self::clustered(dataset, k, cfg, net, false, recorder, cluster)
+    }
+
     fn traced(
         dataset: &Dataset,
         k: usize,
@@ -140,6 +157,27 @@ impl RowSgdEngine {
         net: NetworkModel,
         repartition: bool,
         recorder: Recorder,
+    ) -> Result<Self, TrainError> {
+        Self::clustered(
+            dataset,
+            k,
+            cfg,
+            net,
+            repartition,
+            recorder,
+            &ClusterConfig::in_proc(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn clustered(
+        dataset: &Dataset,
+        k: usize,
+        cfg: RowSgdConfig,
+        net: NetworkModel,
+        repartition: bool,
+        recorder: Recorder,
+        cluster: &ClusterConfig,
     ) -> Result<Self, TrainError> {
         if dataset.is_empty() {
             return Err(TrainError::InvalidPlan(
@@ -163,22 +201,65 @@ impl RowSgdEngine {
         let p = cfg.num_servers(k);
         let mut ids = vec![NodeId::Master];
         ids.extend((0..k).map(NodeId::Worker));
-        let (_router, mut endpoints) =
-            Router::with_recorder(&ids, traffic.clone(), None, recorder.clone());
-        let master = endpoints.remove(0);
         let dim = dataset.dimension();
-        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(k);
-        for (w, ep) in endpoints.into_iter().enumerate() {
-            let handle = std::thread::Builder::new()
-                .name(format!("rowsgd-worker{w}"))
-                .spawn(move || run_row_worker(ep, w, k, dim, cfg))
-                .map_err(|e| TrainError::WorkerLost {
-                    worker: w,
-                    iteration: 0,
-                    detail: format!("could not spawn worker thread: {e}"),
-                })?;
-            handles.push(handle);
-        }
+        let (master, host) = match cluster.transport {
+            TransportKind::InProc => {
+                let (_router, mut endpoints) =
+                    Router::with_recorder(&ids, traffic.clone(), None, recorder.clone());
+                let master = endpoints.remove(0);
+                let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(k);
+                for (w, ep) in endpoints.into_iter().enumerate() {
+                    let handle = std::thread::Builder::new()
+                        .name(format!("rowsgd-worker{w}"))
+                        .spawn(move || run_row_worker(ep, w, k, dim, cfg))
+                        .map_err(|e| TrainError::WorkerLost {
+                            worker: w,
+                            iteration: 0,
+                            detail: format!("could not spawn worker thread: {e}"),
+                        })?;
+                    handles.push(handle);
+                }
+                (master, RowHost::Threads(handles))
+            }
+            TransportKind::Tcp => {
+                let workers: Vec<NodeId> = (0..k).map(NodeId::Worker).collect();
+                let hub = TcpHub::<RowMsg>::bind(&[NodeId::Master], &workers)
+                    .map_err(|e| TrainError::LoadFailed(format!("hub bind: {e}")))?;
+                let router = Router::with_transport(
+                    Arc::new(hub.clone()),
+                    &ids,
+                    traffic.clone(),
+                    None,
+                    recorder.clone(),
+                );
+                let master = hub.local_endpoint(NodeId::Master, &router);
+                hub.start(router);
+                let worker_bin = cluster
+                    .worker_bin
+                    .clone()
+                    .map_or_else(default_worker_bin, Ok)
+                    .map_err(TrainError::LoadFailed)?;
+                let mut children = Vec::with_capacity(k);
+                for w in 0..k {
+                    let boot = RowBootSpec {
+                        addr: hub.addr().to_string(),
+                        worker: w,
+                        k,
+                        dim,
+                        cfg,
+                    };
+                    let child = spawn_boot_process(&worker_bin, &boot.to_hex_line())
+                        .map_err(|e| TrainError::LoadFailed(format!("worker {w}: {e}")))?;
+                    children.push(child);
+                }
+                hub.await_workers(
+                    &workers,
+                    Duration::from_millis(cfg.deadline_ms.saturating_mul(10)),
+                )
+                .map_err(TrainError::LoadFailed)?;
+                (master, RowHost::Processes { hub, children })
+            }
+        };
 
         let params = if cfg.variant == RowSgdVariant::MLlibStar {
             None
@@ -194,7 +275,7 @@ impl RowSgdEngine {
             p,
             net,
             master,
-            handles,
+            host,
             traffic,
             recorder,
             monitor: Monitor::disabled(),
@@ -217,11 +298,26 @@ impl RowSgdEngine {
         Duration::from_millis(self.cfg.deadline_ms)
     }
 
-    /// Waits for the next message, converting a silent cluster into a
-    /// typed error attributed to `iteration`.
-    fn recv_deadline(&mut self, iteration: u64) -> Result<RowMsg, TrainError> {
+    /// Waits for the next message against an **absolute** deadline,
+    /// converting a silent cluster into a typed error attributed to
+    /// `iteration`.
+    ///
+    /// The deadline is an [`Instant`] rather than a per-call [`Duration`]
+    /// on purpose: callers loop around this receive while unexpected
+    /// messages dribble in, and a per-call duration would restart the full
+    /// detection window on every stray — a confused worker spamming
+    /// protocol noise could postpone fault detection indefinitely. Callers
+    /// extend the deadline only on *progress* (an accepted reply).
+    fn recv_next(&mut self, deadline: Instant, iteration: u64) -> Result<RowMsg, TrainError> {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(TrainError::Network {
+                iteration,
+                source: NetError::Timeout,
+            });
+        }
         self.master
-            .recv_timeout(self.deadline())
+            .recv_timeout(left)
             .map(|env| env.payload)
             .map_err(|source| TrainError::Network { iteration, source })
     }
@@ -257,12 +353,16 @@ impl RowSgdEngine {
                 })?;
         }
         let mut acks = 0;
+        let mut wait_until = Instant::now() + self.deadline();
         while acks < self.k {
             match self
-                .recv_deadline(0)
+                .recv_next(wait_until, 0)
                 .map_err(|e| TrainError::LoadFailed(e.to_string()))?
             {
-                RowMsg::LoadAck { .. } => acks += 1,
+                RowMsg::LoadAck { .. } => {
+                    acks += 1;
+                    wait_until = Instant::now() + self.deadline();
+                }
                 other => log_unexpected("load", &other),
             }
         }
@@ -502,13 +602,18 @@ impl RowSgdEngine {
                     })?;
             }
         }
-        let mut agg: Option<ParamSet> = None;
+        // Buffer replies per worker and fold them in worker-id order below:
+        // floating-point sums depend on fold order, so aggregating in
+        // arrival order would make the loss trajectory depend on thread
+        // (or socket) scheduling — nondeterministic run to run, and
+        // divergent across transport backends.
+        let mut replies: Vec<Option<(ParamSet, f64)>> = (0..self.k).map(|_| None).collect();
         let mut grad_bytes = 0u64;
-        let mut losses = Vec::with_capacity(self.k);
         let mut compute = vec![0.0; self.k];
         let mut got = 0;
+        let mut wait_until = Instant::now() + self.deadline();
         while got < self.k {
-            match self.recv_deadline(t)? {
+            match self.recv_next(wait_until, t)? {
                 RowMsg::GradReplyDense {
                     worker,
                     grad,
@@ -516,21 +621,33 @@ impl RowSgdEngine {
                     compute_s,
                     ..
                 } => {
+                    wait_until = Instant::now() + self.deadline();
                     grad_bytes = grad.wire_size() as u64 + 64;
-                    match &mut agg {
-                        None => agg = Some(grad),
-                        Some(a) => {
-                            for (ab, gb) in a.blocks.iter_mut().zip(&grad.blocks) {
-                                ab.axpy(1.0, gb);
-                            }
-                        }
-                    }
-                    losses.push(loss);
                     compute[worker] = compute_s;
-                    got += 1;
+                    if replies[worker].replace((grad, loss)).is_none() {
+                        got += 1;
+                    }
                 }
                 other => log_unexpected("MLlib gather", &other),
             }
+        }
+        let mut agg: Option<ParamSet> = None;
+        let mut losses = Vec::with_capacity(self.k);
+        for (w, reply) in replies.into_iter().enumerate() {
+            let (grad, loss) = reply.ok_or_else(|| {
+                TrainError::Internal(format!(
+                    "worker {w} counted as replied at iteration {t} but left no gradient"
+                ))
+            })?;
+            match &mut agg {
+                None => agg = Some(grad),
+                Some(a) => {
+                    for (ab, gb) in a.blocks.iter_mut().zip(&grad.blocks) {
+                        ab.axpy(1.0, gb);
+                    }
+                }
+            }
+            losses.push(loss);
         }
         let agg = agg.ok_or_else(|| {
             TrainError::Internal(format!("iteration {t} gathered zero gradients"))
@@ -567,24 +684,30 @@ impl RowSgdEngine {
                     detail: format!("local-step dispatch undeliverable: {e}"),
                 })?;
         }
-        let mut losses = Vec::with_capacity(self.k);
+        // Per-worker slots, not arrival order: the mean below must fold
+        // losses in a scheduling-independent order (see iteration_mllib).
+        let mut losses: Vec<Option<f64>> = vec![None; self.k];
         let mut compute = vec![0.0; self.k];
         let mut got = 0;
+        let mut wait_until = Instant::now() + self.deadline();
         while got < self.k {
-            match self.recv_deadline(t)? {
+            match self.recv_next(wait_until, t)? {
                 RowMsg::StepDone {
                     worker,
                     loss,
                     compute_s,
                     ..
                 } => {
-                    losses.push(loss);
                     compute[worker] = compute_s;
-                    got += 1;
+                    if losses[worker].replace(loss).is_none() {
+                        got += 1;
+                    }
+                    wait_until = Instant::now() + self.deadline();
                 }
                 other => log_unexpected("MLlib* gather", &other),
             }
         }
+        let losses: Vec<f64> = losses.into_iter().flatten().collect();
         let model_bytes = 8 * self.cfg.model.num_params(self.dim);
         let compute_s = compute.iter().copied().fold(0.0, f64::max);
         // The ring AllReduce is both reduce and distribute; file it under
@@ -638,8 +761,9 @@ impl RowSgdEngine {
             }
             let mut requests: Vec<Option<Vec<u64>>> = vec![None; self.k];
             let mut got = 0;
+            let mut wait_until = Instant::now() + self.deadline();
             while got < self.k {
-                match self.recv_deadline(t)? {
+                match self.recv_next(wait_until, t)? {
                     RowMsg::IndicesReply {
                         worker,
                         indices,
@@ -649,6 +773,7 @@ impl RowSgdEngine {
                         compute[worker] += compute_s;
                         requests[worker] = Some(indices);
                         got += 1;
+                        wait_until = Instant::now() + self.deadline();
                     }
                     other => log_unexpected("sparse-pull index round", &other),
                 }
@@ -744,11 +869,14 @@ impl RowSgdEngine {
         // Gather sparse gradients (push).
         let mut push_keys_per_server = vec![0u64; self.p];
         let mut push_per_server: Vec<Vec<u64>> = vec![Vec::new(); self.p];
-        let mut merged = SparseGrad::default();
-        let mut losses = Vec::with_capacity(self.k);
+        // Buffer pushes per worker and merge in worker-id order below:
+        // sparse merges sum overlapping keys, and floating-point sums must
+        // not depend on reply arrival order (see iteration_mllib).
+        let mut pushes: Vec<Option<(SparseGrad, f64)>> = (0..self.k).map(|_| None).collect();
         let mut got = 0;
+        let mut wait_until = Instant::now() + self.deadline();
         while got < self.k {
-            match self.recv_deadline(t)? {
+            match self.recv_next(wait_until, t)? {
                 RowMsg::GradReplySparse {
                     worker,
                     grad,
@@ -756,31 +884,43 @@ impl RowSgdEngine {
                     compute_s,
                     ..
                 } => {
-                    for p in 0..self.p {
-                        let cnt = grad
-                            .indices
-                            .iter()
-                            .filter(|&&j| self.server_of(j) == p)
-                            .count() as u64;
-                        if cnt > 0 {
-                            let bytes = (8 + unit) * cnt + ENVELOPE_BYTES as u64;
-                            router.meter_as(
-                                NodeId::Worker(worker),
-                                NodeId::Server(p),
-                                bytes as usize,
-                                "GradPush",
-                            );
-                            push_keys_per_server[p] += cnt;
-                            push_per_server[p].push(bytes);
-                        }
-                    }
-                    merged = merged.merge(&grad);
-                    losses.push(loss);
+                    wait_until = Instant::now() + self.deadline();
                     compute[worker] += compute_s;
-                    got += 1;
+                    if pushes[worker].replace((grad, loss)).is_none() {
+                        got += 1;
+                    }
                 }
                 other => log_unexpected("gradient push", &other),
             }
+        }
+        let mut merged = SparseGrad::default();
+        let mut losses = Vec::with_capacity(self.k);
+        for (w, push) in pushes.into_iter().enumerate() {
+            let (grad, loss) = push.ok_or_else(|| {
+                TrainError::Internal(format!(
+                    "worker {w} counted as replied at iteration {t} but left no gradient"
+                ))
+            })?;
+            for p in 0..self.p {
+                let cnt = grad
+                    .indices
+                    .iter()
+                    .filter(|&&j| self.server_of(j) == p)
+                    .count() as u64;
+                if cnt > 0 {
+                    let bytes = (8 + unit) * cnt + ENVELOPE_BYTES as u64;
+                    router.meter_as(
+                        NodeId::Worker(w),
+                        NodeId::Server(p),
+                        bytes as usize,
+                        "GradPush",
+                    );
+                    push_keys_per_server[p] += cnt;
+                    push_per_server[p].push(bytes);
+                }
+            }
+            merged = merged.merge(&grad);
+            losses.push(loss);
         }
         let start = Instant::now();
         {
@@ -877,8 +1017,11 @@ impl RowSgdEngine {
                         iteration,
                         detail: format!("model fetch undeliverable: {e}"),
                     })?;
+                // One absolute window for the single expected reply: stray
+                // traffic must not postpone the timeout.
+                let wait_until = Instant::now() + self.deadline();
                 loop {
-                    match self.recv_deadline(iteration)? {
+                    match self.recv_next(wait_until, iteration)? {
                         RowMsg::ModelReply { params, .. } => return Ok(params),
                         other => log_unexpected("model collection", &other),
                     }
@@ -893,9 +1036,7 @@ impl Drop for RowSgdEngine {
         for w in 0..self.k {
             let _ = self.master.send(NodeId::Worker(w), RowMsg::Shutdown);
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.host.shutdown();
     }
 }
 

@@ -33,8 +33,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod config;
 pub mod engine;
+pub mod host;
 pub mod memory;
 pub mod msg;
 pub mod worker;

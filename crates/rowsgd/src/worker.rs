@@ -204,9 +204,20 @@ impl RowWorker {
                 }
                 return Ok(data);
             }
+            // Absolute deadline for this chunk: protocol noise must not
+            // restart the window, or a confused peer spamming strays
+            // could stall the ring forever.
+            let wait_until = Instant::now() + deadline;
             loop {
+                let left = wait_until.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(format!(
+                        "ring recv timed out waiting for phase {expect_phase} \
+                         step {expect_step} (peer silent past deadline)"
+                    ));
+                }
                 let env = ep
-                    .recv_timeout(deadline)
+                    .recv_timeout(left)
                     .map_err(|e| format!("ring recv (peer silent past deadline): {e}"))?;
                 match env.payload {
                     RowMsg::RingChunk { phase, step, data } => {

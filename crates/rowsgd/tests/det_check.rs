@@ -1,0 +1,53 @@
+//! Run-to-run determinism of the RowSGD baselines.
+//!
+//! Regression: the master used to fold gradient replies and losses in
+//! *arrival* order, so the loss trajectory depended on thread scheduling
+//! — two identically seeded runs could diverge in the last ulp and drift
+//! apart. Replies are now buffered per worker and folded in worker-id
+//! order, making seeded runs bit-identical (which the cross-backend
+//! transport tests rely on).
+
+use columnsgd_cluster::{ClusterConfig, NetworkModel, Recorder};
+use columnsgd_data::synth;
+use columnsgd_ml::ModelSpec;
+use columnsgd_rowsgd::{RowSgdConfig, RowSgdEngine, RowSgdVariant};
+
+fn losses(variant: RowSgdVariant) -> Vec<f64> {
+    let ds = synth::small_test_dataset(200, 40, 11);
+    let cfg = RowSgdConfig::new(ModelSpec::Lr, variant)
+        .with_batch_size(40)
+        .with_iterations(6)
+        .with_learning_rate(0.5)
+        .with_seed(13);
+    let mut engine = RowSgdEngine::new_clustered(
+        &ds,
+        3,
+        cfg,
+        NetworkModel::INSTANT,
+        Recorder::new(),
+        &ClusterConfig::in_proc(),
+    )
+    .expect("engine");
+    let out = engine.train().expect("train");
+    out.curve.points.iter().map(|p| p.loss).collect()
+}
+
+#[test]
+fn seeded_runs_are_bit_identical_for_every_variant() {
+    for variant in [
+        RowSgdVariant::MLlib,
+        RowSgdVariant::MLlibStar,
+        RowSgdVariant::PsDense,
+        RowSgdVariant::PsSparse,
+    ] {
+        let first = losses(variant);
+        for attempt in 0..3 {
+            assert_eq!(
+                first,
+                losses(variant),
+                "{}: run diverged on attempt {attempt}",
+                variant.label()
+            );
+        }
+    }
+}
