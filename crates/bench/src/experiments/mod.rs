@@ -18,12 +18,13 @@ pub mod table4;
 pub mod table5;
 pub mod tables23;
 pub mod trace;
+pub mod trace_tcp;
 pub mod transport_xval;
 
 use crate::Report;
 
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 25] = [
+pub const ALL_IDS: [&str; 26] = [
     "table1",
     "table2",
     "table3",
@@ -46,6 +47,7 @@ pub const ALL_IDS: [&str; 25] = [
     "ext_chaos",
     "ext_elastic",
     "trace",
+    "trace_tcp",
     "transport_xval",
     "diagnose",
     "BENCH_superstep",
@@ -77,6 +79,7 @@ pub fn run(id: &str, scale: f64) -> Option<Vec<Report>> {
         "ext_chaos" => vec![ext_chaos::run(scale)],
         "ext_elastic" => vec![ext_elastic::sweep(scale)],
         "trace" => vec![trace::run(scale)],
+        "trace_tcp" => vec![trace_tcp::run(scale)],
         "transport_xval" => vec![transport_xval::run(scale)],
         "diagnose" => vec![diagnose::run(scale)],
         "BENCH_superstep" => vec![superstep::run(scale)],

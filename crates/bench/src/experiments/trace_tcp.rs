@@ -1,0 +1,147 @@
+//! `trace_tcp`: the traced sample job re-run on the loopback-TCP process
+//! backend — the distributed telemetry plane end to end.
+//!
+//! Each worker OS process records its own kernel/fault events into a
+//! process-local `Recorder` and ships them to the master as telemetry
+//! frames (flushed at superstep boundaries and on shutdown); the master
+//! merges them with its own superstep/comm records into one trace. The
+//! experiment asserts the tentpole invariants on the merged trace:
+//!
+//! * comm records still reconcile **exactly** with the router meter —
+//!   telemetry frames are diverted before data-plane metering, so trace
+//!   shipping cannot perturb the reconciliation,
+//! * per-worker kernel records arrived from every worker process,
+//! * the meta line names the backend (`tcp`, K worker processes) and
+//!   carries a hello-time clock-offset estimate per worker.
+//!
+//! The JSONL trace is written to `repro_results/TRACE_tcp_sample.jsonl`
+//! (override with the `COLUMNSGD_TRACE_TCP_OUT` environment variable) and
+//! is the golden input for `columnsgd-inspect`'s TCP-mode tests.
+//!
+//! Requires the `columnsgd-worker` binary next to the running executable —
+//! build the whole workspace first (`cargo build --release`).
+
+use std::path::PathBuf;
+
+use columnsgd::cluster::telemetry::{Event, SCHEMA_VERSION};
+use columnsgd::cluster::{ClusterConfig, FailurePlan, NetworkModel, Recorder};
+use columnsgd::core::{ColumnSgdConfig, ColumnSgdEngine};
+use columnsgd::data::DatasetPreset;
+use columnsgd::ml::ModelSpec;
+use serde_json::json;
+
+use crate::datasets;
+use crate::report::{breakdown_json, breakdown_rows, Report};
+
+/// Default path of the checked-in TCP-mode sample trace.
+pub const DEFAULT_TRACE_OUT: &str = "repro_results/TRACE_tcp_sample.jsonl";
+
+/// Environment variable overriding the trace output path.
+pub const TRACE_OUT_ENV: &str = "COLUMNSGD_TRACE_TCP_OUT";
+
+/// Worker-process count for the sample job.
+const K: usize = 2;
+
+/// Runs the traced TCP sample job and writes the JSONL trace.
+pub fn run(scale: f64) -> Report {
+    let out_path: PathBuf = std::env::var(TRACE_OUT_ENV)
+        .unwrap_or_else(|_| DEFAULT_TRACE_OUT.to_string())
+        .into();
+    let ds = datasets::build(DatasetPreset::Avazu, scale * 0.5, 2_000, 29);
+    let cfg = ColumnSgdConfig::new(ModelSpec::Lr)
+        .with_batch_size(200)
+        .with_iterations(8)
+        .with_learning_rate(0.5)
+        .with_seed(29);
+    let recorder = Recorder::new();
+    let mut e = ColumnSgdEngine::new_clustered(
+        &ds,
+        K,
+        cfg,
+        NetworkModel::CLUSTER1,
+        FailurePlan::none(),
+        recorder.clone(),
+        &ClusterConfig::tcp(),
+    )
+    .unwrap_or_else(|err| {
+        panic!(
+            "engine setup failed on the tcp backend: {err} — \
+             `cargo build --release` first so the columnsgd-worker binary \
+             exists next to this executable"
+        )
+    });
+    let out = e.train().expect("train");
+    recorder.write_jsonl(&out_path).expect("write trace");
+    let s = recorder.summary();
+
+    // Tentpole invariant 1: the merged trace reconciles with the meter
+    // even though worker events crossed the socket as telemetry frames.
+    assert_eq!(
+        (s.comm_bytes, s.comm_messages),
+        (e.traffic().total().bytes, e.traffic().total().messages),
+        "trace bytes must reconcile with the router meter on tcp"
+    );
+    // Tentpole invariant 2: every worker process shipped kernel records.
+    for w in 0..K as u64 {
+        assert!(
+            recorder
+                .events()
+                .iter()
+                .any(|ev| matches!(ev, Event::Kernel(k) if k.worker == Some(w))),
+            "no kernel records arrived from worker process {w}"
+        );
+    }
+    // Tentpole invariant 3: backend identity + clock alignment in meta.
+    let (backend, procs) = recorder.backend().expect("backend stamped");
+    assert_eq!((backend.as_str(), procs), ("tcp", K as u64));
+    assert_eq!(
+        recorder.clock_offsets().len(),
+        K,
+        "one hello-time clock-offset estimate per worker process"
+    );
+
+    let mut r = Report::new(
+        "trace_tcp",
+        "telemetry plane: traced LR run on loopback-TCP worker processes \
+         (Cluster 1, K=2, B=200, 8 iterations) — breakdown from the merged trace",
+        &["phase", "sim s", "share"],
+    );
+    for row in breakdown_rows(&s) {
+        r.row(row);
+    }
+    let worker_kernels = recorder
+        .events()
+        .iter()
+        .filter(|ev| matches!(ev, Event::Kernel(k) if k.worker.is_some()))
+        .count();
+    r.note(format!(
+        "run {} (schema v{SCHEMA_VERSION}), backend tcp ({K} worker processes) — \
+         trace written to {}",
+        s.run.run_id_hex(),
+        out_path.display()
+    ));
+    r.note(format!(
+        "{worker_kernels} worker-shipped kernel records merged; comm {} messages / {} bytes \
+         reconciled exactly with the router meter (telemetry frames are unmetered by construction)",
+        s.comm_messages, s.comm_bytes
+    ));
+    r.note(format!(
+        "clock offsets vs master: {}",
+        recorder
+            .clock_offsets()
+            .iter()
+            .map(|(w, o)| format!("w{w} {o:+.6}s"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    r.json = json!({
+        "trace_path": out_path.display().to_string(),
+        "schema": SCHEMA_VERSION,
+        "backend": "tcp",
+        "worker_processes": K,
+        "worker_kernel_records": worker_kernels,
+        "final_loss": out.curve.final_loss(),
+        "breakdown": breakdown_json(&s),
+    });
+    r
+}

@@ -29,11 +29,32 @@ use crate::report::Report;
 /// Cluster shapes swept (worker counts).
 const SHAPES: [usize; 2] = [2, 4];
 
+/// Environment variable restricting the sweep to a comma-separated list
+/// of worker counts (e.g. `COLUMNSGD_XVAL_SHAPES=2` for the CI traced-tcp
+/// job, which only needs one cell to gate on trace equivalence).
+pub const SHAPES_ENV: &str = "COLUMNSGD_XVAL_SHAPES";
+
+fn shapes() -> Vec<usize> {
+    match std::env::var(SHAPES_ENV) {
+        Ok(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad {SHAPES_ENV} entry {s:?}: {e}"))
+            })
+            .collect(),
+        Err(_) => SHAPES.to_vec(),
+    }
+}
+
 /// One backend's observables for a shape.
 struct Run {
     losses: Vec<f64>,
     model: Vec<f64>,
     traffic: (u64, u64),
+    /// Sorted canonical trace lines (measured wall-time stripped).
+    canonical: Vec<String>,
     gather_sim_s: f64,
     gather_wall_s: f64,
     bcast_sim_s: f64,
@@ -92,6 +113,7 @@ fn run_on(ds: &columnsgd::data::Dataset, k: usize, cluster: &ClusterConfig) -> R
             .flat_map(|b| b.as_slice().iter().copied())
             .collect(),
         traffic: (total.bytes, total.messages),
+        canonical: recorder.canonical_lines(),
         gather_sim_s: gsim,
         gather_wall_s: gwall,
         bcast_sim_s: bsim,
@@ -118,7 +140,7 @@ pub fn run(scale: f64) -> Report {
         ],
     );
     let mut rows_json = Vec::new();
-    for k in SHAPES {
+    for k in shapes() {
         let inproc = run_on(&ds, k, &ClusterConfig::in_proc());
         let tcp = run_on(&ds, k, &ClusterConfig::tcp());
         // The whole point: transport is invisible above the wire.
@@ -127,6 +149,13 @@ pub fn run(scale: f64) -> Report {
         assert_eq!(
             inproc.traffic, tcp.traffic,
             "K={k}: metered traffic diverged across backends"
+        );
+        // Trace equivalence: worker events shipped as telemetry frames
+        // merge into the same canonical trace the in-process recorder
+        // produces — wall-time fields are the only permitted difference.
+        assert_eq!(
+            inproc.canonical, tcp.canonical,
+            "K={k}: canonical traces diverged across backends"
         );
         let loss = *inproc.losses.last().expect("nonempty curve");
         for (label, run) in [("inproc", &inproc), ("tcp", &tcp)] {
@@ -155,8 +184,9 @@ pub fn run(scale: f64) -> Report {
         }
     }
     r.note(
-        "asserted per shape: loss curve, final model, and metered bytes/messages are \
-         bit-identical across backends — the transport sits below the determinism line",
+        "asserted per shape: loss curve, final model, metered bytes/messages, and the \
+         canonical telemetry trace are bit-identical across backends — the transport \
+         (including telemetry-frame shipping) sits below the determinism line",
     );
     r.note(
         "sim columns price the analytic NetworkModel (identical across backends by \

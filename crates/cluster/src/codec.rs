@@ -41,7 +41,9 @@ use std::io::{self, Read, Write};
 use columnsgd_linalg::{CsrMatrix, DenseVector, SparseVector};
 
 use crate::node::NodeId;
-use crate::telemetry::Plane;
+use crate::telemetry::{
+    CommFault, CommRecord, Event, FaultRecord, KernelRecord, NodeRef, Phase, Plane, SuperstepSpan,
+};
 use crate::wire::{Wire, ENVELOPE_BYTES};
 
 /// Errors surfaced while encoding or decoding frames.
@@ -521,6 +523,10 @@ pub enum FrameKind {
     Message(Plane),
     /// The connection hello a worker process sends after dialing in.
     Hello,
+    /// A telemetry-plane frame (clock alignment or an event batch).
+    /// Never admitted through `Router::ingress`, so it advances no
+    /// data-plane meter — trace shipping is free by construction.
+    Telemetry,
 }
 
 /// Decoded 32-byte envelope header.
@@ -607,10 +613,11 @@ pub fn decode_envelope_header(frame: &[u8]) -> Result<EnvelopeHeader, CodecError
             actual: frame.len(),
         });
     }
-    let kind = if (flags >> 8) & 0xFF == 1 {
-        FrameKind::Hello
-    } else {
-        FrameKind::Message(plane_from_byte((flags & 0xFF) as u8)?)
+    let kind = match (flags >> 8) & 0xFF {
+        0 => FrameKind::Message(plane_from_byte((flags & 0xFF) as u8)?),
+        1 => FrameKind::Hello,
+        2 => FrameKind::Telemetry,
+        k => return Err(CodecError::Malformed(format!("bad frame-kind byte {k}"))),
     };
     Ok(EnvelopeHeader {
         from,
@@ -633,6 +640,266 @@ pub fn decode_body_checked<M: WireCodec>(frame: &[u8]) -> Result<M, CodecError> 
             actual: frame.len(),
         });
     }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry-plane frames
+// ---------------------------------------------------------------------------
+//
+// Telemetry frames reuse the 32-byte envelope header (so `read_frame`'s
+// length bounds and the header length check hold unchanged) with frame-kind
+// byte 2, but their bodies are *not* protocol payloads: the hub intercepts
+// them before `decode_body_checked` / `Router::ingress`, so they are never
+// metered and have no `wire_size()` contract — `body_len` is simply the
+// actual body length.
+
+/// The body of a [`FrameKind::Telemetry`] frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryPayload {
+    /// Master → worker: "my monotonic clock reads `master_nanos`".
+    /// Sent right after the hello handshake registers the connection.
+    ClockProbe {
+        /// Nanoseconds since the hub's monotonic origin.
+        master_nanos: u64,
+    },
+    /// Worker → master: the probe echoed with the worker's own clock, so
+    /// the hub can estimate the offset as `client - (master + rtt/2)`.
+    ClockEcho {
+        /// The `master_nanos` from the probe, returned verbatim.
+        master_nanos: u64,
+        /// Nanoseconds since the worker's monotonic origin at echo time.
+        client_nanos: u64,
+    },
+    /// Worker → master: a batch of locally recorded telemetry events,
+    /// flushed at superstep boundaries and on shutdown.
+    Events(Vec<Event>),
+}
+
+/// Stable `u64` encoding of a telemetry [`NodeRef`] (same tagging scheme
+/// as [`encode_node`]).
+fn encode_noderef(n: NodeRef) -> u64 {
+    match n {
+        NodeRef::Master => 0,
+        NodeRef::Worker(i) => 1 << 32 | u64::from(i),
+        NodeRef::Server(i) => 2 << 32 | u64::from(i),
+    }
+}
+
+/// Inverse of [`encode_noderef`].
+fn decode_noderef(x: u64) -> Result<NodeRef, CodecError> {
+    let idx = (x & 0xFFFF_FFFF) as u32;
+    match x >> 32 {
+        0 if idx == 0 => Ok(NodeRef::Master),
+        1 => Ok(NodeRef::Worker(idx)),
+        2 => Ok(NodeRef::Server(idx)),
+        _ => Err(CodecError::Malformed(format!(
+            "bad noderef encoding {x:#x}"
+        ))),
+    }
+}
+
+fn put_phase(out: &mut Vec<u8>, p: Phase) {
+    let idx = Phase::ALL
+        .iter()
+        .position(|q| *q == p)
+        .expect("phase in Phase::ALL");
+    put_u8(out, idx as u8);
+}
+
+fn read_phase(r: &mut WireReader<'_>) -> Result<Phase, CodecError> {
+    let b = r.u8("phase byte")?;
+    Phase::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or_else(|| CodecError::Malformed(format!("bad phase byte {b}")))
+}
+
+fn put_comm_fault(out: &mut Vec<u8>, f: Option<CommFault>) {
+    put_u8(
+        out,
+        match f {
+            None => 0,
+            Some(CommFault::Dropped) => 1,
+            Some(CommFault::Duplicated) => 2,
+            Some(CommFault::Delayed) => 3,
+        },
+    );
+}
+
+fn read_comm_fault(r: &mut WireReader<'_>) -> Result<Option<CommFault>, CodecError> {
+    Ok(match r.u8("comm-fault byte")? {
+        0 => None,
+        1 => Some(CommFault::Dropped),
+        2 => Some(CommFault::Duplicated),
+        3 => Some(CommFault::Delayed),
+        b => return Err(CodecError::Malformed(format!("bad comm-fault byte {b}"))),
+    })
+}
+
+fn put_event(out: &mut Vec<u8>, e: &Event) {
+    match e {
+        Event::Superstep(s) => {
+            put_u8(out, 0);
+            put_u64(out, s.iteration);
+            put_phase(out, s.phase);
+            put_f64(out, s.sim_s);
+            put_f64(out, s.measured_s);
+            put_f64s(out, &s.per_worker);
+        }
+        Event::Comm(c) => {
+            put_u8(out, 1);
+            put_str(out, &c.kind);
+            put_u64(out, encode_noderef(c.src));
+            put_u64(out, encode_noderef(c.dst));
+            put_u64(out, c.wire_bytes);
+            put_f64(out, c.modeled_s);
+            put_u8(out, plane_byte(c.plane));
+            put_comm_fault(out, c.fault);
+        }
+        Event::Kernel(k) => {
+            put_u8(out, 2);
+            put_u64(out, k.iteration);
+            put_str(out, &k.model);
+            put_u64(out, k.batch_size);
+            put_u64(out, k.pool_width);
+            put_u64(out, k.flops_proxy);
+            match k.worker {
+                None => put_u8(out, 0),
+                Some(w) => {
+                    put_u8(out, 1);
+                    put_u64(out, w);
+                }
+            }
+        }
+        Event::Fault(f) => {
+            put_u8(out, 3);
+            put_u64(out, f.iteration);
+            put_u64(out, f.worker);
+            put_str(out, &f.fault);
+            put_str(out, &f.detection);
+            put_f64(out, f.detection_latency_s);
+            put_f64(out, f.recovery_cost_s);
+            put_u64(out, f.attempt);
+            put_bool(out, f.fatal);
+        }
+    }
+}
+
+fn read_event(r: &mut WireReader<'_>) -> Result<Event, CodecError> {
+    Ok(match r.u8("event tag")? {
+        0 => Event::Superstep(SuperstepSpan {
+            iteration: r.u64("superstep iter")?,
+            phase: read_phase(r)?,
+            sim_s: r.f64("superstep sim_s")?,
+            measured_s: r.f64("superstep measured_s")?,
+            per_worker: r.f64s("superstep per_worker")?,
+        }),
+        1 => Event::Comm(CommRecord {
+            kind: r.str("comm kind")?,
+            src: decode_noderef(r.u64("comm src")?)?,
+            dst: decode_noderef(r.u64("comm dst")?)?,
+            wire_bytes: r.u64("comm bytes")?,
+            modeled_s: r.f64("comm modeled_s")?,
+            plane: plane_from_byte(r.u8("comm plane")?)?,
+            fault: read_comm_fault(r)?,
+        }),
+        2 => Event::Kernel(KernelRecord {
+            iteration: r.u64("kernel iter")?,
+            model: r.str("kernel model")?,
+            batch_size: r.u64("kernel batch_size")?,
+            pool_width: r.u64("kernel pool_width")?,
+            flops_proxy: r.u64("kernel flops_proxy")?,
+            worker: match r.u8("kernel worker tag")? {
+                0 => None,
+                1 => Some(r.u64("kernel worker")?),
+                b => return Err(CodecError::Malformed(format!("bad kernel worker tag {b}"))),
+            },
+        }),
+        3 => Event::Fault(FaultRecord {
+            iteration: r.u64("fault iter")?,
+            worker: r.u64("fault worker")?,
+            fault: r.str("fault kind")?,
+            detection: r.str("fault detection")?,
+            detection_latency_s: r.f64("fault detection_latency_s")?,
+            recovery_cost_s: r.f64("fault recovery_cost_s")?,
+            attempt: r.u64("fault attempt")?,
+            fatal: r.bool("fault fatal")?,
+        }),
+        t => return Err(CodecError::Malformed(format!("bad event tag {t}"))),
+    })
+}
+
+/// Frames a telemetry body: envelope header with frame-kind byte 2 and
+/// `body_len` set to the actual body length (no `wire_size()` contract).
+fn encode_telemetry_frame(from: NodeId, to: NodeId, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_BYTES + body.len());
+    put_u64(&mut out, encode_node(from));
+    put_u64(&mut out, encode_node(to));
+    // Frame-kind byte 2; the plane byte carries Virtual for documentation
+    // (telemetry never touches a metered plane).
+    put_u64(&mut out, 2 << 8 | u64::from(plane_byte(Plane::Virtual)));
+    put_u64(&mut out, body.len() as u64);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Encodes a master → worker clock probe.
+pub fn encode_clock_probe(from: NodeId, to: NodeId, master_nanos: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(9);
+    put_u8(&mut body, 0);
+    put_u64(&mut body, master_nanos);
+    encode_telemetry_frame(from, to, &body)
+}
+
+/// Encodes a worker → master clock echo.
+pub fn encode_clock_echo(
+    from: NodeId,
+    to: NodeId,
+    master_nanos: u64,
+    client_nanos: u64,
+) -> Vec<u8> {
+    let mut body = Vec::with_capacity(17);
+    put_u8(&mut body, 1);
+    put_u64(&mut body, master_nanos);
+    put_u64(&mut body, client_nanos);
+    encode_telemetry_frame(from, to, &body)
+}
+
+/// Encodes a worker → master telemetry event batch.
+pub fn encode_telemetry_events(from: NodeId, to: NodeId, events: &[Event]) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u8(&mut body, 2);
+    put_usize(&mut body, events.len());
+    for e in events {
+        put_event(&mut body, e);
+    }
+    encode_telemetry_frame(from, to, &body)
+}
+
+/// Decodes the body of a [`FrameKind::Telemetry`] frame (the header must
+/// already have identified the kind).
+pub fn decode_telemetry_body(frame: &[u8]) -> Result<TelemetryPayload, CodecError> {
+    let mut r = WireReader::new(&frame[ENVELOPE_BYTES..]);
+    let payload = match r.u8("telemetry sub-tag")? {
+        0 => TelemetryPayload::ClockProbe {
+            master_nanos: r.u64("probe master_nanos")?,
+        },
+        1 => TelemetryPayload::ClockEcho {
+            master_nanos: r.u64("echo master_nanos")?,
+            client_nanos: r.u64("echo client_nanos")?,
+        },
+        2 => {
+            let count = r.usize("event-batch count")?;
+            let mut events = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                events.push(read_event(&mut r)?);
+            }
+            TelemetryPayload::Events(events)
+        }
+        t => return Err(CodecError::Malformed(format!("bad telemetry sub-tag {t}"))),
+    };
+    r.finish("telemetry body")?;
     Ok(payload)
 }
 
@@ -769,6 +1036,115 @@ mod tests {
         let parsed = decode_envelope_header(&h).unwrap();
         assert_eq!(parsed.kind, FrameKind::Hello);
         assert_eq!(parsed.from, NodeId::Worker(4));
+    }
+
+    fn sample_telemetry_events() -> Vec<Event> {
+        vec![
+            Event::Superstep(SuperstepSpan {
+                iteration: 3,
+                phase: Phase::Compute,
+                sim_s: 0.25,
+                measured_s: 0.125,
+                per_worker: vec![0.1, 0.25],
+            }),
+            Event::Comm(CommRecord {
+                kind: "StatsReply".to_string(),
+                src: NodeRef::Worker(1),
+                dst: NodeRef::Master,
+                wire_bytes: 4096,
+                modeled_s: 1.5e-4,
+                plane: Plane::Data,
+                fault: Some(CommFault::Delayed),
+            }),
+            Event::Kernel(KernelRecord {
+                iteration: 3,
+                model: "lr".to_string(),
+                batch_size: 200,
+                pool_width: 2,
+                flops_proxy: 200,
+                worker: Some(1),
+            }),
+            Event::Kernel(KernelRecord {
+                iteration: 4,
+                model: "svm".to_string(),
+                batch_size: 200,
+                pool_width: 2,
+                flops_proxy: 400,
+                worker: None,
+            }),
+            Event::Fault(FaultRecord {
+                iteration: 5,
+                worker: 0,
+                fault: "non-finite statistics".to_string(),
+                detection: "worker guard".to_string(),
+                detection_latency_s: 0.0,
+                recovery_cost_s: 0.0,
+                attempt: 1,
+                fatal: false,
+            }),
+        ]
+    }
+
+    #[test]
+    fn telemetry_event_batches_roundtrip() {
+        let events = sample_telemetry_events();
+        let frame = encode_telemetry_events(NodeId::Worker(1), NodeId::Master, &events);
+        let h = decode_envelope_header(&frame).unwrap();
+        assert_eq!(h.kind, FrameKind::Telemetry);
+        assert_eq!(h.from, NodeId::Worker(1));
+        assert_eq!(h.to, NodeId::Master);
+        assert_eq!(h.body_len, frame.len() - ENVELOPE_BYTES);
+        match decode_telemetry_body(&frame).unwrap() {
+            TelemetryPayload::Events(back) => assert_eq!(back, events),
+            other => panic!("expected Events, got {other:?}"),
+        }
+        // Empty batches are legal (a flush with nothing new).
+        let empty = encode_telemetry_events(NodeId::Worker(0), NodeId::Master, &[]);
+        match decode_telemetry_body(&empty).unwrap() {
+            TelemetryPayload::Events(back) => assert!(back.is_empty()),
+            other => panic!("expected Events, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clock_probe_and_echo_roundtrip() {
+        let probe = encode_clock_probe(NodeId::Master, NodeId::Worker(2), 123_456_789);
+        assert_eq!(
+            decode_envelope_header(&probe).unwrap().kind,
+            FrameKind::Telemetry
+        );
+        assert_eq!(
+            decode_telemetry_body(&probe).unwrap(),
+            TelemetryPayload::ClockProbe {
+                master_nanos: 123_456_789
+            }
+        );
+        let echo = encode_clock_echo(NodeId::Worker(2), NodeId::Master, 123_456_789, 987);
+        assert_eq!(
+            decode_telemetry_body(&echo).unwrap(),
+            TelemetryPayload::ClockEcho {
+                master_nanos: 123_456_789,
+                client_nanos: 987
+            }
+        );
+    }
+
+    #[test]
+    fn telemetry_frames_are_not_protocol_messages() {
+        let frame = encode_telemetry_events(
+            NodeId::Worker(0),
+            NodeId::Master,
+            &sample_telemetry_events(),
+        );
+        // A telemetry frame must never decode as a protocol body — the
+        // hub's dispatch keys on the header kind, and a mixed-up frame
+        // would corrupt the meter.
+        let h = decode_envelope_header(&frame).unwrap();
+        assert!(!matches!(h.kind, FrameKind::Message(_)));
+        // An unknown frame-kind byte is an error, not a silent Message.
+        let mut bogus = frame.clone();
+        bogus[17] = 9; // flags byte 1 (frame kind) — offset 16 is byte 0
+        assert!(decode_envelope_header(&bogus).is_err());
     }
 
     #[test]

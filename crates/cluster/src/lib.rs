@@ -53,7 +53,7 @@ pub mod wire;
 
 pub use chaos::{ChaosSpec, WireFault};
 pub use clock::SimClock;
-pub use codec::{CodecError, WireCodec, WireReader};
+pub use codec::{CodecError, TelemetryPayload, WireCodec, WireReader};
 pub use columnsgd_telemetry as telemetry;
 pub use columnsgd_telemetry::{
     DiagnosticEvent, DiagnosticKind, Diagnostics, Monitor, MonitorConfig, Recorder, SuperstepObs,
@@ -67,7 +67,7 @@ pub use membership::{
 pub use netmodel::NetworkModel;
 pub use node::NodeId;
 pub use router::{panic_message, spawn_guarded, Endpoint, Envelope, NetError, Router};
-pub use tcp::{TcpClient, TcpHub};
+pub use tcp::{TcpClient, TcpHub, TelemetryTx};
 pub use traffic::TrafficStats;
 pub use transport::{ChannelTransport, Reregistered, Transport};
 pub use wire::Wire;

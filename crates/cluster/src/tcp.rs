@@ -45,8 +45,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use crate::codec::{
-    decode_body_checked, decode_envelope_header, encode_envelope, encode_hello, read_frame,
-    write_frame, FrameKind,
+    decode_body_checked, decode_envelope_header, decode_telemetry_body, encode_clock_echo,
+    encode_clock_probe, encode_envelope, encode_hello, encode_telemetry_events, read_frame,
+    write_frame, FrameKind, TelemetryPayload,
 };
 use crate::node::NodeId;
 use crate::router::{Endpoint, Envelope, NetError, Router};
@@ -79,6 +80,10 @@ struct HubInner<M> {
     conns: Mutex<HashMap<NodeId, Conn>>,
     /// Router used by reader threads to admit worker-originated frames.
     router: Mutex<Option<Router<M>>>,
+    /// The master's monotonic origin: clock probes and echoes are
+    /// expressed as nanoseconds since this instant, so worker timelines
+    /// can be aligned to the master's.
+    origin: Instant,
     shutting_down: AtomicBool,
 }
 
@@ -142,6 +147,7 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
                 local: RwLock::new(local),
                 conns: Mutex::new(conns),
                 router: Mutex::new(None),
+                origin: Instant::now(),
                 shutting_down: AtomicBool::new(false),
             }),
         })
@@ -204,7 +210,7 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
             _ => return, // not a worker of ours; drop the connection
         };
         let who = header.from;
-        let generation = {
+        let (generation, writer) = {
             let mut conns = self.inner.conns.lock();
             let Some(conn) = conns.get_mut(&who) else {
                 return; // unknown worker id
@@ -214,10 +220,11 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
             }
             conn.generation += 1;
             conn.alive = true;
-            conn.writer = Some(Arc::new(Mutex::new(
+            let writer = Arc::new(Mutex::new(
                 stream.try_clone().expect("clone hub-side stream"),
-            )));
-            conn.generation
+            ));
+            conn.writer = Some(Arc::clone(&writer));
+            (conn.generation, writer)
         };
         let router = self
             .inner
@@ -225,6 +232,16 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
             .lock()
             .clone()
             .expect("hub started before workers dial in");
+        // Clock alignment: probe the fresh connection with the master's
+        // monotonic timeline; the worker echoes with its own clock and the
+        // offset estimate lands in the recorder (telemetry plane — never
+        // metered).
+        {
+            let master_nanos = self.inner.origin.elapsed().as_nanos() as u64;
+            let probe = encode_clock_probe(NodeId::Master, who, master_nanos);
+            let _ = write_frame(&mut *writer.lock(), &probe);
+        }
+        drop(writer);
         // Ingress loop: worker-originated frames enter the metering layer
         // here, through the exact same Router paths as in-process sends.
         // EOF or a read error ends the loop: the worker process is gone.
@@ -232,8 +249,36 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
             let Ok(header) = decode_envelope_header(&frame) else {
                 break; // corrupt stream: treat as death
             };
-            let FrameKind::Message(plane) = header.kind else {
-                continue;
+            let plane = match header.kind {
+                FrameKind::Message(plane) => plane,
+                // Telemetry frames are intercepted *before* the decode /
+                // `Router::ingress` path: they never touch `TrafficStats`,
+                // so trace shipping cannot skew trace↔meter reconciliation.
+                FrameKind::Telemetry => {
+                    match decode_telemetry_body(&frame) {
+                        Ok(TelemetryPayload::ClockEcho {
+                            master_nanos,
+                            client_nanos,
+                        }) => {
+                            let now = self.inner.origin.elapsed().as_nanos() as u64;
+                            let rtt = now.saturating_sub(master_nanos);
+                            let midpoint = master_nanos + rtt / 2;
+                            let offset_s = (client_nanos as f64 - midpoint as f64) / 1e9;
+                            if let NodeId::Worker(w) = who {
+                                router.recorder().set_clock_offset(w as u64, offset_s);
+                            }
+                        }
+                        Ok(TelemetryPayload::Events(events)) => {
+                            router.recorder().ingest(events);
+                        }
+                        // A probe is master → worker; arriving here it is
+                        // misdirected. Corrupt telemetry must not kill the
+                        // data path — skip the frame.
+                        Ok(TelemetryPayload::ClockProbe { .. }) | Err(_) => {}
+                    }
+                    continue;
+                }
+                FrameKind::Hello => continue,
             };
             let Ok(payload) = decode_body_checked::<M>(&frame) else {
                 break;
@@ -405,7 +450,10 @@ impl<M: WireCodec + Clone + Send + 'static> Transport<M> for TcpHub<M> {
 
 struct ClientInner<M> {
     me: NodeId,
-    writer: Mutex<TcpStream>,
+    /// Shared with [`TelemetryTx`] and the reader thread's echo path:
+    /// `write_frame` issues two writes, so every frame producer must
+    /// serialize on this one lock or frames interleave on the socket.
+    writer: Arc<Mutex<TcpStream>>,
     /// Loopback for self-sends (a worker dispatching a workset to itself
     /// crosses no wire, in either backend).
     local_tx: Sender<Envelope<M>>,
@@ -441,17 +489,38 @@ impl<M: WireCodec + Clone + Send + 'static> TcpClient<M> {
         me: NodeId,
         ids: &[NodeId],
     ) -> io::Result<(Router<M>, Endpoint<M>)> {
+        let (router, endpoint, _tx) = Self::connect_traced(addr, me, ids)?;
+        Ok((router, endpoint))
+    }
+
+    /// [`TcpClient::connect`] plus a [`TelemetryTx`] for shipping locally
+    /// recorded telemetry events back to the hub on the (unmetered)
+    /// telemetry plane. The handle is returned unconditionally — callers
+    /// that do not trace simply drop it.
+    pub fn connect_traced(
+        addr: SocketAddr,
+        me: NodeId,
+        ids: &[NodeId],
+    ) -> io::Result<(Router<M>, Endpoint<M>, TelemetryTx)> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let mut writer = stream.try_clone()?;
-        write_frame(&mut writer, &encode_hello(me))?;
+        // The worker's monotonic origin: echoes (and any future local
+        // timestamps) are nanoseconds since this instant.
+        let origin = Instant::now();
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        write_frame(&mut *writer.lock(), &encode_hello(me))?;
         let (local_tx, local_rx) = unbounded();
         let client = TcpClient {
             inner: Arc::new(ClientInner {
                 me,
-                writer: Mutex::new(writer),
+                writer: Arc::clone(&writer),
                 local_tx: local_tx.clone(),
             }),
+        };
+        let telemetry_tx = TelemetryTx {
+            me,
+            writer: Arc::clone(&writer),
+            cursor: Arc::new(Mutex::new(0)),
         };
         let router = Router::with_transport(
             Arc::new(client),
@@ -462,6 +531,7 @@ impl<M: WireCodec + Clone + Send + 'static> TcpClient<M> {
         );
         let endpoint = router.endpoint_from_parts(me, local_rx, 0);
         let mut read_half = stream;
+        let echo_writer = Arc::clone(&writer);
         std::thread::Builder::new()
             .name(format!("tcp-client-read-{me}"))
             .spawn(move || {
@@ -473,9 +543,30 @@ impl<M: WireCodec + Clone + Send + 'static> TcpClient<M> {
                             let Ok(header) = decode_envelope_header(&frame) else {
                                 return;
                             };
-                            let FrameKind::Message(_) = header.kind else {
-                                continue;
+                            let plane_ok = match header.kind {
+                                FrameKind::Message(_) => true,
+                                FrameKind::Telemetry => {
+                                    // Answer clock probes; any other
+                                    // telemetry arriving here is noise.
+                                    if let Ok(TelemetryPayload::ClockProbe { master_nanos }) =
+                                        decode_telemetry_body(&frame)
+                                    {
+                                        let client_nanos = origin.elapsed().as_nanos() as u64;
+                                        let echo = encode_clock_echo(
+                                            me,
+                                            NodeId::Master,
+                                            master_nanos,
+                                            client_nanos,
+                                        );
+                                        let _ = write_frame(&mut *echo_writer.lock(), &echo);
+                                    }
+                                    false
+                                }
+                                FrameKind::Hello => false,
                             };
+                            if !plane_ok {
+                                continue;
+                            }
                             let Ok(payload) = decode_body_checked::<M>(&frame) else {
                                 return;
                             };
@@ -493,7 +584,42 @@ impl<M: WireCodec + Clone + Send + 'static> TcpClient<M> {
                 }
             })
             .expect("spawn client reader thread");
-        Ok((router, endpoint))
+        Ok((router, endpoint, telemetry_tx))
+    }
+}
+
+/// A worker-process handle for shipping locally recorded telemetry events
+/// to the hub as [`FrameKind::Telemetry`] frames. Cloneable (the panic
+/// path flushes from a clone); clones share the send cursor, so each event
+/// ships at most once.
+#[derive(Clone)]
+pub struct TelemetryTx {
+    me: NodeId,
+    writer: Arc<Mutex<TcpStream>>,
+    /// How many recorder events have been shipped already.
+    cursor: Arc<Mutex<usize>>,
+}
+
+impl std::fmt::Debug for TelemetryTx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryTx").field("me", &self.me).finish()
+    }
+}
+
+impl TelemetryTx {
+    /// Ships every event recorded since the last flush as one batched
+    /// telemetry frame. Called at superstep boundaries and on shutdown;
+    /// a send failure is ignored (the hub is gone — the run is over and
+    /// the loss is visible as missing worker records, not a hang).
+    pub fn flush(&self, recorder: &Recorder) {
+        let events = recorder.events();
+        let mut cursor = self.cursor.lock();
+        if *cursor >= events.len() {
+            return;
+        }
+        let frame = encode_telemetry_events(self.me, NodeId::Master, &events[*cursor..]);
+        let _ = write_frame(&mut *self.writer.lock(), &frame);
+        *cursor = events.len();
     }
 }
 
@@ -514,6 +640,7 @@ impl<M: WireCodec + Clone + Send + 'static> Transport<M> for TcpClient<M> {
     }
 
     fn reregister(&self, id: NodeId) -> Reregistered<M> {
+        // lint: allow(panic-hygiene) protocol misuse, not a runtime fault: reregistration is a master-side operation by construction
         panic!("cannot reregister {id} on a worker-side transport");
     }
 

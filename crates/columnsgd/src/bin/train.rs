@@ -249,6 +249,18 @@ fn main() {
     } else {
         Recorder::disabled()
     };
+    // Live tail: append merged events to the trace file as the run
+    // progresses so `columnsgd-inspect follow` can watch it. The final
+    // write_jsonl below rewrites the file once more so late-arriving
+    // metadata (clock offsets, final meter totals) lands in the meta line.
+    if let Some(path) = &args.trace_out {
+        recorder
+            .attach_trace_out(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot open trace sink {path}: {e}");
+                exit(1)
+            });
+    }
     let monitor = Monitor::new(MonitorConfig::default());
     if let Some(path) = &args.metrics_out {
         monitor

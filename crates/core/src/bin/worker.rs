@@ -18,7 +18,7 @@ use std::io::BufRead;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::exit;
 
-use columnsgd_cluster::{panic_message, NodeId, TcpClient};
+use columnsgd_cluster::{panic_message, NodeId, Recorder, TcpClient};
 use columnsgd_core::host::BootSpec;
 use columnsgd_core::msg::ColMsg;
 use columnsgd_core::worker::run_worker;
@@ -43,6 +43,7 @@ fn main() {
         dim,
         cfg,
         script,
+        traced,
     } = boot;
 
     let hub: std::net::SocketAddr = match addr.parse() {
@@ -54,13 +55,21 @@ fn main() {
     };
     let mut ids = vec![NodeId::Master];
     ids.extend((0..k).map(NodeId::Worker));
-    let (router, ep) = match TcpClient::<ColMsg>::connect(hub, NodeId::Worker(worker), &ids) {
-        Ok(pair) => pair,
-        Err(e) => {
-            eprintln!("columnsgd-worker: cannot reach hub at {addr}: {e}");
-            exit(3);
-        }
-    };
+    let (router, ep, telemetry_tx) =
+        match TcpClient::<ColMsg>::connect_traced(hub, NodeId::Worker(worker), &ids) {
+            Ok(triple) => triple,
+            Err(e) => {
+                eprintln!("columnsgd-worker: cannot reach hub at {addr}: {e}");
+                exit(3);
+            }
+        };
+
+    // The recorder is live even when the master is not tracing (satellite
+    // fix: worker-side NaN/divergence guards must still fire in TCP mode);
+    // shipping the events home is what `traced` gates.
+    let recorder = Recorder::new();
+    let ship = traced.then(|| telemetry_tx.clone());
+    let panic_flush = (recorder.clone(), telemetry_tx);
 
     // Panics are expected under scripted failure plans; a one-line notice
     // on stderr replaces the default backtrace spew (parity with the
@@ -72,10 +81,16 @@ fn main() {
     // Same contract as the engine's guarded threads: a panic anywhere in
     // the worker loop becomes a WorkerPanic to the master, then we die.
     let result = catch_unwind(AssertUnwindSafe(move || {
-        run_worker(ep, worker, k, dim, cfg, script)
+        run_worker(ep, worker, k, dim, cfg, script, recorder, ship)
     }));
     if let Err(payload) = result {
         let info = panic_message(payload.as_ref());
+        if traced {
+            // Ship whatever the dying worker recorded before the panic
+            // report; the master's trace keeps the evidence.
+            let (recorder, tx) = &panic_flush;
+            tx.flush(recorder);
+        }
         let _ = router.send_reliable(
             NodeId::Worker(worker),
             NodeId::Master,

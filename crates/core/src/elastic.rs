@@ -1781,6 +1781,7 @@ impl ElasticEngine {
                 .base
                 .model
                 .flops_proxy(self.cfg.base.batch_size, counted_workers),
+            worker: None,
         });
     }
 

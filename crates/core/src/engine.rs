@@ -301,6 +301,15 @@ impl ColumnSgdEngine {
             pool_width: cfg.threads_per_worker as u64,
             workers: k as u64,
         });
+        // Backend identity rides on the trace meta line, *not* the
+        // RunStamp: the run id must stay backend-agnostic so inproc and
+        // TCP traces of the same run compare equal in `inspect diff`.
+        match cluster.transport {
+            TransportKind::InProc => recorder.set_backend("inproc", 0),
+            TransportKind::Tcp => recorder.set_backend("tcp", k as u64),
+        }
+        let traced = recorder.is_enabled();
+        let worker_recorder = recorder.clone();
         let traffic = TrafficStats::new();
         let mut ids = vec![NodeId::Master];
         ids.extend((0..k).map(NodeId::Worker));
@@ -312,7 +321,17 @@ impl ColumnSgdEngine {
                 let handles = endpoints
                     .into_iter()
                     .enumerate()
-                    .map(|(w, ep)| Some(spawn_worker_thread(ep, w, k, dim, cfg, &plan)))
+                    .map(|(w, ep)| {
+                        Some(spawn_worker_thread(
+                            ep,
+                            w,
+                            k,
+                            dim,
+                            cfg,
+                            &plan,
+                            worker_recorder.clone(),
+                        ))
+                    })
                     .collect();
                 (master, router, WorkerHost::Threads { handles })
             }
@@ -343,6 +362,7 @@ impl ColumnSgdEngine {
                         dim,
                         cfg,
                         script: WorkerScript::from_plan(&plan, w),
+                        traced,
                     };
                     let child = spawn_worker_process(&worker_bin, &boot)
                         .map_err(|e| TrainError::LoadFailed(format!("worker {w}: {e}")))?;
@@ -1120,6 +1140,10 @@ impl ColumnSgdEngine {
                 overhead_s: self.net.scheduling_overhead_s,
             });
             curve.push(t, clock.elapsed_s(), loss);
+            // Live tail: append this superstep's merged events to the
+            // attached trace file (no-op unless a sink is attached). A full
+            // disk must not kill training.
+            let _ = self.recorder.flush_live();
 
             if self.monitor.is_enabled() {
                 // The straggler detector sees the post-injection compute
@@ -1263,6 +1287,7 @@ impl ColumnSgdEngine {
                 .cfg
                 .model
                 .flops_proxy(self.cfg.batch_size, counted_workers),
+            worker: None,
         });
     }
 

@@ -31,9 +31,10 @@ use std::process::{Child, Command, Stdio};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use columnsgd_cluster::codec::{put_f64, put_str, put_u64, put_u64s, put_u8, put_usize};
+use columnsgd_cluster::codec::{put_bool, put_f64, put_str, put_u64, put_u64s, put_u8, put_usize};
 use columnsgd_cluster::{
-    spawn_guarded, ChaosSpec, CodecError, Endpoint, FailurePlan, NodeId, Router, TcpHub, WireReader,
+    spawn_guarded, ChaosSpec, CodecError, Endpoint, FailurePlan, NodeId, Recorder, Router, TcpHub,
+    WireReader,
 };
 use columnsgd_ml::{ModelSpec, OptimizerKind, Regularizer, UpdateParams};
 
@@ -58,9 +59,14 @@ pub struct BootSpec {
     pub cfg: ColumnSgdConfig,
     /// This worker's scripted-failure schedule.
     pub script: WorkerScript,
+    /// Whether the master is recording a trace: when set, the worker
+    /// ships its local telemetry events back over the hub connection.
+    /// The worker installs a live [`Recorder`] either way so its
+    /// NaN/divergence guards still fire (the events just stay local).
+    pub traced: bool,
 }
 
-const BOOT_VERSION: u8 = 1;
+const BOOT_VERSION: u8 = 2;
 
 /// Encodes a [`ModelSpec`] (tag + payload, variant-declaration order).
 pub fn put_model(out: &mut Vec<u8>, m: &ModelSpec) {
@@ -228,6 +234,7 @@ impl BootSpec {
         put_u64s(&mut out, &self.script.task_failures);
         put_u64s(&mut out, &self.script.crashes);
         put_chaos(&mut out, &self.script.chaos);
+        put_bool(&mut out, self.traced);
         out
     }
 
@@ -276,6 +283,7 @@ impl BootSpec {
             crashes: r.u64s("crashes")?,
             chaos: read_chaos(&mut r)?,
         };
+        let traced = r.bool("traced")?;
         r.finish("bootstrap")?;
         Ok(BootSpec {
             addr,
@@ -284,6 +292,7 @@ impl BootSpec {
             dim,
             cfg,
             script,
+            traced,
         })
     }
 
@@ -418,7 +427,15 @@ impl WorkerHost {
                 if let Some(h) = handles[w].take() {
                     let _ = h.join();
                 }
-                handles[w] = Some(spawn_worker_thread(ep, w, k, dim, *cfg, plan));
+                handles[w] = Some(spawn_worker_thread(
+                    ep,
+                    w,
+                    k,
+                    dim,
+                    *cfg,
+                    plan,
+                    router.recorder().clone(),
+                ));
                 Ok(())
             }
             WorkerHost::Processes {
@@ -438,6 +455,7 @@ impl WorkerHost {
                     dim,
                     cfg: *cfg,
                     script: WorkerScript::from_plan(plan, w),
+                    traced: router.recorder().is_enabled(),
                 };
                 let child = spawn_worker_process(worker_bin, &boot).map_err(|detail| {
                     TrainError::WorkerLost {
@@ -482,6 +500,10 @@ impl WorkerHost {
 
 /// Spawns worker `w` as a guarded thread on endpoint `ep` (the in-process
 /// backend). Panics unwind into a [`ColMsg::WorkerPanic`] to the master.
+///
+/// The thread shares the master's `recorder`, so worker-side kernel and
+/// guard records land directly in the merged trace with no shipping.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_worker_thread(
     ep: Endpoint<ColMsg>,
     w: usize,
@@ -489,12 +511,13 @@ pub fn spawn_worker_thread(
     dim: u64,
     cfg: ColumnSgdConfig,
     plan: &FailurePlan,
+    recorder: Recorder,
 ) -> JoinHandle<()> {
     let script = WorkerScript::from_plan(plan, w);
     spawn_guarded(
         format!("colsgd-worker{w}"),
         ep,
-        move |ep| run_worker(ep, w, k, dim, cfg, script),
+        move |ep| run_worker(ep, w, k, dim, cfg, script, recorder, None),
         move |info| ColMsg::WorkerPanic { worker: w, info },
     )
 }
@@ -558,6 +581,7 @@ mod tests {
             dim: 1000,
             cfg: full_cfg(),
             script: WorkerScript::from_plan(&plan, 1),
+            traced: true,
         };
         let back = BootSpec::from_hex_line(&boot.to_hex_line()).expect("roundtrip");
         assert_eq!(back.addr, boot.addr);
@@ -568,6 +592,7 @@ mod tests {
         assert_eq!(back.script.task_failures, vec![2]);
         assert_eq!(back.script.crashes, vec![4]);
         assert_eq!(back.script.chaos, plan.chaos);
+        assert!(back.traced);
     }
 
     #[test]
@@ -579,6 +604,7 @@ mod tests {
             dim: 4,
             cfg: ColumnSgdConfig::new(ModelSpec::Lr),
             script: WorkerScript::default(),
+            traced: false,
         };
         let mut line = boot.to_hex_line();
         line.pop();

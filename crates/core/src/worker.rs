@@ -23,7 +23,10 @@
 
 use std::time::Instant;
 
-use columnsgd_cluster::{ChaosSpec, Endpoint, FailureEvent, FailurePlan, NodeId};
+use columnsgd_cluster::telemetry::{FaultRecord, KernelRecord};
+use columnsgd_cluster::{
+    ChaosSpec, Endpoint, FailureEvent, FailurePlan, NodeId, Recorder, TelemetryTx,
+};
 use columnsgd_data::block::Block;
 use columnsgd_data::index::RowAddr;
 use columnsgd_data::workset::{split_block, WorksetStore};
@@ -529,6 +532,14 @@ impl WorkerNode {
 /// disappears; panics (scripted, chaos, or genuine bugs) unwind out of
 /// here and are converted into [`ColMsg::WorkerPanic`] by the guarded
 /// spawn in the engine.
+///
+/// `recorder` receives this worker's kernel and guard records: a clone of
+/// the master's shared recorder in-process, or a worker-local recorder in
+/// a worker process. `ship` (TCP mode only, when the master traces) flushes
+/// the local recorder to the master as telemetry frames; flushes happen
+/// *before* the protocol reply they describe, so a master barrier that saw
+/// the reply has already ingested the matching worker events.
+#[allow(clippy::too_many_arguments)]
 pub fn run_worker(
     ep: Endpoint<ColMsg>,
     id: usize,
@@ -536,7 +547,14 @@ pub fn run_worker(
     dim: u64,
     cfg: ColumnSgdConfig,
     script: WorkerScript,
+    recorder: Recorder,
+    ship: Option<TelemetryTx>,
 ) {
+    let flush_telemetry = || {
+        if let Some(tx) = &ship {
+            tx.flush(&recorder);
+        }
+    };
     let mut w = WorkerNode::new(id, k, dim, cfg);
     let held = w.partitions.len();
     let mut load_done_total: Option<usize> = None;
@@ -619,6 +637,31 @@ pub fn run_worker(
                     let sample_s = start.elapsed().as_secs_f64();
                     match sampled.and_then(|()| w.compute_stats(iteration)) {
                         Ok(partial) => {
+                            recorder.kernel(KernelRecord {
+                                iteration,
+                                model: w.cfg.model.label().to_string(),
+                                batch_size: w.cfg.batch_size as u64,
+                                pool_width: w.cfg.threads_per_worker as u64,
+                                flops_proxy: w.cfg.model.flops_proxy(w.cfg.batch_size, 1),
+                                worker: Some(id as u64),
+                            });
+                            // Worker-side NaN guard: a diverged kernel is
+                            // recorded here even when the statistics never
+                            // reach the master intact (e.g. a dropped
+                            // reply), so TCP traces keep the evidence.
+                            if partial.iter().any(|v| !v.is_finite()) {
+                                recorder.fault(FaultRecord {
+                                    iteration,
+                                    worker: id as u64,
+                                    fault: "non-finite statistics".to_string(),
+                                    detection: "worker guard".to_string(),
+                                    detection_latency_s: start.elapsed().as_secs_f64(),
+                                    recovery_cost_s: 0.0,
+                                    attempt: attempt + 1,
+                                    fatal: false,
+                                });
+                            }
+                            flush_telemetry();
                             let _ = ep.send(
                                 NodeId::Master,
                                 ColMsg::StatsReply {
@@ -666,6 +709,7 @@ pub fn run_worker(
                 } else if Some(iteration) == w.batch_iteration() {
                     let start = Instant::now();
                     w.update(iteration, &stats);
+                    flush_telemetry();
                     let _ = ep.send(
                         NodeId::Master,
                         ColMsg::UpdateAck {
@@ -719,7 +763,12 @@ pub fn run_worker(
             // Crash recovery under S-backup: the master restores the
             // group-current parameters fetched from a surviving replica.
             ColMsg::InstallParams { parts } => w.install_params(parts),
-            ColMsg::Shutdown => return,
+            ColMsg::Shutdown => {
+                // Final drain: ship any events the last superstep's replies
+                // did not cover before the connection goes away.
+                flush_telemetry();
+                return;
+            }
             other => {
                 // Unexpected (master-bound or malformed) traffic: a
                 // resilient worker logs and drops instead of panicking.

@@ -714,8 +714,18 @@ fn worker_refuses_mismatched_batch_size() {
     let master = eps.remove(0);
     let wep = eps.remove(0);
     let cfg = ColumnSgdConfig::new(ModelSpec::Lr).with_batch_size(64);
-    let handle =
-        std::thread::spawn(move || run_worker(wep, 0, 1, 10, cfg, WorkerScript::default()));
+    let handle = std::thread::spawn(move || {
+        run_worker(
+            wep,
+            0,
+            1,
+            10,
+            cfg,
+            WorkerScript::default(),
+            columnsgd_cluster::Recorder::disabled(),
+            None,
+        )
+    });
 
     master
         .send(

@@ -36,6 +36,8 @@ struct RunResult {
     model: Vec<f64>,
     traffic: (u64, u64),
     comm: (u64, u64),
+    /// Sorted canonical trace lines (measured wall-time stripped).
+    canonical: Vec<String>,
 }
 
 fn run_on(cluster: &ClusterConfig, cfg: ColumnSgdConfig, k: usize, plan: FailurePlan) -> RunResult {
@@ -70,6 +72,7 @@ fn run_on(cluster: &ClusterConfig, cfg: ColumnSgdConfig, k: usize, plan: Failure
             .collect(),
         traffic: (total.bytes, total.messages),
         comm: (s.comm_bytes, s.comm_messages),
+        canonical: recorder.canonical_lines(),
     }
 }
 
@@ -105,6 +108,19 @@ fn tcp_and_inproc_runs_are_bit_identical() {
     // loop also asserts this internally; restated here as the contract).
     assert_eq!(inproc.comm, inproc.traffic);
     assert_eq!(tcp.comm, tcp.traffic);
+    // Cross-backend trace equivalence: worker events shipped over
+    // telemetry frames merge into the *same* canonical trace the shared
+    // in-process recorder produces — measured wall-time fields are the
+    // only permitted difference, and canonical lines strip exactly those.
+    assert_eq!(
+        inproc.canonical.len(),
+        tcp.canonical.len(),
+        "event counts diverged across backends"
+    );
+    assert_eq!(
+        inproc.canonical, tcp.canonical,
+        "canonical traces diverged across backends"
+    );
 }
 
 /// A scripted worker crash on the TCP backend: the process dies, the

@@ -8,9 +8,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use columnsgd_cluster::codec::{decode_body_checked, decode_envelope_header, WireCodec};
-use columnsgd_cluster::telemetry::{Plane, Recorder};
+use columnsgd_cluster::codec::{
+    decode_body_checked, decode_envelope_header, decode_telemetry_body, encode_telemetry_events,
+    FrameKind, WireCodec,
+};
+use columnsgd_cluster::telemetry::{Event, FaultRecord, KernelRecord, Plane, Recorder};
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
+use columnsgd_cluster::TelemetryPayload;
 use columnsgd_cluster::{NodeId, Router, TcpClient, TcpHub, TrafficStats, Wire};
 use columnsgd_core::msg::ColMsg;
 use columnsgd_data::{workset::split_block, Block, ColumnPartitioner, Workset};
@@ -280,5 +284,113 @@ fn every_kind_roundtrips_over_loopback_tcp() {
     let total = traffic.total();
     assert_eq!(total.messages as usize, 2 * msgs.len());
     assert_eq!(total.bytes, expect_bytes);
+    hub.shutdown();
+}
+
+fn sample_telemetry_events() -> Vec<Event> {
+    vec![
+        Event::Kernel(KernelRecord {
+            iteration: 4,
+            model: "lr".to_string(),
+            batch_size: 32,
+            pool_width: 1,
+            flops_proxy: 12_345,
+            worker: Some(1),
+        }),
+        Event::Fault(FaultRecord {
+            iteration: 5,
+            worker: 1,
+            fault: "non-finite statistics".to_string(),
+            detection: "worker guard".to_string(),
+            detection_latency_s: 0.25,
+            recovery_cost_s: 0.0,
+            attempt: 2,
+            fatal: false,
+        }),
+    ]
+}
+
+/// A telemetry event batch survives the frame codec verbatim and its
+/// header carries [`FrameKind::Telemetry`] (the discriminator `serve_conn`
+/// uses to divert the frame *before* data-plane metering).
+#[test]
+fn telemetry_event_batch_roundtrips_through_the_frame_codec() {
+    let events = sample_telemetry_events();
+    let frame = encode_telemetry_events(NodeId::Worker(1), NodeId::Master, &events);
+    let header = decode_envelope_header(&frame).expect("telemetry header");
+    assert_eq!(header.kind, FrameKind::Telemetry);
+    assert_eq!(header.from, NodeId::Worker(1));
+    assert_eq!(header.body_len, frame.len() - ENVELOPE_BYTES);
+    let TelemetryPayload::Events(back) = decode_telemetry_body(&frame).expect("telemetry body")
+    else {
+        panic!("event batch decoded as a clock frame");
+    };
+    let render = |evs: &[Event]| -> Vec<_> { evs.iter().map(|e| e.to_value("x")).collect() };
+    assert_eq!(render(&back), render(&events), "events mutated by codec");
+}
+
+/// Telemetry frames advance **zero** data-plane meter bytes: a traced
+/// client ships a worker-side recorder's events through a live hub, the
+/// master's recorder ingests them (and a clock offset lands from the
+/// hello-time probe), yet `TrafficStats` stays untouched — so the
+/// trace ↔ meter reconciliation the engine asserts cannot be perturbed
+/// by how much telemetry a run ships.
+#[test]
+fn telemetry_frames_advance_zero_data_plane_meter_bytes() {
+    let ids = [NodeId::Master, NodeId::Worker(0)];
+    let traffic = TrafficStats::new();
+    let hub: TcpHub<ColMsg> = TcpHub::bind(&[NodeId::Master], &[NodeId::Worker(0)]).unwrap();
+    let master_recorder = Recorder::new();
+    let router = Router::with_transport(
+        Arc::new(hub.clone()),
+        &ids,
+        traffic.clone(),
+        None,
+        master_recorder.clone(),
+    );
+    let _master = hub.local_endpoint(NodeId::Master, &router);
+    hub.start(router);
+
+    let (_r, _ep, tx) = TcpClient::<ColMsg>::connect_traced(hub.addr(), NodeId::Worker(0), &ids)
+        .expect("traced connect");
+    hub.await_workers(&[NodeId::Worker(0)], Duration::from_secs(10))
+        .unwrap();
+
+    let local = Recorder::new();
+    let events = sample_telemetry_events();
+    for e in &events {
+        match e.clone() {
+            Event::Kernel(k) => local.kernel(k),
+            Event::Fault(f) => local.fault(f),
+            other => panic!("unexpected sample event {other:?}"),
+        }
+    }
+    tx.flush(&local);
+
+    // Ingestion is async (hub reader thread); poll with a deadline.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while master_recorder.events().len() < events.len()
+        || master_recorder.clock_offsets().is_empty()
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "telemetry never arrived: {} events, offsets {:?}",
+            master_recorder.events().len(),
+            master_recorder.clock_offsets()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(master_recorder.events().len(), events.len());
+    assert_eq!(master_recorder.clock_offsets().len(), 1);
+    assert_eq!(master_recorder.clock_offsets()[0].0, 0, "offset is for w0");
+
+    // The heart of the invariant: everything above crossed the socket,
+    // and the data-plane meter never moved.
+    let total = traffic.total();
+    assert_eq!(
+        (total.bytes, total.messages),
+        (0, 0),
+        "telemetry frames were metered as data-plane traffic"
+    );
     hub.shutdown();
 }

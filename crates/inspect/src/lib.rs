@@ -20,7 +20,15 @@
 //!   trace-event JSON on stdout,
 //! * `diff <a.jsonl> <b.jsonl> [--threshold R]` — phase-by-phase run
 //!   diff; exits non-zero when any phase regressed by more than `R`
-//!   (default 0.10), making it a CI perf gate.
+//!   (default 0.10), making it a CI perf gate,
+//! * `follow <trace.jsonl> [--interval-ms N] [--ticks N]` — live-tails a
+//!   trace being appended by a running train (`--trace-out`), rendering a
+//!   refreshing summary; parsing is lenient so a partially written last
+//!   line never kills the tail.
+//!
+//! Every report that names a run also names its backend (`inproc` vs.
+//! `tcp (N worker processes)`), so traces from the two transports are
+//! never silently confused in a `diff`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -66,6 +74,54 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
     })
 }
 
+/// Parses possibly-in-progress trace text for `follow`: malformed lines
+/// (typically a partially written last line), run-stamp mismatches, and
+/// unknown event shapes are skipped instead of failing, and a trace with
+/// no meta line yet yields an all-zero stamp. Strict tools (`summary`,
+/// `diff`, CI gates) should keep using [`parse_trace`].
+pub fn parse_trace_lenient(text: &str) -> Trace {
+    let mut meta = Value::Null;
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(value) = serde_json::from_str(trimmed) else {
+            continue;
+        };
+        if value.get("type").and_then(Value::as_str) == Some("run") {
+            meta = value;
+        } else if let Some(ev) = Event::from_value(&value) {
+            events.push(ev);
+        }
+    }
+    let stamp = stamp_from_meta(&meta);
+    let summary = Summary::from_events(&events, stamp);
+    Trace {
+        meta,
+        events,
+        summary,
+    }
+}
+
+/// Human-readable backend identity from a trace's meta line: `inproc`,
+/// `tcp (N worker processes)`, or a loud marker for traces recorded
+/// before backends were stamped.
+pub fn backend_label(meta: &Value) -> String {
+    match meta.get("backend").and_then(Value::as_str) {
+        Some("tcp") => {
+            let n = meta
+                .get("worker_processes")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            format!("tcp ({n} worker processes)")
+        }
+        Some(other) => other.to_string(),
+        None => "untagged (pre-backend-stamp trace, assumed inproc)".to_string(),
+    }
+}
+
 /// Reconstructs the [`RunStamp`] recorded in a trace's meta line.
 pub fn stamp_from_meta(meta: &Value) -> RunStamp {
     let u = |k: &str| meta.get(k).and_then(Value::as_u64).unwrap_or(0);
@@ -93,12 +149,21 @@ pub fn cmd_summary(t: &Trace) -> String {
     let mut out = String::new();
     let run = t.meta.get("run").and_then(Value::as_str).unwrap_or("?");
     let _ = writeln!(out, "run       {run}");
+    let _ = writeln!(out, "backend   {}", backend_label(&t.meta));
     let _ = writeln!(
         out,
         "config    seed={} chaos_seed={:?} workers={} pool_width={}",
         s.run.seed, s.run.chaos_seed, s.run.workers, s.run.pool_width
     );
     let _ = writeln!(out, "iters     {}", s.iterations);
+    if let Some(Value::Object(offsets)) = t.meta.get("clock_offsets_s") {
+        let rendered = offsets
+            .iter()
+            .map(|(w, o)| format!("{w} {:+.6}s", o.as_f64().unwrap_or(0.0)))
+            .collect::<Vec<_>>()
+            .join("  ");
+        let _ = writeln!(out, "clocks    {rendered} (offset vs master)");
+    }
     let _ = writeln!(out, "-- phase breakdown (simulated seconds) --");
     for (name, v) in [
         ("compute", b.compute_s),
@@ -240,18 +305,27 @@ pub fn cmd_chrome(t: &Trace) -> String {
 pub fn cmd_diff(a: &Trace, b: &Trace, threshold: f64) -> (String, i32) {
     let d = diff(&a.summary, &b.summary);
     let mut out = String::new();
+    let backend_a = backend_label(&a.meta);
+    let backend_b = backend_label(&b.meta);
     let _ = writeln!(
         out,
-        "baseline  run {} ({} iters)",
+        "baseline  run {} ({} iters, backend {backend_a})",
         a.meta.get("run").and_then(Value::as_str).unwrap_or("?"),
         d.iterations.0
     );
     let _ = writeln!(
         out,
-        "candidate run {} ({} iters)",
+        "candidate run {} ({} iters, backend {backend_b})",
         b.meta.get("run").and_then(Value::as_str).unwrap_or("?"),
         d.iterations.1
     );
+    if backend_a != backend_b {
+        let _ = writeln!(
+            out,
+            "NOTE: backends differ ({backend_a} vs {backend_b}); simulated-seconds rows \
+             stay comparable, measured wall-time is not"
+        );
+    }
     let _ = writeln!(
         out,
         "{:<12}{:>14}{:>14}{:>10}",
@@ -296,6 +370,52 @@ pub fn cmd_diff(a: &Trace, b: &Trace, threshold: f64) -> (String, i32) {
     }
 }
 
+/// One frame of the `follow` display (exposed for tests): a lenient parse
+/// of the trace file's current contents, rendered as the summary headed by
+/// a tail-progress line.
+pub fn cmd_follow_frame(text: &str) -> String {
+    let t = parse_trace_lenient(text);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "-- follow: {} events ({} iters so far) --",
+        t.events.len(),
+        t.summary.iterations
+    );
+    out.push_str(&cmd_summary(&t));
+    out
+}
+
+/// `follow` subcommand: live-tails `path`, printing a frame whenever the
+/// file's rendered summary changes. `ticks = 0` tails forever; a positive
+/// bound makes the command terminate (used by tests and scripts). On a
+/// terminal each frame repaints the screen; when piped, frames are
+/// appended so the output stays a readable log.
+pub fn cmd_follow(path: &str, interval_ms: u64, ticks: u64) -> i32 {
+    use std::io::{IsTerminal, Write as _};
+    let clear = std::io::stdout().is_terminal();
+    let mut last = String::new();
+    let mut tick: u64 = 0;
+    loop {
+        tick += 1;
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        let frame = cmd_follow_frame(&text);
+        if frame != last {
+            let mut stdout = std::io::stdout().lock();
+            if clear {
+                let _ = write!(stdout, "\x1b[2J\x1b[H");
+            }
+            let _ = write!(stdout, "{frame}");
+            let _ = stdout.flush();
+            last = frame;
+        }
+        if ticks > 0 && tick >= ticks {
+            return 0;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 /// Usage text for the binary.
 pub const USAGE: &str = "\
 columnsgd-inspect — offline analytics over ColumnSGD trace JSONL
@@ -307,9 +427,14 @@ USAGE:
   columnsgd-inspect comm       <trace.jsonl>
   columnsgd-inspect chrome     <trace.jsonl>          (trace-event JSON on stdout)
   columnsgd-inspect diff       <a.jsonl> <b.jsonl> [--threshold R]
+  columnsgd-inspect follow     <trace.jsonl> [--interval-ms N] [--ticks N]
 
 `diff` exits 1 when any phase row of the candidate regressed by more than
 R (relative; default 0.10) against the baseline — usable as a CI gate.
+
+`follow` live-tails a trace a running train is appending (`--trace-out`),
+refreshing a summary as events arrive; `--ticks N` bounds the number of
+refresh cycles (0 = forever, the default; interval defaults to 500 ms).
 ";
 
 /// Runs the CLI against `argv` (without the program name); returns
@@ -353,6 +478,38 @@ pub fn run(argv: &[String]) -> Result<(String, i32), String> {
             let a = load_trace(&paths[0])?;
             let b = load_trace(&paths[1])?;
             Ok(cmd_diff(&a, &b, threshold))
+        }
+        "follow" => {
+            let mut path: Option<String> = None;
+            let mut interval_ms: u64 = 500;
+            let mut ticks: u64 = 0;
+            let mut it = argv[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--interval-ms" => {
+                        let v = it.next().ok_or("--interval-ms needs a value")?;
+                        interval_ms = v
+                            .parse()
+                            .map_err(|e| format!("bad --interval-ms {v}: {e}"))?;
+                    }
+                    "--ticks" => {
+                        let v = it.next().ok_or("--ticks needs a value")?;
+                        ticks = v.parse().map_err(|e| format!("bad --ticks {v}: {e}"))?;
+                    }
+                    other => {
+                        if path.is_some() {
+                            return Err(format!("unexpected argument `{other}`"));
+                        }
+                        path = Some(other.to_string());
+                    }
+                }
+            }
+            let path = path.ok_or(
+                "usage: columnsgd-inspect follow <trace.jsonl> [--interval-ms N] [--ticks N]",
+            )?;
+            // `follow` streams frames itself (the whole point is output
+            // before the command returns), so the returned stdout is empty.
+            Ok((String::new(), cmd_follow(&path, interval_ms, ticks)))
         }
         other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
     }

@@ -1,8 +1,13 @@
 //! Golden-trace acceptance tests for `columnsgd-inspect`, against the
 //! checked-in `repro_results/TRACE_sample.jsonl` (regenerated with
-//! `cargo run --release -p columnsgd-bench --bin repro -- trace`).
+//! `cargo run --release -p columnsgd-bench --bin repro -- trace`) and the
+//! TCP-mode `repro_results/TRACE_tcp_sample.jsonl` (regenerated with
+//! `… -- trace_tcp`; requires `cargo build --release --workspace` first).
 
-use columnsgd_inspect::{cmd_chrome, cmd_comm, cmd_critical, cmd_diff, cmd_summary, run, Trace};
+use columnsgd_inspect::{
+    cmd_chrome, cmd_comm, cmd_critical, cmd_diff, cmd_follow_frame, cmd_summary,
+    parse_trace_lenient, run, Trace,
+};
 use columnsgd_telemetry::analyze::{comm_hotspots, critical_path, stragglers};
 use columnsgd_telemetry::{Event, Summary};
 use serde_json::Value;
@@ -16,6 +21,17 @@ fn golden_path() -> String {
 
 fn golden() -> Trace {
     columnsgd_inspect::load_trace(&golden_path()).expect("golden trace loads")
+}
+
+fn tcp_golden_path() -> String {
+    format!(
+        "{}/../../repro_results/TRACE_tcp_sample.jsonl",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn tcp_golden() -> Trace {
+    columnsgd_inspect::load_trace(&tcp_golden_path()).expect("tcp golden trace loads")
 }
 
 /// The inspector reproduces the per-phase totals of `telemetry::Breakdown`
@@ -137,6 +153,108 @@ fn self_diff_is_clean() {
     let (out, code) = cmd_diff(&t1, &slow, 0.10);
     assert_eq!(code, 1, "doubled gather must trip the 10% gate:\n{out}");
     assert!(out.contains("REGRESSION"));
+}
+
+/// Every report that names a run also names its backend — the summary
+/// line is loud enough that inproc and TCP traces can never be confused.
+#[test]
+fn summary_names_the_backend() {
+    let inproc = cmd_summary(&golden());
+    assert!(
+        inproc.contains("backend   inproc"),
+        "inproc golden must be stamped:\n{inproc}"
+    );
+
+    let tcp = cmd_summary(&tcp_golden());
+    assert!(
+        tcp.contains("backend   tcp (2 worker processes)"),
+        "tcp golden must name its worker-process count:\n{tcp}"
+    );
+    // Clock alignment made it into the meta line and the report.
+    assert!(
+        tcp.contains("clocks    w0 ") && tcp.contains("(offset vs master)"),
+        "tcp summary must render per-worker clock offsets:\n{tcp}"
+    );
+}
+
+/// The analytics are backend-agnostic: every query that works on the
+/// in-process golden works identically on the TCP-mode golden — critical
+/// path covers each superstep, stragglers resolve per worker, and the
+/// comm hotspots partition the metered bytes exactly (telemetry frames
+/// shipped worker events without moving the meter).
+#[test]
+fn tcp_trace_supports_every_query() {
+    let t = tcp_golden();
+    assert_eq!(t.summary.iterations, 8, "trace_tcp preset runs 8 iters");
+
+    let crit = critical_path(&t.events);
+    assert_eq!(crit.len() as u64, t.summary.iterations);
+    assert!(
+        crit.iter().any(|c| c.bounding_worker.is_some()),
+        "per-worker spans survive the TCP merge"
+    );
+    assert!(!stragglers(&t.events, 0.5).is_empty());
+
+    let link_bytes: u64 = comm_hotspots(&t.events).iter().map(|l| l.bytes).sum();
+    assert_eq!(link_bytes, t.summary.comm_bytes);
+
+    // Worker-shipped kernel records are present for every worker process.
+    for w in [0u64, 1] {
+        assert!(
+            t.events
+                .iter()
+                .any(|e| matches!(e, Event::Kernel(k) if k.worker == Some(w))),
+            "no kernel records from worker {w} in the tcp golden"
+        );
+    }
+}
+
+/// `diff` across backends stays meaningful (simulated rows compare) but
+/// announces the backend mismatch loudly.
+#[test]
+fn diff_announces_backend_mismatch() {
+    let (out, _code) = cmd_diff(&golden(), &tcp_golden(), 0.10);
+    assert!(
+        out.contains("backend inproc"),
+        "baseline backend named:\n{out}"
+    );
+    assert!(
+        out.contains("backend tcp (2 worker processes)"),
+        "candidate backend named:\n{out}"
+    );
+    assert!(
+        out.contains("NOTE: backends differ"),
+        "mismatch must be loud:\n{out}"
+    );
+
+    // Same-backend diff stays quiet about backends.
+    let (out, code) = cmd_diff(&tcp_golden(), &tcp_golden(), 0.0);
+    assert_eq!(code, 0);
+    assert!(!out.contains("NOTE: backends differ"));
+}
+
+/// `follow` frames render from partial files: a truncated last line (the
+/// live tail caught mid-append) parses leniently instead of erroring, and
+/// a complete file renders the full summary.
+#[test]
+fn follow_frame_tolerates_partial_tails() {
+    let text = std::fs::read_to_string(tcp_golden_path()).expect("tcp golden");
+
+    let full = cmd_follow_frame(&text);
+    assert!(full.contains("-- follow: "));
+    assert!(full.contains("(8 iters so far)"));
+    assert!(full.contains("backend   tcp (2 worker processes)"));
+
+    // Chop the file mid-line: every complete line still counts.
+    let cut = &text[..text.len() - 25];
+    let partial = cmd_follow_frame(cut);
+    assert!(partial.contains("-- follow: "), "partial frame renders");
+    let n = |s: &str| parse_trace_lenient(s).events.len();
+    assert_eq!(n(cut), n(&text) - 1, "only the torn last line is dropped");
+
+    // An empty (not-yet-created) file renders an empty-but-valid frame.
+    let empty = cmd_follow_frame("");
+    assert!(empty.contains("-- follow: 0 events (0 iters so far) --"));
 }
 
 /// End-to-end through the CLI dispatcher, including the file I/O path.

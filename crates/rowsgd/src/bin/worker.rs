@@ -15,7 +15,7 @@
 use std::io::BufRead;
 use std::process::exit;
 
-use columnsgd_cluster::{NodeId, TcpClient};
+use columnsgd_cluster::{NodeId, Recorder, TcpClient};
 use columnsgd_rowsgd::host::RowBootSpec;
 use columnsgd_rowsgd::msg::RowMsg;
 use columnsgd_rowsgd::worker::run_row_worker;
@@ -57,5 +57,8 @@ fn main() {
             exit(3);
         }
     };
-    run_row_worker(ep, worker, k, dim, cfg);
+    // A live worker-local recorder even though the baseline ships nothing
+    // home: the NaN/divergence guards fire (and log) in TCP mode exactly
+    // as they do for thread-hosted workers.
+    run_row_worker(ep, worker, k, dim, cfg, Recorder::new());
 }

@@ -197,6 +197,12 @@ impl RowSgdEngine {
             pool_width: 1,
             workers: k as u64,
         });
+        // Backend identity rides on the trace meta line, not the RunStamp
+        // (the run id must stay backend-agnostic for cross-backend diffs).
+        match cluster.transport {
+            TransportKind::InProc => recorder.set_backend("inproc", 0),
+            TransportKind::Tcp => recorder.set_backend("tcp", k as u64),
+        }
         let traffic = TrafficStats::new();
         let p = cfg.num_servers(k);
         let mut ids = vec![NodeId::Master];
@@ -209,9 +215,10 @@ impl RowSgdEngine {
                 let master = endpoints.remove(0);
                 let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(k);
                 for (w, ep) in endpoints.into_iter().enumerate() {
+                    let rec = recorder.clone();
                     let handle = std::thread::Builder::new()
                         .name(format!("rowsgd-worker{w}"))
-                        .spawn(move || run_row_worker(ep, w, k, dim, cfg))
+                        .spawn(move || run_row_worker(ep, w, k, dim, cfg, rec))
                         .map_err(|e| TrainError::WorkerLost {
                             worker: w,
                             iteration: 0,
@@ -460,6 +467,7 @@ impl RowSgdEngine {
                     batch_size: self.cfg.batch_size as u64,
                     pool_width: 1,
                     flops_proxy: self.cfg.model.flops_proxy(self.cfg.batch_size, self.k),
+                    worker: None,
                 });
             }
             clock.record(it.0);

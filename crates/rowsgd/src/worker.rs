@@ -9,7 +9,8 @@ use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use columnsgd_cluster::allreduce::chunk_bounds;
-use columnsgd_cluster::{Endpoint, NodeId};
+use columnsgd_cluster::telemetry::FaultRecord;
+use columnsgd_cluster::{Endpoint, NodeId, Recorder};
 use columnsgd_linalg::rng;
 use columnsgd_linalg::{CsrMatrix, SparseVector};
 use columnsgd_ml::spec::GradAccum;
@@ -298,7 +299,34 @@ impl RowWorker {
 /// send means the master is gone (exit quietly), and a protocol
 /// violation logs the reason and exits the thread — the master's receive
 /// deadline then converts the silence into a typed `TrainError`.
-pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: RowSgdConfig) {
+///
+/// `recorder` receives worker-side guard records (non-finite losses): a
+/// clone of the master's recorder in-process, or a worker-local recorder
+/// in a `rowsgd-worker` process, so divergence evidence is captured even
+/// when the reply carrying it never reaches the master intact.
+pub fn run_row_worker(
+    ep: Endpoint<RowMsg>,
+    id: usize,
+    k: usize,
+    dim: u64,
+    cfg: RowSgdConfig,
+    recorder: Recorder,
+) {
+    let guard_loss = |iteration: u64, loss: f64| {
+        if !loss.is_finite() {
+            eprintln!("rowsgd worker {id}: non-finite batch loss at iteration {iteration}");
+            recorder.fault(FaultRecord {
+                iteration,
+                worker: id as u64,
+                fault: "non-finite statistics".to_string(),
+                detection: "worker guard".to_string(),
+                detection_latency_s: 0.0,
+                recovery_cost_s: 0.0,
+                attempt: 1,
+                fatal: false,
+            });
+        }
+    };
     let replica = if cfg.variant == RowSgdVariant::MLlibStar {
         let params = cfg.model.init_params(dim as usize, cfg.seed, |s| s as u64);
         let opt = OptimizerState::for_params(cfg.optimizer, &params);
@@ -343,6 +371,7 @@ pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: 
             RowMsg::FullModelGrad { iteration, params } => {
                 let start = Instant::now();
                 let (grad, loss) = w.dense_model_grad(iteration, &params);
+                guard_loss(iteration, loss);
                 let compute_s = start.elapsed().as_secs_f64();
                 let is_ps = !w.cfg.variant.is_spark();
                 let reply = match w.cfg.variant {
@@ -403,6 +432,7 @@ pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: 
                         return;
                     }
                 };
+                guard_loss(iteration, loss);
                 let sent = ep.router().send_unmetered(
                     ep.id(),
                     NodeId::Master,
@@ -430,6 +460,7 @@ pub fn run_row_worker(ep: Endpoint<RowMsg>, id: usize, k: usize, dim: u64, cfg: 
                         return;
                     }
                 };
+                guard_loss(iteration, loss);
                 let compute_s = start.elapsed().as_secs_f64();
                 if let Err(e) = w.ring_average(&ep, &mut early_chunks) {
                     eprintln!("rowsgd worker {id}: exiting on broken ring: {e}");

@@ -354,6 +354,9 @@ pub struct KernelRecord {
     /// Work proxy: statistics slots produced this iteration (B × width
     /// per worker, summed over counted workers).
     pub flops_proxy: u64,
+    /// The worker that ran the kernel, or `None` for the master's
+    /// cluster-wide aggregate record.
+    pub worker: Option<u64>,
 }
 
 /// A detected fault and its recovery (or a terminal training error),
@@ -433,6 +436,7 @@ impl Event {
                 "batch_size": k.batch_size,
                 "pool_width": k.pool_width,
                 "flops_proxy": k.flops_proxy,
+                "worker": k.worker,
             }),
             Event::Fault(f) => json!({
                 "type": "fault",
@@ -488,6 +492,13 @@ impl Event {
                 batch_size: field_u64("batch_size")?,
                 pool_width: field_u64("pool_width")?,
                 flops_proxy: field_u64("flops_proxy")?,
+                // Tolerate pre-distributed-telemetry traces with no
+                // worker field (same shape as an explicit null).
+                worker: match v.get("worker") {
+                    None => None,
+                    Some(Value::Null) => None,
+                    Some(w) => Some(w.as_u64()?),
+                },
             })),
             "fault" => Some(Event::Fault(FaultRecord {
                 iteration: field_u64("iter")?,
@@ -540,10 +551,31 @@ impl Event {
 // Recorder
 // ---------------------------------------------------------------------------
 
+/// Incremental JSONL sink for live tailing: the already-open trace file
+/// plus a cursor over how many events have been appended to it.
+struct LiveSink {
+    file: std::fs::File,
+    cursor: usize,
+}
+
+/// Cluster backend identity, recorded as extra run-meta fields (never in
+/// the [`RunStamp`], whose id must stay backend-agnostic so cross-backend
+/// canonical traces compare equal).
+#[derive(Debug, Clone, PartialEq)]
+struct BackendInfo {
+    name: String,
+    worker_processes: u64,
+}
+
 struct Inner {
     stamp: Mutex<RunStamp>,
     pricing: Mutex<Option<LinkPricing>>,
     events: Mutex<Vec<Event>>,
+    backend: Mutex<Option<BackendInfo>>,
+    /// Estimated worker-clock offsets vs. the master's monotonic origin,
+    /// in seconds, as `(worker, offset_s)` pairs (TCP backend only).
+    clock_offsets: Mutex<Vec<(u64, f64)>>,
+    live: Mutex<Option<LiveSink>>,
 }
 
 /// The telemetry ingestion handle. Cloning shares the underlying buffer;
@@ -562,6 +594,9 @@ impl Recorder {
                 stamp: Mutex::new(RunStamp::default()),
                 pricing: Mutex::new(None),
                 events: Mutex::new(Vec::new()),
+                backend: Mutex::new(None),
+                clock_offsets: Mutex::new(Vec::new()),
+                live: Mutex::new(None),
             })),
         }
     }
@@ -665,6 +700,63 @@ impl Recorder {
         inner.events.lock().unwrap().push(Event::Fault(rec));
     }
 
+    /// Merges a batch of events shipped from another process into this
+    /// recorder's stream (the master-side ingestion point for worker
+    /// telemetry frames).
+    pub fn ingest(&self, events: Vec<Event>) {
+        let Some(inner) = &self.inner else { return };
+        inner.events.lock().unwrap().extend(events);
+    }
+
+    /// Records which cluster backend produced this trace. Backend identity
+    /// is run *metadata*, not run *identity*: it is emitted as extra meta
+    /// fields by [`Recorder::to_jsonl`] but deliberately kept out of the
+    /// [`RunStamp`] so inproc and tcp runs of the same config share a run
+    /// id and their canonical traces compare equal.
+    pub fn set_backend(&self, name: &str, worker_processes: u64) {
+        if let Some(inner) = &self.inner {
+            *inner.backend.lock().unwrap() = Some(BackendInfo {
+                name: name.to_string(),
+                worker_processes,
+            });
+        }
+    }
+
+    /// The recorded backend identity, if any: `(name, worker_processes)`.
+    pub fn backend(&self) -> Option<(String, u64)> {
+        self.inner.as_ref().and_then(|inner| {
+            inner
+                .backend
+                .lock()
+                .unwrap()
+                .as_ref()
+                .map(|b| (b.name.clone(), b.worker_processes))
+        })
+    }
+
+    /// Records worker `w`'s estimated clock offset (seconds) against the
+    /// master's monotonic timeline, as measured during the hello
+    /// handshake. Re-estimates (respawns) overwrite the previous value.
+    pub fn set_clock_offset(&self, worker: u64, offset_s: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut offsets = inner.clock_offsets.lock().unwrap();
+        match offsets.iter_mut().find(|(w, _)| *w == worker) {
+            Some((_, o)) => *o = offset_s,
+            None => {
+                offsets.push((worker, offset_s));
+                offsets.sort_by_key(|&(w, _)| w);
+            }
+        }
+    }
+
+    /// The recorded `(worker, offset_s)` clock-alignment estimates.
+    pub fn clock_offsets(&self) -> Vec<(u64, f64)> {
+        match &self.inner {
+            Some(inner) => inner.clock_offsets.lock().unwrap().clone(),
+            None => Vec::new(),
+        }
+    }
+
     /// A snapshot of every event recorded so far, in ingestion order.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
@@ -684,14 +776,15 @@ impl Recorder {
         self.summary().breakdown
     }
 
-    /// Renders the full trace as JSONL: a `type: "run"` meta line followed
-    /// by one line per event, each stamped with the run id.
-    pub fn to_jsonl(&self) -> String {
+    /// The `type: "run"` meta line as a JSON value. Backend identity and
+    /// clock-offset estimates ride along as *extra* keys (readers
+    /// tolerate their absence, so pre-distributed-telemetry traces still
+    /// parse).
+    pub fn meta_value(&self) -> Value {
         let stamp = self.stamp();
-        let hex = stamp.run_id_hex();
-        let meta = json!({
+        let mut meta = json!({
             "type": "run",
-            "run": hex,
+            "run": stamp.run_id_hex(),
             "schema": SCHEMA_VERSION,
             "config_hash": format!("{:016x}", stamp.config_hash),
             "seed": stamp.seed,
@@ -699,8 +792,33 @@ impl Recorder {
             "pool_width": stamp.pool_width,
             "workers": stamp.workers,
         });
+        if let Value::Object(entries) = &mut meta {
+            if let Some((name, procs)) = self.backend() {
+                entries.push(("backend".to_string(), json!(name)));
+                entries.push(("worker_processes".to_string(), json!(procs)));
+            }
+            let offsets = self.clock_offsets();
+            if !offsets.is_empty() {
+                entries.push((
+                    "clock_offsets_s".to_string(),
+                    Value::Object(
+                        offsets
+                            .into_iter()
+                            .map(|(w, o)| (format!("w{w}"), json!(o)))
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        meta
+    }
+
+    /// Renders the full trace as JSONL: a `type: "run"` meta line followed
+    /// by one line per event, each stamped with the run id.
+    pub fn to_jsonl(&self) -> String {
+        let hex = self.stamp().run_id_hex();
         let mut out = String::new();
-        out.push_str(&serde_json::to_string(&meta).unwrap_or_default());
+        out.push_str(&serde_json::to_string(&self.meta_value()).unwrap_or_default());
         out.push('\n');
         for event in self.events() {
             let line = serde_json::to_string(&event.to_value(&hex));
@@ -708,6 +826,61 @@ impl Recorder {
             out.push('\n');
         }
         out
+    }
+
+    /// Opens `path` as a live-tail sink: the current meta line is written
+    /// immediately and subsequent [`Recorder::flush_live`] calls append
+    /// newly recorded events, so `inspect follow` can watch the run. The
+    /// caller should still [`Recorder::write_jsonl`] at the end of the
+    /// run to rewrite the file with final metadata (late clock-offset
+    /// estimates land in the meta line only on that rewrite).
+    pub fn attach_trace_out(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(path)?;
+        writeln!(
+            file,
+            "{}",
+            serde_json::to_string(&self.meta_value()).unwrap_or_default()
+        )?;
+        file.flush()?;
+        *inner.live.lock().unwrap() = Some(LiveSink { file, cursor: 0 });
+        Ok(())
+    }
+
+    /// Appends events recorded since the last flush to the live-tail sink
+    /// (a no-op without [`Recorder::attach_trace_out`]). Called by the
+    /// engines at superstep boundaries.
+    pub fn flush_live(&self) -> std::io::Result<()> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut live = inner.live.lock().unwrap();
+        let Some(sink) = live.as_mut() else {
+            return Ok(());
+        };
+        let hex = self.stamp().run_id_hex();
+        let events = inner.events.lock().unwrap();
+        if sink.cursor >= events.len() {
+            return Ok(());
+        }
+        use std::io::Write as _;
+        let mut chunk = String::new();
+        for event in &events[sink.cursor..] {
+            chunk.push_str(&serde_json::to_string(&event.to_value(&hex)).unwrap_or_default());
+            chunk.push('\n');
+        }
+        sink.file.write_all(chunk.as_bytes())?;
+        sink.file.flush()?;
+        sink.cursor = events.len();
+        Ok(())
     }
 
     /// Writes [`Recorder::to_jsonl`] to `path`, creating parent
@@ -1034,6 +1207,7 @@ mod tests {
                 batch_size: 100,
                 pool_width: 2,
                 flops_proxy: 200,
+                worker: Some(1),
             }),
             Event::Fault(FaultRecord {
                 iteration: 3,
@@ -1291,6 +1465,100 @@ mod tests {
                 .abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn ingest_merges_and_meta_carries_backend_identity() {
+        let r = Recorder::new();
+        r.begin(RunStamp {
+            seed: 5,
+            ..RunStamp::default()
+        });
+        r.set_backend("tcp", 4);
+        r.set_clock_offset(1, 2.5e-6);
+        r.set_clock_offset(0, -1.0e-6);
+        r.set_clock_offset(1, 3.0e-6); // re-estimate overwrites
+        r.ingest(sample_events());
+        assert_eq!(r.events(), sample_events());
+        assert_eq!(r.backend(), Some(("tcp".to_string(), 4)));
+        assert_eq!(r.clock_offsets(), vec![(0, -1.0e-6), (1, 3.0e-6)]);
+        let meta = r.meta_value();
+        assert_eq!(meta.get("backend").and_then(Value::as_str), Some("tcp"));
+        assert_eq!(
+            meta.get("worker_processes").and_then(Value::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            meta.get("clock_offsets_s")
+                .and_then(|o| o.get("w1"))
+                .and_then(Value::as_f64),
+            Some(3.0e-6)
+        );
+        // The extra meta keys still parse (readers tolerate unknowns).
+        let (meta, events) = parse_jsonl(&r.to_jsonl()).expect("trace parses");
+        assert_eq!(meta.get("backend").and_then(Value::as_str), Some("tcp"));
+        assert_eq!(events, sample_events());
+        // Backend identity must never perturb the run id.
+        let plain = Recorder::new();
+        plain.begin(RunStamp {
+            seed: 5,
+            ..RunStamp::default()
+        });
+        assert_eq!(plain.stamp().run_id(), r.stamp().run_id());
+    }
+
+    #[test]
+    fn kernel_records_without_worker_field_still_parse() {
+        // A pre-distributed-telemetry trace: kernel lines lack "worker".
+        let trace = "{\"type\":\"run\",\"run\":\"x\",\"schema\":1}\n\
+             {\"type\":\"kernel\",\"run\":\"x\",\"iter\":0,\"model\":\"lr\",\
+             \"batch_size\":10,\"pool_width\":1,\"flops_proxy\":10}\n";
+        let (_, events) = parse_jsonl(trace).expect("legacy kernel parses");
+        assert_eq!(
+            events,
+            vec![Event::Kernel(KernelRecord {
+                iteration: 0,
+                model: "lr".to_string(),
+                batch_size: 10,
+                pool_width: 1,
+                flops_proxy: 10,
+                worker: None,
+            })]
+        );
+    }
+
+    #[test]
+    fn live_tail_appends_incrementally() {
+        let dir = std::env::temp_dir().join(format!("colsgd-live-tail-{}", std::process::id()));
+        let path = dir.join("live.jsonl");
+        let r = Recorder::new();
+        r.begin(RunStamp {
+            seed: 9,
+            ..RunStamp::default()
+        });
+        r.attach_trace_out(&path).expect("attach");
+        let evs = sample_events();
+        r.superstep(match &evs[0] {
+            Event::Superstep(s) => s.clone(),
+            _ => unreachable!(),
+        });
+        r.flush_live().expect("flush 1");
+        let after_one = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(after_one.lines().count(), 2, "meta + 1 event");
+        let (_, parsed) = parse_jsonl(&after_one).expect("partial trace parses");
+        assert_eq!(parsed.len(), 1);
+        r.kernel(match &evs[3] {
+            Event::Kernel(k) => k.clone(),
+            _ => unreachable!(),
+        });
+        r.flush_live().expect("flush 2");
+        r.flush_live().expect("idempotent flush");
+        let after_two = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(after_two.lines().count(), 3, "meta + 2 events");
+        // The full-rewrite export matches the incrementally built file.
+        r.write_jsonl(&path).expect("final rewrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), r.to_jsonl());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
