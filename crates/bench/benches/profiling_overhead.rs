@@ -1,0 +1,68 @@
+//! Phase-profiler overhead microbench.
+//!
+//! The acceptance bar for the continuous-profiling layer: with profiling
+//! disabled (the default), `ProfScope::enter` must compile down to one
+//! relaxed atomic load and an inert guard — `scoped_disabled` is the
+//! number to watch and must stay within noise of `bare_loop`.
+//! `scoped_enabled` quantifies the live path (clock reads, thread-local
+//! frame stack, per-thread map merge on drop) for the docs.
+
+use columnsgd::cluster::telemetry::profile::{self, ProfScope};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A cheap, non-optimizable unit of "real work" so the scope cost is
+/// measured against something, not against an empty loop the optimizer
+/// would fold away.
+fn work(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17)
+}
+
+fn bench_profiling_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profiling_overhead");
+
+    g.bench_function("bare_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc = acc.wrapping_add(work(black_box(i)));
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("scoped_disabled", |b| {
+        profile::set_enabled(false);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                let _prof = ProfScope::enter("bench_frame");
+                acc = acc.wrapping_add(work(black_box(i)));
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("scoped_enabled", |b| {
+        profile::set_enabled(true);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                let _prof = ProfScope::enter("bench_frame");
+                acc = acc.wrapping_add(work(black_box(i)));
+            }
+            black_box(acc)
+        });
+        profile::set_enabled(false);
+        // Leave no residue for whatever runs in this process next.
+        profile::drain();
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_profiling_overhead
+}
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! engine — every record site is gated on a single relaxed atomic load,
 //! so `lr_k4_disabled` is the number to watch for regressions.
 
+use columnsgd::cluster::telemetry::profile;
 use columnsgd::cluster::{FailurePlan, NetworkModel, Recorder};
 use columnsgd::core::{ColumnSgdConfig, ColumnSgdEngine};
 use columnsgd::data::synth;
@@ -50,6 +51,28 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             black_box(e.train().expect("train"));
             black_box(recorder.events().len());
         })
+    });
+
+    // Tracing + phase profiler: every ProfScope on the hot path goes live.
+    // Compare against `lr_k4_enabled` for the profiler's marginal cost.
+    g.bench_function("lr_k4_enabled_profiled", |bch| {
+        profile::set_enabled(true);
+        bch.iter(|| {
+            let recorder = Recorder::new();
+            let mut e = ColumnSgdEngine::new_traced(
+                &ds,
+                4,
+                cfg(),
+                NetworkModel::CLUSTER1,
+                FailurePlan::none(),
+                recorder.clone(),
+            )
+            .expect("engine");
+            black_box(e.train().expect("train"));
+            black_box(recorder.events().len());
+        });
+        profile::set_enabled(false);
+        profile::drain();
     });
     g.finish();
 }

@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod profile;
 pub mod superstep;
 pub mod table1;
 pub mod table4;
@@ -24,7 +25,7 @@ pub mod transport_xval;
 use crate::Report;
 
 /// All experiment ids, in paper order, followed by the extensions.
-pub const ALL_IDS: [&str; 26] = [
+pub const ALL_IDS: [&str; 27] = [
     "table1",
     "table2",
     "table3",
@@ -48,6 +49,7 @@ pub const ALL_IDS: [&str; 26] = [
     "ext_elastic",
     "trace",
     "trace_tcp",
+    "profile",
     "transport_xval",
     "diagnose",
     "BENCH_superstep",
@@ -80,6 +82,7 @@ pub fn run(id: &str, scale: f64) -> Option<Vec<Report>> {
         "ext_elastic" => vec![ext_elastic::sweep(scale)],
         "trace" => vec![trace::run(scale)],
         "trace_tcp" => vec![trace_tcp::run(scale)],
+        "profile" => vec![profile::run(scale)],
         "transport_xval" => vec![transport_xval::run(scale)],
         "diagnose" => vec![diagnose::run(scale)],
         "BENCH_superstep" => vec![superstep::run(scale)],

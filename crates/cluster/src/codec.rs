@@ -42,7 +42,8 @@ use columnsgd_linalg::{CsrMatrix, DenseVector, SparseVector};
 
 use crate::node::NodeId;
 use crate::telemetry::{
-    CommFault, CommRecord, Event, FaultRecord, KernelRecord, NodeRef, Phase, Plane, SuperstepSpan,
+    CommFault, CommRecord, Event, FaultRecord, KernelRecord, NodeRef, Phase, Plane, ProfRecord,
+    ProfScope, SuperstepSpan,
 };
 use crate::wire::{Wire, ENVELOPE_BYTES};
 
@@ -570,6 +571,7 @@ pub fn encode_envelope<M: WireCodec>(
     payload: &M,
     plane: Plane,
 ) -> Result<Vec<u8>, CodecError> {
+    let _prof = ProfScope::enter("codec_encode");
     let body_len = payload.wire_size();
     let expected = body_len + ENVELOPE_BYTES;
     let mut out = Vec::with_capacity(expected);
@@ -630,6 +632,7 @@ pub fn decode_envelope_header(frame: &[u8]) -> Result<EnvelopeHeader, CodecError
 /// Decodes the body of a message frame (everything after the header),
 /// checking the decoded payload re-reports the same `wire_size`.
 pub fn decode_body_checked<M: WireCodec>(frame: &[u8]) -> Result<M, CodecError> {
+    let _prof = ProfScope::enter("codec_decode");
     let mut r = WireReader::new(&frame[ENVELOPE_BYTES..]);
     let payload = M::decode_body(&mut r)?;
     r.finish(payload.kind())?;
@@ -783,6 +786,22 @@ fn put_event(out: &mut Vec<u8>, e: &Event) {
             put_u64(out, f.attempt);
             put_bool(out, f.fatal);
         }
+        Event::Prof(p) => {
+            put_u8(out, 4);
+            match p.worker {
+                None => put_u8(out, 0),
+                Some(w) => {
+                    put_u8(out, 1);
+                    put_u64(out, w);
+                }
+            }
+            put_str(out, &p.stack);
+            put_u64(out, p.calls);
+            put_f64(out, p.wall_s);
+            put_f64(out, p.cpu_s);
+            put_u64(out, p.alloc_bytes);
+            put_u64(out, p.alloc_count);
+        }
     }
 }
 
@@ -825,6 +844,19 @@ fn read_event(r: &mut WireReader<'_>) -> Result<Event, CodecError> {
             recovery_cost_s: r.f64("fault recovery_cost_s")?,
             attempt: r.u64("fault attempt")?,
             fatal: r.bool("fault fatal")?,
+        }),
+        4 => Event::Prof(ProfRecord {
+            worker: match r.u8("prof worker tag")? {
+                0 => None,
+                1 => Some(r.u64("prof worker")?),
+                b => return Err(CodecError::Malformed(format!("bad prof worker tag {b}"))),
+            },
+            stack: r.str("prof stack")?,
+            calls: r.u64("prof calls")?,
+            wall_s: r.f64("prof wall_s")?,
+            cpu_s: r.f64("prof cpu_s")?,
+            alloc_bytes: r.u64("prof alloc_bytes")?,
+            alloc_count: r.u64("prof alloc_count")?,
         }),
         t => return Err(CodecError::Malformed(format!("bad event tag {t}"))),
     })

@@ -51,7 +51,7 @@ use crate::codec::{
 };
 use crate::node::NodeId;
 use crate::router::{Endpoint, Envelope, NetError, Router};
-use crate::telemetry::{Plane, Recorder};
+use crate::telemetry::{Plane, ProfScope, Recorder};
 use crate::traffic::TrafficStats;
 use crate::transport::{Reregistered, Transport};
 use crate::WireCodec;
@@ -85,6 +85,11 @@ struct HubInner<M> {
     /// can be aligned to the master's.
     origin: Instant,
     shutting_down: AtomicBool,
+    /// Handles of the accept loop and every connection thread, joined by
+    /// [`TcpHub::shutdown`] so the hub quiesces deterministically — no
+    /// detached thread can still be switching a frame (and charging
+    /// profiler samples) after shutdown returns.
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// The master-side transport: local master mailbox + one socket per
@@ -149,6 +154,7 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
                 router: Mutex::new(None),
                 origin: Instant::now(),
                 shutting_down: AtomicBool::new(false),
+                threads: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -173,10 +179,11 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
     pub fn start(&self, router: Router<M>) {
         *self.inner.router.lock() = Some(router);
         let hub = self.clone();
-        std::thread::Builder::new()
+        let handle = std::thread::Builder::new()
             .name("tcp-hub-accept".to_string())
             .spawn(move || hub.accept_loop())
             .expect("spawn hub accept thread");
+        self.inner.threads.lock().push(handle);
     }
 
     fn accept_loop(&self) {
@@ -189,10 +196,11 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
                 return;
             }
             let hub = self.clone();
-            std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name("tcp-hub-conn".to_string())
                 .spawn(move || hub.serve_conn(stream))
                 .expect("spawn hub connection thread");
+            self.inner.threads.lock().push(handle);
         }
     }
 
@@ -246,6 +254,10 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
         // here, through the exact same Router paths as in-process sends.
         // EOF or a read error ends the loop: the worker process is gone.
         while let Ok(Some(frame)) = read_frame(&mut stream) {
+            // Per-frame switching cost (header decode, telemetry
+            // interception, body decode, ingress) under one profiler
+            // frame; the guard drops on every `continue`/`break` path.
+            let _prof = ProfScope::enter("hub_switch");
             let Ok(header) = decode_envelope_header(&frame) else {
                 break; // corrupt stream: treat as death
             };
@@ -288,6 +300,12 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
                 to: header.to,
                 payload,
             };
+            // Close the switching frame *before* ingress: the hand-off
+            // unblocks the master, which may immediately drain the
+            // profiler (end of training) — charging this frame's sample
+            // after ingress would race that drain and make the folded
+            // calls nondeterministic for the run's final ack.
+            drop(_prof);
             // A NodeDown/UnknownNode here mirrors the error the
             // sending worker would have seen in-process; over a
             // socket the sender is remote, so the hub absorbs it
@@ -346,7 +364,10 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
         }
     }
 
-    /// Stops accepting new connections and severs all workers.
+    /// Stops accepting new connections, severs all workers, and joins
+    /// every hub thread: when this returns, no hub thread is switching
+    /// frames any more, so recorder ingests and profiler samples have
+    /// quiesced (a deterministic boundary for the profiling layer).
     pub fn shutdown(&self) {
         self.inner.shutting_down.store(true, Ordering::Release);
         let ids: Vec<NodeId> = self.inner.conns.lock().keys().copied().collect();
@@ -355,6 +376,18 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
         }
         // Unblock the accept loop with a dummy connection.
         let _ = TcpStream::connect(self.inner.addr);
+        // Joining the accept thread guarantees no further connection
+        // threads are spawned; re-take the vec until it stays empty in
+        // case one was pushed while the first batch was being joined.
+        loop {
+            let threads: Vec<_> = std::mem::take(&mut *self.inner.threads.lock());
+            if threads.is_empty() {
+                return;
+            }
+            for t in threads {
+                let _ = t.join();
+            }
+        }
     }
 }
 

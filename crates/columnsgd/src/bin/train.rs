@@ -16,6 +16,14 @@
 //!   --model-out PATH                     write weights as text
 //!   --trace-out PATH                     write telemetry JSONL trace
 //!   --metrics-out PATH                   stream monitor snapshots (JSONL)
+//!   --profile                            phase profiler on (prof events
+//!                                        land in the trace; see
+//!                                        `columnsgd-inspect flame`)
+//!   --metrics-addr ADDR                  serve Prometheus text metrics at
+//!                                        http://ADDR/metrics (e.g.
+//!                                        127.0.0.1:9184)
+//!   --metrics-snapshot PATH              write the final Prometheus text
+//!                                        exposition to PATH
 //!
 //! Elastic mode (dynamic membership on the elastic engine):
 //!
@@ -40,6 +48,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::exit;
 
+use columnsgd::cluster::telemetry::{profile, MetricsRegistry};
 use columnsgd::cluster::Recorder;
 use columnsgd::data::libsvm;
 use columnsgd::ml::serial;
@@ -59,6 +68,9 @@ struct Args {
     model_out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    profile: bool,
+    metrics_addr: Option<String>,
+    metrics_snapshot: Option<String>,
     elastic: bool,
     elastic_initial: Option<usize>,
     schedule: Vec<ElasticEvent>,
@@ -72,7 +84,8 @@ fn usage() -> ! {
          [--workers K] [--batch B] [--iters T] [--eta E] \
          [--optimizer sgd|adagrad|adam] [--l2 LAMBDA] [--seed S] \
          [--transport inproc|tcp] [--worker-bin PATH] [--model-out PATH] \
-         [--trace-out PATH] [--metrics-out PATH] \
+         [--trace-out PATH] [--metrics-out PATH] [--profile] \
+         [--metrics-addr ADDR] [--metrics-snapshot PATH] \
          [--elastic] [--elastic-initial N] [--join T:W] [--leave T:W] [--crash T:W] \
          [--replicate] [--speculate]"
     );
@@ -121,6 +134,9 @@ fn parse_args() -> Args {
         model_out: None,
         trace_out: None,
         metrics_out: None,
+        profile: false,
+        metrics_addr: None,
+        metrics_snapshot: None,
         elastic: false,
         elastic_initial: None,
         schedule: Vec::new(),
@@ -167,6 +183,9 @@ fn parse_args() -> Args {
             "--model-out" => args.model_out = Some(value("--model-out")),
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
+            "--profile" => args.profile = true,
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
+            "--metrics-snapshot" => args.metrics_snapshot = Some(value("--metrics-snapshot")),
             "--elastic" => args.elastic = true,
             "--elastic-initial" => {
                 args.elastic_initial = Some(
@@ -244,6 +263,31 @@ fn main() {
     config.update = update;
     config.optimizer = args.optimizer;
 
+    if args.profile {
+        // Enable the phase profiler in this process and export the opt-in
+        // through the environment so spawned TCP worker processes inherit
+        // it (`columnsgd-worker` calls `profile::enable_from_env`).
+        profile::set_enabled(true);
+        std::env::set_var(profile::PROFILE_ENV, "1");
+        if args.trace_out.is_none() {
+            eprintln!("note: --profile without --trace-out records samples nobody collects");
+        }
+    }
+    let metrics = if args.metrics_addr.is_some() || args.metrics_snapshot.is_some() {
+        Some(MetricsRegistry::new())
+    } else {
+        None
+    };
+    if let (Some(addr), Some(m)) = (&args.metrics_addr, &metrics) {
+        match m.serve(addr) {
+            Ok(bound) => eprintln!("metrics: http://{bound}/metrics"),
+            Err(e) => {
+                eprintln!("cannot serve metrics on {addr}: {e}");
+                exit(1)
+            }
+        }
+    }
+
     let recorder = if args.trace_out.is_some() {
         Recorder::new()
     } else {
@@ -303,6 +347,9 @@ fn main() {
             exit(e.exit_code())
         });
         engine.attach_monitor(monitor);
+        if metrics.is_some() {
+            eprintln!("note: the elastic engine does not feed the metrics registry yet");
+        }
         let outcome = engine.train().unwrap_or_else(|e| {
             eprintln!("training failed: {e}");
             eprintln!("hint: {}", e.advice());
@@ -353,6 +400,9 @@ fn main() {
             exit(e.exit_code())
         });
         engine.attach_monitor(monitor);
+        if let Some(m) = &metrics {
+            engine.attach_metrics(m.clone());
+        }
         let outcome = engine.train().unwrap_or_else(|e| {
             eprintln!("training failed: {e}");
             eprintln!("hint: {}", e.advice());
@@ -373,6 +423,14 @@ fn main() {
 
     if let Some(path) = &args.metrics_out {
         eprintln!("metrics streamed to {path}");
+    }
+    if let (Some(path), Some(m)) = (&args.metrics_snapshot, &metrics) {
+        m.snapshot_to(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write metrics snapshot {path}: {e}");
+                exit(1)
+            });
+        eprintln!("metrics snapshot written to {path}");
     }
     if let Some(path) = &args.trace_out {
         recorder

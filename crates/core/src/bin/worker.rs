@@ -24,6 +24,10 @@ use columnsgd_core::msg::ColMsg;
 use columnsgd_core::worker::run_worker;
 
 fn main() {
+    // Profiling is opt-in per run: the master sets `COLUMNSGD_PROFILE`
+    // in its own environment before spawning us, and the child inherits
+    // it — no BootSpec change, and unprofiled runs pay nothing.
+    columnsgd_cluster::telemetry::profile::enable_from_env();
     let mut line = String::new();
     if let Err(e) = std::io::stdin().lock().read_line(&mut line) {
         eprintln!("columnsgd-worker: failed to read bootstrap from stdin: {e}");

@@ -1704,6 +1704,11 @@ impl ElasticEngine {
             }
         }
 
+        // Fold master-side profiler accumulation into the trace (no-op
+        // unless both tracing and profiling are enabled); worker samples
+        // from TCP processes already arrived over the telemetry channel.
+        self.recorder.prof_drain(None);
+
         if self.recorder.is_enabled() {
             // Tentpole invariant: migration and speculation traffic is
             // priced by construction — the trace's comm records reconcile

@@ -25,7 +25,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use columnsgd_cluster::clock::IterationTime;
-use columnsgd_cluster::telemetry::{KernelRecord, Phase, RunStamp, SuperstepSpan};
+use columnsgd_cluster::telemetry::{
+    KernelRecord, MetricsRegistry, Phase, ProfScope, RunStamp, SuperstepSpan,
+};
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
 use columnsgd_cluster::{
     ClusterConfig, Diagnostics, Endpoint, Envelope, FailurePlan, Monitor, NetError, NetworkModel,
@@ -117,6 +119,15 @@ pub struct ColumnSgdEngine {
     traffic: TrafficStats,
     recorder: Recorder,
     monitor: Monitor,
+    /// Prometheus-style exposition registry (off unless
+    /// [`ColumnSgdEngine::attach_metrics`] was called). Fed once per
+    /// superstep from already-collected observations, so the data plane
+    /// pays nothing for it.
+    metrics: Option<MetricsRegistry>,
+    /// Cumulative (bytes, messages) already exported to the metrics
+    /// counters; `TrafficStats::total` is cumulative and counters only
+    /// accept deltas.
+    metrics_last_traffic: (u64, u64),
     /// Messages received while waiting for something more specific
     /// (probe acks, reload acks); drained before the mailbox.
     pending: VecDeque<Envelope<ColMsg>>,
@@ -424,6 +435,8 @@ impl ColumnSgdEngine {
             traffic,
             recorder,
             monitor: Monitor::disabled(),
+            metrics: None,
+            metrics_last_traffic: (0, 0),
             pending: VecDeque::new(),
             blocks,
             index,
@@ -746,8 +759,11 @@ impl ColumnSgdEngine {
             let mut charge = 0.0f64;
 
             // --- step 1: computeStatistics -----------------------------
-            for w in 0..self.k {
-                self.issue_compute(t, w, &mut attempts, &issued, &mut recovery, &mut charge)?;
+            {
+                let _prof = ProfScope::enter("issue");
+                for w in 0..self.k {
+                    self.issue_compute(t, w, &mut attempts, &issued, &mut recovery, &mut charge)?;
+                }
             }
 
             // --- step 2: gather + reduce -------------------------------
@@ -767,6 +783,7 @@ impl ColumnSgdEngine {
             // reply, a handled panic, a completed recovery), never on
             // stray traffic. Wall-clock across the whole barrier is kept
             // as the *measured* gather time for transport cross-checks.
+            let prof_gather = ProfScope::enter("gather");
             let gather_started = Instant::now();
             let mut wait_until = gather_started + detect;
             while (0..self.k).any(|w| !excused[w] && !partials.contains_key(&w)) {
@@ -904,6 +921,7 @@ impl ColumnSgdEngine {
             }
 
             let gather_wall = gather_started.elapsed().as_secs_f64();
+            drop(prof_gather);
 
             // Straggler injection (§V-C methodology). StragglerLevel is
             // "the ratio between the extra time a straggler needs to
@@ -927,6 +945,7 @@ impl ColumnSgdEngine {
                 (Some(mode), Some(v)) if !backed_up => Some((mode, v)),
                 _ => None,
             };
+            let prof_reduce = ProfScope::enter("reduce");
             let groups = self.cfg.num_groups(self.k);
             let mut stat_phase = 0.0f64;
             let mut counted: Vec<usize> = Vec::with_capacity(self.k);
@@ -984,10 +1003,12 @@ impl ColumnSgdEngine {
                     *v *= scale;
                 }
             }
+            drop(prof_reduce);
 
             // --- step 3: broadcast + updateModel ------------------------
             // In stale mode the abandoned straggler also skips the update
             // (its partition goes stale for this iteration).
+            let prof_bcast = ProfScope::enter("broadcast");
             let updaters: Vec<usize> = (0..self.k)
                 .filter(|&w| stale_victim.is_none_or(|(_, v)| v != w))
                 .collect();
@@ -1083,6 +1104,7 @@ impl ColumnSgdEngine {
                 }
             }
             let bcast_wall = bcast_started.elapsed().as_secs_f64();
+            drop(prof_bcast);
             if let (Some(victim), Some(s)) = (straggler, self.plan.straggler) {
                 if !backed_up {
                     update_times[victim] *= s.factor();
@@ -1140,6 +1162,9 @@ impl ColumnSgdEngine {
                 overhead_s: self.net.scheduling_overhead_s,
             });
             curve.push(t, clock.elapsed_s(), loss);
+            if self.metrics.is_some() {
+                self.export_metrics(loss, clock.elapsed_s(), &compute_times, stat_phase);
+            }
             // Live tail: append this superstep's merged events to the
             // attached trace file (no-op unless a sink is attached). A full
             // disk must not kill training.
@@ -1173,6 +1198,13 @@ impl ColumnSgdEngine {
                 }
             }
         }
+
+        // Fold the master-side profiler accumulation (engine phases, codec,
+        // kernel scopes on hub threads) into the trace as `prof` events.
+        // Worker-side samples already arrived through the telemetry channel,
+        // causally ordered before each superstep's barrier replies. A no-op
+        // unless both tracing and profiling are enabled.
+        self.recorder.prof_drain(None);
 
         if self.recorder.is_enabled() {
             // Tentpole invariant: the trace's comm records must reconcile
@@ -1226,6 +1258,82 @@ impl ColumnSgdEngine {
     /// [`ColumnSgdEngine::attach_monitor`] was called).
     pub fn monitor(&self) -> &Monitor {
         &self.monitor
+    }
+
+    /// Attaches a [`MetricsRegistry`]: registers the engine's metric
+    /// families and, from then on, exports one sample set per superstep
+    /// from observations the engine already collects — the data plane is
+    /// never metered twice.
+    pub fn attach_metrics(&mut self, metrics: MetricsRegistry) {
+        metrics.register_counter("columnsgd_supersteps_total", "Completed supersteps.");
+        metrics.register_gauge("columnsgd_loss", "Batch loss at the latest superstep.");
+        metrics.register_gauge(
+            "columnsgd_sim_elapsed_seconds",
+            "Simulated seconds elapsed on the cost-model clock.",
+        );
+        metrics.register_gauge(
+            "columnsgd_worker_compute_seconds",
+            "Latest statistics-phase compute seconds, per worker.",
+        );
+        metrics.register_gauge(
+            "columnsgd_monitor_alarms_total",
+            "Diagnostics alarms raised so far (0 unless a monitor is attached).",
+        );
+        metrics.register_counter(
+            "columnsgd_comm_bytes_total",
+            "Bytes metered by the router across all deliveries.",
+        );
+        metrics.register_counter(
+            "columnsgd_comm_messages_total",
+            "Messages metered by the router across all deliveries.",
+        );
+        metrics.register_histogram(
+            "columnsgd_superstep_compute_seconds",
+            "Effective statistics-phase (barrier) seconds per superstep.",
+            &[1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0],
+        );
+        self.metrics = Some(metrics);
+    }
+
+    /// Per-superstep metrics export. Counters take deltas against the
+    /// cumulative router meter; everything else is a point sample of
+    /// state the superstep already computed.
+    fn export_metrics(
+        &mut self,
+        loss: f64,
+        sim_elapsed_s: f64,
+        compute_times: &[f64],
+        stat_phase: f64,
+    ) {
+        let Some(m) = &self.metrics else { return };
+        m.counter_add("columnsgd_supersteps_total", &[], 1.0);
+        m.gauge_set("columnsgd_loss", &[], loss);
+        m.gauge_set("columnsgd_sim_elapsed_seconds", &[], sim_elapsed_s);
+        for (w, &c) in compute_times.iter().enumerate() {
+            let label = w.to_string();
+            m.gauge_set("columnsgd_worker_compute_seconds", &[("worker", &label)], c);
+        }
+        m.histogram_observe("columnsgd_superstep_compute_seconds", &[], stat_phase);
+        let total = self.traffic.total();
+        let (last_bytes, last_msgs) = self.metrics_last_traffic;
+        m.counter_add(
+            "columnsgd_comm_bytes_total",
+            &[],
+            total.bytes.saturating_sub(last_bytes) as f64,
+        );
+        m.counter_add(
+            "columnsgd_comm_messages_total",
+            &[],
+            total.messages.saturating_sub(last_msgs) as f64,
+        );
+        self.metrics_last_traffic = (total.bytes, total.messages);
+        if self.monitor.is_enabled() {
+            m.gauge_set(
+                "columnsgd_monitor_alarms_total",
+                &[],
+                self.monitor.report().total() as f64,
+            );
+        }
     }
 
     /// Emits the six per-iteration [`SuperstepSpan`]s plus the

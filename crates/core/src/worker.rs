@@ -23,7 +23,7 @@
 
 use std::time::Instant;
 
-use columnsgd_cluster::telemetry::{FaultRecord, KernelRecord};
+use columnsgd_cluster::telemetry::{FaultRecord, KernelRecord, ProfScope};
 use columnsgd_cluster::{
     ChaosSpec, Endpoint, FailureEvent, FailurePlan, NodeId, Recorder, TelemetryTx,
 };
@@ -309,6 +309,7 @@ impl WorkerNode {
     /// unless the batch cache already holds them (a re-issued task after a
     /// deadline or straggler race hits the cache and pays nothing).
     fn ensure_batch(&mut self, iteration: u64) -> Result<(), String> {
+        let _prof = ProfScope::enter("batch_sample");
         let key = (iteration, self.cfg.batch_size);
         if self.cached_batch == Some(key) {
             return Ok(());
@@ -341,6 +342,7 @@ impl WorkerNode {
     /// fixed partition order, so the result is bit-identical at any pool
     /// width.
     fn compute_stats(&mut self, iteration: u64) -> Result<Vec<f64>, String> {
+        let _prof = ProfScope::enter("worker_stats");
         self.ensure_batch(iteration)?;
         let model = self.cfg.model;
         self.pool.for_each_mut(&mut self.partitions, |_, p| {
@@ -359,6 +361,7 @@ impl WorkerNode {
     /// model slices, and each partition's kernel is deterministic, so pool
     /// width never changes the resulting model.
     fn update(&mut self, iteration: u64, stats: &[f64]) {
+        let _prof = ProfScope::enter("worker_update");
         debug_assert_eq!(
             Some(iteration),
             self.batch_iteration(),
@@ -476,6 +479,7 @@ impl WorkerNode {
         iteration: u64,
         pids: &[usize],
     ) -> Result<(Vec<usize>, Vec<f64>), String> {
+        let _prof = ProfScope::enter("worker_stats");
         self.ensure_batch(iteration)?;
         let model = self.cfg.model;
         let wanted = |pid: usize| pids.contains(&pid);
@@ -552,6 +556,11 @@ pub fn run_worker(
 ) {
     let flush_telemetry = || {
         if let Some(tx) = &ship {
+            // Fold this process's profiler accumulation into the outgoing
+            // event batch first: the samples ride the same socket as the
+            // barrier reply that follows, so the master ingests them before
+            // the superstep completes. No-op unless profiling is enabled.
+            recorder.prof_drain(Some(id as u64));
             tx.flush(&recorder);
         }
     };

@@ -18,6 +18,10 @@
 //! * `comm <trace.jsonl>` — link and message-kind hotspot rankings,
 //! * `chrome <trace.jsonl>` — Chrome `about:tracing` / Perfetto
 //!   trace-event JSON on stdout,
+//! * `flame <trace.jsonl> [--weight calls|wall|cpu|alloc]` — folded-stack
+//!   output from the trace's phase-profiler samples (`--profile` runs),
+//!   consumable by standard flamegraph tooling; the default `calls`
+//!   weight is deterministic across same-seed runs,
 //! * `diff <a.jsonl> <b.jsonl> [--threshold R]` — phase-by-phase run
 //!   diff; exits non-zero when any phase regressed by more than `R`
 //!   (default 0.10), making it a CI perf gate,
@@ -54,6 +58,11 @@ pub struct Trace {
     pub events: Vec<Event>,
     /// [`Summary`] over the events, stamped from the meta line.
     pub summary: Summary,
+    /// Parser warnings (lenient mode only): anything that was skipped but
+    /// should not be silent — most importantly a torn meta line caught
+    /// mid-rewrite, which would otherwise show up as a zeroed run stamp
+    /// with no explanation. Strict parsing never warns: it errors.
+    pub warnings: Vec<String>,
 }
 
 /// Loads and parses a trace file.
@@ -71,6 +80,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
         meta,
         events,
         summary,
+        warnings: Vec::new(),
     })
 }
 
@@ -82,12 +92,31 @@ pub fn parse_trace(text: &str) -> Result<Trace, String> {
 pub fn parse_trace_lenient(text: &str) -> Trace {
     let mut meta = Value::Null;
     let mut events = Vec::new();
-    for line in text.lines() {
+    let mut warnings = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let last_nonempty = lines.iter().rposition(|l| !l.trim().is_empty());
+    for (i, line) in lines.iter().enumerate() {
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
         let Ok(value) = serde_json::from_str(trimmed) else {
+            // A partially written *last* line is the expected tail race and
+            // stays silent. Anything else torn — above all the meta line,
+            // which `write_jsonl` rewrites in place at the end of a run —
+            // must be surfaced: silently skipping it renders the frame with
+            // an all-zero run stamp and no hint why.
+            let looks_meta = trimmed.starts_with("{\"type\": \"run\"")
+                || trimmed.starts_with("{\"type\":\"run\"");
+            if looks_meta {
+                warnings.push(format!(
+                    "line {}: torn meta line (trace being rewritten mid-read?); \
+                     run stamp may be stale this frame",
+                    i + 1
+                ));
+            } else if Some(i) != last_nonempty {
+                warnings.push(format!("line {}: malformed interior line skipped", i + 1));
+            }
             continue;
         };
         if value.get("type").and_then(Value::as_str) == Some("run") {
@@ -96,12 +125,18 @@ pub fn parse_trace_lenient(text: &str) -> Trace {
             events.push(ev);
         }
     }
+    if meta.is_null() && last_nonempty.is_some() && warnings.is_empty() {
+        // Every line parsed yet none was the meta line: the writer has not
+        // flushed it yet (or the file is truncated at the front).
+        warnings.push("no meta line yet; run stamp shown as zeros".to_string());
+    }
     let stamp = stamp_from_meta(&meta);
     let summary = Summary::from_events(&events, stamp);
     Trace {
         meta,
         events,
         summary,
+        warnings,
     }
 }
 
@@ -300,6 +335,63 @@ pub fn cmd_chrome(t: &Trace) -> String {
     serde_json::to_string(&chrome_trace(&t.meta, &t.events)).unwrap_or_default()
 }
 
+/// Which column of the prof records weighs the folded stacks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlameWeight {
+    /// Deterministic call counts (the default; stable across same-seed runs).
+    Calls,
+    /// Wall-clock microseconds.
+    Wall,
+    /// CPU microseconds (`/proc/thread-self/schedstat`).
+    Cpu,
+    /// Allocated bytes (needs the `count-alloc` telemetry feature).
+    Alloc,
+}
+
+impl FlameWeight {
+    /// Parses a `--weight` value.
+    pub fn parse(s: &str) -> Option<FlameWeight> {
+        match s {
+            "calls" => Some(FlameWeight::Calls),
+            "wall" => Some(FlameWeight::Wall),
+            "cpu" => Some(FlameWeight::Cpu),
+            "alloc" => Some(FlameWeight::Alloc),
+            _ => None,
+        }
+    }
+}
+
+/// `flame` subcommand: folds the trace's prof events into the standard
+/// folded-stack format (`origin;frame;frame value`, one line per stack,
+/// sorted), directly consumable by `flamegraph.pl` / `inferno-flamegraph`.
+/// The root frame names the sample's origin: `master` for samples drained
+/// on the master process (including in-process worker threads) or
+/// `workerN` for samples shipped by TCP worker process N. With the
+/// default `calls` weight the output is deterministic for same-seed runs.
+pub fn cmd_flame(t: &Trace, weight: FlameWeight) -> String {
+    let mut folded: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for e in &t.events {
+        if let Event::Prof(p) = e {
+            let origin = match p.worker {
+                Some(w) => format!("worker{w}"),
+                None => "master".to_string(),
+            };
+            let v = match weight {
+                FlameWeight::Calls => p.calls,
+                FlameWeight::Wall => (p.wall_s * 1e6).round() as u64,
+                FlameWeight::Cpu => (p.cpu_s * 1e6).round() as u64,
+                FlameWeight::Alloc => p.alloc_bytes,
+            };
+            *folded.entry(format!("{origin};{}", p.stack)).or_insert(0) += v;
+        }
+    }
+    let mut out = String::new();
+    for (k, v) in &folded {
+        let _ = writeln!(out, "{k} {v}");
+    }
+    out
+}
+
 /// `diff` subcommand: the rendered table and the exit code (0 = clean,
 /// 1 = at least one phase regressed past `threshold`).
 pub fn cmd_diff(a: &Trace, b: &Trace, threshold: f64) -> (String, i32) {
@@ -343,8 +435,41 @@ pub fn cmd_diff(a: &Trace, b: &Trace, threshold: f64) -> (String, i32) {
             delta.name, delta.a, delta.b, rel
         );
     }
+    // Allocation accounting (profiled runs only): total bytes the counting
+    // allocator charged across every prof stack. Rendered and gated like a
+    // phase row so a memory regression fails CI the same way a time
+    // regression does; unprofiled traces (no prof events) skip the row.
+    let alloc_total = |t: &Trace| -> u64 {
+        t.events
+            .iter()
+            .map(|e| match e {
+                Event::Prof(p) => p.alloc_bytes,
+                _ => 0,
+            })
+            .sum()
+    };
+    let (alloc_a, alloc_b) = (alloc_total(a), alloc_total(b));
+    let mut alloc_regressed = false;
+    if alloc_a > 0 || alloc_b > 0 {
+        let rel = if alloc_a == 0 {
+            f64::INFINITY
+        } else {
+            alloc_b as f64 / alloc_a as f64 - 1.0
+        };
+        let rel_str = if rel.is_infinite() {
+            "new".to_string()
+        } else {
+            format!("{:+.1}%", 100.0 * rel)
+        };
+        let _ = writeln!(
+            out,
+            "{:<12}{:>14}{:>14}{:>10}",
+            "alloc_bytes", alloc_a, alloc_b, rel_str
+        );
+        alloc_regressed = rel > threshold;
+    }
     let regs = d.regressions(threshold);
-    if regs.is_empty() {
+    if regs.is_empty() && !alloc_regressed {
         let _ = writeln!(
             out,
             "OK: no row regressed more than {:.0}%",
@@ -366,6 +491,15 @@ pub fn cmd_diff(a: &Trace, b: &Trace, threshold: f64) -> (String, i32) {
                 100.0 * threshold
             );
         }
+        if alloc_regressed {
+            let _ = writeln!(
+                out,
+                "REGRESSION: alloc_bytes {} -> {} (threshold {:.0}%)",
+                alloc_a,
+                alloc_b,
+                100.0 * threshold
+            );
+        }
         (out, 1)
     }
 }
@@ -382,6 +516,9 @@ pub fn cmd_follow_frame(text: &str) -> String {
         t.events.len(),
         t.summary.iterations
     );
+    for w in &t.warnings {
+        let _ = writeln!(out, "!! {w}");
+    }
     out.push_str(&cmd_summary(&t));
     out
 }
@@ -426,11 +563,18 @@ USAGE:
   columnsgd-inspect stragglers <trace.jsonl>
   columnsgd-inspect comm       <trace.jsonl>
   columnsgd-inspect chrome     <trace.jsonl>          (trace-event JSON on stdout)
+  columnsgd-inspect flame      <trace.jsonl> [--weight calls|wall|cpu|alloc]
   columnsgd-inspect diff       <a.jsonl> <b.jsonl> [--threshold R]
   columnsgd-inspect follow     <trace.jsonl> [--interval-ms N] [--ticks N]
 
+`flame` folds the phase-profiler samples of a `--profile` run into
+`origin;frame;... value` lines (flamegraph.pl / inferno input). The
+default `calls` weight is deterministic for same-seed runs; `wall` and
+`cpu` are microseconds, `alloc` is bytes.
+
 `diff` exits 1 when any phase row of the candidate regressed by more than
 R (relative; default 0.10) against the baseline — usable as a CI gate.
+Profiled traces also compare total allocated bytes under the same gate.
 
 `follow` live-tails a trace a running train is appending (`--trace-out`),
 refreshing a summary as events arrive; `--ticks N` bounds the number of
@@ -457,6 +601,29 @@ pub fn run(argv: &[String]) -> Result<(String, i32), String> {
                 _ => cmd_chrome(&t),
             };
             Ok((out, 0))
+        }
+        "flame" => {
+            let mut path: Option<String> = None;
+            let mut weight = FlameWeight::Calls;
+            let mut it = argv[1..].iter();
+            while let Some(arg) = it.next() {
+                if arg == "--weight" {
+                    let v = it
+                        .next()
+                        .ok_or("--weight needs a value (calls|wall|cpu|alloc)")?;
+                    weight = FlameWeight::parse(v)
+                        .ok_or_else(|| format!("bad --weight {v} (calls|wall|cpu|alloc)"))?;
+                } else if path.is_some() {
+                    return Err(format!("unexpected argument `{arg}`"));
+                } else {
+                    path = Some(arg.clone());
+                }
+            }
+            let path = path.ok_or(
+                "usage: columnsgd-inspect flame <trace.jsonl> [--weight calls|wall|cpu|alloc]",
+            )?;
+            let t = load_trace(&path)?;
+            Ok((cmd_flame(&t, weight), 0))
         }
         "diff" => {
             let mut paths = Vec::new();

@@ -5,8 +5,8 @@
 //! `… -- trace_tcp`; requires `cargo build --release --workspace` first).
 
 use columnsgd_inspect::{
-    cmd_chrome, cmd_comm, cmd_critical, cmd_diff, cmd_follow_frame, cmd_summary,
-    parse_trace_lenient, run, Trace,
+    cmd_chrome, cmd_comm, cmd_critical, cmd_diff, cmd_flame, cmd_follow_frame, cmd_summary,
+    parse_trace_lenient, run, FlameWeight, Trace,
 };
 use columnsgd_telemetry::analyze::{comm_hotspots, critical_path, stragglers};
 use columnsgd_telemetry::{Event, Summary};
@@ -149,6 +149,7 @@ fn self_diff_is_clean() {
         meta: t1.meta.clone(),
         summary: Summary::from_events(&slowed, t1.summary.run),
         events: slowed,
+        warnings: Vec::new(),
     };
     let (out, code) = cmd_diff(&t1, &slow, 0.10);
     assert_eq!(code, 1, "doubled gather must trip the 10% gate:\n{out}");
@@ -257,6 +258,109 @@ fn follow_frame_tolerates_partial_tails() {
     assert!(empty.contains("-- follow: 0 events (0 iters so far) --"));
 }
 
+/// Regression (lenient tail parser): a torn meta line — the live trace
+/// file caught while `write_jsonl` rewrites it in place — must be
+/// *surfaced* as a warning, not silently skipped into an all-zero run
+/// stamp. A torn *last* line stays silent (the expected tail race).
+#[test]
+fn follow_surfaces_torn_meta_line() {
+    let text = std::fs::read_to_string(tcp_golden_path()).expect("tcp golden");
+    let meta_end = text.find('\n').expect("multi-line trace");
+
+    // Truncate the meta line itself (keep the rest intact): the rewrite
+    // race where the reader catches the file after truncation but before
+    // the meta line is fully written back.
+    let torn = format!("{}{}", &text[..meta_end - 20], &text[meta_end..]);
+    let t = parse_trace_lenient(&torn);
+    assert!(
+        t.warnings.iter().any(|w| w.contains("torn meta line")),
+        "torn meta must warn, got {:?}",
+        t.warnings
+    );
+    assert!(!t.events.is_empty(), "events after the tear still parse");
+    let frame = cmd_follow_frame(&torn);
+    assert!(
+        frame.contains("!! line 1: torn meta line"),
+        "follow frame must show the warning:\n{frame}"
+    );
+
+    // The benign tail race stays quiet: only the unfinished last line.
+    let cut = &text[..text.len() - 25];
+    assert!(
+        parse_trace_lenient(cut).warnings.is_empty(),
+        "a torn last line is the expected tail race, no warning"
+    );
+    assert!(parse_trace_lenient(&text).warnings.is_empty());
+}
+
+/// `flame` folds prof events into deterministic folded-stack lines and
+/// the `diff` allocation gate trips on regressed bytes.
+#[test]
+fn flame_folds_and_diff_gates_alloc() {
+    use columnsgd_telemetry::ProfRecord;
+    let t = golden();
+    let prof = |worker: Option<u64>, stack: &str, calls: u64, bytes: u64| {
+        Event::Prof(ProfRecord {
+            worker,
+            stack: stack.to_string(),
+            calls,
+            wall_s: 0.5,
+            cpu_s: 0.25,
+            alloc_bytes: bytes,
+            alloc_count: 4,
+        })
+    };
+    let mut events = t.events.clone();
+    events.push(prof(None, "gather", 8, 100));
+    events.push(prof(None, "gather;codec_decode", 16, 50));
+    events.push(prof(Some(1), "worker_stats;batch_sample", 8, 200));
+    // A second record for an existing stack merges, not duplicates.
+    events.push(prof(None, "gather", 2, 10));
+    let profiled = Trace {
+        meta: t.meta.clone(),
+        summary: Summary::from_events(&events, t.summary.run),
+        events,
+        warnings: Vec::new(),
+    };
+
+    let folded = cmd_flame(&profiled, FlameWeight::Calls);
+    assert_eq!(
+        folded,
+        "master;gather 10\nmaster;gather;codec_decode 16\nworker1;worker_stats;batch_sample 8\n",
+        "folded output is sorted, merged, origin-prefixed"
+    );
+    let by_alloc = cmd_flame(&profiled, FlameWeight::Alloc);
+    assert!(by_alloc.contains("master;gather 110"));
+    let by_wall = cmd_flame(&profiled, FlameWeight::Wall);
+    assert!(
+        by_wall.contains("master;gather 1000000"),
+        "wall is microseconds"
+    );
+    assert_eq!(
+        cmd_flame(&t, FlameWeight::Calls),
+        "",
+        "unprofiled trace folds to nothing"
+    );
+
+    // Self-diff of a profiled trace stays clean and shows the alloc row …
+    let (out, code) = cmd_diff(&profiled, &profiled, 0.0);
+    assert_eq!(code, 0, "profiled self-diff is clean:\n{out}");
+    assert!(out.contains("alloc_bytes"));
+
+    // … and a fattened candidate trips the gate.
+    let mut fat_events = profiled.events.clone();
+    fat_events.push(prof(None, "broadcast", 1, 100_000));
+    let fat = Trace {
+        meta: t.meta.clone(),
+        summary: Summary::from_events(&fat_events, t.summary.run),
+        events: fat_events,
+        warnings: Vec::new(),
+    };
+    let (out, code) = cmd_diff(&profiled, &fat, 0.10);
+    assert_eq!(code, 1, "alloc regression must trip the gate:\n{out}");
+    assert!(out.contains("REGRESSION: alloc_bytes"));
+}
+
 /// End-to-end through the CLI dispatcher, including the file I/O path.
 #[test]
 fn cli_dispatch_round_trip() {
@@ -275,6 +379,16 @@ fn cli_dispatch_round_trip() {
     ])
     .expect("diff");
     assert_eq!(code, 0, "self-diff exits 0:\n{out}");
+    let (out, code) = run(&["flame".to_string(), path.clone()]).expect("flame");
+    assert_eq!(code, 0, "flame exits 0 even without prof events");
+    assert!(out.is_empty(), "unprofiled golden folds to nothing");
+    assert!(run(&[
+        "flame".to_string(),
+        path.clone(),
+        "--weight".to_string(),
+        "nope".to_string()
+    ])
+    .is_err());
     assert!(run(&["nope".to_string()]).is_err());
     assert!(run(&["summary".to_string(), "/no/such/file".to_string()]).is_err());
 }

@@ -18,6 +18,11 @@
 //! * `panic-hygiene` — worker/master message loops and recovery paths
 //!   must surface failures as typed `TrainError`s, not panics, or fault
 //!   detection degrades to a hang.
+//! * `alloc-hygiene` — allocator plumbing (`std::alloc`, `GlobalAlloc`,
+//!   `#[global_allocator]`) is confined to the telemetry profiling
+//!   module: a second global allocator (or raw alloc calls that bypass
+//!   the counting hooks) would silently corrupt the per-phase
+//!   allocation accounting.
 //! * `annotation` — `// lint: allow(rule) reason` escapes must be
 //!   well-formed (named rule, non-empty reason) so the suppression
 //!   summary stays auditable.
@@ -27,11 +32,12 @@ use crate::scan::{Allow, Scanned};
 
 /// Stable list of enforced rule ids (excluding the `annotation` meta-rule,
 /// which is always on).
-pub const RULE_IDS: [&str; 4] = [
+pub const RULE_IDS: [&str; 5] = [
     "determinism-time",
     "determinism-iteration",
     "metering",
     "panic-hygiene",
+    "alloc-hygiene",
 ];
 
 /// Meta-rule id for malformed/unknown `lint: allow` annotations.
@@ -139,6 +145,7 @@ fn match_rule(rule: &str, scanned: &Scanned) -> Vec<RawMatch> {
         "determinism-iteration" => determinism_iteration(scanned),
         "metering" => metering(scanned),
         "panic-hygiene" => panic_hygiene(scanned),
+        "alloc-hygiene" => alloc_hygiene(scanned),
         other => unreachable!("unknown rule id {other}"),
     }
 }
@@ -257,6 +264,27 @@ fn panic_hygiene(scanned: &Scanned) -> Vec<RawMatch> {
     out
 }
 
+fn alloc_hygiene(scanned: &Scanned) -> Vec<RawMatch> {
+    let mut out = Vec::new();
+    for (pat, what) in [
+        (&["std", ":", ":", "alloc"][..], "`std::alloc`"),
+        (&["GlobalAlloc"][..], "`GlobalAlloc`"),
+        (&["global_allocator"][..], "`#[global_allocator]`"),
+    ] {
+        for line in find_seq(scanned, pat) {
+            out.push(RawMatch {
+                line,
+                message: format!(
+                    "{what} outside the telemetry profiling module; allocator plumbing \
+                     bypasses the per-phase counting hooks and belongs in \
+                     `crates/telemetry/src/profile.rs`"
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +330,25 @@ mod tests {
             .map(|(_, l)| *l)
             .collect();
         assert_eq!(rules, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn detects_allocator_plumbing() {
+        let fired = rules_fired(
+            "use std::alloc::{GlobalAlloc, Layout, System};\n#[global_allocator]\nstatic A: X = X;",
+        );
+        let lines: Vec<u32> = fired
+            .iter()
+            .filter(|(r, _)| r == "alloc-hygiene")
+            .map(|(_, l)| *l)
+            .collect();
+        assert!(
+            lines.contains(&1),
+            "std::alloc and GlobalAlloc fire: {fired:?}"
+        );
+        assert!(lines.contains(&2), "global_allocator fires: {fired:?}");
+        // Ordinary allocation APIs never fire.
+        assert!(rules_fired("let v = Vec::with_capacity(8); let b = Box::new(1);").is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use columnsgd_linalg::{CsrMatrix, FeatureIndex, SparseVector};
+use columnsgd_telemetry::ProfScope;
 use serde::{Deserialize, Serialize};
 
 use crate::fm;
@@ -135,6 +136,7 @@ impl ModelSpec {
     /// (`computeStat`). `out` is resized to `batch.nrows() *
     /// stats_width()` and overwritten.
     pub fn compute_stats(&self, params: &ParamSet, batch: &CsrMatrix, out: &mut Vec<f64>) {
+        let _prof = ProfScope::enter("kernel_stats");
         out.clear();
         out.resize(batch.nrows() * self.stats_width(), 0.0);
         match *self {
@@ -229,6 +231,7 @@ impl ModelSpec {
         total_batch: usize,
         scratch: &mut UpdateScratch,
     ) {
+        let _prof = ProfScope::enter("kernel_update");
         scratch.spa.ensure(params);
         self.accumulate_grad_into(params, batch, stats, &mut scratch.probs, &mut scratch.spa);
         opt.begin_step();

@@ -16,6 +16,8 @@
 //!   --worker-bin PATH                    rowsgd-worker binary (tcp)
 //!   --trace-out PATH                     write telemetry JSONL trace
 //!   --metrics-out PATH                   stream monitor snapshots (JSONL)
+//!   --profile                            phase profiler on (prof events
+//!                                        land in the trace)
 //! ```
 //!
 //! Example:
@@ -47,6 +49,7 @@ struct Args {
     cluster: ClusterConfig,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    profile: bool,
 }
 
 fn usage() -> ! {
@@ -54,7 +57,7 @@ fn usage() -> ! {
         "usage: rowsgd-train <file.libsvm> [--variant mllib|mllib*|petuum|mxnet] \
          [--model lr|svm|lsq|fm:<F>|mlr:<C>] [--workers K] [--batch B] [--iters T] \
          [--eta E] [--seed S] [--transport inproc|tcp] [--worker-bin PATH] \
-         [--trace-out PATH] [--metrics-out PATH]"
+         [--trace-out PATH] [--metrics-out PATH] [--profile]"
     );
     exit(2)
 }
@@ -99,6 +102,7 @@ fn parse_args() -> Args {
         cluster: ClusterConfig::in_proc(),
         trace_out: None,
         metrics_out: None,
+        profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -134,6 +138,7 @@ fn parse_args() -> Args {
             }
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
+            "--profile" => args.profile = true,
             "--help" | "-h" => usage(),
             other if args.path.is_empty() && !other.starts_with('-') => {
                 args.path = other.to_string();
@@ -181,6 +186,12 @@ fn main() {
         .with_learning_rate(args.eta)
         .with_seed(args.seed);
 
+    if args.profile {
+        // Mirrors columnsgd-train: enable here and export the opt-in via
+        // the environment for spawned rowsgd-worker processes.
+        columnsgd_cluster::telemetry::profile::set_enabled(true);
+        std::env::set_var(columnsgd_cluster::telemetry::profile::PROFILE_ENV, "1");
+    }
     let recorder = if args.trace_out.is_some() {
         Recorder::new()
     } else {

@@ -21,6 +21,9 @@ use columnsgd_rowsgd::msg::RowMsg;
 use columnsgd_rowsgd::worker::run_row_worker;
 
 fn main() {
+    // Same opt-in contract as the ColumnSGD worker: profiling rides the
+    // inherited `COLUMNSGD_PROFILE` environment variable.
+    columnsgd_cluster::telemetry::profile::enable_from_env();
     let mut line = String::new();
     if let Err(e) = std::io::stdin().lock().read_line(&mut line) {
         eprintln!("rowsgd-worker: failed to read bootstrap from stdin: {e}");

@@ -7,7 +7,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use columnsgd_cluster::clock::IterationTime;
-use columnsgd_cluster::telemetry::{KernelRecord, Phase, RunStamp, SuperstepSpan};
+use columnsgd_cluster::telemetry::{KernelRecord, Phase, ProfScope, RunStamp, SuperstepSpan};
 use columnsgd_cluster::wire::ENVELOPE_BYTES;
 use columnsgd_cluster::{
     ClusterConfig, Diagnostics, Endpoint, Monitor, NetError, NetworkModel, NodeId, Recorder,
@@ -447,11 +447,14 @@ impl RowSgdEngine {
         let mut clock = SimClock::new();
         let mut curve = Curve::new(self.cfg.variant.label());
         for t in 0..self.cfg.iterations {
-            let it = match self.cfg.variant {
-                RowSgdVariant::MLlib => self.iteration_mllib(t)?,
-                RowSgdVariant::MLlibStar => self.iteration_mllib_star(t)?,
-                RowSgdVariant::PsDense => self.iteration_ps(t, false)?,
-                RowSgdVariant::PsSparse => self.iteration_ps(t, true)?,
+            let it = {
+                let _prof = ProfScope::enter("rowsgd_superstep");
+                match self.cfg.variant {
+                    RowSgdVariant::MLlib => self.iteration_mllib(t)?,
+                    RowSgdVariant::MLlibStar => self.iteration_mllib_star(t)?,
+                    RowSgdVariant::PsDense => self.iteration_ps(t, false)?,
+                    RowSgdVariant::PsSparse => self.iteration_ps(t, true)?,
+                }
             };
             if self.recorder.is_enabled() {
                 self.recorder.superstep(SuperstepSpan {
@@ -497,6 +500,10 @@ impl RowSgdEngine {
                 }
             }
         }
+        // Fold any profiler accumulation into the trace (no-op unless both
+        // tracing and profiling are enabled). The baseline is in-process,
+        // so worker-thread samples merge here with `worker: null`.
+        self.recorder.prof_drain(None);
         if self.recorder.is_enabled() {
             // Same invariant as the ColumnSGD engine: the trace's comm
             // records must reconcile exactly with the router's meter.

@@ -40,11 +40,15 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analyze;
+pub mod metrics;
 pub mod monitor;
+pub mod profile;
 
+pub use metrics::MetricsRegistry;
 pub use monitor::{
     DiagnosticEvent, DiagnosticKind, Diagnostics, Monitor, MonitorConfig, SuperstepObs,
 };
+pub use profile::{ProfRecord, ProfScope};
 
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -392,6 +396,10 @@ pub enum Event {
     Kernel(KernelRecord),
     /// A [`FaultRecord`].
     Fault(FaultRecord),
+    /// A [`ProfRecord`] (continuous-profiling self-cost line; only
+    /// present when the run opted into profiling, so pre-profiling
+    /// traces stay schema-valid unchanged).
+    Prof(ProfRecord),
 }
 
 impl Event {
@@ -402,6 +410,7 @@ impl Event {
             Event::Comm(_) => "comm",
             Event::Kernel(_) => "kernel",
             Event::Fault(_) => "fault",
+            Event::Prof(_) => "prof",
         }
     }
 
@@ -449,6 +458,17 @@ impl Event {
                 "recovery_cost_s": f.recovery_cost_s,
                 "attempt": f.attempt,
                 "fatal": f.fatal,
+            }),
+            Event::Prof(p) => json!({
+                "type": "prof",
+                "run": run_hex,
+                "worker": p.worker,
+                "stack": p.stack,
+                "calls": p.calls,
+                "wall_s": p.wall_s,
+                "cpu_s": p.cpu_s,
+                "alloc_bytes": p.alloc_bytes,
+                "alloc_count": p.alloc_count,
             }),
         }
     }
@@ -510,6 +530,19 @@ impl Event {
                 attempt: field_u64("attempt")?,
                 fatal: v.get("fatal")?.as_bool()?,
             })),
+            "prof" => Some(Event::Prof(ProfRecord {
+                worker: match v.get("worker") {
+                    None => None,
+                    Some(Value::Null) => None,
+                    Some(w) => Some(w.as_u64()?),
+                },
+                stack: field_str("stack")?.to_string(),
+                calls: field_u64("calls")?,
+                wall_s: field_f64("wall_s")?,
+                cpu_s: field_f64("cpu_s")?,
+                alloc_bytes: field_u64("alloc_bytes")?,
+                alloc_count: field_u64("alloc_count")?,
+            })),
             _ => None,
         }
     }
@@ -540,6 +573,15 @@ impl Event {
                 "detection": f.detection,
                 "attempt": f.attempt,
                 "fatal": f.fatal,
+            }),
+            // Wall/CPU/allocation columns are measurements; only the
+            // stack shape and its deterministic call count survive.
+            Event::Prof(p) => json!({
+                "type": "prof",
+                "run": run_hex,
+                "worker": p.worker,
+                "stack": p.stack,
+                "calls": p.calls,
             }),
             // Comm and kernel records are fully deterministic.
             other => other.to_value(run_hex),
@@ -706,6 +748,31 @@ impl Recorder {
     pub fn ingest(&self, events: Vec<Event>) {
         let Some(inner) = &self.inner else { return };
         inner.events.lock().unwrap().extend(events);
+    }
+
+    /// Records one profiling line.
+    #[inline]
+    pub fn prof(&self, rec: ProfRecord) {
+        let Some(inner) = &self.inner else { return };
+        inner.events.lock().unwrap().push(Event::Prof(rec));
+    }
+
+    /// Drains the process-global profiler ([`profile::drain`]) into this
+    /// recorder, stamping every record with `worker` (`None` on the
+    /// master, `Some(id)` in a TCP worker process). A no-op when the
+    /// recorder is disabled or the profiler recorded nothing — cheap to
+    /// call unconditionally at flush points.
+    pub fn prof_drain(&self, worker: Option<u64>) {
+        let Some(inner) = &self.inner else { return };
+        let records = profile::drain();
+        if records.is_empty() {
+            return;
+        }
+        let mut events = inner.events.lock().unwrap();
+        events.extend(records.into_iter().map(|mut r| {
+            r.worker = worker;
+            Event::Prof(r)
+        }));
     }
 
     /// Records which cluster backend produced this trace. Backend identity
@@ -1146,6 +1213,9 @@ impl Summary {
                         None => detections.push((f.detection.clone(), 1)),
                     }
                 }
+                // Profiling lines are orthogonal to the phase/traffic
+                // accounting the summary reports.
+                Event::Prof(_) => {}
             }
         }
         if compute_iters > 0 {
@@ -1219,6 +1289,15 @@ mod tests {
                 attempt: 2,
                 fatal: false,
             }),
+            Event::Prof(ProfRecord {
+                worker: Some(1),
+                stack: "worker_stats;batch_sample".to_string(),
+                calls: 8,
+                wall_s: 0.015,
+                cpu_s: 0.012,
+                alloc_bytes: 4096,
+                alloc_count: 32,
+            }),
         ]
     }
 
@@ -1270,6 +1349,7 @@ mod tests {
                 ),
                 Event::Kernel(k) => r.kernel(k),
                 Event::Fault(f) => r.fault(f),
+                Event::Prof(p) => r.prof(p),
             }
         }
         let trace = r.to_jsonl();
@@ -1343,6 +1423,14 @@ mod tests {
                         f.detection_latency_s = measured;
                         f.recovery_cost_s = 0.0;
                         r.fault(f)
+                    }
+                    Event::Prof(mut p) => {
+                        // Measurement columns must not affect canonical
+                        // identity.
+                        p.wall_s = measured;
+                        p.cpu_s = measured / 2.0;
+                        p.alloc_bytes = (measured * 1e6) as u64;
+                        r.prof(p)
                     }
                 }
             }
