@@ -247,6 +247,7 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
         {
             let master_nanos = self.inner.origin.elapsed().as_nanos() as u64;
             let probe = encode_clock_probe(NodeId::Master, who, master_nanos);
+            // lint: allow(blocking-under-lock) the writer mutex IS the per-connection write serialization point; frames must not interleave
             let _ = write_frame(&mut *writer.lock(), &probe);
         }
         drop(writer);
@@ -394,15 +395,20 @@ impl<M: WireCodec + Clone + Send + 'static> TcpHub<M> {
 impl<M: WireCodec + Clone + Send + 'static> Transport<M> for TcpHub<M> {
     fn deliver(&self, env: Envelope<M>, plane: Plane) -> Result<(), NetError> {
         // Locally hosted node (the master): hand off on the channel.
-        {
+        // Clone the sender out of the slot map and release the read
+        // guard before sending — a send under `local` would serialize
+        // every local deliver against `reregister`'s write lock.
+        let local_tx = {
             let local = self.inner.local.read();
-            if let Some(slot) = local.get(&env.to) {
-                if !slot.alive {
-                    return Err(NetError::NodeDown(env.to));
-                }
-                let to = env.to;
-                return slot.tx.send(env).map_err(|_| NetError::NodeDown(to));
+            match local.get(&env.to) {
+                Some(slot) if !slot.alive => return Err(NetError::NodeDown(env.to)),
+                Some(slot) => Some(slot.tx.clone()),
+                None => None,
             }
+        };
+        if let Some(tx) = local_tx {
+            let to = env.to;
+            return tx.send(env).map_err(|_| NetError::NodeDown(to));
         }
         // Remote worker: frame and write. The encoder re-asserts the
         // metering invariant (frame len == wire_size + ENVELOPE_BYTES).
@@ -417,6 +423,7 @@ impl<M: WireCodec + Clone + Send + 'static> Transport<M> for TcpHub<M> {
         let frame = encode_envelope(env.from, env.to, &env.payload, plane)
             .expect("protocol payload must encode within its wire_size");
         let mut stream = writer.lock();
+        // lint: allow(blocking-under-lock) the writer mutex IS the write serialization point: concurrent deliver()s must not interleave frame bytes
         write_frame(&mut *stream, &frame).map_err(|_| NetError::NodeDown(env.to))
     }
 
@@ -541,6 +548,7 @@ impl<M: WireCodec + Clone + Send + 'static> TcpClient<M> {
         // timestamps) are nanoseconds since this instant.
         let origin = Instant::now();
         let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        // lint: allow(blocking-under-lock) hello precedes the reader thread and any sharing of `writer`; the lock is uncontended by construction
         write_frame(&mut *writer.lock(), &encode_hello(me))?;
         let (local_tx, local_rx) = unbounded();
         let client = TcpClient {
@@ -579,19 +587,26 @@ impl<M: WireCodec + Clone + Send + 'static> TcpClient<M> {
                             let plane_ok = match header.kind {
                                 FrameKind::Message(_) => true,
                                 FrameKind::Telemetry => {
-                                    // Answer clock probes; any other
-                                    // telemetry arriving here is noise.
-                                    if let Ok(TelemetryPayload::ClockProbe { master_nanos }) =
-                                        decode_telemetry_body(&frame)
-                                    {
-                                        let client_nanos = origin.elapsed().as_nanos() as u64;
-                                        let echo = encode_clock_echo(
-                                            me,
-                                            NodeId::Master,
-                                            master_nanos,
-                                            client_nanos,
-                                        );
-                                        let _ = write_frame(&mut *echo_writer.lock(), &echo);
+                                    match decode_telemetry_body(&frame) {
+                                        Ok(TelemetryPayload::ClockProbe { master_nanos }) => {
+                                            let client_nanos = origin.elapsed().as_nanos() as u64;
+                                            let echo = encode_clock_echo(
+                                                me,
+                                                NodeId::Master,
+                                                master_nanos,
+                                                client_nanos,
+                                            );
+                                            // lint: allow(blocking-under-lock) the writer mutex IS the write serialization point; echoes must not interleave with data frames
+                                            let _ = write_frame(&mut *echo_writer.lock(), &echo);
+                                        }
+                                        // Echoes and event batches flow
+                                        // worker → master; arriving here
+                                        // they are misdirected. Telemetry
+                                        // noise must not kill the data
+                                        // path — drop the frame.
+                                        Ok(TelemetryPayload::ClockEcho { .. })
+                                        | Ok(TelemetryPayload::Events(_))
+                                        | Err(_) => {}
                                     }
                                     false
                                 }
@@ -651,6 +666,7 @@ impl TelemetryTx {
             return;
         }
         let frame = encode_telemetry_events(self.me, NodeId::Master, &events[*cursor..]);
+        // lint: allow(blocking-under-lock) cursor must stay locked across the write so clones cannot double-ship a batch; writer is the write serialization point
         let _ = write_frame(&mut *self.writer.lock(), &frame);
         *cursor = events.len();
     }
@@ -669,6 +685,7 @@ impl<M: WireCodec + Clone + Send + 'static> Transport<M> for TcpClient<M> {
         let frame = encode_envelope(env.from, env.to, &env.payload, plane)
             .expect("protocol payload must encode within its wire_size");
         let mut stream = self.inner.writer.lock();
+        // lint: allow(blocking-under-lock) the writer mutex IS the write serialization point: deliver and telemetry flush share one socket
         write_frame(&mut *stream, &frame).map_err(|_| NetError::NodeDown(env.to))
     }
 

@@ -126,13 +126,20 @@ impl<M> ChannelTransport<M> {
 
 impl<M: Send> Transport<M> for ChannelTransport<M> {
     fn deliver(&self, env: Envelope<M>, _plane: Plane) -> Result<(), NetError> {
-        let slots = self.slots.read();
-        let slot = slots.get(&env.to).ok_or(NetError::UnknownNode(env.to))?;
-        if !slot.alive {
-            return Err(NetError::NodeDown(env.to));
-        }
+        // Clone the sender and release the slot map before sending: the
+        // channels are unbounded so `send` does not block today, but a
+        // send while holding `slots` would couple every deliver to the
+        // write path (`reregister`) if that ever changed.
+        let tx = {
+            let slots = self.slots.read();
+            let slot = slots.get(&env.to).ok_or(NetError::UnknownNode(env.to))?;
+            if !slot.alive {
+                return Err(NetError::NodeDown(env.to));
+            }
+            slot.tx.clone()
+        };
         let to = env.to;
-        slot.tx.send(env).map_err(|_| NetError::NodeDown(to))
+        tx.send(env).map_err(|_| NetError::NodeDown(to))
     }
 
     fn reregister(&self, id: NodeId) -> Reregistered<M> {

@@ -1284,7 +1284,32 @@ impl ElasticEngine {
                         ColMsg::ProbeAck { .. }
                         | ColMsg::UpdateAck { .. }
                         | ColMsg::ShardInstalled { .. } => {}
-                        other => {
+                        // Worker-bound commands echoed back (chaos, a
+                        // misrouted frame) or stale loading-phase acks:
+                        // noise on the master's mailbox. Named explicitly
+                        // — this arm is the master side's decision record
+                        // for every ColMsg variant it does not service,
+                        // and protocol-conformance holds it to that.
+                        other @ (ColMsg::LoadBlock(..)
+                        | ColMsg::ReloadBlock(..)
+                        | ColMsg::Workset { .. }
+                        | ColMsg::LoadDone { .. }
+                        | ColMsg::ReloadDone { .. }
+                        | ColMsg::LoadAck { .. }
+                        | ColMsg::ReloadAck { .. }
+                        | ColMsg::ComputeStats { .. }
+                        | ColMsg::ComputeStatsFor { .. }
+                        | ColMsg::StatsReply { .. }
+                        | ColMsg::Update { .. }
+                        | ColMsg::InstallParams { .. }
+                        | ColMsg::Probe { .. }
+                        | ColMsg::ModelReply { .. }
+                        | ColMsg::Die
+                        | ColMsg::FetchModel
+                        | ColMsg::Shutdown
+                        | ColMsg::ShardRequest { .. }
+                        | ColMsg::ShardData { .. }
+                        | ColMsg::DropShard { .. }) => {
                             eprintln!("master: dropping unexpected {} during gather", other.name());
                         }
                     },

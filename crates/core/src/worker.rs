@@ -778,9 +778,24 @@ pub fn run_worker(
                 flush_telemetry();
                 return;
             }
-            other => {
-                // Unexpected (master-bound or malformed) traffic: a
-                // resilient worker logs and drops instead of panicking.
+            // Master-bound replies and elastic-only shard traffic are
+            // protocol noise on a static worker: log and drop instead of
+            // panicking. Named variant-by-variant (not a wildcard) so a
+            // new ColMsg variant fails both the compiler's exhaustiveness
+            // check and protocol-conformance until a decision is made.
+            other @ (ColMsg::LoadAck { .. }
+            | ColMsg::StatsReply { .. }
+            | ColMsg::UpdateAck { .. }
+            | ColMsg::ReloadAck { .. }
+            | ColMsg::ModelReply { .. }
+            | ColMsg::ProbeAck { .. }
+            | ColMsg::WorkerPanic { .. }
+            | ColMsg::ComputeStatsFor { .. }
+            | ColMsg::StatsReplyFor { .. }
+            | ColMsg::ShardRequest { .. }
+            | ColMsg::ShardData { .. }
+            | ColMsg::ShardInstalled { .. }
+            | ColMsg::DropShard { .. }) => {
                 eprintln!(
                     "worker {id}: dropping unexpected {} from {}",
                     other.name(),
@@ -989,7 +1004,25 @@ pub fn run_worker_dynamic(
             }
             ColMsg::Die => w.die(),
             ColMsg::Shutdown => return,
-            other => {
+            // Static-protocol loading/compute traffic and master-bound
+            // replies are noise on a dynamic worker: log and drop. Named
+            // explicitly so new variants force a decision here (compiler
+            // exhaustiveness + protocol-conformance both fail otherwise).
+            other @ (ColMsg::LoadBlock(..)
+            | ColMsg::ReloadBlock(..)
+            | ColMsg::Workset { .. }
+            | ColMsg::LoadDone { .. }
+            | ColMsg::ReloadDone { .. }
+            | ColMsg::ComputeStats { .. }
+            | ColMsg::LoadAck { .. }
+            | ColMsg::StatsReply { .. }
+            | ColMsg::StatsReplyFor { .. }
+            | ColMsg::UpdateAck { .. }
+            | ColMsg::ReloadAck { .. }
+            | ColMsg::ModelReply { .. }
+            | ColMsg::ProbeAck { .. }
+            | ColMsg::WorkerPanic { .. }
+            | ColMsg::ShardInstalled { .. }) => {
                 eprintln!(
                     "worker {id}: dropping unexpected {} from {}",
                     other.name(),

@@ -1,0 +1,9 @@
+//! Known-bad atomics fixture: `Ordering::Relaxed` with no written
+//! happens-before argument — both the load and the store must fire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.load(Ordering::Relaxed)
+}

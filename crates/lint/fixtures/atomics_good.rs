@@ -1,0 +1,13 @@
+//! Known-good atomics fixture: acquire/release and seqcst orderings
+//! carry their own synchronization; mentions of "Relaxed" in comments
+//! and strings must not fire.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicBool, value: &AtomicU64) {
+    // A relaxed store would be wrong here; we use release. ("Relaxed")
+    value.store(42, Ordering::Release);
+    flag.store(true, Ordering::SeqCst);
+    let _ = value.load(Ordering::Acquire);
+    let _ = "Ordering::Relaxed";
+}

@@ -1,0 +1,26 @@
+//! Known-bad blocking-under-lock fixture: `bad` calls `send` while the
+//! `slots` guard is live, and `bad_in_args` blocks inside the argument
+//! list of a call whose temporary guard spans the whole statement.
+
+use std::sync::Mutex;
+
+pub struct Tx;
+
+impl Tx {
+    pub fn send(&self, _v: u32) {}
+}
+
+pub fn write_frame(_w: &mut Vec<u32>, _v: u32) {}
+
+pub struct Q {
+    slots: Mutex<Vec<u32>>,
+}
+
+pub fn bad(q: &Q, tx: &Tx) {
+    let guard = q.slots.lock();
+    tx.send(guard.len() as u32);
+}
+
+pub fn bad_in_args(q: &Q) {
+    write_frame(&mut *q.slots.lock(), 7);
+}

@@ -1,0 +1,29 @@
+//! Known-good blocking-under-lock fixture: the data is staged under the
+//! guard and the send happens after the guard's block ends; `try_send`
+//! is exempt by contract even under a live guard.
+
+use std::sync::Mutex;
+
+pub struct Tx;
+
+impl Tx {
+    pub fn send(&self, _v: u32) {}
+    pub fn try_send(&self, _v: u32) {}
+}
+
+pub struct Q {
+    slots: Mutex<Vec<u32>>,
+}
+
+pub fn good(q: &Q, tx: &Tx) {
+    let n = {
+        let guard = q.slots.lock();
+        guard.len() as u32
+    };
+    tx.send(n);
+}
+
+pub fn good_try(q: &Q, tx: &Tx) {
+    let guard = q.slots.lock();
+    tx.try_send(guard.len() as u32);
+}

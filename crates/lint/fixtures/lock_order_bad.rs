@@ -1,0 +1,33 @@
+//! Known-bad lock-order fixture: `forward` takes `a` then `b`, while
+//! `backward` takes `b` then `a` — a classic two-lock cycle. `hop`
+//! closes a second cycle one call-graph hop away: it holds `a` and
+//! calls `take_b`, whose body locks `b`.
+
+use std::sync::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+pub fn forward(s: &S) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    let _ = (ga, gb);
+}
+
+pub fn backward(s: &S) {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+    let _ = (ga, gb);
+}
+
+pub fn hop(s: &S) {
+    let ga = s.a.lock();
+    take_b(s);
+    let _ = ga;
+}
+
+fn take_b(s: &S) {
+    let _gb = s.b.lock();
+}

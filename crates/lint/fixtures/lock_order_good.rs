@@ -1,0 +1,30 @@
+//! Known-good lock-order fixture: every path that needs both locks
+//! takes them in the same global order (`a` before `b`), so the
+//! acquisition graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+pub fn forward(s: &S) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    let _ = (ga, gb);
+}
+
+pub fn also_forward(s: &S) {
+    let ga = s.a.lock();
+    take_b(s);
+    let _ = ga;
+}
+
+fn take_b(s: &S) {
+    let _gb = s.b.lock();
+}
+
+pub fn only_b(s: &S) {
+    let _gb = s.b.lock();
+}

@@ -106,6 +106,54 @@ impl Default for FilesConfig {
     }
 }
 
+/// A site reference in a protocol spec: `"path"` or `"path::fn_name"`
+/// (workspace-relative, `/`-separated path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteRef {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Function to restrict the check to; `None` means the whole file.
+    pub func: Option<String>,
+}
+
+impl SiteRef {
+    /// Parses `"crates/core/src/worker.rs::run_worker"` or a bare path.
+    pub fn parse(s: &str) -> SiteRef {
+        match s.rsplit_once("::") {
+            Some((path, func)) if !func.is_empty() => SiteRef {
+                path: path.to_string(),
+                func: Some(func.to_string()),
+            },
+            _ => SiteRef {
+                path: s.to_string(),
+                func: None,
+            },
+        }
+    }
+}
+
+/// One `[protocol.<Enum>]` section: where the enum is defined and which
+/// sites must cover every variant. Empty site lists mean the check does
+/// not apply to this enum (e.g. `FrameKind` has no `wire_size`).
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolSpec {
+    /// Enum name (`ColMsg`).
+    pub enum_name: String,
+    /// File defining the enum.
+    pub def: String,
+    /// Sites where every variant needs a `wire_size` match arm.
+    pub wire_size: Vec<SiteRef>,
+    /// Sites where every variant needs an encode match arm.
+    pub encode: Vec<SiteRef>,
+    /// Sites where every variant must be constructed (decode coverage is
+    /// mention-based: decoders match on integer tags and build variants
+    /// in arm bodies).
+    pub decode: Vec<SiteRef>,
+    /// Receive loops where every variant needs an explicit handler (or
+    /// log-and-drop) arm; wildcard arms do not count.
+    pub handlers: Vec<SiteRef>,
+}
+
 /// The parsed `lint.toml`.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -114,6 +162,8 @@ pub struct Config {
     /// Rule id → its configuration. Rules absent from the map run with
     /// [`RuleConfig::default`] (deny, everywhere).
     pub rules: BTreeMap<String, RuleConfig>,
+    /// `[protocol.<Enum>]` specs for the protocol-conformance rule.
+    pub protocols: Vec<ProtocolSpec>,
 }
 
 impl Config {
@@ -185,6 +235,33 @@ fn apply(cfg: &mut Config, section: &str, key: &str, value: &str) -> Result<(), 
             "scope" => rc.scope = parse_string_array(value)?,
             "allow_paths" => rc.allow_paths = parse_string_array(value)?,
             other => return Err(format!("unknown rule key {other:?}")),
+        }
+        return Ok(());
+    }
+    if let Some(enum_name) = section.strip_prefix("protocol.") {
+        let spec = match cfg.protocols.iter_mut().find(|s| s.enum_name == enum_name) {
+            Some(s) => s,
+            None => {
+                cfg.protocols.push(ProtocolSpec {
+                    enum_name: enum_name.to_string(),
+                    ..ProtocolSpec::default()
+                });
+                cfg.protocols.last_mut().expect("just pushed")
+            }
+        };
+        let sites = |v: &str| -> Result<Vec<SiteRef>, String> {
+            Ok(parse_string_array(v)?
+                .iter()
+                .map(|s| SiteRef::parse(s))
+                .collect())
+        };
+        match key {
+            "def" => spec.def = parse_string(value)?,
+            "wire_size" => spec.wire_size = sites(value)?,
+            "encode" => spec.encode = sites(value)?,
+            "decode" => spec.decode = sites(value)?,
+            "handlers" => spec.handlers = sites(value)?,
+            other => return Err(format!("unknown protocol key {other:?}")),
         }
         return Ok(());
     }
@@ -261,6 +338,37 @@ allow_paths = ["crates/cluster/src"]
         let r = cfg.rule("anything");
         assert_eq!(r.severity, Severity::Deny);
         assert!(r.applies_to("crates/ml/src/glm.rs"));
+    }
+
+    #[test]
+    fn parses_protocol_sections() {
+        let cfg = Config::parse(
+            r#"
+[protocol.ColMsg]
+def = "crates/core/src/msg.rs"
+wire_size = ["crates/core/src/msg.rs::wire_size"]
+decode = ["crates/core/src/codec.rs::decode_body"]
+handlers = [
+    "crates/core/src/worker.rs::run_worker",
+    "crates/core/src/elastic.rs",
+]
+"#,
+        )
+        .expect("parse");
+        assert_eq!(cfg.protocols.len(), 1);
+        let p = &cfg.protocols[0];
+        assert_eq!(p.enum_name, "ColMsg");
+        assert_eq!(p.def, "crates/core/src/msg.rs");
+        assert_eq!(
+            p.wire_size,
+            vec![SiteRef {
+                path: "crates/core/src/msg.rs".into(),
+                func: Some("wire_size".into())
+            }]
+        );
+        assert!(p.encode.is_empty());
+        assert_eq!(p.handlers[1].func, None);
+        assert_eq!(p.handlers[1].path, "crates/core/src/elastic.rs");
     }
 
     #[test]

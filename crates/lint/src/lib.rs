@@ -1,20 +1,45 @@
 //! `columnsgd-lint` — workspace invariant checker.
 //!
-//! Walks the workspace's `.rs` files (excluding `third_party`, tests,
-//! benches, examples, and fixtures) and enforces the repo-specific rules
-//! described in [`rules`]: determinism, metering completeness, and panic
-//! hygiene. Configuration lives in the checked-in `lint.toml`; see
-//! DESIGN.md §10 for the rationale behind each rule.
+//! A multi-pass, dependency-free analyzer over the workspace's `.rs`
+//! files (excluding `third_party`, tests, benches, examples, and
+//! fixtures):
+//!
+//! 1. **scan** — lexical token stream per file ([`scan`]);
+//! 2. **symbols** — AST-lite extraction: enums/variants, fns, `match`
+//!    arms, lock declarations/acquisitions, call sites ([`symbols`]);
+//! 3. **per-file rules** — determinism, metering, panic/alloc hygiene,
+//!    atomics ordering ([`rules`]);
+//! 4. **cross-file rules** — protocol-conformance over the wire enums
+//!    ([`protocol`]) and lock-order/blocking-under-lock over the lock
+//!    acquisition graph ([`locks`]).
+//!
+//! Configuration lives in the checked-in `lint.toml`; see DESIGN.md §10
+//! and §15 for the rationale behind each rule.
 
 pub mod config;
+pub mod locks;
+pub mod protocol;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 
 pub use config::{Config, Severity};
-pub use rules::{Finding, UsedAllow, ANNOTATION_RULE, RULE_IDS};
+pub use rules::{Finding, UsedAllow, ANNOTATION_RULE, CROSS_FILE_RULE_IDS, RULE_IDS};
 
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// One scanned file with its extracted symbols — the unit the
+/// cross-file passes consume.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Token stream and allow annotations.
+    pub scanned: scan::Scanned,
+    /// Extracted symbols.
+    pub symbols: symbols::FileSymbols,
+}
 
 /// The result of a full lint run.
 #[derive(Debug, Default)]
@@ -54,13 +79,9 @@ impl Report {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
-            let sev = match f.severity {
-                Severity::Deny => "deny",
-                Severity::Warn => "warn",
-                Severity::Off => "off",
-            };
             out.push_str(&format!(
                 "{sev}[{rule}] {path}:{line}: {msg}\n",
+                sev = severity_str(f.severity),
                 rule = f.rule,
                 path = f.path,
                 line = f.line,
@@ -88,6 +109,79 @@ impl Report {
         ));
         out
     }
+
+    /// Renders the machine-readable JSON report. Hand-rolled (no serde:
+    /// offline-vendoring constraint) and deterministic — same sorted
+    /// inputs as [`Report::render`], stable key order, `\n` separators.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"deny\": {},\n", self.deny_count()));
+        out.push_str(&format!("  \"warn\": {},\n", self.warn_count()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"severity\": {}, \"message\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(severity_str(f.severity)),
+                json_str(&f.message)
+            ));
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"suppressions\": [");
+        for (i, ua) in self.allows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+                json_str(&ua.path),
+                ua.allow.line,
+                json_str(&ua.allow.rule),
+                json_str(&ua.allow.reason)
+            ));
+        }
+        out.push_str(if self.allows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Deny => "deny",
+        Severity::Warn => "warn",
+        Severity::Off => "off",
+    }
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Loads `lint.toml` from `root`, falling back to defaults when absent.
@@ -102,30 +196,54 @@ pub fn load_config(root: &Path) -> Result<Config, String> {
 
 /// Runs the lint over every matching `.rs` file under `root`.
 pub fn run_lint(root: &Path, config: &Config) -> Result<Report, String> {
-    let mut files = Vec::new();
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
     for inc in &config.files.include {
         let base = root.join(inc);
         if base.exists() {
             collect_rs_files(root, &base, config, &mut files)?;
         }
     }
-    // Sorted walk keeps the report byte-identical across filesystems.
-    files.sort();
+    // Sort by the `/`-joined relative string (not PathBuf component
+    // order) so report ordering is byte-identical across platforms and
+    // filesystems.
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files.dedup_by(|a, b| a.0 == b.0);
 
-    let mut report = Report::default();
-    for file in &files {
+    // Pass 1+2: scan and extract symbols for every file.
+    let mut units = Vec::with_capacity(files.len());
+    for (rel, path) in &files {
         let text =
-            fs::read_to_string(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
-        let rel = relative_path(root, file);
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
         let scanned = scan::scan(&text);
-        let (findings, used) = rules::check_file(&rel, &scanned, config);
+        let symbols = symbols::FileSymbols::extract(&scanned);
+        units.push(FileUnit {
+            rel: rel.clone(),
+            scanned,
+            symbols,
+        });
+    }
+
+    // Pass 3: per-file rules.
+    let mut report = Report {
+        files_scanned: units.len(),
+        ..Report::default()
+    };
+    for unit in &units {
+        let (findings, used) = rules::check_file(&unit.rel, &unit.scanned, config);
         report.findings.extend(findings);
         report.allows.extend(used);
-        report.files_scanned += 1;
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+
+    // Pass 4: cross-file rules over the full unit set.
+    report.findings.extend(protocol::check(&units, config));
+    report.findings.extend(locks::check(&units, config));
+
+    report.findings.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+    });
+    report.findings.dedup_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message) == (&b.path, b.line, &b.rule, &b.message)
+    });
     report
         .allows
         .sort_by(|a, b| (&a.path, a.allow.line).cmp(&(&b.path, b.allow.line)));
@@ -145,7 +263,7 @@ fn collect_rs_files(
     root: &Path,
     dir: &Path,
     config: &Config,
-    out: &mut Vec<PathBuf>,
+    out: &mut Vec<(String, PathBuf)>,
 ) -> Result<(), String> {
     let rel = relative_path(root, dir);
     if config
@@ -158,7 +276,7 @@ fn collect_rs_files(
     }
     if dir.is_file() {
         if dir.extension().is_some_and(|e| e == "rs") {
-            out.push(dir.to_path_buf());
+            out.push((rel, dir.to_path_buf()));
         }
         return Ok(());
     }
@@ -172,10 +290,18 @@ fn collect_rs_files(
             return Ok(());
         }
     }
+    // Sorted traversal: `read_dir` order is filesystem-dependent, and a
+    // deterministic walk is what keeps the text/JSON reports
+    // byte-identical across runs and platforms.
     let entries = fs::read_dir(dir).map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
     for entry in entries {
         let entry = entry.map_err(|e| format!("reading dir {}: {e}", dir.display()))?;
-        collect_rs_files(root, &entry.path(), config, out)?;
+        paths.push(entry.path());
+    }
+    paths.sort_by(|a, b| a.file_name().cmp(&b.file_name()));
+    for path in paths {
+        collect_rs_files(root, &path, config, out)?;
     }
     Ok(())
 }
@@ -184,8 +310,7 @@ fn collect_rs_files(
 mod tests {
     use super::*;
 
-    #[test]
-    fn report_render_is_stable_and_counts() {
+    fn sample_report() -> Report {
         let mut report = Report {
             files_scanned: 2,
             ..Report::default()
@@ -201,9 +326,15 @@ mod tests {
             rule: "metering".into(),
             path: "crates/x/src/lib.rs".into(),
             line: 9,
-            message: "raw channel".into(),
+            message: "raw \"channel\"".into(),
             severity: Severity::Warn,
         });
+        report
+    }
+
+    #[test]
+    fn report_render_is_stable_and_counts() {
+        let report = sample_report();
         assert_eq!(report.deny_count(), 1);
         assert_eq!(report.warn_count(), 1);
         assert!(report.failed());
@@ -217,5 +348,25 @@ mod tests {
     fn clean_report_passes() {
         let report = Report::default();
         assert!(!report.failed());
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let report = sample_report();
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"deny\": 1"));
+        assert!(json.contains("\"warn\": 1"));
+        // Quotes inside messages are escaped.
+        assert!(json.contains("raw \\\"channel\\\""));
+        // One JSON object per finding.
+        assert_eq!(json.matches("\"rule\": ").count(), report.findings.len());
+    }
+
+    #[test]
+    fn empty_json_report_has_empty_arrays() {
+        let json = Report::default().to_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"suppressions\": []"));
     }
 }

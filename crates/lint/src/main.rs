@@ -1,18 +1,23 @@
 //! `columnsgd-lint` CLI.
 //!
 //! ```text
-//! columnsgd-lint [--root <path>] [--config <path>]
+//! columnsgd-lint [--root <path>] [--config <path>] [--json <path>]
 //! ```
 //!
-//! Exits 0 when the tree is clean (warnings allowed), 1 on any `deny`
-//! finding, 2 on usage/configuration errors.
+//! `--json` additionally writes the machine-readable report (same
+//! findings as the text output, deterministic ordering) to the given
+//! path. Exits 0 when the tree is clean (warnings allowed), 1 on any
+//! `deny` finding, 2 on usage/configuration errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use columnsgd_lint as lint;
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -25,8 +30,12 @@ fn main() -> ExitCode {
                 Some(v) => config_path = Some(PathBuf::from(v)),
                 None => return usage("--config needs a path"),
             },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
             "--help" | "-h" => {
-                println!("usage: columnsgd-lint [--root <path>] [--config <path>]");
+                println!("usage: columnsgd-lint [--root <path>] [--config <path>] [--json <path>]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
@@ -53,6 +62,11 @@ fn main() -> ExitCode {
     match lint::run_lint(&root, &config) {
         Ok(report) => {
             print!("{}", report.render());
+            if let Some(path) = json_path {
+                if let Err(e) = std::fs::write(&path, report.to_json()) {
+                    return fail(&format!("writing {}: {e}", path.display()));
+                }
+            }
             if report.failed() {
                 ExitCode::FAILURE
             } else {
@@ -65,7 +79,7 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("columnsgd-lint: {msg}");
-    eprintln!("usage: columnsgd-lint [--root <path>] [--config <path>]");
+    eprintln!("usage: columnsgd-lint [--root <path>] [--config <path>] [--json <path>]");
     ExitCode::from(2)
 }
 

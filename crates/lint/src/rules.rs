@@ -30,18 +30,31 @@
 use crate::config::{Config, Severity};
 use crate::scan::{Allow, Scanned};
 
-/// Stable list of enforced rule ids (excluding the `annotation` meta-rule,
-/// which is always on).
-pub const RULE_IDS: [&str; 5] = [
+/// Stable list of per-file rule ids (excluding the `annotation`
+/// meta-rule, which is always on, and the cross-file rules below).
+pub const RULE_IDS: [&str; 6] = [
     "determinism-time",
     "determinism-iteration",
     "metering",
     "panic-hygiene",
     "alloc-hygiene",
+    "atomics-ordering",
 ];
+
+/// Cross-file rule ids (symbol-layer passes in [`crate::protocol`] and
+/// [`crate::locks`]); listed here so `lint: allow` annotations naming
+/// them are recognized.
+pub const CROSS_FILE_RULE_IDS: [&str; 3] =
+    ["protocol-conformance", "lock-order", "blocking-under-lock"];
 
 /// Meta-rule id for malformed/unknown `lint: allow` annotations.
 pub const ANNOTATION_RULE: &str = "annotation";
+
+/// Whether `rule` is a known rule id (per-file, cross-file, or the
+/// annotation meta-rule).
+pub fn is_known_rule(rule: &str) -> bool {
+    rule == ANNOTATION_RULE || RULE_IDS.contains(&rule) || CROSS_FILE_RULE_IDS.contains(&rule)
+}
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,7 +129,7 @@ pub fn check_file(
             });
         }
         for a in &scanned.allows {
-            if !RULE_IDS.contains(&a.rule.as_str()) {
+            if !is_known_rule(&a.rule) {
                 findings.push(Finding {
                     rule: ANNOTATION_RULE.to_string(),
                     path: path.to_string(),
@@ -146,6 +159,7 @@ fn match_rule(rule: &str, scanned: &Scanned) -> Vec<RawMatch> {
         "metering" => metering(scanned),
         "panic-hygiene" => panic_hygiene(scanned),
         "alloc-hygiene" => alloc_hygiene(scanned),
+        "atomics-ordering" => atomics_ordering(scanned),
         other => unreachable!("unknown rule id {other}"),
     }
 }
@@ -285,6 +299,22 @@ fn alloc_hygiene(scanned: &Scanned) -> Vec<RawMatch> {
     out
 }
 
+fn atomics_ordering(scanned: &Scanned) -> Vec<RawMatch> {
+    // Qualified form only (`Ordering::Relaxed`); the workspace never
+    // imports `Relaxed` bare, and a bare-identifier match would collide
+    // with ordinary bindings.
+    find_seq(scanned, &["Ordering", ":", ":", "Relaxed"])
+        .into_iter()
+        .map(|line| RawMatch {
+            line,
+            message: "`Ordering::Relaxed` outside the allowlist; relaxed atomics need a \
+                      written happens-before argument — use `Acquire`/`Release` (or \
+                      `SeqCst`) unless the access is a pure statistical counter"
+                .to_string(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +379,30 @@ mod tests {
         assert!(lines.contains(&2), "global_allocator fires: {fired:?}");
         // Ordinary allocation APIs never fire.
         assert!(rules_fired("let v = Vec::with_capacity(8); let b = Box::new(1);").is_empty());
+    }
+
+    #[test]
+    fn detects_relaxed_atomics_only_when_qualified() {
+        let fired = rules_fired(
+            "let x = FLAG.load(Ordering::Relaxed);\nlet y = FLAG.load(Ordering::SeqCst);\nlet z = std::cmp::Ordering::Less;",
+        );
+        let lines: Vec<u32> = fired
+            .iter()
+            .filter(|(r, _)| r == "atomics-ordering")
+            .map(|(_, l)| *l)
+            .collect();
+        assert_eq!(lines, vec![1], "{fired:?}");
+    }
+
+    #[test]
+    fn cross_file_rules_are_known_to_annotations() {
+        let fired = rules_fired(
+            "// lint: allow(lock-order) writer is a leaf lock\nlet x = 1;\n// lint: allow(protocol-conformance) deliberate gap\nlet y = 2;",
+        );
+        assert!(
+            fired.iter().all(|(r, _)| r != "annotation"),
+            "cross-file rule ids must not be flagged as unknown: {fired:?}"
+        );
     }
 
     #[test]

@@ -498,9 +498,17 @@ pub fn run_row_worker(
             RowMsg::RingChunk { phase, step, data } => {
                 early_chunks.push_back((phase, step, data));
             }
-            // Anything else is protocol noise (e.g. a message for a phase
-            // this worker already left); drop it rather than dying.
-            other => {
+            // Master-bound replies looping back here are protocol noise
+            // (e.g. a message for a phase this worker already left); drop
+            // rather than dying. Named explicitly so a new RowMsg variant
+            // fails compiler exhaustiveness and protocol-conformance
+            // until this loop decides what to do with it.
+            other @ (RowMsg::LoadAck { .. }
+            | RowMsg::IndicesReply { .. }
+            | RowMsg::GradReplySparse { .. }
+            | RowMsg::GradReplyDense { .. }
+            | RowMsg::StepDone { .. }
+            | RowMsg::ModelReply { .. }) => {
                 eprintln!("rowsgd worker {id}: dropping unexpected message {other:?}");
             }
         }

@@ -934,19 +934,26 @@ impl Recorder {
             return Ok(());
         };
         let hex = self.stamp().run_id_hex();
-        let events = inner.events.lock().unwrap();
-        if sink.cursor >= events.len() {
-            return Ok(());
-        }
+        // Serialize under the events lock, write after releasing it:
+        // recording threads must never block behind disk I/O.
+        let (chunk, new_cursor) = {
+            let events = inner.events.lock().unwrap();
+            if sink.cursor >= events.len() {
+                return Ok(());
+            }
+            let mut chunk = String::new();
+            for event in &events[sink.cursor..] {
+                chunk.push_str(&serde_json::to_string(&event.to_value(&hex)).unwrap_or_default());
+                chunk.push('\n');
+            }
+            (chunk, events.len())
+        };
         use std::io::Write as _;
-        let mut chunk = String::new();
-        for event in &events[sink.cursor..] {
-            chunk.push_str(&serde_json::to_string(&event.to_value(&hex)).unwrap_or_default());
-            chunk.push('\n');
-        }
+        // lint: allow(blocking-under-lock) `live` owns the sink file and IS its serialization point; only flush_live callers contend on it
         sink.file.write_all(chunk.as_bytes())?;
+        // lint: allow(blocking-under-lock) see write_all above: same sink, same serialization argument
         sink.file.flush()?;
-        sink.cursor = events.len();
+        sink.cursor = new_cursor;
         Ok(())
     }
 

@@ -464,6 +464,7 @@ impl Monitor {
             if let Some(sink) = st.sink.as_mut() {
                 // Live sink: best-effort, never fail the training loop.
                 let _ = writeln!(sink, "{snap}");
+                // lint: allow(blocking-under-lock) the sink File lives inside `state` and only the master's observe call writes it; no cross-thread contention exists
                 let _ = sink.flush();
             }
             st.snapshots.push(snap);
